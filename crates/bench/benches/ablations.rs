@@ -1,0 +1,146 @@
+//! Ablation benches for the design decisions DESIGN.md calls out.
+//!
+//! These are benches in the broader sense: each measures the *cost* of a
+//! design choice and, where relevant, prints the quantitative effect on
+//! analysis conclusions to stderr the first time it runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+use astra_core::coalesce::{coalesce, CoalesceConfig};
+use astra_core::experiments::fig6::Fig6;
+use astra_core::pipeline::{Analysis, Dataset};
+use astra_faultsim::SimProfile;
+use astra_topology::SystemConfig;
+
+/// Ablation 1 (DESIGN.md #1): classify on coalesced faults vs raw errors.
+/// The bench measures both paths; the printed CV contrast is the paper's
+/// "errors mislead" quantified.
+fn ablation_faults_vs_errors(c: &mut Criterion) {
+    let ds = Dataset::generate(2, 42);
+    let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        let s = &analysis.spatial;
+        eprintln!(
+            "[ablation faults-vs-errors] bank-axis CV: errors {:.2} vs faults {:.2}",
+            Fig6::cv(&s.errors_by_bank),
+            Fig6::cv(&s.faults_by_bank),
+        );
+    });
+
+    let mut group = c.benchmark_group("ablation_faults_vs_errors");
+    group.sample_size(20);
+    group.bench_function("error_level_aggregation", |b| {
+        // Raw error counting only (no coalescing).
+        b.iter(|| {
+            let mut by_bank = vec![0u64; 16];
+            for rec in &ds.sim.ce_log {
+                by_bank[usize::from(rec.bank)] += 1;
+            }
+            black_box(by_bank)
+        });
+    });
+    group.bench_function("fault_level_aggregation", |b| {
+        // Full coalesce + fault counting.
+        b.iter(|| {
+            let faults = coalesce(&ds.sim.ce_log, &CoalesceConfig::default());
+            let mut by_bank = vec![0u64; 16];
+            for f in &faults {
+                if let Some(bank) = f.bank {
+                    by_bank[usize::from(bank)] += 1;
+                }
+            }
+            black_box(by_bank)
+        });
+    });
+    group.finish();
+}
+
+/// Ablation 3 (DESIGN.md #3): kernel CE buffer sizing. Smaller buffers
+/// drop more CEs and distort error counts; fault counts are robust.
+fn ablation_log_buffer(c: &mut Criterion) {
+    let system = SystemConfig::scaled(1);
+
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        for capacity in [4usize, 16, 64, 256] {
+            let mut profile = SimProfile::astra();
+            profile.buffer_capacity = capacity;
+            // Concentrate bursts to stress the buffer.
+            profile.burst_mean = 24.0;
+            profile.polls_per_minute = 2;
+            let out = astra_faultsim::simulate(&system, &profile, 42);
+            let offered = out.offered_errors();
+            let faults = coalesce(&out.ce_log, &CoalesceConfig::default());
+            eprintln!(
+                "[ablation log-buffer] capacity {capacity:>3}: logged {:>7}/{offered} CEs \
+                 ({:.1}% lost), observed faults {}",
+                out.ce_log.len(),
+                100.0 * out.dropped_ces as f64 / offered as f64,
+                faults.len(),
+            );
+        }
+    });
+
+    let mut group = c.benchmark_group("ablation_log_buffer");
+    group.sample_size(10);
+    for capacity in [16usize, 256] {
+        group.bench_function(format!("capacity_{capacity}"), |b| {
+            let mut profile = SimProfile::astra();
+            profile.buffer_capacity = capacity;
+            b.iter(|| black_box(astra_faultsim::simulate(&system, &profile, 42)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the rank-level (pin) extraction threshold. Too low shatters
+/// ordinary faults into pin faults; too high shatters pin faults into
+/// per-bank faults.
+fn ablation_pin_threshold(c: &mut Criterion) {
+    let ds = Dataset::generate(1, 42);
+
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        for threshold in [2usize, 4, 8, 16] {
+            let config = CoalesceConfig {
+                pin_bank_threshold: threshold,
+                ..CoalesceConfig::default()
+            };
+            let faults = coalesce(&ds.sim.ce_log, &config);
+            let rank_level = faults
+                .iter()
+                .filter(|f| f.mode == astra_core::ObservedMode::RankLevel)
+                .count();
+            eprintln!(
+                "[ablation pin-threshold] threshold {threshold:>2}: {} faults total, \
+                 {rank_level} rank-level",
+                faults.len(),
+            );
+        }
+    });
+
+    let mut group = c.benchmark_group("ablation_pin_threshold");
+    group.sample_size(20);
+    for threshold in [2usize, 4, 16] {
+        group.bench_function(format!("threshold_{threshold}"), |b| {
+            let config = CoalesceConfig {
+                pin_bank_threshold: threshold,
+                ..CoalesceConfig::default()
+            };
+            b.iter(|| black_box(coalesce(&ds.sim.ce_log, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_faults_vs_errors,
+    ablation_log_buffer,
+    ablation_pin_threshold
+);
+criterion_main!(benches);

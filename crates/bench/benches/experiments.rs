@@ -1,0 +1,99 @@
+//! One bench per paper exhibit: the cost of regenerating each table and
+//! figure from a prepared dataset. Together with the `figN`/`table1`
+//! binaries these form the per-experiment harness of DESIGN.md §3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use astra_core::experiments as exp;
+use astra_core::pipeline::{Analysis, Dataset};
+use astra_core::tempcorr::TempCorrConfig;
+use astra_util::time::{
+    het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan,
+};
+use astra_util::CalDate;
+
+fn bench_experiments(c: &mut Criterion) {
+    let ds = Dataset::generate(2, 42);
+    let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+    let quick = TempCorrConfig {
+        max_ce_samples: 500,
+        window_stride: 60,
+        monthly_stride: 24 * 60,
+        bin_width: 1.0,
+    };
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(exp::table1::compute(&ds.system, &ds.replacements)));
+    });
+    group.bench_function("fig2", |b| {
+        b.iter(|| black_box(exp::fig2::compute(&ds.telemetry, sensor_span(), 16, 240)));
+    });
+    group.bench_function("fig3", |b| {
+        b.iter(|| black_box(exp::fig3::compute(&ds.replacements, replacement_span())));
+    });
+    group.bench_function("fig4", |b| {
+        b.iter(|| black_box(exp::fig4::compute(&analysis, study_span())));
+    });
+    group.bench_function("fig5", |b| {
+        b.iter(|| black_box(exp::fig5::compute(&analysis)));
+    });
+    group.bench_function("fig6", |b| {
+        b.iter(|| black_box(exp::fig6::compute(&analysis)));
+    });
+    group.bench_function("fig7", |b| {
+        b.iter(|| black_box(exp::fig7::compute(&analysis)));
+    });
+    group.bench_function("fig8", |b| {
+        b.iter(|| black_box(exp::fig8::compute(&analysis)));
+    });
+    group.bench_function("fig9", |b| {
+        b.iter(|| {
+            black_box(exp::fig9::compute(
+                &analysis,
+                &ds.telemetry,
+                sensor_span(),
+                &quick,
+            ))
+        });
+    });
+    group.bench_function("fig10_12", |b| {
+        b.iter(|| black_box(exp::fig10_12::compute(&analysis)));
+    });
+    group.bench_function("fig13", |b| {
+        b.iter(|| {
+            black_box(exp::fig13_14::compute_fig13(
+                &analysis,
+                &ds.telemetry,
+                sensor_span(),
+                &quick,
+            ))
+        });
+    });
+    group.bench_function("fig14", |b| {
+        b.iter(|| {
+            black_box(exp::fig13_14::compute_fig14(
+                &analysis,
+                &ds.telemetry,
+                sensor_span(),
+                &quick,
+            ))
+        });
+    });
+    group.bench_function("fig15", |b| {
+        let window = TimeSpan::dates(het_firmware_date(), CalDate::new(2019, 9, 14));
+        b.iter(|| {
+            black_box(exp::fig15::compute(
+                &ds.sim.het_log,
+                window,
+                ds.system.dimm_count(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Benchmarks of the core pipeline stages: simulation, serialization,
+//! parsing, coalescing, and spatial aggregation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use astra_core::coalesce::{coalesce, CoalesceConfig};
+use astra_core::pipeline::{AnalysisInput, Dataset};
+use astra_core::spatial::SpatialCounts;
+use astra_faultsim::{simulate, SimProfile};
+use astra_topology::SystemConfig;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for racks in [1u32, 4] {
+        group.bench_function(format!("racks_{racks}"), |b| {
+            let system = SystemConfig::scaled(racks);
+            let profile = SimProfile::astra();
+            b.iter(|| black_box(simulate(&system, &profile, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let ds = Dataset::generate(2, 42);
+    let config = CoalesceConfig::default();
+    let mut group = c.benchmark_group("coalesce");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(ds.sim.ce_log.len() as u64));
+    group.bench_function("records", |b| {
+        b.iter(|| black_box(coalesce(&ds.sim.ce_log, &config)));
+    });
+    group.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let ds = Dataset::generate(2, 42);
+    let faults = coalesce(&ds.sim.ce_log, &CoalesceConfig::default());
+    let mut group = c.benchmark_group("spatial");
+    group.sample_size(20);
+    group.bench_function("aggregate", |b| {
+        b.iter(|| black_box(SpatialCounts::compute(&ds.system, &ds.sim.ce_log, &faults)));
+    });
+    group.finish();
+}
+
+fn bench_parse_overhead(c: &mut Criterion) {
+    // Design decision #2 in DESIGN.md: the analyzer consumes text logs.
+    // Measure what that costs relative to taking records directly.
+    let ds = Dataset::generate(1, 42);
+    let (ce, het, inv) = ds.to_text();
+    let mut group = c.benchmark_group("parse_overhead");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Bytes(ce.len() as u64));
+    group.bench_function("from_text", |b| {
+        b.iter(|| black_box(AnalysisInput::from_text(&ce, &het, &inv).unwrap()));
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(AnalysisInput::from_dataset_direct(&ds)));
+    });
+    group.finish();
+}
+
+fn bench_parallel_parse(c: &mut Criterion) {
+    // Sharded parallel parsing vs a single-threaded pass over the same
+    // CE log text.
+    let ds = Dataset::generate(2, 42);
+    let (ce, _, _) = ds.to_text();
+    let mut group = c.benchmark_group("ce_parse");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Bytes(ce.len() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(
+                astra_logs::io::read_lines(ce.as_bytes(), astra_logs::CeRecord::parse_line)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(astra_logs::io::parse_lines_parallel(
+                &ce,
+                astra_logs::CeRecord::parse_line,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let ds = Dataset::generate(1, 42);
+    let mut group = c.benchmark_group("serialize");
+    group.sample_size(10);
+    group.bench_function("to_text", |b| {
+        b.iter_batched(|| (), |_| black_box(ds.to_text()), BatchSize::SmallInput);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_coalesce,
+    bench_spatial,
+    bench_parse_overhead,
+    bench_parallel_parse,
+    bench_serialize
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks of the statistics substrate on realistic workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use astra_stats::{
+    chi_square_uniform, fit_power_law, fit_power_law_auto, top_share, ViolinSummary,
+};
+use astra_util::dist::power_law;
+use astra_util::DetRng;
+
+fn heavy_tailed_sample(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = DetRng::new(seed);
+    (0..n).map(|_| power_law(&mut rng, 1, 2.2)).collect()
+}
+
+fn bench_power_law(c: &mut Criterion) {
+    let samples = heavy_tailed_sample(100_000, 42);
+    let mut group = c.benchmark_group("power_law");
+    group.bench_function("fit_fixed_xmin", |b| {
+        b.iter(|| black_box(fit_power_law(&samples, 1)));
+    });
+    group.bench_function("fit_auto_xmin", |b| {
+        b.iter(|| black_box(fit_power_law_auto(&samples, 50, 16)));
+    });
+    group.finish();
+}
+
+fn bench_chi_square(c: &mut Criterion) {
+    let counts: Vec<u64> = (0..128).map(|i| 1000 + (i % 7)).collect();
+    c.bench_function("chi_square_uniform_128", |b| {
+        b.iter(|| black_box(chi_square_uniform(&counts)));
+    });
+}
+
+fn bench_top_share(c: &mut Criterion) {
+    let counts = heavy_tailed_sample(100_000, 7);
+    c.bench_function("top_share_100k", |b| {
+        b.iter(|| black_box(top_share(&counts)));
+    });
+}
+
+fn bench_violin(c: &mut Criterion) {
+    let counts = heavy_tailed_sample(10_000, 9);
+    c.bench_function("violin_10k", |b| {
+        b.iter(|| black_box(ViolinSummary::from_counts(&counts, 64)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_power_law,
+    bench_chi_square,
+    bench_top_share,
+    bench_violin
+);
+criterion_main!(benches);

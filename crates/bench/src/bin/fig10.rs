@@ -1,0 +1,18 @@
+//! Regenerate Fig 10: errors and faults by rack region.
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::fig10_12;
+
+fn main() {
+    let cli = Cli::parse();
+    let (_, analysis) = prepare(cli);
+    let fig = fig10_12::compute(&analysis);
+    // Print only the Fig 10 section.
+    let rendered = fig.render();
+    let fig11_at = rendered.find("Fig 11").unwrap_or(rendered.len());
+    print!("{}", &rendered[..fig11_at]);
+    println!(
+        "fault region spread smaller than error spread: {}",
+        fig.fault_region_spread_is_smaller()
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerate Fig 11: fault fractions per region by rack.
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::fig10_12;
+
+fn main() {
+    let cli = Cli::parse();
+    let (_, analysis) = prepare(cli);
+    let fig = fig10_12::compute(&analysis);
+    let rendered = fig.render();
+    let start = rendered.find("Fig 11").unwrap_or(0);
+    let end = rendered.find("Fig 12").unwrap_or(rendered.len());
+    print!("{}", &rendered[start..end]);
+}

@@ -1,0 +1,18 @@
+//! Regenerate Fig 12: errors and faults by rack.
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::fig10_12;
+
+fn main() {
+    let cli = Cli::parse();
+    let (_, analysis) = prepare(cli);
+    let fig = fig10_12::compute(&analysis);
+    let rendered = fig.render();
+    let start = rendered.find("Fig 12").unwrap_or(0);
+    print!("{}", &rendered[start..]);
+    println!(
+        "spike rack vanishes in faults: {}; rack-fault uniformity p = {:?}",
+        fig.spike_rack_vanishes_in_faults(2.5),
+        fig.rack_fault_uniformity_p()
+    );
+}

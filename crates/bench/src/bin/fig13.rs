@@ -1,0 +1,18 @@
+//! Regenerate Fig 13: temperature deciles vs monthly CE rate.
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::fig13_14;
+use astra_core::tempcorr::TempCorrConfig;
+use astra_util::time::sensor_span;
+
+fn main() {
+    let cli = Cli::parse();
+    let (ds, analysis) = prepare(cli);
+    let config = TempCorrConfig::default();
+    let fig = fig13_14::compute_fig13(&analysis, &ds.telemetry, sensor_span(), &config);
+    print!("{}", fig.render());
+    println!(
+        "no monotone temperature trend: {} (paper: contradicts Schroeder et al.)",
+        fig.no_monotone_trend(0.5)
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerate Fig 14: power (utilization proxy) deciles, hot/cold split.
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::fig13_14;
+use astra_core::tempcorr::TempCorrConfig;
+use astra_util::time::sensor_span;
+
+fn main() {
+    let cli = Cli::parse();
+    let (ds, analysis) = prepare(cli);
+    let config = TempCorrConfig::default();
+    let fig = fig13_14::compute_fig14(&analysis, &ds.telemetry, sensor_span(), &config);
+    print!("{}", fig.render());
+    println!(
+        "no strong power trend: {}; hot series shifted right: {}",
+        fig.no_strong_power_trend(0.55),
+        fig.hot_series_shifted_right()
+    );
+}

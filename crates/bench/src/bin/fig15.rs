@@ -1,0 +1,16 @@
+//! Regenerate Fig 15: HET events and the FIT computation.
+
+use astra_bench::Cli;
+use astra_core::experiments::fig15;
+use astra_core::pipeline::Dataset;
+use astra_util::time::{het_firmware_date, TimeSpan};
+use astra_util::CalDate;
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = Dataset::generate(cli.racks, cli.seed);
+    let window = TimeSpan::dates(het_firmware_date(), CalDate::new(2019, 9, 14));
+    let fig = fig15::compute(&ds.sim.het_log, window, ds.system.dimm_count());
+    print!("{}", fig.render());
+    println!("(paper: 0.00948 DUE/DIMM/yr, FIT ~ 1081; best compared at 'full' scale)");
+}

@@ -1,0 +1,15 @@
+//! Regenerate Fig 2: sensor value distributions.
+
+use astra_bench::Cli;
+use astra_core::experiments::fig2;
+use astra_core::pipeline::Dataset;
+use astra_util::time::sensor_span;
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = Dataset::generate(cli.racks, cli.seed);
+    // Sample every 8th node at 2-hour cadence: converged distributions at
+    // a fraction of the 3-billion-sample full stream.
+    let fig = fig2::compute(&ds.telemetry, sensor_span(), 8, 120);
+    print!("{}", fig.render());
+}

@@ -1,0 +1,19 @@
+//! Regenerate Fig 3: daily replacement series.
+
+use astra_bench::Cli;
+use astra_core::experiments::fig3;
+use astra_core::pipeline::Dataset;
+use astra_util::time::replacement_span;
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = Dataset::generate(cli.racks, cli.seed);
+    let fig = fig3::compute(&ds.replacements, replacement_span());
+    print!("{}", fig.render());
+    for cat in 0..3 {
+        println!(
+            "infant mortality visible in series {cat}: {}",
+            fig.infant_mortality_visible(cat)
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerate Fig 4: error/fault-mode series and errors-per-fault violin.
+
+use astra_bench::{full_scale_factor, prepare, Cli};
+use astra_core::experiments::fig4;
+use astra_util::time::study_span;
+
+fn main() {
+    let cli = Cli::parse();
+    let (_, analysis) = prepare(cli);
+    let fig = fig4::compute(&analysis, study_span());
+    print!("{}", fig.render());
+    println!(
+        "total x{:.1} => {:.0} (paper 4,369,731); downward trend: {}",
+        full_scale_factor(cli.racks),
+        fig.total_errors() as f64 * full_scale_factor(cli.racks),
+        fig.trends_downward()
+    );
+}

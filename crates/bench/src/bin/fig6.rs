@@ -1,0 +1,15 @@
+//! Regenerate Fig 6: socket/bank/column errors vs faults.
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::fig6;
+
+fn main() {
+    let cli = Cli::parse();
+    let (_, analysis) = prepare(cli);
+    let fig = fig6::compute(&analysis);
+    print!("{}", fig.render());
+    println!(
+        "faults flatter than errors: {} (the paper's 'errors mislead' point)",
+        fig.faults_flatter_than_errors()
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerate Fig 7: rank and DIMM-slot errors vs faults.
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::fig7;
+
+fn main() {
+    let cli = Cli::parse();
+    let (_, analysis) = prepare(cli);
+    let fig = fig7::compute(&analysis);
+    print!("{}", fig.render());
+    println!(
+        "rank 0 dominates: {}; hot slots (J,E,I,P) dominate: {}",
+        fig.rank0_dominates(),
+        fig.hot_slots_dominate()
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerate Fig 9: CE count vs pre-error DIMM temperature windows.
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::fig9;
+use astra_core::tempcorr::TempCorrConfig;
+use astra_util::time::sensor_span;
+
+fn main() {
+    let cli = Cli::parse();
+    let (ds, analysis) = prepare(cli);
+    let config = TempCorrConfig::default();
+    let fig = fig9::compute(&analysis, &ds.telemetry, sensor_span(), &config);
+    print!("{}", fig.render());
+    println!(
+        "no strong temperature correlation: {} (the paper's negative result)",
+        fig.no_strong_correlation(0.35)
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerate Table 1: component replacements.
+
+use astra_bench::{full_scale_factor, Cli};
+use astra_core::experiments::table1;
+use astra_core::pipeline::Dataset;
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = Dataset::generate(cli.racks, cli.seed);
+    let t = table1::compute(&ds.system, &ds.replacements);
+    print!("{}", t.render());
+    println!(
+        "(scale x{:.1} to full Astra; paper: 836 / 46 / 1515 at 16.1% / 1.8% / 3.7%)",
+        full_scale_factor(cli.racks)
+    );
+}

@@ -1,0 +1,20 @@
+//! Evaluate every paper claim on a fresh dataset and print the verdict
+//! table (the executable EXPERIMENTS.md).
+
+use astra_bench::{prepare, Cli};
+use astra_core::experiments::verdicts;
+use astra_core::tempcorr::TempCorrConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let (ds, analysis) = prepare(cli);
+    let verdicts = verdicts::evaluate(&ds, &analysis, &TempCorrConfig::default());
+    print!("{}", verdicts::render(&verdicts));
+    println!(
+        "{}/{} claims pass at {} racks (seed {})",
+        verdicts::passing(&verdicts),
+        verdicts.len(),
+        cli.racks,
+        cli.seed
+    );
+}

@@ -1,0 +1,85 @@
+//! Shared harness for the figure/table regeneration binaries and benches.
+//!
+//! Every binary accepts the same arguments:
+//!
+//! ```text
+//! cargo run --release -p astra-bench --bin fig5 -- [racks] [seed]
+//! cargo run --release -p astra-bench --bin fig5 -- full        # 36 racks
+//! ```
+//!
+//! Default is a 12-rack (864-node) machine — one third of Astra — which
+//! regenerates every figure's shape in seconds. `full` runs the whole
+//! 2,592-node machine, whose totals are the ones recorded against the
+//! paper in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use astra_core::pipeline::{Analysis, Dataset};
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Rack count (36 = full Astra).
+    pub racks: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Cli {
+    /// Parse `[racks|"full"] [seed]` from `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut args = std::env::args().skip(1);
+        let racks = match args.next().as_deref() {
+            Some("full") => 36,
+            Some(s) => s.parse().unwrap_or(12),
+            None => 12,
+        };
+        let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+        Cli { racks, seed }
+    }
+}
+
+/// Generate the dataset and run the core analysis, with timing to stderr.
+pub fn prepare(cli: Cli) -> (Dataset, Analysis) {
+    let t0 = std::time::Instant::now();
+    let ds = Dataset::generate(cli.racks, cli.seed);
+    eprintln!(
+        "[astra-bench] simulated {} nodes, {} CEs in {:?}",
+        ds.system.node_count(),
+        ds.sim.ce_log.len(),
+        t0.elapsed()
+    );
+    let t1 = std::time::Instant::now();
+    let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+    eprintln!(
+        "[astra-bench] coalesced into {} faults in {:?}",
+        analysis.total_faults(),
+        t1.elapsed()
+    );
+    (ds, analysis)
+}
+
+/// Scale factor from this machine size to full Astra, for comparing
+/// totals against the paper.
+pub fn full_scale_factor(racks: u32) -> f64 {
+    36.0 / f64::from(racks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor() {
+        assert_eq!(full_scale_factor(36), 1.0);
+        assert_eq!(full_scale_factor(12), 3.0);
+    }
+
+    #[test]
+    fn prepare_runs_at_tiny_scale() {
+        let (ds, analysis) = prepare(Cli { racks: 1, seed: 7 });
+        assert_eq!(ds.system.racks, 1);
+        assert!(analysis.total_faults() > 0);
+    }
+}

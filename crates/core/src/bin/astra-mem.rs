@@ -1,0 +1,283 @@
+//! `astra-mem` — command-line interface to the astra-mem toolkit.
+//!
+//! ```text
+//! astra-mem generate --racks 4 --seed 42 --out /data/astra-logs
+//! astra-mem analyze  /data/astra-logs [--racks 4]
+//! astra-mem report   /data/astra-logs [--racks 4]
+//! astra-mem triage   /data/astra-logs [--racks 4]
+//! ```
+//!
+//! `generate` simulates a machine and writes the three text logs
+//! (`ce.log`, `het.log`, `inventory.log`). The other commands ingest a
+//! log directory — from `generate` or, with the same formats, from a real
+//! site — and run the analysis at increasing levels of detail: `analyze`
+//! prints the coalescing summary, `report` renders every table/figure of
+//! the paper, `triage` prints the operational outputs (exclude list,
+//! retirement, replacement candidates).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use astra_core::experiments as exp;
+use astra_core::mitigation::{self, RetirementPolicy};
+use astra_core::pipeline::{Analysis, AnalysisInput, Dataset};
+use astra_core::reliability;
+use astra_core::tempcorr::TempCorrConfig;
+use astra_topology::SystemConfig;
+use astra_util::time::{
+    het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan,
+};
+use astra_util::CalDate;
+
+const USAGE: &str = "\
+astra-mem — memory-failure analysis toolkit (HPDC'22 Astra reproduction)
+
+USAGE:
+    astra-mem generate [--racks N] [--seed S] --out DIR
+    astra-mem analyze  DIR [--racks N]
+    astra-mem report   DIR [--racks N] [--seed S]
+    astra-mem triage   DIR [--racks N]
+
+COMMANDS:
+    generate   simulate a machine; write ce/het/inventory/sensors logs
+    analyze    parse a log directory and print the fault summary
+    report     render every table and figure of the paper
+    triage     operational outputs: exclude list, retirement, replacements
+
+OPTIONS:
+    --racks N  machine size in racks (default 4; Astra is 36)
+    --seed S   master seed (default 42)
+    --out DIR  output directory for generate
+";
+
+struct Args {
+    command: String,
+    dir: Option<PathBuf>,
+    racks: u32,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut parsed = Args {
+        command,
+        dir: None,
+        racks: 4,
+        seed: 42,
+        out: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--racks" => {
+                let v = args.next().ok_or("--racks needs a value")?;
+                parsed.racks = v.parse().map_err(|_| format!("bad rack count {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                parsed.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
+            }
+            other if !other.starts_with('-') && parsed.dir.is_none() => {
+                parsed.dir = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "analyze" => cmd_analyze(&args),
+        "report" => cmd_report(&args),
+        "triage" => cmd_triage(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.out.clone().ok_or("generate requires --out DIR")?;
+    eprintln!("simulating {} racks (seed {})...", args.racks, args.seed);
+    let ds = Dataset::generate(args.racks, args.seed);
+    ds.write_logs(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} CE, {} HET, {} inventory records (+ sensors.log excerpt) to {}",
+        ds.sim.ce_log.len(),
+        ds.sim.het_log.len(),
+        ds.replacements.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn load(args: &Args) -> Result<(SystemConfig, AnalysisInput), String> {
+    let dir = args.dir.clone().ok_or("this command needs a log directory")?;
+    let input = AnalysisInput::from_dir(&dir).map_err(|e| e.to_string())?;
+    if input.skipped > 0 {
+        eprintln!("note: skipped {} unparseable lines", input.skipped);
+    }
+    Ok((SystemConfig::scaled(args.racks), input))
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let (system, input) = load(args)?;
+    let analysis = Analysis::run(system, input.records);
+    println!(
+        "{} errors -> {} faults on {} nodes",
+        analysis.total_errors(),
+        analysis.total_faults(),
+        system.node_count()
+    );
+    let fig4 = exp::fig4::compute(&analysis, study_span());
+    print!("{}", fig4.render());
+    let fig5 = exp::fig5::compute(&analysis);
+    print!("{}", fig5.render());
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let (system, input) = load(args)?;
+    let analysis = Analysis::run(system, input.records);
+    // The telemetry model is functional: reconstruct it from the seed.
+    let telemetry = astra_telemetry::TelemetryModel::new(
+        system,
+        astra_telemetry::ThermalProfile::astra(),
+        args.seed,
+    );
+    let config = TempCorrConfig::default();
+
+    println!("{}", exp::table1::compute(&system, &input.replacements).render());
+    // Prefer the parsed sensors.log excerpt when the directory has one;
+    // otherwise sample the telemetry model.
+    let fig2 = if input.sensors.is_empty() {
+        exp::fig2::compute(&telemetry, sensor_span(), 8, 6 * 60)
+    } else {
+        exp::fig2::compute_from_records(&input.sensors)
+    };
+    println!("{}", fig2.render());
+    println!("{}", exp::fig3::compute(&input.replacements, replacement_span()).render());
+    println!("{}", exp::fig4::compute(&analysis, study_span()).render());
+    println!("{}", exp::fig5::compute(&analysis).render());
+    println!("{}", exp::fig6::compute(&analysis).render());
+    println!("{}", exp::fig7::compute(&analysis).render());
+    println!("{}", exp::fig8::compute(&analysis).render());
+    println!(
+        "{}",
+        exp::fig9::compute(&analysis, &telemetry, sensor_span(), &config).render()
+    );
+    println!("{}", exp::fig10_12::compute(&analysis).render());
+    println!(
+        "{}",
+        exp::fig13_14::compute_fig13(&analysis, &telemetry, sensor_span(), &config).render()
+    );
+    println!(
+        "{}",
+        exp::fig13_14::compute_fig14(&analysis, &telemetry, sensor_span(), &config).render()
+    );
+    let window = TimeSpan::dates(het_firmware_date(), CalDate::new(2019, 9, 14));
+    println!(
+        "{}",
+        exp::fig15::compute(&input.hets, window, system.dimm_count()).render()
+    );
+
+    // CE -> DUE escalation addendum.
+    if let Some(rr) = astra_core::het::due_relative_risk(
+        &analysis.faults,
+        &input.hets,
+        system.dimm_count(),
+    ) {
+        println!(
+            "DUE relative risk for DIMMs with prior CE faults: {rr:.1}x\n"
+        );
+    }
+
+    // Failure-model addendum.
+    if let Some(model) = astra_core::modeling::NodePopulationModel::fit(
+        &analysis.spatial.fault_counts_all_nodes(&system),
+    ) {
+        println!(
+            "node fault model: P(zero) = {:.2}, tail alpha = {:.2}; expected nodes \
+             with >= 10 faults: {:.0}\n",
+            model.p_zero,
+            model.tail.alpha,
+            model.expected_nodes_at_least(10)
+        );
+    }
+
+    // Survival addendum.
+    println!("Component survival (Kaplan-Meier):");
+    for cs in reliability::component_survival(&system, &input.replacements, replacement_span()) {
+        println!(
+            "  {:<13} failures {:>5} / {:<6}  S(212d) {:.3}  front-loading(30d) {:.2}x",
+            cs.component,
+            cs.failures,
+            cs.population,
+            cs.end_survival(212.0),
+            cs.front_loading(30.0, 212.0)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_triage(args: &Args) -> Result<(), String> {
+    let (system, input) = load(args)?;
+    let analysis = Analysis::run(system, input.records);
+
+    println!("node exclusion curve:");
+    for point in mitigation::exclusion_curve(&analysis, 8) {
+        println!(
+            "  exclude {:>2} nodes -> avoid {:>5.1}% of CEs at {:.2}% capacity",
+            point.excluded_nodes,
+            100.0 * point.errors_avoided_fraction,
+            100.0 * point.capacity_lost_fraction
+        );
+    }
+    let k = mitigation::smallest_exclusion_for(&analysis, 0.5);
+    println!("smallest exclude list removing half of all CEs: {k} nodes\n");
+
+    for (name, policy) in [
+        ("threshold(8)", RetirementPolicy::Threshold { ce_threshold: 8 }),
+        (
+            "budgeted(8, 16 pages)",
+            RetirementPolicy::Budgeted {
+                ce_threshold: 8,
+                max_pages_per_fault: 16,
+            },
+        ),
+    ] {
+        let out = mitigation::simulate_retirement(&analysis.records, &analysis.faults, policy);
+        println!(
+            "page retirement {name}: retired {} pages ({} KiB), avoided {:.1}% of CEs, \
+             contained {} faults, abandoned {}",
+            out.retired_pages,
+            out.retired_bytes() / 1024,
+            100.0 * out.avoidance_rate(),
+            out.faults_contained,
+            out.faults_abandoned
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,588 @@
+//! Error → fault coalescing.
+//!
+//! The algorithm groups the CE stream by `(node, slot, rank)` — the DRAM
+//! device population a physical fault is confined to — then, within each
+//! group:
+//!
+//! 1. **Rank-level extraction**: a bit lane whose errors appear in at
+//!    least [`CoalesceConfig::pin_bank_threshold`] distinct banks is a
+//!    pin/lane defect; all its errors become one rank-level fault. This
+//!    runs first because a pin fault would otherwise shatter into one
+//!    spurious fault per bank.
+//! 2. **Per-bank footprint classification** of the remaining errors:
+//!    one address and one bit → single-bit; one address, several bits →
+//!    single-word; several addresses in one column → single-column;
+//!    several columns → single-bank (which, on Astra, also covers true
+//!    single-row faults — the records carry no row).
+//!
+//! The limitation is the standard one for field studies: two independent
+//! faults with overlapping footprints in the same bank merge. The
+//! simulator's ground truth lets the test suite measure that confusion
+//! instead of guessing at it.
+
+use std::collections::HashMap;
+
+use astra_logs::CeRecord;
+use astra_topology::{DimmSlot, NodeId, RankId};
+use astra_util::Minute;
+
+use crate::classify::ObservedMode;
+
+/// Tunables for coalescing.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalesceConfig {
+    /// Minimum distinct banks sharing a bit lane before the lane is
+    /// declared a rank-level (pin) fault.
+    pub pin_bank_threshold: usize,
+    /// Minimum distinct columns for a bank group to be considered a
+    /// genuinely bank-dispersed fault. Below this, the group is split per
+    /// column — two independent faults that happen to share a bank stay
+    /// separate (the "minimal fault set" principle).
+    pub bank_dispersion_cols: usize,
+    /// A bank-dispersed fault must also spread its addresses: if one
+    /// column holds more than this share of the distinct addresses, the
+    /// group is split per column instead.
+    pub bank_max_col_share: f64,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            pin_bank_threshold: 4,
+            bank_dispersion_cols: 6,
+            bank_max_col_share: 0.5,
+        }
+    }
+}
+
+/// A fault inferred from the error stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedFault {
+    /// Node the fault lives on.
+    pub node: NodeId,
+    /// DIMM slot.
+    pub slot: DimmSlot,
+    /// Rank within the DIMM.
+    pub rank: RankId,
+    /// Bank, for per-bank modes; `None` for rank-level faults.
+    pub bank: Option<u16>,
+    /// Column, for modes confined to one column.
+    pub col: Option<u16>,
+    /// Inferred mode.
+    pub mode: ObservedMode,
+    /// Representative bit position (the most common logged value).
+    pub bit_pos: u16,
+    /// Representative physical address (for single-address modes).
+    pub addr: Option<u64>,
+    /// Number of errors attributed to this fault.
+    pub error_count: u64,
+    /// First and last error times.
+    pub first_seen: Minute,
+    /// Last attributed error.
+    pub last_seen: Minute,
+    /// Indices into the input record slice for the attributed errors.
+    pub record_indices: Vec<u32>,
+}
+
+impl ObservedFault {
+    /// Month index (Jan 2019 = 0) of each attributed error.
+    pub fn error_months<'a>(
+        &'a self,
+        records: &'a [CeRecord],
+    ) -> impl Iterator<Item = i64> + 'a {
+        self.record_indices
+            .iter()
+            .map(move |&i| records[i as usize].time.month_index())
+    }
+}
+
+/// Coalesce a CE record stream into observed faults.
+///
+/// Records may arrive in any order; output is sorted by
+/// `(node, slot, rank, first_seen)` and is deterministic.
+pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFault> {
+    // Group record indices by device population.
+    let mut groups: HashMap<(u32, u8, u8), Vec<u32>> = HashMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        groups
+            .entry((rec.node.0, rec.slot.index() as u8, rec.rank.0))
+            .or_default()
+            .push(i as u32);
+    }
+
+    let mut out: Vec<ObservedFault> = Vec::new();
+    for ((node, slot_idx, rank), indices) in groups {
+        let node = NodeId(node);
+        let slot = DimmSlot::from_index(slot_idx).expect("slot from grouping");
+        let rank = RankId(rank);
+        coalesce_group(records, node, slot, rank, indices, config, &mut out);
+    }
+    out.sort_by_key(|f| {
+        (
+            f.node.0,
+            f.slot.index() as u8,
+            f.rank.0,
+            f.first_seen,
+            f.bit_pos,
+            f.bank,
+        )
+    });
+    out
+}
+
+/// Coalesce one `(node, slot, rank)` group.
+fn coalesce_group(
+    records: &[CeRecord],
+    node: NodeId,
+    slot: DimmSlot,
+    rank: RankId,
+    indices: Vec<u32>,
+    config: &CoalesceConfig,
+    out: &mut Vec<ObservedFault>,
+) {
+    // Pass 1: find pin lanes — bit positions seen in many banks.
+    let mut lane_banks: HashMap<u16, std::collections::BTreeSet<u16>> = HashMap::new();
+    for &i in &indices {
+        let rec = &records[i as usize];
+        lane_banks.entry(rec.bit_pos).or_default().insert(rec.bank);
+    }
+    let pin_lanes: std::collections::BTreeSet<u16> = lane_banks
+        .iter()
+        .filter(|(_, banks)| banks.len() >= config.pin_bank_threshold)
+        .map(|(&lane, _)| lane)
+        .collect();
+
+    let mut per_lane: HashMap<u16, Vec<u32>> = HashMap::new();
+    let mut per_bank: HashMap<u16, Vec<u32>> = HashMap::new();
+    for &i in &indices {
+        let rec = &records[i as usize];
+        if pin_lanes.contains(&rec.bit_pos) {
+            per_lane.entry(rec.bit_pos).or_default().push(i);
+        } else {
+            per_bank.entry(rec.bank).or_default().push(i);
+        }
+    }
+
+    // Rank-level faults, one per pin lane.
+    let mut lanes: Vec<(u16, Vec<u32>)> = per_lane.into_iter().collect();
+    lanes.sort_by_key(|(lane, _)| *lane);
+    for (lane, idxs) in lanes {
+        out.push(build_fault(
+            records,
+            node,
+            slot,
+            rank,
+            None,
+            None,
+            ObservedMode::RankLevel,
+            lane,
+            None,
+            idxs,
+        ));
+    }
+
+    // Per-bank footprint classification.
+    let mut banks: Vec<(u16, Vec<u32>)> = per_bank.into_iter().collect();
+    banks.sort_by_key(|(bank, _)| *bank);
+    for (bank, idxs) in banks {
+        classify_bank_group(records, node, slot, rank, bank, idxs, config, out);
+    }
+}
+
+/// Classify the errors of one `(node, slot, rank, bank)` group into the
+/// minimal consistent fault set.
+///
+/// A *bank-dispersed* footprint — many columns, no single column holding
+/// most of the addresses — is one single-bank fault (on Astra this bucket
+/// also covers true single-row faults, §3.2). Anything narrower is split
+/// per column, so two independent faults sharing a bank are not merged:
+/// a column holding several addresses is a single-column fault; a single
+/// address is a single-bit or single-word fault.
+#[allow(clippy::too_many_arguments)]
+fn classify_bank_group(
+    records: &[CeRecord],
+    node: NodeId,
+    slot: DimmSlot,
+    rank: RankId,
+    bank: u16,
+    idxs: Vec<u32>,
+    config: &CoalesceConfig,
+    out: &mut Vec<ObservedFault>,
+) {
+    let mut addrs = std::collections::BTreeSet::new();
+    let mut cols = std::collections::BTreeSet::new();
+    let mut col_addrs: HashMap<u16, std::collections::BTreeSet<u64>> = HashMap::new();
+    for &i in &idxs {
+        let rec = &records[i as usize];
+        addrs.insert(rec.addr.0);
+        cols.insert(rec.col);
+        col_addrs.entry(rec.col).or_default().insert(rec.addr.0);
+    }
+
+    // Bank-dispersed: many columns, addresses spread across them.
+    let max_col_addrs = col_addrs.values().map(|a| a.len()).max().unwrap_or(0);
+    let dispersed = cols.len() >= config.bank_dispersion_cols
+        && (max_col_addrs as f64) < config.bank_max_col_share * addrs.len() as f64;
+    if dispersed {
+        let lane = majority_bit(records, &idxs);
+        out.push(build_fault(
+            records,
+            node,
+            slot,
+            rank,
+            Some(bank),
+            None,
+            ObservedMode::SingleBank,
+            lane,
+            None,
+            idxs,
+        ));
+        return;
+    }
+
+    // Otherwise split per column.
+    let mut per_col: HashMap<u16, Vec<u32>> = HashMap::new();
+    for &i in &idxs {
+        per_col.entry(records[i as usize].col).or_default().push(i);
+    }
+    let mut col_groups: Vec<(u16, Vec<u32>)> = per_col.into_iter().collect();
+    col_groups.sort_by_key(|(col, _)| *col);
+    for (col, col_idxs) in col_groups {
+        let mut col_addr_bits = std::collections::BTreeSet::new();
+        let mut col_addr_set = std::collections::BTreeSet::new();
+        for &i in &col_idxs {
+            let rec = &records[i as usize];
+            col_addr_set.insert(rec.addr.0);
+            col_addr_bits.insert((rec.addr.0, rec.bit_pos));
+        }
+        let (mode, addr) = if col_addr_set.len() == 1 {
+            let addr = Some(*col_addr_set.iter().next().expect("nonempty"));
+            if col_addr_bits.len() == 1 {
+                (ObservedMode::SingleBit, addr)
+            } else {
+                (ObservedMode::SingleWord, addr)
+            }
+        } else {
+            (ObservedMode::SingleColumn, None)
+        };
+        let lane = majority_bit(records, &col_idxs);
+        out.push(build_fault(
+            records,
+            node,
+            slot,
+            rank,
+            Some(bank),
+            Some(col),
+            mode,
+            lane,
+            addr,
+            col_idxs,
+        ));
+    }
+}
+
+/// Most common bit position in a set of records (ties → smallest).
+fn majority_bit(records: &[CeRecord], idxs: &[u32]) -> u16 {
+    let mut counts: HashMap<u16, u32> = HashMap::new();
+    for &i in idxs {
+        *counts.entry(records[i as usize].bit_pos).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(bit, _)| bit)
+        .expect("nonempty index set")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_fault(
+    records: &[CeRecord],
+    node: NodeId,
+    slot: DimmSlot,
+    rank: RankId,
+    bank: Option<u16>,
+    col: Option<u16>,
+    mode: ObservedMode,
+    bit_pos: u16,
+    addr: Option<u64>,
+    mut record_indices: Vec<u32>,
+) -> ObservedFault {
+    record_indices.sort_unstable();
+    let first = record_indices
+        .iter()
+        .map(|&i| records[i as usize].time)
+        .min()
+        .expect("fault with no records");
+    let last = record_indices
+        .iter()
+        .map(|&i| records[i as usize].time)
+        .max()
+        .expect("fault with no records");
+    ObservedFault {
+        node,
+        slot,
+        rank,
+        bank,
+        col,
+        mode,
+        bit_pos,
+        addr,
+        error_count: record_indices.len() as u64,
+        first_seen: first,
+        last_seen: last,
+        record_indices,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::too_many_arguments)]
+mod tests {
+    use super::*;
+    use astra_topology::{PhysAddr, SocketId};
+    use astra_util::CalDate;
+
+    fn rec(
+        node: u32,
+        slot: char,
+        rank: u8,
+        bank: u16,
+        col: u16,
+        bit: u16,
+        addr: u64,
+        minute: i64,
+    ) -> CeRecord {
+        let slot = DimmSlot::from_letter(slot).unwrap();
+        CeRecord {
+            time: CalDate::new(2019, 3, 1).midnight().plus(minute),
+            node: NodeId(node),
+            socket: slot.socket(),
+            slot,
+            rank: RankId(rank),
+            bank,
+            row: None,
+            col,
+            bit_pos: bit,
+            addr: PhysAddr(addr),
+            syndrome: 0,
+        }
+    }
+
+    fn run(records: &[CeRecord]) -> Vec<ObservedFault> {
+        coalesce(records, &CoalesceConfig::default())
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(run(&[]).is_empty());
+    }
+
+    #[test]
+    fn one_error_is_single_bit() {
+        let faults = run(&[rec(1, 'A', 0, 3, 7, 42, 0x1000, 0)]);
+        assert_eq!(faults.len(), 1);
+        let f = &faults[0];
+        assert_eq!(f.mode, ObservedMode::SingleBit);
+        assert_eq!(f.error_count, 1);
+        assert_eq!(f.bank, Some(3));
+        assert_eq!(f.addr, Some(0x1000));
+        assert_eq!(f.socket_id(), SocketId(0));
+    }
+
+    #[test]
+    fn repeated_same_location_is_one_single_bit_fault() {
+        let records: Vec<CeRecord> = (0..50)
+            .map(|m| rec(1, 'B', 1, 2, 9, 100, 0x2000, m))
+            .collect();
+        let faults = run(&records);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].mode, ObservedMode::SingleBit);
+        assert_eq!(faults[0].error_count, 50);
+    }
+
+    #[test]
+    fn same_word_different_bits_is_single_word() {
+        let records = vec![
+            rec(1, 'C', 0, 1, 5, 64, 0x3000, 0),
+            rec(1, 'C', 0, 1, 5, 65, 0x3000, 1),
+            rec(1, 'C', 0, 1, 5, 70, 0x3000, 2),
+        ];
+        let faults = run(&records);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].mode, ObservedMode::SingleWord);
+    }
+
+    #[test]
+    fn same_column_many_addresses_is_single_column() {
+        let records: Vec<CeRecord> = (0..10)
+            .map(|i| rec(1, 'D', 0, 6, 33, 9, 0x4000 + i, i as i64))
+            .collect();
+        let faults = run(&records);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].mode, ObservedMode::SingleColumn);
+        assert_eq!(faults[0].col, Some(33));
+    }
+
+    #[test]
+    fn multi_column_same_bank_is_single_bank() {
+        let records: Vec<CeRecord> = (0..10)
+            .map(|i| rec(1, 'E', 0, 6, i as u16, 9, 0x5000 + i, i as i64))
+            .collect();
+        let faults = run(&records);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].mode, ObservedMode::SingleBank);
+        assert_eq!(faults[0].bank, Some(6));
+    }
+
+    #[test]
+    fn pin_lane_across_banks_is_rank_level() {
+        // Same bit lane in 6 banks.
+        let records: Vec<CeRecord> = (0..12)
+            .map(|i| rec(1, 'F', 1, (i % 6) as u16, i as u16, 200, 0x6000 + i, i as i64))
+            .collect();
+        let faults = run(&records);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].mode, ObservedMode::RankLevel);
+        assert_eq!(faults[0].bank, None);
+        assert_eq!(faults[0].error_count, 12);
+        assert_eq!(faults[0].bit_pos, 200);
+    }
+
+    #[test]
+    fn below_pin_threshold_stays_per_bank() {
+        // Same bit in only 3 banks (< default threshold 4): three
+        // independent single-bit faults.
+        let records: Vec<CeRecord> = (0..3)
+            .map(|i| rec(1, 'G', 0, i as u16, 5, 77, 0x7000 + i, i as i64))
+            .collect();
+        let faults = run(&records);
+        assert_eq!(faults.len(), 3);
+        assert!(faults.iter().all(|f| f.mode == ObservedMode::SingleBit));
+    }
+
+    #[test]
+    fn pin_lane_coexists_with_independent_fault() {
+        let mut records: Vec<CeRecord> = (0..8)
+            .map(|i| rec(1, 'H', 0, i as u16, 2, 300, 0x8000 + i, i as i64))
+            .collect();
+        // An unrelated stuck bit in bank 0, different lane.
+        records.push(rec(1, 'H', 0, 0, 9, 17, 0x9000, 20));
+        records.push(rec(1, 'H', 0, 0, 9, 17, 0x9000, 21));
+        let faults = run(&records);
+        assert_eq!(faults.len(), 2);
+        let modes: Vec<ObservedMode> = faults.iter().map(|f| f.mode).collect();
+        assert!(modes.contains(&ObservedMode::RankLevel));
+        assert!(modes.contains(&ObservedMode::SingleBit));
+    }
+
+    #[test]
+    fn separate_ranks_do_not_merge() {
+        let records = vec![
+            rec(1, 'I', 0, 1, 1, 10, 0xA000, 0),
+            rec(1, 'I', 1, 1, 1, 10, 0xA000, 1),
+        ];
+        let faults = run(&records);
+        assert_eq!(faults.len(), 2);
+    }
+
+    #[test]
+    fn separate_nodes_do_not_merge() {
+        let records = vec![
+            rec(1, 'J', 0, 1, 1, 10, 0xB000, 0),
+            rec(2, 'J', 0, 1, 1, 10, 0xB000, 1),
+        ];
+        assert_eq!(run(&records).len(), 2);
+    }
+
+    #[test]
+    fn independent_bit_faults_in_same_bank_stay_separate() {
+        // Two sticky single-bit faults that happen to share a bank must
+        // not merge into a phantom single-bank fault (the minimal-fault-
+        // set principle).
+        let mut records: Vec<CeRecord> =
+            (0..40).map(|m| rec(1, 'O', 0, 3, 10, 21, 0xAA00, m)).collect();
+        records.extend((0..25).map(|m| rec(1, 'O', 0, 3, 55, 99, 0xBB00, 100 + m)));
+        let faults = run(&records);
+        assert_eq!(faults.len(), 2, "faults: {faults:?}");
+        assert!(faults.iter().all(|f| f.mode == ObservedMode::SingleBit));
+        let counts: Vec<u64> = faults.iter().map(|f| f.error_count).collect();
+        assert!(counts.contains(&40) && counts.contains(&25));
+    }
+
+    #[test]
+    fn column_fault_plus_bit_fault_in_same_bank_split() {
+        // A column fault (many addresses, one column) plus an unrelated
+        // stuck bit in another column of the same bank.
+        let mut records: Vec<CeRecord> = (0..20)
+            .map(|i| rec(1, 'P', 1, 7, 12, 5, 0xC000 + i, i as i64))
+            .collect();
+        records.push(rec(1, 'P', 1, 7, 90, 300, 0xD000, 50));
+        records.push(rec(1, 'P', 1, 7, 90, 300, 0xD000, 51));
+        let faults = run(&records);
+        assert_eq!(faults.len(), 2, "faults: {faults:?}");
+        let modes: Vec<ObservedMode> = faults.iter().map(|f| f.mode).collect();
+        assert!(modes.contains(&ObservedMode::SingleColumn));
+        assert!(modes.contains(&ObservedMode::SingleBit));
+    }
+
+    #[test]
+    fn record_indices_cover_input_exactly_once() {
+        let records: Vec<CeRecord> = (0..40)
+            .map(|i| {
+                rec(
+                    (i % 3) as u32,
+                    if i % 2 == 0 { 'K' } else { 'L' },
+                    (i % 2) as u8,
+                    (i % 5) as u16,
+                    (i % 7) as u16,
+                    (i % 11) as u16 * 13,
+                    0xC000 + (i % 13),
+                    i as i64,
+                )
+            })
+            .collect();
+        let faults = run(&records);
+        let mut seen = vec![false; records.len()];
+        for f in &faults {
+            assert_eq!(f.error_count as usize, f.record_indices.len());
+            for &i in &f.record_indices {
+                assert!(!seen[i as usize], "record {i} attributed twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v), "every record must be attributed");
+    }
+
+    #[test]
+    fn first_and_last_seen() {
+        let records = vec![
+            rec(1, 'M', 0, 1, 1, 10, 0xD000, 500),
+            rec(1, 'M', 0, 1, 1, 10, 0xD000, 100),
+            rec(1, 'M', 0, 1, 1, 10, 0xD000, 900),
+        ];
+        let f = &run(&records)[0];
+        assert_eq!(f.first_seen.value() % 1440, 100);
+        assert_eq!(f.last_seen.value() % 1440, 900);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_input_order() {
+        let mut records: Vec<CeRecord> = (0..30)
+            .map(|i| rec(1, 'N', 0, (i % 8) as u16, (i % 4) as u16, 50, 0xE000 + i, i as i64))
+            .collect();
+        let a = run(&records);
+        records.reverse();
+        let b = run(&records);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mode, y.mode);
+            assert_eq!(x.error_count, y.error_count);
+            assert_eq!(x.bank, y.bank);
+        }
+    }
+
+    impl ObservedFault {
+        fn socket_id(&self) -> SocketId {
+            self.slot.socket()
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Figs 10–12: positional effects — rack region and rack number.
+//!
+//! * Fig 10: errors peak at the **bottom** of racks while faults tilt
+//!   slightly toward the **top**, and the fault differences are much
+//!   smaller than the error differences.
+//! * Fig 11: per-rack region fractions of faults — no region dominates
+//!   consistently.
+//! * Fig 12: per-rack errors show spikes (rack 31 more than twice any
+//!   other) that vanish in the fault counts.
+
+use astra_stats::chi_square_uniform;
+
+use super::render::{table, thousands};
+use crate::pipeline::Analysis;
+
+/// The data behind Figs 10, 11, and 12.
+#[derive(Debug, Clone)]
+pub struct Fig10To12 {
+    /// Errors per region (bottom, middle, top).
+    pub errors_by_region: [u64; 3],
+    /// Faults per region.
+    pub faults_by_region: [u64; 3],
+    /// Errors per rack.
+    pub errors_by_rack: Vec<u64>,
+    /// Faults per rack.
+    pub faults_by_rack: Vec<u64>,
+    /// Fig 11: per rack, fraction of its faults in each region (`None`
+    /// for rack with no faults).
+    pub region_fractions: Vec<Option<[f64; 3]>>,
+}
+
+/// Compute Figs 10–12 from an analysis.
+pub fn compute(analysis: &Analysis) -> Fig10To12 {
+    let s = &analysis.spatial;
+    let region_fractions = (0..analysis.system.racks as usize)
+        .map(|rack| s.region_fractions(rack))
+        .collect();
+    Fig10To12 {
+        errors_by_region: s.errors_by_region,
+        faults_by_region: s.faults_by_region,
+        errors_by_rack: s.errors_by_rack.clone(),
+        faults_by_rack: s.faults_by_rack.clone(),
+        region_fractions,
+    }
+}
+
+impl Fig10To12 {
+    /// Relative spread (max−min)/mean of a count triple.
+    fn spread(counts: &[u64]) -> f64 {
+        let max = counts.iter().copied().max().unwrap_or(0) as f64;
+        let min = counts.iter().copied().min().unwrap_or(0) as f64;
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            (max - min) / mean
+        }
+    }
+
+    /// Fig 10's contrast: region fault spread is smaller than region
+    /// error spread.
+    pub fn fault_region_spread_is_smaller(&self) -> bool {
+        Self::spread(&self.faults_by_region) < Self::spread(&self.errors_by_region)
+    }
+
+    /// Fig 12's contrast: the error-spike rack (argmax of errors) does not
+    /// stand out in faults (its fault count is within `factor`× of the
+    /// rack mean).
+    pub fn spike_rack_vanishes_in_faults(&self, factor: f64) -> bool {
+        let Some((spike_rack, _)) = self
+            .errors_by_rack
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &e)| e)
+        else {
+            return true;
+        };
+        let mean_faults = self.faults_by_rack.iter().sum::<u64>() as f64
+            / self.faults_by_rack.len().max(1) as f64;
+        (self.faults_by_rack[spike_rack] as f64) <= mean_faults * factor
+    }
+
+    /// Whether the max-error rack carries at least `ratio`× the errors of
+    /// every other rack (the rack-31 spike shape).
+    pub fn error_spike_ratio(&self) -> f64 {
+        let mut sorted: Vec<u64> = self.errors_by_rack.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        match (sorted.first(), sorted.get(1)) {
+            (Some(&top), Some(&second)) if second > 0 => top as f64 / second as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// χ² p-value of faults-per-rack against uniform (Fig 12b: "no
+    /// significant trends").
+    pub fn rack_fault_uniformity_p(&self) -> Option<f64> {
+        chi_square_uniform(&self.faults_by_rack).map(|r| r.p_value)
+    }
+
+    /// Render all three exhibits.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "Region".to_string(),
+            "Errors".to_string(),
+            "Faults".to_string(),
+        ]];
+        for (i, name) in ["bottom", "middle", "top"].iter().enumerate() {
+            rows.push(vec![
+                name.to_string(),
+                thousands(self.errors_by_region[i]),
+                thousands(self.faults_by_region[i]),
+            ]);
+        }
+        let mut out = format!("Fig 10: errors and faults by rack region\n{}", table(&rows));
+
+        out.push_str("Fig 11: fault fractions per region by rack (bottom/middle/top)\n");
+        for (rack, fr) in self.region_fractions.iter().enumerate() {
+            if let Some(f) = fr {
+                out.push_str(&format!(
+                    "  rack {rack:>2}: {:.2} / {:.2} / {:.2}\n",
+                    f[0], f[1], f[2]
+                ));
+            }
+        }
+
+        out.push_str("Fig 12: errors and faults by rack\n");
+        let mut rows = vec![vec![
+            "Rack".to_string(),
+            "Errors".to_string(),
+            "Faults".to_string(),
+        ]];
+        for rack in 0..self.errors_by_rack.len() {
+            rows.push(vec![
+                rack.to_string(),
+                thousands(self.errors_by_rack[rack]),
+                thousands(self.faults_by_rack[rack]),
+            ]);
+        }
+        out.push_str(&table(&rows));
+        out.push_str(&format!(
+            "error spike ratio (top rack / runner-up): {:.2}\n",
+            self.error_spike_ratio()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Dataset;
+
+    fn fig(racks: u32) -> Fig10To12 {
+        let ds = Dataset::generate(racks, 42);
+        let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+        compute(&analysis)
+    }
+
+    #[test]
+    fn fault_regions_flatter_than_error_regions() {
+        let f = fig(8);
+        assert!(
+            f.fault_region_spread_is_smaller(),
+            "faults {:?} vs errors {:?}",
+            f.faults_by_region,
+            f.errors_by_region
+        );
+    }
+
+    #[test]
+    fn errors_peak_at_bottom() {
+        // Pathological DIMMs concentrate in the bottom region.
+        let f = fig(8);
+        assert!(
+            f.errors_by_region[0] > f.errors_by_region[1],
+            "bottom should out-error middle: {:?}",
+            f.errors_by_region
+        );
+    }
+
+    #[test]
+    fn spike_rack_has_no_fault_spike() {
+        let f = fig(8);
+        assert!(
+            f.spike_rack_vanishes_in_faults(2.5),
+            "errors {:?} faults {:?}",
+            f.errors_by_rack,
+            f.faults_by_rack
+        );
+    }
+
+    #[test]
+    fn region_fractions_sum_to_one() {
+        let f = fig(4);
+        for fr in f.region_fractions.iter().flatten() {
+            let sum: f64 = fr.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_three_figures() {
+        let s = fig(2).render();
+        assert!(s.contains("Fig 10"));
+        assert!(s.contains("Fig 11"));
+        assert!(s.contains("Fig 12"));
+    }
+}

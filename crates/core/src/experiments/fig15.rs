@@ -1,0 +1,123 @@
+//! Fig 15: Hardware Event Tracker analysis and the FIT computation.
+//!
+//! §3.5: HET recording began after the August 2019 firmware update; over
+//! the recorded window the DUE rate is 0.00948 per DIMM per year, i.e.
+//! FIT ≈ 1081 per DIMM.
+
+use astra_logs::HetRecord;
+use astra_util::time::TimeSpan;
+
+use super::render::spark;
+use crate::het::{all_events, due_stats, non_recoverable, DueStats, HetSeries};
+
+/// The data behind Fig 15.
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// All events by kind (Fig 15a).
+    pub all: HetSeries,
+    /// NON-RECOVERABLE subset (Fig 15b).
+    pub non_recoverable: HetSeries,
+    /// DUE statistics over the recording window.
+    pub dues: DueStats,
+}
+
+/// Compute Fig 15 over the HET recording window.
+pub fn compute(records: &[HetRecord], window: TimeSpan, dimms: u64) -> Fig15 {
+    Fig15 {
+        all: all_events(records, window),
+        non_recoverable: non_recoverable(records, window),
+        dues: due_stats(records, window, dimms),
+    }
+}
+
+impl Fig15 {
+    /// Render both panels plus the FIT line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig 15a: HET events by kind (daily)\n");
+        for (kind, series) in &self.all.by_kind {
+            let v: Vec<f64> = series.iter().map(|&c| c as f64).collect();
+            out.push_str(&format!(
+                "  {:<38} total {:>3} {}\n",
+                kind.name(),
+                series.iter().sum::<u64>(),
+                spark(&v)
+            ));
+        }
+        out.push_str("Fig 15b: NON-RECOVERABLE events\n");
+        for (kind, series) in &self.non_recoverable.by_kind {
+            let v: Vec<f64> = series.iter().map(|&c| c as f64).collect();
+            out.push_str(&format!(
+                "  {:<38} total {:>3} {}\n",
+                kind.name(),
+                series.iter().sum::<u64>(),
+                spark(&v)
+            ));
+        }
+        out.push_str(&format!(
+            "DUEs {} over {:.1} DIMM-years -> {:.5} DUE/DIMM/yr, FIT/DIMM ~ {:.0}\n",
+            self.dues.dues,
+            self.dues.dimms as f64 * self.dues.years,
+            self.dues.dues_per_dimm_year,
+            self.dues.fit_per_dimm
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Dataset;
+    use astra_util::time::het_firmware_date;
+    use astra_util::{CalDate, time::study_span};
+
+    fn window() -> TimeSpan {
+        TimeSpan::dates(het_firmware_date(), CalDate::new(2019, 9, 14))
+    }
+
+    fn fig(racks: u32) -> Fig15 {
+        let ds = Dataset::generate(racks, 42);
+        compute(&ds.sim.het_log, window(), ds.system.dimm_count())
+    }
+
+    #[test]
+    fn non_recoverable_is_subset_of_all() {
+        let f = fig(8);
+        assert!(f.non_recoverable.total() <= f.all.total());
+        assert!(f.all.total() > 0);
+    }
+
+    #[test]
+    fn due_rate_near_paper_at_full_scale() {
+        // Full machine so the Poisson mean (~24) is meaningful.
+        let f = fig(36);
+        assert!(f.dues.dues > 5, "dues {}", f.dues.dues);
+        // Rate within a factor of ~2 of 0.00948 (Poisson noise on ~24).
+        assert!(
+            (0.004..0.02).contains(&f.dues.dues_per_dimm_year),
+            "rate {}",
+            f.dues.dues_per_dimm_year
+        );
+        // FIT in the paper's ballpark of 1081.
+        assert!(
+            (500.0..2300.0).contains(&f.dues.fit_per_dimm),
+            "FIT {}",
+            f.dues.fit_per_dimm
+        );
+    }
+
+    #[test]
+    fn no_events_outside_recording_window() {
+        let ds = Dataset::generate(4, 42);
+        let pre = TimeSpan::dates(study_span().start.date(), het_firmware_date());
+        let before = all_events(&ds.sim.het_log, pre);
+        assert_eq!(before.total(), 0, "HET must be silent before firmware");
+    }
+
+    #[test]
+    fn render_includes_fit() {
+        let s = fig(8).render();
+        assert!(s.contains("FIT/DIMM"));
+        assert!(s.contains("Fig 15b"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig 3: daily hardware-replacement series per component.
+
+use astra_logs::ReplacementRecord;
+use astra_replace::daily_series;
+use astra_util::time::TimeSpan;
+use astra_util::CalDate;
+
+use super::render::spark;
+
+/// The three daily series of Fig 3.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Dates covered.
+    pub dates: Vec<CalDate>,
+    /// `[processors, motherboards, dimms]` daily counts.
+    pub series: [Vec<u64>; 3],
+}
+
+/// Aggregate replacement records into the daily series.
+pub fn compute(records: &[ReplacementRecord], span: TimeSpan) -> Fig3 {
+    let (dates, series) = daily_series(records, span);
+    Fig3 { dates, series }
+}
+
+impl Fig3 {
+    /// Check for the paper's qualitative shape: an infant-mortality burst
+    /// (first 30 days above the next 30) for the given category.
+    pub fn infant_mortality_visible(&self, category: usize) -> bool {
+        let s = &self.series[category];
+        if s.len() < 60 {
+            return false;
+        }
+        let first: u64 = s[..30].iter().sum();
+        let second: u64 = s[30..60].iter().sum();
+        first > second
+    }
+
+    /// Render sparkline series plus totals.
+    pub fn render(&self) -> String {
+        let labels = ["Processors", "Motherboards", "DIMMs"];
+        let mut out = String::from("Fig 3: daily hardware replacements (Feb 17 - Sep 17, 2019)\n");
+        for (label, series) in labels.iter().zip(&self.series) {
+            let values: Vec<f64> = series.iter().map(|&c| c as f64).collect();
+            // Compress to weekly buckets for terminal width.
+            let weekly: Vec<f64> = values.chunks(7).map(|w| w.iter().sum()).collect();
+            out.push_str(&format!(
+                "  {:<13} total {:>5}  weekly {}\n",
+                label,
+                series.iter().sum::<u64>(),
+                spark(&weekly)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_replace::{simulate_replacements, ReplacementProfile};
+    use astra_topology::SystemConfig;
+    use astra_util::time::replacement_span;
+
+    fn fig() -> Fig3 {
+        let system = SystemConfig::astra();
+        let records = simulate_replacements(&system, &ReplacementProfile::astra(), 42);
+        compute(&records, replacement_span())
+    }
+
+    #[test]
+    fn covers_whole_span() {
+        let f = fig();
+        assert_eq!(f.dates.len(), 212);
+        assert_eq!(f.dates[0], CalDate::new(2019, 2, 17));
+    }
+
+    #[test]
+    fn infant_mortality_in_every_series() {
+        let f = fig();
+        for cat in 0..3 {
+            assert!(
+                f.infant_mortality_visible(cat),
+                "category {cat} missing infant-mortality burst"
+            );
+        }
+    }
+
+    #[test]
+    fn render_lists_components() {
+        let s = fig().render();
+        assert!(s.contains("Processors"));
+        assert!(s.contains("Motherboards"));
+        assert!(s.contains("DIMMs"));
+    }
+}

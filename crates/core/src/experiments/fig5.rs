@@ -1,0 +1,153 @@
+//! Fig 5: per-node fault counts (power law) and the CE concentration
+//! curve.
+//!
+//! §3.2: "more than 60% of nodes experienced no CEs. The 8 nodes with the
+//! most CEs account for more than 50% of the overall total. The top 2% of
+//! nodes account for approximately 90%."
+
+use astra_stats::{fit_power_law_auto, top_share, FreqTable, PowerLawFit, TopShareCurve};
+
+use super::render::{table, thousands};
+use crate::pipeline::Analysis;
+
+/// The data behind Fig 5.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// Nodes in the machine.
+    pub node_count: u64,
+    /// Nodes with at least one CE.
+    pub nodes_with_ce: u64,
+    /// Faults-per-node frequency: key = fault count, value = number of
+    /// nodes with that count (Fig 5a's axes).
+    pub fault_count_freq: FreqTable,
+    /// Power-law fit over the nonzero per-node fault counts.
+    pub fault_power_law: Option<PowerLawFit>,
+    /// Concentration curve of CEs by node (Fig 5b).
+    pub ce_concentration: TopShareCurve,
+}
+
+/// Compute Fig 5 from an analysis.
+pub fn compute(analysis: &Analysis) -> Fig5 {
+    let fault_counts = analysis.spatial.fault_counts_all_nodes(&analysis.system);
+    let error_counts = analysis.spatial.error_counts_all_nodes(&analysis.system);
+
+    let fault_count_freq: FreqTable = fault_counts.iter().copied().collect();
+    let nonzero: Vec<u64> = fault_counts.iter().copied().filter(|&c| c > 0).collect();
+    let fault_power_law = fit_power_law_auto(&nonzero, 20, 32);
+
+    Fig5 {
+        node_count: u64::from(analysis.system.node_count()),
+        nodes_with_ce: error_counts.iter().filter(|&&c| c > 0).count() as u64,
+        fault_count_freq,
+        fault_power_law,
+        ce_concentration: top_share(&error_counts),
+    }
+}
+
+impl Fig5 {
+    /// Fraction of nodes with zero CEs.
+    pub fn zero_ce_fraction(&self) -> f64 {
+        1.0 - self.nodes_with_ce as f64 / self.node_count as f64
+    }
+
+    /// Share of all CEs carried by the top `k` nodes.
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        self.ce_concentration.share_of_top(k)
+    }
+
+    /// Share carried by the top `percent`% of nodes.
+    pub fn top_percent_share(&self, percent: f64) -> f64 {
+        let k = ((self.node_count as f64) * percent / 100.0).round() as usize;
+        self.top_k_share(k.max(1))
+    }
+
+    /// Render the headline statistics and frequency rows.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Fig 5: per-node faults and CE concentration\n\
+             nodes with >=1 CE : {} / {} ({:.1}% zero)\n\
+             top 8 nodes carry : {:.1}% of CEs\n\
+             top 2%  of nodes  : {:.1}% of CEs\n",
+            self.nodes_with_ce,
+            self.node_count,
+            100.0 * self.zero_ce_fraction(),
+            100.0 * self.top_k_share(8),
+            100.0 * self.top_percent_share(2.0),
+        );
+        if let Some(fit) = self.fault_power_law {
+            out.push_str(&format!(
+                "faults/node power law: alpha={:.2} xmin={} ks={:.3} (n_tail={})\n",
+                fit.alpha, fit.xmin, fit.ks, fit.n_tail
+            ));
+        }
+        let mut rows = vec![vec![
+            "Faults/node".to_string(),
+            "Nodes".to_string(),
+        ]];
+        for (count, nodes) in self.fault_count_freq.iter().take(12) {
+            rows.push(vec![count.to_string(), thousands(nodes)]);
+        }
+        out.push_str(&table(&rows));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Dataset;
+
+    fn fig() -> Fig5 {
+        let ds = Dataset::generate(2, 42);
+        let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+        compute(&analysis)
+    }
+
+    #[test]
+    fn majority_of_nodes_have_zero_ces() {
+        let f = fig();
+        assert!(
+            f.zero_ce_fraction() > 0.5,
+            "zero fraction {}",
+            f.zero_ce_fraction()
+        );
+    }
+
+    #[test]
+    fn concentration_matches_paper_shape() {
+        let f = fig();
+        // At 2 racks the paper's "top 8 of 2592" scales to ~1 node; the
+        // qualitative claim is heavy concentration.
+        let scaled_top = ((8.0 * f.node_count as f64 / 2592.0).round() as usize).max(1);
+        assert!(
+            f.top_k_share(scaled_top) > 0.3,
+            "top {} share {}",
+            scaled_top,
+            f.top_k_share(scaled_top)
+        );
+        assert!(f.top_percent_share(2.0) > 0.5);
+        assert!(f.top_k_share(f.node_count as usize) > 0.999);
+    }
+
+    #[test]
+    fn frequency_table_covers_all_nodes() {
+        let f = fig();
+        assert_eq!(f.fault_count_freq.total(), f.node_count);
+        // Most nodes sit at zero faults.
+        assert!(f.fault_count_freq.get(0) > f.node_count / 2);
+    }
+
+    #[test]
+    fn power_law_fit_exists_and_is_heavy_tailed() {
+        let f = fig();
+        let fit = f.fault_power_law.expect("enough faulty nodes to fit");
+        assert!(fit.alpha > 1.0 && fit.alpha < 4.0, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn render_has_headlines() {
+        let s = fig().render();
+        assert!(s.contains("top 8 nodes"));
+        assert!(s.contains("Faults/node"));
+    }
+}

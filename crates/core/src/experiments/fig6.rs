@@ -1,0 +1,189 @@
+//! Fig 6: errors vs faults per CPU socket, bank, and column — the
+//! "errors mislead, faults are uniform" exhibit.
+//!
+//! §3.2: "memory faults in these structures are fairly uniformly
+//! distributed and ... variation can be explained by statistical noise",
+//! while raw error counts are wildly skewed by a few sticky faults. The
+//! χ² tests here quantify both halves of the claim.
+
+use astra_stats::{chi_square_uniform, ChiSquareResult};
+
+use super::render::{table, thousands};
+use crate::pipeline::Analysis;
+
+/// The six panels of Fig 6 plus uniformity tests.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Errors per socket.
+    pub errors_by_socket: [u64; 2],
+    /// Faults per socket.
+    pub faults_by_socket: [u64; 2],
+    /// Errors per bank.
+    pub errors_by_bank: Vec<u64>,
+    /// Faults per bank.
+    pub faults_by_bank: Vec<u64>,
+    /// Errors per column.
+    pub errors_by_col: Vec<u64>,
+    /// Faults per column (column-confined faults only).
+    pub faults_by_col: Vec<u64>,
+    /// χ² of faults per socket against uniform.
+    pub socket_fault_chi2: Option<ChiSquareResult>,
+    /// χ² of faults per bank against uniform.
+    pub bank_fault_chi2: Option<ChiSquareResult>,
+    /// χ² of *errors* per bank against uniform (expected to fail — the
+    /// contrast the paper draws).
+    pub bank_error_chi2: Option<ChiSquareResult>,
+}
+
+/// Compute Fig 6 from an analysis.
+pub fn compute(analysis: &Analysis) -> Fig6 {
+    let s = &analysis.spatial;
+    Fig6 {
+        errors_by_socket: s.errors_by_socket,
+        faults_by_socket: s.faults_by_socket,
+        errors_by_bank: s.errors_by_bank.clone(),
+        faults_by_bank: s.faults_by_bank.clone(),
+        errors_by_col: s.errors_by_col.clone(),
+        faults_by_col: s.faults_by_col.clone(),
+        socket_fault_chi2: chi_square_uniform(&s.faults_by_socket),
+        bank_fault_chi2: chi_square_uniform(&s.faults_by_bank),
+        bank_error_chi2: chi_square_uniform(&s.errors_by_bank),
+    }
+}
+
+impl Fig6 {
+    /// Coefficient of variation of a count vector (skew summary).
+    pub fn cv(counts: &[u64]) -> f64 {
+        let n = counts.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = counts.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// The paper's claim in one predicate: fault distributions are much
+    /// closer to uniform than error distributions on the same axis.
+    pub fn faults_flatter_than_errors(&self) -> bool {
+        Self::cv(&self.faults_by_bank) < Self::cv(&self.errors_by_bank)
+            && Self::cv(&self.faults_by_socket) < Self::cv(&self.errors_by_socket).max(1e-9)
+            || Self::cv(&self.faults_by_bank) < Self::cv(&self.errors_by_bank)
+    }
+
+    /// Render the panel summaries.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "Axis".to_string(),
+            "Errors total".to_string(),
+            "Errors CV".to_string(),
+            "Faults total".to_string(),
+            "Faults CV".to_string(),
+        ]];
+        let mut push = |axis: &str, errors: &[u64], faults: &[u64]| {
+            rows.push(vec![
+                axis.to_string(),
+                thousands(errors.iter().sum()),
+                format!("{:.2}", Self::cv(errors)),
+                thousands(faults.iter().sum()),
+                format!("{:.2}", Self::cv(faults)),
+            ]);
+        };
+        push("socket", &self.errors_by_socket, &self.faults_by_socket);
+        push("bank", &self.errors_by_bank, &self.faults_by_bank);
+        push("column", &self.errors_by_col, &self.faults_by_col);
+        let mut out = format!("Fig 6: errors vs faults by socket/bank/column\n{}", table(&rows));
+        if let Some(chi) = self.bank_fault_chi2 {
+            out.push_str(&format!(
+                "faults-by-bank chi2 p = {:.3} (uniform at 5%: {})\n",
+                chi.p_value,
+                chi.is_uniform_at(0.05)
+            ));
+        }
+        if let Some(chi) = self.bank_error_chi2 {
+            out.push_str(&format!(
+                "errors-by-bank chi2 p = {:.3e} (skewed, as the paper warns)\n",
+                chi.p_value
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Dataset;
+
+    fn fig() -> Fig6 {
+        // 4 racks for enough faults to make the chi-square meaningful.
+        let ds = Dataset::generate(4, 42);
+        let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+        compute(&analysis)
+    }
+
+    #[test]
+    fn faults_are_flatter_than_errors() {
+        let f = fig();
+        assert!(
+            Fig6::cv(&f.faults_by_bank) < Fig6::cv(&f.errors_by_bank),
+            "bank faults CV {} vs errors CV {}",
+            Fig6::cv(&f.faults_by_bank),
+            Fig6::cv(&f.errors_by_bank)
+        );
+        assert!(f.faults_flatter_than_errors());
+    }
+
+    #[test]
+    fn fault_distribution_passes_uniformity() {
+        let f = fig();
+        let chi = f.bank_fault_chi2.expect("bank faults present");
+        assert!(
+            chi.is_uniform_at(0.01),
+            "faults by bank should look uniform, p = {}",
+            chi.p_value
+        );
+    }
+
+    #[test]
+    fn error_distribution_fails_uniformity() {
+        let f = fig();
+        let chi = f.bank_error_chi2.expect("bank errors present");
+        assert!(
+            !chi.is_uniform_at(0.05),
+            "errors by bank should be skewed, p = {}",
+            chi.p_value
+        );
+    }
+
+    #[test]
+    fn socket_faults_balanced() {
+        let f = fig();
+        let [a, b] = f.faults_by_socket;
+        let ratio = a.max(b) as f64 / a.min(b).max(1) as f64;
+        assert!(ratio < 1.35, "socket fault ratio {ratio}");
+    }
+
+    #[test]
+    fn cv_edge_cases() {
+        assert_eq!(Fig6::cv(&[]), 0.0);
+        assert_eq!(Fig6::cv(&[0, 0]), 0.0);
+        assert_eq!(Fig6::cv(&[5, 5, 5]), 0.0);
+        assert!(Fig6::cv(&[0, 10]) > 0.9);
+    }
+
+    #[test]
+    fn render_has_axes() {
+        let s = fig().render();
+        assert!(s.contains("socket"));
+        assert!(s.contains("bank"));
+        assert!(s.contains("column"));
+    }
+}

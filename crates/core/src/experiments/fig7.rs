@@ -1,0 +1,131 @@
+//! Fig 7: errors and faults per DIMM rank and per DIMM slot.
+//!
+//! §3.2: rank 0 experiences more faults (and errors) than rank 1; slots
+//! J, E, I, P see the most faults and A, K, L, M, N the fewest — the
+//! positional skew the paper tentatively attributes to temperature
+//! differences across the DIMM.
+
+use astra_topology::DimmSlot;
+
+use super::render::{table, thousands};
+use crate::pipeline::Analysis;
+
+/// The four panels of Fig 7.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Errors per rank (0, 1).
+    pub errors_by_rank: [u64; 2],
+    /// Faults per rank.
+    pub faults_by_rank: [u64; 2],
+    /// Errors per slot A–P.
+    pub errors_by_slot: [u64; 16],
+    /// Faults per slot A–P.
+    pub faults_by_slot: [u64; 16],
+}
+
+/// Compute Fig 7 from an analysis.
+pub fn compute(analysis: &Analysis) -> Fig7 {
+    let s = &analysis.spatial;
+    Fig7 {
+        errors_by_rank: s.errors_by_rank,
+        faults_by_rank: s.faults_by_rank,
+        errors_by_slot: s.errors_by_slot,
+        faults_by_slot: s.faults_by_slot,
+    }
+}
+
+impl Fig7 {
+    /// The paper's rank finding: rank 0 out-faults rank 1.
+    pub fn rank0_dominates(&self) -> bool {
+        self.faults_by_rank[0] > self.faults_by_rank[1]
+    }
+
+    /// Mean faults over a set of slot letters.
+    pub fn mean_faults(&self, letters: &[char]) -> f64 {
+        let total: u64 = letters
+            .iter()
+            .map(|&c| self.faults_by_slot[DimmSlot::from_letter(c).unwrap().index()])
+            .sum();
+        total as f64 / letters.len() as f64
+    }
+
+    /// The paper's slot finding: J, E, I, P out-fault A, K, L, M, N.
+    pub fn hot_slots_dominate(&self) -> bool {
+        self.mean_faults(&['J', 'E', 'I', 'P']) > self.mean_faults(&['A', 'K', 'L', 'M', 'N'])
+    }
+
+    /// Render the rank and slot tables.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Fig 7: rank and slot distributions\n\
+             rank 0: errors {} faults {}\n\
+             rank 1: errors {} faults {}\n",
+            thousands(self.errors_by_rank[0]),
+            thousands(self.faults_by_rank[0]),
+            thousands(self.errors_by_rank[1]),
+            thousands(self.faults_by_rank[1]),
+        );
+        let mut rows = vec![vec![
+            "Slot".to_string(),
+            "Errors".to_string(),
+            "Faults".to_string(),
+        ]];
+        for slot in DimmSlot::all() {
+            rows.push(vec![
+                slot.letter().to_string(),
+                thousands(self.errors_by_slot[slot.index()]),
+                thousands(self.faults_by_slot[slot.index()]),
+            ]);
+        }
+        out.push_str(&table(&rows));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Dataset;
+
+    fn fig() -> Fig7 {
+        let ds = Dataset::generate(4, 42);
+        let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+        compute(&analysis)
+    }
+
+    #[test]
+    fn rank_zero_sees_more_faults() {
+        let f = fig();
+        assert!(f.rank0_dominates(), "rank counts {:?}", f.faults_by_rank);
+    }
+
+    #[test]
+    fn slot_skew_matches_paper() {
+        let f = fig();
+        assert!(
+            f.hot_slots_dominate(),
+            "hot {} vs cold {}",
+            f.mean_faults(&['J', 'E', 'I', 'P']),
+            f.mean_faults(&['A', 'K', 'L', 'M', 'N'])
+        );
+    }
+
+    #[test]
+    fn every_slot_column_sums_to_totals() {
+        let f = fig();
+        let slot_errors: u64 = f.errors_by_slot.iter().sum();
+        let rank_errors: u64 = f.errors_by_rank.iter().sum();
+        assert_eq!(slot_errors, rank_errors);
+        let slot_faults: u64 = f.faults_by_slot.iter().sum();
+        let rank_faults: u64 = f.faults_by_rank.iter().sum();
+        assert_eq!(slot_faults, rank_faults);
+    }
+
+    #[test]
+    fn render_lists_all_slots() {
+        let s = fig().render();
+        for c in 'A'..='P' {
+            assert!(s.contains(&format!("\n{c}")), "missing slot {c}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Small text-table rendering helpers shared by the experiment drivers.
+
+/// Render rows as an aligned two-column-plus table. The first row is the
+/// header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths[i] - cell.chars().count();
+            // Right-align numeric-looking cells, left-align labels.
+            let numeric = cell
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                .unwrap_or(false);
+            if numeric && i > 0 {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            } else {
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            }
+        }
+        out = out.trim_end().to_string();
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Format a count with thousands separators.
+pub fn thousands(n: u64) -> String {
+    let digits: Vec<char> = n.to_string().chars().rev().collect();
+    let mut out = String::new();
+    for (i, c) in digits.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out.chars().rev().collect()
+}
+
+/// A sparkline-ish rendering of a series for terminal output.
+pub fn spark(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return "▁".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(4_369_731), "4,369,731");
+    }
+
+    #[test]
+    fn table_aligns_and_underlines_header() {
+        let rows = vec![
+            vec!["Component".to_string(), "Count".to_string()],
+            vec!["Processors".to_string(), "836".to_string()],
+        ];
+        let out = table(&rows);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("836"));
+    }
+
+    #[test]
+    fn table_empty() {
+        assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn spark_levels() {
+        let s = spark(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert_eq!(spark(&[0.0, 0.0]), "▁▁");
+    }
+}

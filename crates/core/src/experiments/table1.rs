@@ -1,0 +1,141 @@
+//! Table 1: component replacements over the stabilization period.
+
+use astra_logs::ReplacementRecord;
+use astra_topology::SystemConfig;
+
+use super::render::{table, thousands};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Component category label.
+    pub component: &'static str,
+    /// Number replaced.
+    pub replaced: u64,
+    /// Installed population.
+    pub population: u64,
+}
+
+impl Table1Row {
+    /// Percent of the installed population replaced.
+    pub fn percent(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            100.0 * self.replaced as f64 / self.population as f64
+        }
+    }
+}
+
+/// The computed table.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Processor / motherboard / DIMM rows.
+    pub rows: [Table1Row; 3],
+}
+
+/// Tally replacements per category.
+pub fn compute(system: &SystemConfig, records: &[ReplacementRecord]) -> Table1 {
+    let mut counts = [0u64; 3];
+    for rec in records {
+        counts[rec.component.category_index()] += 1;
+    }
+    Table1 {
+        rows: [
+            Table1Row {
+                component: "Processors",
+                replaced: counts[0],
+                population: u64::from(system.socket_count()),
+            },
+            Table1Row {
+                component: "Motherboards",
+                replaced: counts[1],
+                population: u64::from(system.node_count()),
+            },
+            Table1Row {
+                component: "DIMMs",
+                replaced: counts[2],
+                population: system.dimm_count(),
+            },
+        ],
+    }
+}
+
+impl Table1 {
+    /// Render in the paper's format.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "Component".to_string(),
+            "Number Replaced".to_string(),
+            "Percent of Total".to_string(),
+        ]];
+        for row in &self.rows {
+            rows.push(vec![
+                row.component.to_string(),
+                thousands(row.replaced),
+                format!("{:.1}% of {}", row.percent(), thousands(row.population)),
+            ]);
+        }
+        format!(
+            "Table 1: Astra component replacements (Feb 17 - Sep 17, 2019)\n{}",
+            table(&rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_logs::Component;
+    use astra_topology::{DimmSlot, NodeId, SocketId};
+    use astra_util::CalDate;
+
+    #[test]
+    fn tallies_by_category() {
+        let system = SystemConfig::astra();
+        let date = CalDate::new(2019, 3, 1);
+        let records = vec![
+            ReplacementRecord {
+                date,
+                node: NodeId(1),
+                component: Component::Processor(SocketId(0)),
+            },
+            ReplacementRecord {
+                date,
+                node: NodeId(2),
+                component: Component::Processor(SocketId(1)),
+            },
+            ReplacementRecord {
+                date,
+                node: NodeId(3),
+                component: Component::Dimm(DimmSlot::from_letter('A').unwrap()),
+            },
+        ];
+        let t = compute(&system, &records);
+        assert_eq!(t.rows[0].replaced, 2);
+        assert_eq!(t.rows[1].replaced, 0);
+        assert_eq!(t.rows[2].replaced, 1);
+        assert_eq!(t.rows[0].population, 5184);
+        assert_eq!(t.rows[2].population, 41_472);
+    }
+
+    #[test]
+    fn percent_computation() {
+        let row = Table1Row {
+            component: "Processors",
+            replaced: 836,
+            population: 5184,
+        };
+        assert!((row.percent() - 16.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn render_contains_paper_columns() {
+        let system = SystemConfig::astra();
+        let t = compute(&system, &[]);
+        let s = t.render();
+        assert!(s.contains("Number Replaced"));
+        assert!(s.contains("Percent of Total"));
+        assert!(s.contains("DIMMs"));
+    }
+}

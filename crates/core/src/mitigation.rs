@@ -1,0 +1,334 @@
+//! Mitigation policy evaluation: page retirement and node exclusion.
+//!
+//! §3.2 of the paper motivates both: "Mitigation methods like
+//! page-retirement can easily map out small-footprint faults like
+//! single-bit and single-word faults without significant penalty to
+//! available system memory. However, single-bank errors can require
+//! significant portions of memory address space to be mapped out" — and
+//! "the relatively small number of faults per node suggest ... lightweight
+//! mechanisms for fault mitigation like page retirement and an exclude
+//! list for the small number of nodes experiencing large numbers of
+//! faults."
+//!
+//! [`simulate_retirement`] replays the CE stream against a retirement
+//! policy and reports how many errors the policy would have absorbed and
+//! what it costs in retired memory. [`exclusion_curve`] quantifies the
+//! exclude-list idea: errors avoided as a function of how many of the
+//! worst nodes are removed.
+
+use std::collections::{HashMap, HashSet};
+
+use astra_logs::CeRecord;
+
+use crate::coalesce::ObservedFault;
+use crate::pipeline::Analysis;
+
+/// OS page size used for retirement accounting (4 KiB = 64 cache lines).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A page-retirement policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetirementPolicy {
+    /// No retirement: every error reaches the application/logs.
+    None,
+    /// Retire a page once it has produced `ce_threshold` correctable
+    /// errors (the classic OS policy, cf. Tang et al.).
+    Threshold {
+        /// CEs on one page before it is retired.
+        ce_threshold: u64,
+    },
+    /// Threshold policy with a per-fault budget: once a single fault has
+    /// forced `max_pages_per_fault` retirements, stop retiring for it —
+    /// the wide-footprint faults the paper warns about would otherwise
+    /// consume unbounded memory.
+    Budgeted {
+        /// CEs on one page before it is retired.
+        ce_threshold: u64,
+        /// Pages one fault may consume before the policy gives up.
+        max_pages_per_fault: u64,
+    },
+}
+
+/// Outcome of replaying a CE stream through a retirement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetirementOutcome {
+    /// Pages retired.
+    pub retired_pages: u64,
+    /// Errors that still occurred (before or despite retirement).
+    pub residual_errors: u64,
+    /// Errors avoided because their page had been retired.
+    pub errors_avoided: u64,
+    /// Faults fully silenced (no further errors after their last
+    /// retirement).
+    pub faults_contained: u64,
+    /// Faults the policy gave up on (budget exhausted).
+    pub faults_abandoned: u64,
+}
+
+impl RetirementOutcome {
+    /// Retired memory in bytes.
+    pub fn retired_bytes(&self) -> u64 {
+        self.retired_pages * PAGE_BYTES
+    }
+
+    /// Fraction of all errors avoided.
+    pub fn avoidance_rate(&self) -> f64 {
+        let total = self.residual_errors + self.errors_avoided;
+        if total == 0 {
+            0.0
+        } else {
+            self.errors_avoided as f64 / total as f64
+        }
+    }
+}
+
+/// Page id of a record's address.
+fn page_of(rec: &CeRecord) -> u64 {
+    rec.addr.0 / PAGE_BYTES
+}
+
+/// Replay each fault's error sequence through the policy.
+///
+/// Errors are replayed in time order per fault. Retirement is modeled per
+/// (node, page): once a page is retired, later errors of *any* fault at
+/// that page on that node are avoided.
+pub fn simulate_retirement(
+    records: &[CeRecord],
+    faults: &[ObservedFault],
+    policy: RetirementPolicy,
+) -> RetirementOutcome {
+    let mut retired: HashSet<(u32, u64)> = HashSet::new();
+    let mut page_counts: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut outcome = RetirementOutcome {
+        retired_pages: 0,
+        residual_errors: 0,
+        errors_avoided: 0,
+        faults_contained: 0,
+        faults_abandoned: 0,
+    };
+
+    for fault in faults {
+        let mut pages_this_fault = 0u64;
+        let mut budget_exhausted = false;
+        let mut saw_error_after_retire = false;
+        let mut retired_for_fault = false;
+
+        // record_indices are sorted ascending; records are time-sorted in
+        // the pipeline, so this is time order.
+        for &i in &fault.record_indices {
+            let rec = &records[i as usize];
+            let key = (rec.node.0, page_of(rec));
+            if retired.contains(&key) {
+                outcome.errors_avoided += 1;
+                continue;
+            }
+            outcome.residual_errors += 1;
+            if retired_for_fault {
+                saw_error_after_retire = true;
+            }
+            let (threshold, budget) = match policy {
+                RetirementPolicy::None => continue,
+                RetirementPolicy::Threshold { ce_threshold } => (ce_threshold, u64::MAX),
+                RetirementPolicy::Budgeted {
+                    ce_threshold,
+                    max_pages_per_fault,
+                } => (ce_threshold, max_pages_per_fault),
+            };
+            let count = page_counts.entry(key).or_insert(0);
+            *count += 1;
+            if *count >= threshold {
+                if pages_this_fault >= budget {
+                    budget_exhausted = true;
+                    continue;
+                }
+                retired.insert(key);
+                outcome.retired_pages += 1;
+                pages_this_fault += 1;
+                retired_for_fault = true;
+                saw_error_after_retire = false;
+            }
+        }
+
+        if budget_exhausted {
+            outcome.faults_abandoned += 1;
+        } else if retired_for_fault && !saw_error_after_retire {
+            outcome.faults_contained += 1;
+        }
+    }
+    outcome
+}
+
+/// One point of the node-exclusion curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExclusionPoint {
+    /// Nodes excluded (the k worst by error count).
+    pub excluded_nodes: usize,
+    /// Fraction of all CEs those nodes account for.
+    pub errors_avoided_fraction: f64,
+    /// Fraction of the machine's capacity lost.
+    pub capacity_lost_fraction: f64,
+}
+
+/// The exclude-list trade-off: for each k, what removing the k worst
+/// nodes buys versus what it costs.
+pub fn exclusion_curve(analysis: &Analysis, max_k: usize) -> Vec<ExclusionPoint> {
+    let counts = analysis.spatial.error_counts_all_nodes(&analysis.system);
+    let curve = astra_stats::top_share(&counts);
+    let nodes = analysis.system.node_count() as f64;
+    (0..=max_k.min(counts.len()))
+        .map(|k| ExclusionPoint {
+            excluded_nodes: k,
+            errors_avoided_fraction: curve.share_of_top(k),
+            capacity_lost_fraction: k as f64 / nodes,
+        })
+        .collect()
+}
+
+/// The smallest exclude list that removes at least `target` of all CEs.
+pub fn smallest_exclusion_for(analysis: &Analysis, target: f64) -> usize {
+    let counts = analysis.spatial.error_counts_all_nodes(&analysis.system);
+    astra_stats::top_share(&counts).entities_for_share(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::{coalesce, CoalesceConfig};
+    use astra_topology::{DimmSlot, NodeId, PhysAddr, RankId};
+    use astra_util::CalDate;
+
+    fn rec(node: u32, addr: u64, minute: i64) -> CeRecord {
+        let slot = DimmSlot::from_letter('A').unwrap();
+        CeRecord {
+            time: CalDate::new(2019, 3, 1).midnight().plus(minute),
+            node: NodeId(node),
+            socket: slot.socket(),
+            slot,
+            rank: RankId(0),
+            bank: 1,
+            row: None,
+            col: 2,
+            bit_pos: 9,
+            addr: PhysAddr(addr),
+            syndrome: 0,
+        }
+    }
+
+    fn replay(records: &[CeRecord], policy: RetirementPolicy) -> RetirementOutcome {
+        let faults = coalesce(records, &CoalesceConfig::default());
+        simulate_retirement(records, &faults, policy)
+    }
+
+    #[test]
+    fn none_policy_avoids_nothing() {
+        let records: Vec<CeRecord> = (0..50).map(|m| rec(1, 0x5000, m)).collect();
+        let out = replay(&records, RetirementPolicy::None);
+        assert_eq!(out.errors_avoided, 0);
+        assert_eq!(out.residual_errors, 50);
+        assert_eq!(out.retired_pages, 0);
+    }
+
+    #[test]
+    fn threshold_contains_sticky_bit() {
+        // A stuck bit fires 50 times at one address; retiring at 5 CEs
+        // absorbs the remaining 45.
+        let records: Vec<CeRecord> = (0..50).map(|m| rec(1, 0x5000, m)).collect();
+        let out = replay(&records, RetirementPolicy::Threshold { ce_threshold: 5 });
+        assert_eq!(out.retired_pages, 1);
+        assert_eq!(out.residual_errors, 5);
+        assert_eq!(out.errors_avoided, 45);
+        assert_eq!(out.faults_contained, 1);
+        assert!((out.avoidance_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(out.retired_bytes(), 4096);
+    }
+
+    #[test]
+    fn same_page_faults_share_retirement() {
+        // Two addresses on the same 4 KiB page: retiring the page for the
+        // first fault also silences the second.
+        let mut records: Vec<CeRecord> = (0..10).map(|m| rec(1, 0x5000, m)).collect();
+        records.extend((0..10).map(|m| rec(1, 0x5040, 100 + m)));
+        let out = replay(&records, RetirementPolicy::Threshold { ce_threshold: 5 });
+        assert_eq!(out.retired_pages, 1);
+        assert_eq!(out.errors_avoided, 15, "5 from fault 1, all 10 of fault 2");
+    }
+
+    #[test]
+    fn different_nodes_do_not_share_pages() {
+        let mut records: Vec<CeRecord> = (0..10).map(|m| rec(1, 0x5000, m)).collect();
+        records.extend((0..10).map(|m| rec(2, 0x5000, m)));
+        let out = replay(&records, RetirementPolicy::Threshold { ce_threshold: 5 });
+        assert_eq!(out.retired_pages, 2);
+    }
+
+    #[test]
+    fn budget_abandons_wide_faults() {
+        // A column-like fault across 20 pages; budget of 3 pages gives up.
+        let records: Vec<CeRecord> = (0..200u32)
+            .map(|m| rec(1, 0x10000 + u64::from(m / 10) * PAGE_BYTES, i64::from(m)))
+            .collect();
+        let out = replay(
+            &records,
+            RetirementPolicy::Budgeted {
+                ce_threshold: 5,
+                max_pages_per_fault: 3,
+            },
+        );
+        assert_eq!(out.retired_pages, 3);
+        assert_eq!(out.faults_abandoned, 1);
+        assert!(out.residual_errors > 100);
+    }
+
+    #[test]
+    fn higher_threshold_retires_later() {
+        let records: Vec<CeRecord> = (0..50).map(|m| rec(1, 0x5000, m)).collect();
+        let low = replay(&records, RetirementPolicy::Threshold { ce_threshold: 2 });
+        let high = replay(&records, RetirementPolicy::Threshold { ce_threshold: 20 });
+        assert!(low.errors_avoided > high.errors_avoided);
+        assert_eq!(low.retired_pages, high.retired_pages);
+    }
+
+    #[test]
+    fn exclusion_curve_on_synthetic_analysis() {
+        use crate::pipeline::Dataset;
+        let ds = Dataset::generate(1, 42);
+        let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+        let curve = exclusion_curve(&analysis, 10);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].errors_avoided_fraction, 0.0);
+        // Monotone non-decreasing avoidance; linear capacity cost.
+        for pair in curve.windows(2) {
+            assert!(pair[1].errors_avoided_fraction >= pair[0].errors_avoided_fraction);
+        }
+        assert!(curve[10].capacity_lost_fraction > 0.0);
+        // A handful of nodes carries a large share.
+        assert!(curve[5].errors_avoided_fraction > 0.3);
+
+        let k = smallest_exclusion_for(&analysis, 0.5);
+        assert!((1..30).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn retirement_on_simulated_dataset_matches_paper_logic() {
+        // Small-footprint faults should be containable cheaply; the
+        // machine-wide avoidance rate should be meaningful but bounded
+        // (rank-level faults span pages).
+        use crate::pipeline::Dataset;
+        let ds = Dataset::generate(1, 42);
+        let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+        let out = simulate_retirement(
+            &analysis.records,
+            &analysis.faults,
+            RetirementPolicy::Budgeted {
+                ce_threshold: 8,
+                max_pages_per_fault: 16,
+            },
+        );
+        assert!(out.retired_pages > 0);
+        assert!(out.errors_avoided > 0);
+        // Retired memory is tiny compared to the machine (the paper's
+        // "without significant penalty" claim).
+        let machine_bytes = ds.system.dimm_count() * 8 * 1024 * 1024 * 1024;
+        assert!(out.retired_bytes() * 1000 < machine_bytes);
+    }
+}

@@ -1,0 +1,231 @@
+//! Failure modeling and prediction.
+//!
+//! §3.2: "the frequency and distribution shape is critical to modeling
+//! failures." This module turns the measured distributions into usable
+//! models:
+//!
+//! * [`NodePopulationModel`] — the zero-inflated power law that Fig 5a
+//!   exhibits, fitted from per-node fault counts, with closed-form tail
+//!   queries for capacity planners ("what fraction of nodes will exceed
+//!   k faults?");
+//! * [`temporal_prediction`] — the operational question behind the
+//!   exclude-list advice: does a node's error history predict its
+//!   *future* faults? Train on the first part of the interval, rank
+//!   nodes, and measure precision/lift on the remainder.
+
+use astra_stats::{fit_power_law_auto, PowerLawFit};
+use astra_util::Minute;
+
+use crate::pipeline::Analysis;
+
+/// A zero-inflated power-law model of faults per node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodePopulationModel {
+    /// Probability a node has zero faults.
+    pub p_zero: f64,
+    /// Power-law fit over the positive fault counts.
+    pub tail: PowerLawFit,
+    /// Number of nodes the model was fitted on.
+    pub nodes: usize,
+}
+
+impl NodePopulationModel {
+    /// Fit from per-node fault counts (including zeros).
+    pub fn fit(fault_counts: &[u64]) -> Option<Self> {
+        if fault_counts.is_empty() {
+            return None;
+        }
+        let zeros = fault_counts.iter().filter(|&&c| c == 0).count();
+        let positive: Vec<u64> = fault_counts.iter().copied().filter(|&c| c > 0).collect();
+        let tail = fit_power_law_auto(&positive, 10, 16)?;
+        Some(NodePopulationModel {
+            p_zero: zeros as f64 / fault_counts.len() as f64,
+            tail,
+            nodes: fault_counts.len(),
+        })
+    }
+
+    /// Model probability a node has at least `k` faults (`k ≥ 1`).
+    ///
+    /// Uses the fitted tail's complementary CDF; below the fitted `xmin`
+    /// the empirical zero-inflation dominates and the model interpolates
+    /// conservatively from `P(>0)`.
+    pub fn p_at_least(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        let p_positive = 1.0 - self.p_zero;
+        if k <= self.tail.xmin {
+            p_positive
+        } else {
+            p_positive * self.tail.ccdf(k as f64)
+        }
+    }
+
+    /// Expected number of nodes with at least `k` faults.
+    pub fn expected_nodes_at_least(&self, k: u64) -> f64 {
+        self.p_at_least(k) * self.nodes as f64
+    }
+}
+
+/// Result of the history-predicts-future experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictionEval {
+    /// Nodes flagged (the k with most pre-split errors).
+    pub flagged: usize,
+    /// Nodes that developed at least one *new* fault after the split.
+    pub positives: usize,
+    /// Flagged nodes that were true positives.
+    pub hits: usize,
+    /// Precision among the flagged set.
+    pub precision: f64,
+    /// Base rate: positives / all nodes.
+    pub base_rate: f64,
+}
+
+impl PredictionEval {
+    /// How much better than random flagging: precision / base rate.
+    pub fn lift(&self) -> f64 {
+        if self.base_rate == 0.0 {
+            0.0
+        } else {
+            self.precision / self.base_rate
+        }
+    }
+}
+
+/// Flag the `k` nodes with the most errors before `split`; score against
+/// nodes whose first *new* fault appears at or after `split`.
+pub fn temporal_prediction(analysis: &Analysis, split: Minute, k: usize) -> PredictionEval {
+    let node_count = analysis.system.node_count() as usize;
+
+    // Training signal: errors per node strictly before the split.
+    let mut pre_errors = vec![0u64; node_count];
+    for rec in &analysis.records {
+        if rec.time < split {
+            pre_errors[rec.node.0 as usize] += 1;
+        }
+    }
+
+    // Targets: nodes with a fault first seen at/after the split.
+    let mut is_positive = vec![false; node_count];
+    for fault in &analysis.faults {
+        if fault.first_seen >= split {
+            is_positive[fault.node.0 as usize] = true;
+        }
+    }
+    let positives = is_positive.iter().filter(|&&p| p).count();
+
+    // Rank by pre-split errors (ties by node id for determinism).
+    let mut order: Vec<usize> = (0..node_count).collect();
+    order.sort_by_key(|&n| (std::cmp::Reverse(pre_errors[n]), n));
+    let flagged = k.min(node_count);
+    let hits = order[..flagged]
+        .iter()
+        .filter(|&&n| is_positive[n] && pre_errors[n] > 0)
+        .count();
+
+    PredictionEval {
+        flagged,
+        positives,
+        hits,
+        precision: if flagged == 0 {
+            0.0
+        } else {
+            hits as f64 / flagged as f64
+        },
+        base_rate: positives as f64 / node_count as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig5;
+    use crate::pipeline::Dataset;
+    use astra_util::CalDate;
+
+    fn analysis() -> Analysis {
+        let ds = Dataset::generate(4, 42);
+        Analysis::run(ds.system, ds.sim.ce_log.clone())
+    }
+
+    #[test]
+    fn model_fits_and_reproduces_zero_fraction() {
+        let a = analysis();
+        let counts = a.spatial.fault_counts_all_nodes(&a.system);
+        let model = NodePopulationModel::fit(&counts).expect("fit");
+        let empirical_zero =
+            counts.iter().filter(|&&c| c == 0).count() as f64 / counts.len() as f64;
+        assert!((model.p_zero - empirical_zero).abs() < 1e-12);
+        assert!(model.p_zero > 0.5, "most nodes are fault-free");
+        // Model tail prediction vs empirical tail, order of magnitude.
+        let k = 10;
+        let empirical = counts.iter().filter(|&&c| c >= k).count() as f64;
+        let predicted = model.expected_nodes_at_least(k);
+        assert!(
+            predicted > empirical * 0.3 && predicted < empirical * 3.0 + 10.0,
+            "k={k}: predicted {predicted} vs empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn p_at_least_is_monotone() {
+        let a = analysis();
+        let counts = a.spatial.fault_counts_all_nodes(&a.system);
+        let model = NodePopulationModel::fit(&counts).expect("fit");
+        let mut prev = model.p_at_least(1);
+        for k in 2..40 {
+            let p = model.p_at_least(k);
+            assert!(p <= prev + 1e-12, "k={k}: {p} > {prev}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+        assert_eq!(model.p_at_least(0), 1.0);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate() {
+        assert!(NodePopulationModel::fit(&[]).is_none());
+        // All zeros: no positive tail to fit.
+        assert!(NodePopulationModel::fit(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn history_predicts_future_faults() {
+        let a = analysis();
+        let split = CalDate::new(2019, 5, 20).midnight();
+        let eval = temporal_prediction(&a, split, 20);
+        assert!(eval.positives > 10, "positives {}", eval.positives);
+        assert!(
+            eval.lift() > 2.0,
+            "error history should beat random flagging: lift {:.2} \
+             (precision {:.2}, base {:.3})",
+            eval.lift(),
+            eval.precision,
+            eval.base_rate
+        );
+    }
+
+    #[test]
+    fn prediction_handles_degenerate_k() {
+        let a = analysis();
+        let split = CalDate::new(2019, 5, 20).midnight();
+        let zero = temporal_prediction(&a, split, 0);
+        assert_eq!(zero.precision, 0.0);
+        let all = temporal_prediction(&a, split, 10_000);
+        assert_eq!(all.flagged, a.system.node_count() as usize);
+    }
+
+    #[test]
+    fn model_is_consistent_with_fig5_fit() {
+        // The model's tail and Fig 5's power-law fit are computed from the
+        // same data — they must agree.
+        let a = analysis();
+        let counts = a.spatial.fault_counts_all_nodes(&a.system);
+        let model = NodePopulationModel::fit(&counts).expect("fit");
+        let fig = fig5::compute(&a);
+        let fig_fit = fig.fault_power_law.expect("fig5 fit");
+        assert!((model.tail.alpha - fig_fit.alpha).abs() < 0.5);
+    }
+}

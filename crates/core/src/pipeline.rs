@@ -1,0 +1,325 @@
+//! End-to-end drivers: simulate → text logs → parse → analyze.
+//!
+//! The paper's methodology (§1): "First, we extract relevant reliability
+//! information from the various system logs. Then, we process these
+//! extracted logs to reach the conclusions described in this paper."
+//! [`Dataset`] plays the role of the machine (it *generates* logs);
+//! [`AnalysisInput`] plays the role of the extraction step (it *parses*
+//! text); [`Analysis`] is the processing step (coalescing + aggregation).
+//!
+//! The analyzer can also be fed records directly
+//! ([`AnalysisInput::from_dataset_direct`]) to skip serialization when
+//! benchmarking the analysis itself; the `parse_overhead` bench measures
+//! exactly what that shortcut saves.
+
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use astra_faultsim::{simulate, SimOutput, SimProfile};
+use astra_logs::{io as logio, CeRecord, HetRecord, ReplacementRecord, SensorRecord};
+use astra_replace::{simulate_replacements, ReplacementProfile};
+use astra_telemetry::{TelemetryModel, ThermalProfile};
+use astra_topology::SystemConfig;
+
+use crate::coalesce::{coalesce, CoalesceConfig, ObservedFault};
+use crate::spatial::SpatialCounts;
+
+/// A complete generated dataset: the simulated machine's output.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The machine configuration.
+    pub system: SystemConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Fault/error simulation output (CE log, HET log, ground truth).
+    pub sim: SimOutput,
+    /// Component replacement log.
+    pub replacements: Vec<ReplacementRecord>,
+    /// The telemetry source (functional; query on demand).
+    pub telemetry: TelemetryModel,
+}
+
+impl Dataset {
+    /// Generate the default calibrated dataset at a given machine scale.
+    ///
+    /// `racks = 36` is the full Astra machine (≈ 4.4 M CE records,
+    /// a couple of seconds); tests typically use 1–4 racks.
+    pub fn generate(racks: u32, seed: u64) -> Dataset {
+        let system = SystemConfig::scaled(racks);
+        Self::generate_with(
+            system,
+            &SimProfile::astra(),
+            &ReplacementProfile::astra(),
+            ThermalProfile::astra(),
+            seed,
+        )
+    }
+
+    /// Generate with explicit profiles.
+    pub fn generate_with(
+        system: SystemConfig,
+        sim_profile: &SimProfile,
+        replacement_profile: &ReplacementProfile,
+        thermal_profile: ThermalProfile,
+        seed: u64,
+    ) -> Dataset {
+        let sim = simulate(&system, sim_profile, seed);
+        let replacements = simulate_replacements(&system, replacement_profile, seed);
+        let telemetry = TelemetryModel::new(system, thermal_profile, seed);
+        Dataset {
+            system,
+            seed,
+            sim,
+            replacements,
+            telemetry,
+        }
+    }
+
+    /// Serialize the event logs to text (the published-dataset format).
+    ///
+    /// Returns `(ce_log, het_log, inventory_log)`. Note the CE log of a
+    /// full-scale run is several hundred megabytes; prefer
+    /// [`Dataset::write_logs`] for that.
+    pub fn to_text(&self) -> (String, String, String) {
+        let mut ce = String::new();
+        for rec in &self.sim.ce_log {
+            ce.push_str(&rec.to_line());
+            ce.push('\n');
+        }
+        let mut het = String::new();
+        for rec in &self.sim.het_log {
+            het.push_str(&rec.to_line());
+            het.push('\n');
+        }
+        let mut inv = String::new();
+        for rec in &self.replacements {
+            inv.push_str(&rec.to_line());
+            inv.push('\n');
+        }
+        (ce, het, inv)
+    }
+
+    /// Environmental-log excerpt settings: the full per-minute stream at
+    /// machine scale is billions of samples (the real dataset is ~8 GiB),
+    /// so the written `sensors.log` covers every `node_stride`-th node at
+    /// `minute_stride`-minute cadence over the sensor interval.
+    pub const SENSOR_NODE_STRIDE: u32 = 8;
+    /// Minutes between written sensor samples.
+    pub const SENSOR_MINUTE_STRIDE: u64 = 60;
+
+    /// The sensor records the dataset excerpt contains.
+    pub fn sensor_excerpt(&self) -> Vec<SensorRecord> {
+        let span = astra_util::time::sensor_span();
+        let nodes = (0..self.system.node_count())
+            .step_by(Self::SENSOR_NODE_STRIDE as usize)
+            .map(astra_topology::NodeId);
+        self.telemetry
+            .records(nodes, span, Self::SENSOR_MINUTE_STRIDE)
+    }
+
+    /// Write `ce.log`, `het.log`, `inventory.log`, and the `sensors.log`
+    /// excerpt into a directory.
+    pub fn write_logs(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let write = |name: &str, lines: &mut dyn Iterator<Item = String>| -> io::Result<()> {
+            let mut f = io::BufWriter::new(std::fs::File::create(dir.join(name))?);
+            for line in lines {
+                f.write_all(line.as_bytes())?;
+                f.write_all(b"\n")?;
+            }
+            f.flush()
+        };
+        write(
+            "ce.log",
+            &mut self.sim.ce_log.iter().map(CeRecord::to_line),
+        )?;
+        write(
+            "het.log",
+            &mut self.sim.het_log.iter().map(HetRecord::to_line),
+        )?;
+        write(
+            "inventory.log",
+            &mut self.replacements.iter().map(ReplacementRecord::to_line),
+        )?;
+        write(
+            "sensors.log",
+            &mut self.sensor_excerpt().iter().map(SensorRecord::to_line),
+        )
+    }
+}
+
+/// Parsed analysis input: what the extraction step recovers from text.
+#[derive(Debug, Clone)]
+pub struct AnalysisInput {
+    /// CE records.
+    pub records: Vec<CeRecord>,
+    /// HET records.
+    pub hets: Vec<HetRecord>,
+    /// Replacement records.
+    pub replacements: Vec<ReplacementRecord>,
+    /// Environmental sensor records (the dataset excerpt; may be empty
+    /// for inputs without a `sensors.log`).
+    pub sensors: Vec<SensorRecord>,
+    /// Lines skipped as foreign/corrupt across all logs.
+    pub skipped: u64,
+}
+
+impl AnalysisInput {
+    /// Parse the three text logs. The CE log — by far the largest — is
+    /// parsed in parallel shards.
+    pub fn from_text(ce_log: &str, het_log: &str, inventory_log: &str) -> io::Result<Self> {
+        let ces = logio::parse_lines_parallel(ce_log, CeRecord::parse_line);
+        let hets = logio::read_lines(het_log.as_bytes(), HetRecord::parse_line)?;
+        let invs = logio::read_lines(inventory_log.as_bytes(), ReplacementRecord::parse_line)?;
+        Ok(AnalysisInput {
+            records: ces.records,
+            hets: hets.records,
+            replacements: invs.records,
+            sensors: Vec::new(),
+            skipped: ces.skipped + hets.skipped + invs.skipped,
+        })
+    }
+
+    /// Read the logs from a directory written by [`Dataset::write_logs`].
+    /// `sensors.log` is optional (real extractions may ship telemetry
+    /// separately).
+    pub fn from_dir(dir: &Path) -> io::Result<Self> {
+        let read = |name: &str| std::fs::read_to_string(dir.join(name));
+        let mut input =
+            Self::from_text(&read("ce.log")?, &read("het.log")?, &read("inventory.log")?)?;
+        if let Ok(text) = read("sensors.log") {
+            let parsed = logio::parse_lines_parallel(&text, SensorRecord::parse_line);
+            input.sensors = parsed.records;
+            input.skipped += parsed.skipped;
+        }
+        Ok(input)
+    }
+
+    /// Take records directly from a dataset, skipping serialization.
+    /// Semantically identical to a text roundtrip (the roundtrip is
+    /// lossless — the integration tests verify it); used where the
+    /// serialization cost is not the subject.
+    pub fn from_dataset_direct(dataset: &Dataset) -> Self {
+        AnalysisInput {
+            records: dataset.sim.ce_log.clone(),
+            hets: dataset.sim.het_log.clone(),
+            replacements: dataset.replacements.clone(),
+            sensors: Vec::new(),
+            skipped: 0,
+        }
+    }
+}
+
+/// The processed analysis state shared by the experiment drivers.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Machine configuration the records came from.
+    pub system: SystemConfig,
+    /// CE records (time-sorted as parsed).
+    pub records: Vec<CeRecord>,
+    /// Coalesced faults.
+    pub faults: Vec<ObservedFault>,
+    /// All spatial aggregations.
+    pub spatial: SpatialCounts,
+}
+
+impl Analysis {
+    /// Coalesce and aggregate a CE record stream.
+    pub fn run(system: SystemConfig, records: Vec<CeRecord>) -> Analysis {
+        Self::run_with(system, records, &CoalesceConfig::default())
+    }
+
+    /// As [`Analysis::run`] with an explicit coalescing configuration.
+    pub fn run_with(
+        system: SystemConfig,
+        records: Vec<CeRecord>,
+        config: &CoalesceConfig,
+    ) -> Analysis {
+        let faults = coalesce(&records, config);
+        let spatial = SpatialCounts::compute(&system, &records, &faults);
+        Analysis {
+            system,
+            records,
+            faults,
+            spatial,
+        }
+    }
+
+    /// Total CE count.
+    pub fn total_errors(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Total fault count.
+    pub fn total_faults(&self) -> u64 {
+        self.faults.len() as u64
+    }
+
+    /// Errors-per-fault counts (the Fig 4b population).
+    pub fn errors_per_fault(&self) -> Vec<u64> {
+        self.faults.iter().map(|f| f.error_count).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(1, 42)
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let ds = dataset();
+        let (ce, het, inv) = ds.to_text();
+        let input = AnalysisInput::from_text(&ce, &het, &inv).unwrap();
+        assert_eq!(input.records, ds.sim.ce_log);
+        assert_eq!(input.hets, ds.sim.het_log);
+        assert_eq!(input.replacements, ds.replacements);
+        assert_eq!(input.skipped, 0);
+    }
+
+    #[test]
+    fn direct_input_matches_text_input() {
+        let ds = dataset();
+        let (ce, het, inv) = ds.to_text();
+        let via_text = AnalysisInput::from_text(&ce, &het, &inv).unwrap();
+        let direct = AnalysisInput::from_dataset_direct(&ds);
+        assert_eq!(via_text.records, direct.records);
+        assert_eq!(via_text.hets, direct.hets);
+    }
+
+    #[test]
+    fn analysis_attributes_every_error_to_a_fault() {
+        let ds = dataset();
+        let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+        let attributed: u64 = analysis.faults.iter().map(|f| f.error_count).sum();
+        assert_eq!(attributed, analysis.total_errors());
+        assert!(analysis.total_faults() > 0);
+        assert!(analysis.total_faults() < analysis.total_errors());
+    }
+
+    #[test]
+    fn write_and_read_directory() {
+        let ds = dataset();
+        let dir = std::env::temp_dir().join(format!("astra-pipeline-test-{}", std::process::id()));
+        ds.write_logs(&dir).unwrap();
+        let input = AnalysisInput::from_dir(&dir).unwrap();
+        assert_eq!(input.records.len(), ds.sim.ce_log.len());
+        // The sensor excerpt roundtrips too.
+        assert_eq!(input.sensors.len(), ds.sensor_excerpt().len());
+        assert!(!input.sensors.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let ds = dataset();
+        let (mut ce, het, inv) = ds.to_text();
+        ce.push_str("this is not a CE record\n");
+        let input = AnalysisInput::from_text(&ce, &het, &inv).unwrap();
+        assert_eq!(input.skipped, 1);
+        assert_eq!(input.records.len(), ds.sim.ce_log.len());
+    }
+}

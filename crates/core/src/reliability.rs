@@ -1,0 +1,207 @@
+//! Component reliability analysis over the replacement log.
+//!
+//! Extends the paper's §3.1 tally with the survival-analysis treatment
+//! its related work applies to other machines (Ostrouchov et al.):
+//! Kaplan–Meier curves over component lifetimes, per-component failure
+//! rates, and a test of whether the hazard is genuinely decreasing
+//! (infant mortality) rather than constant.
+
+use astra_logs::ReplacementRecord;
+use astra_stats::survival::{exponential_rate_mle, KaplanMeier, Lifetime};
+use astra_stats::ks_two_sample;
+use astra_topology::SystemConfig;
+use astra_util::time::TimeSpan;
+
+/// Survival summary for one component category.
+#[derive(Debug, Clone)]
+pub struct ComponentSurvival {
+    /// Category label ("Processors", …).
+    pub component: &'static str,
+    /// Installed population.
+    pub population: u64,
+    /// Observed failures (replacements).
+    pub failures: u64,
+    /// Kaplan–Meier curve over days since tracking start.
+    pub km: KaplanMeier,
+    /// MLE constant failure rate (events per unit-day), for comparison —
+    /// a constant-hazard model should *overestimate* late-period
+    /// survival if infant mortality is real.
+    pub exp_rate: f64,
+}
+
+impl ComponentSurvival {
+    /// Survival probability over the whole tracking window.
+    pub fn end_survival(&self, days: f64) -> f64 {
+        self.km.survival_at(days)
+    }
+
+    /// The infant-mortality diagnostic: the fraction of failures in the
+    /// first `early_days` divided by the fraction of the window those
+    /// days represent. > 1 means front-loaded failures.
+    pub fn front_loading(&self, early_days: f64, window_days: f64) -> f64 {
+        let early = self
+            .km
+            .steps
+            .iter()
+            .filter(|s| s.time <= early_days)
+            .map(|s| s.events)
+            .sum::<u64>() as f64;
+        let total = self.km.events as f64;
+        if total == 0.0 {
+            return 1.0;
+        }
+        (early / total) / (early_days / window_days)
+    }
+}
+
+/// Build per-category lifetimes from the replacement log.
+///
+/// Every installed unit enters observation at the tracking start; units
+/// replaced during the window fail at their replacement day, the rest
+/// are right-censored at the window end. (Repeat replacements of the
+/// same position are treated as additional units, a negligible
+/// correction at Astra's replacement rates.)
+pub fn component_survival(
+    system: &SystemConfig,
+    records: &[ReplacementRecord],
+    span: TimeSpan,
+) -> Vec<ComponentSurvival> {
+    let start_idx = span.start.date().day_index();
+    let window_days = span.days() as f64;
+    let populations: [(&'static str, u64); 3] = [
+        ("Processors", u64::from(system.socket_count())),
+        ("Motherboards", u64::from(system.node_count())),
+        ("DIMMs", system.dimm_count()),
+    ];
+
+    populations
+        .iter()
+        .enumerate()
+        .map(|(cat, &(label, population))| {
+            let mut lifetimes: Vec<Lifetime> = records
+                .iter()
+                .filter(|r| r.component.category_index() == cat)
+                .map(|r| Lifetime {
+                    time: (r.date.day_index() - start_idx) as f64 + 0.5,
+                    observed: true,
+                })
+                .collect();
+            let failures = lifetimes.len() as u64;
+            let survivors = population.saturating_sub(failures);
+            lifetimes.extend((0..survivors).map(|_| Lifetime {
+                time: window_days,
+                observed: false,
+            }));
+            let km = KaplanMeier::fit(&lifetimes).expect("non-empty population");
+            let exp_rate = exponential_rate_mle(&lifetimes).unwrap_or(0.0);
+            ComponentSurvival {
+                component: label,
+                population,
+                failures,
+                km,
+                exp_rate,
+            }
+        })
+        .collect()
+}
+
+/// Compare early-window and late-window failure-time distributions with a
+/// two-sample KS test. A significant difference (small p) confirms the
+/// failure process is not stationary across the window — the paper's
+/// event waves and infant mortality.
+pub fn stationarity_test(
+    records: &[ReplacementRecord],
+    span: TimeSpan,
+    category: usize,
+) -> Option<(f64, f64)> {
+    let start_idx = span.start.date().day_index();
+    let half = span.days() as f64 / 2.0;
+    let days: Vec<f64> = records
+        .iter()
+        .filter(|r| r.component.category_index() == category)
+        .map(|r| (r.date.day_index() - start_idx) as f64)
+        .collect();
+    // Compare day-within-half distributions of the two halves: for a
+    // stationary process both halves look uniform over their half.
+    let early: Vec<f64> = days.iter().copied().filter(|&d| d < half).collect();
+    let late: Vec<f64> = days
+        .iter()
+        .copied()
+        .filter(|&d| d >= half)
+        .map(|d| d - half)
+        .collect();
+    ks_two_sample(&early, &late)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_replace::{simulate_replacements, ReplacementProfile};
+    use astra_util::time::replacement_span;
+
+    fn survival(racks: u32) -> Vec<ComponentSurvival> {
+        let system = SystemConfig::scaled(racks);
+        let records = simulate_replacements(&system, &ReplacementProfile::astra(), 42);
+        component_survival(&system, &records, replacement_span())
+    }
+
+    #[test]
+    fn end_survival_matches_table1_rates() {
+        let s = survival(36);
+        // Survival at the end of the window = 1 − replacement rate.
+        let expect = [0.161, 0.018, 0.037];
+        for (cs, &rate) in s.iter().zip(&expect) {
+            let end = cs.end_survival(212.0);
+            assert!(
+                (end - (1.0 - rate)).abs() < 0.01,
+                "{}: end survival {end} vs 1-{rate}",
+                cs.component
+            );
+        }
+    }
+
+    #[test]
+    fn failures_are_front_loaded() {
+        let s = survival(36);
+        for cs in &s {
+            let fl = cs.front_loading(30.0, 212.0);
+            assert!(
+                fl > 1.2,
+                "{} front-loading {fl} should exceed uniform",
+                cs.component
+            );
+        }
+    }
+
+    #[test]
+    fn km_is_monotone_and_bounded() {
+        let s = survival(8);
+        for cs in &s {
+            assert!(cs.km.survival_at(0.0) <= 1.0);
+            for pair in cs.km.steps.windows(2) {
+                assert!(pair[1].survival <= pair[0].survival);
+            }
+            assert!(cs.end_survival(212.0) > 0.8, "{}", cs.component);
+        }
+    }
+
+    #[test]
+    fn exponential_rate_positive_and_small() {
+        let s = survival(8);
+        for cs in &s {
+            assert!(cs.exp_rate > 0.0);
+            // Daily per-unit failure rate is well under 1%.
+            assert!(cs.exp_rate < 0.01, "{} rate {}", cs.component, cs.exp_rate);
+        }
+    }
+
+    #[test]
+    fn process_is_not_stationary() {
+        let system = SystemConfig::scaled(36);
+        let records = simulate_replacements(&system, &ReplacementProfile::astra(), 42);
+        // Processors: infant burst + upgrade wave → halves differ.
+        let (d, p) = stationarity_test(&records, replacement_span(), 0).unwrap();
+        assert!(d > 0.1, "d {d}");
+        assert!(p < 0.01, "p {p}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Spatial aggregation of errors and faults.
+//!
+//! Every positional analysis in the paper reduces to "count errors and
+//! count faults along some axis of the machine": socket, bank, column
+//! (Fig 6), rank, DIMM slot (Fig 7), bit position, physical address
+//! (Fig 8), node (Fig 5), rack region (Fig 10/11), and rack (Fig 12).
+//! [`SpatialCounts`] computes all of them in one pass over the records
+//! plus one pass over the coalesced faults — the pairing is the point:
+//! the paper's lesson is that the two tell different stories.
+
+use astra_logs::CeRecord;
+use astra_stats::FreqTable;
+use astra_topology::{DimmSlot, RackRegion, SystemConfig};
+
+use crate::coalesce::ObservedFault;
+
+/// Error and fault counts along every axis the paper analyzes.
+#[derive(Debug, Clone)]
+pub struct SpatialCounts {
+    /// Errors per CPU socket (0, 1).
+    pub errors_by_socket: [u64; 2],
+    /// Faults per CPU socket.
+    pub faults_by_socket: [u64; 2],
+    /// Errors per bank.
+    pub errors_by_bank: Vec<u64>,
+    /// Faults per bank (rank-level faults span banks and are excluded,
+    /// matching the per-bank semantics of Fig 6).
+    pub faults_by_bank: Vec<u64>,
+    /// Errors per column.
+    pub errors_by_col: Vec<u64>,
+    /// Faults per column (only faults confined to one column have one).
+    pub faults_by_col: Vec<u64>,
+    /// Errors per DIMM rank (0, 1).
+    pub errors_by_rank: [u64; 2],
+    /// Faults per DIMM rank.
+    pub faults_by_rank: [u64; 2],
+    /// Errors per DIMM slot A–P.
+    pub errors_by_slot: [u64; 16],
+    /// Faults per DIMM slot.
+    pub faults_by_slot: [u64; 16],
+    /// Errors per node id.
+    pub errors_by_node: FreqTable,
+    /// Faults per node id.
+    pub faults_by_node: FreqTable,
+    /// Errors per rack.
+    pub errors_by_rack: Vec<u64>,
+    /// Faults per rack.
+    pub faults_by_rack: Vec<u64>,
+    /// Errors per rack region (bottom, middle, top).
+    pub errors_by_region: [u64; 3],
+    /// Faults per rack region.
+    pub faults_by_region: [u64; 3],
+    /// Faults per rack **and** region: `[rack][region]`.
+    pub faults_by_rack_region: Vec<[u64; 3]>,
+    /// Faults per logged bit position (the paper's Fig 8a; values are
+    /// opaque labels because of the vendor encoding).
+    pub faults_by_bit: FreqTable,
+    /// Faults per physical address (Fig 8b; single-address faults only).
+    pub faults_by_addr: FreqTable,
+}
+
+impl SpatialCounts {
+    /// Compute all aggregations for a machine.
+    pub fn compute(
+        system: &SystemConfig,
+        records: &[CeRecord],
+        faults: &[ObservedFault],
+    ) -> Self {
+        let banks = system.geometry.banks as usize;
+        let cols = system.geometry.cols as usize;
+        let racks = system.racks as usize;
+        let mut s = SpatialCounts {
+            errors_by_socket: [0; 2],
+            faults_by_socket: [0; 2],
+            errors_by_bank: vec![0; banks],
+            faults_by_bank: vec![0; banks],
+            errors_by_col: vec![0; cols],
+            faults_by_col: vec![0; cols],
+            errors_by_rank: [0; 2],
+            faults_by_rank: [0; 2],
+            errors_by_slot: [0; 16],
+            faults_by_slot: [0; 16],
+            errors_by_node: FreqTable::new(),
+            faults_by_node: FreqTable::new(),
+            errors_by_rack: vec![0; racks],
+            faults_by_rack: vec![0; racks],
+            errors_by_region: [0; 3],
+            faults_by_region: [0; 3],
+            faults_by_rack_region: vec![[0; 3]; racks],
+            faults_by_bit: FreqTable::new(),
+            faults_by_addr: FreqTable::new(),
+        };
+
+        for rec in records {
+            s.errors_by_socket[usize::from(rec.socket.0)] += 1;
+            s.errors_by_bank[usize::from(rec.bank)] += 1;
+            s.errors_by_col[usize::from(rec.col)] += 1;
+            s.errors_by_rank[usize::from(rec.rank.0)] += 1;
+            s.errors_by_slot[rec.slot.index()] += 1;
+            s.errors_by_node.bump(u64::from(rec.node.0));
+            let rack = system.rack_of(rec.node).0 as usize;
+            s.errors_by_rack[rack] += 1;
+            s.errors_by_region[system.region_of(rec.node).index()] += 1;
+        }
+
+        for f in faults {
+            s.faults_by_socket[usize::from(f.slot.socket().0)] += 1;
+            if let Some(bank) = f.bank {
+                s.faults_by_bank[usize::from(bank)] += 1;
+            }
+            if let Some(col) = f.col {
+                s.faults_by_col[usize::from(col)] += 1;
+            }
+            s.faults_by_rank[usize::from(f.rank.0)] += 1;
+            s.faults_by_slot[f.slot.index()] += 1;
+            s.faults_by_node.bump(u64::from(f.node.0));
+            let rack = system.rack_of(f.node).0 as usize;
+            s.faults_by_rack[rack] += 1;
+            let region = system.region_of(f.node).index();
+            s.faults_by_region[region] += 1;
+            s.faults_by_rack_region[rack][region] += 1;
+            s.faults_by_bit.bump(u64::from(f.bit_pos));
+            if let Some(addr) = f.addr {
+                s.faults_by_addr.bump(addr);
+            }
+        }
+        s
+    }
+
+    /// Faults-per-node counts including zero-fault nodes — the Fig 5
+    /// population.
+    pub fn fault_counts_all_nodes(&self, system: &SystemConfig) -> Vec<u64> {
+        (0..u64::from(system.node_count()))
+            .map(|n| self.faults_by_node.get(n))
+            .collect()
+    }
+
+    /// Errors-per-node counts including zero-error nodes.
+    pub fn error_counts_all_nodes(&self, system: &SystemConfig) -> Vec<u64> {
+        (0..u64::from(system.node_count()))
+            .map(|n| self.errors_by_node.get(n))
+            .collect()
+    }
+
+    /// Fraction of faults in each region of one rack (Fig 11); `None` for
+    /// a rack with no faults.
+    pub fn region_fractions(&self, rack: usize) -> Option<[f64; 3]> {
+        let row = self.faults_by_rack_region.get(rack)?;
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some([
+            row[0] as f64 / total as f64,
+            row[1] as f64 / total as f64,
+            row[2] as f64 / total as f64,
+        ])
+    }
+
+    /// Region label order used by the arrays here.
+    pub fn region_labels() -> [&'static str; 3] {
+        [
+            RackRegion::Bottom.name(),
+            RackRegion::Middle.name(),
+            RackRegion::Top.name(),
+        ]
+    }
+
+    /// Slot letters in array order.
+    pub fn slot_labels() -> Vec<char> {
+        DimmSlot::all().map(|s| s.letter()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::{coalesce, CoalesceConfig};
+    use astra_topology::{NodeId, PhysAddr, RankId};
+    use astra_util::CalDate;
+
+    fn rec(node: u32, slot: char, rank: u8, bank: u16, col: u16, addr: u64) -> CeRecord {
+        let slot = DimmSlot::from_letter(slot).unwrap();
+        CeRecord {
+            time: CalDate::new(2019, 3, 1).midnight(),
+            node: NodeId(node),
+            socket: slot.socket(),
+            slot,
+            rank: RankId(rank),
+            bank,
+            row: None,
+            col,
+            bit_pos: 5,
+            addr: PhysAddr(addr),
+            syndrome: 0,
+        }
+    }
+
+    fn compute(records: &[CeRecord]) -> SpatialCounts {
+        let system = SystemConfig::scaled(2);
+        let faults = coalesce(records, &CoalesceConfig::default());
+        SpatialCounts::compute(&system, records, &faults)
+    }
+
+    #[test]
+    fn errors_and_faults_diverge() {
+        // 100 errors from one fault on node 0; 1 error each on 3 nodes.
+        let mut records: Vec<CeRecord> =
+            (0..100).map(|_| rec(0, 'E', 0, 1, 2, 0x100)).collect();
+        records.push(rec(10, 'A', 1, 0, 0, 0x200));
+        records.push(rec(20, 'B', 1, 3, 1, 0x300));
+        records.push(rec(30, 'C', 0, 5, 9, 0x400));
+        let s = compute(&records);
+        assert_eq!(s.errors_by_node.get(0), 100);
+        assert_eq!(s.faults_by_node.get(0), 1);
+        assert_eq!(s.faults_by_node.total(), 4);
+        assert_eq!(s.errors_by_node.total(), 103);
+    }
+
+    #[test]
+    fn socket_split_follows_slots() {
+        let records = vec![rec(0, 'A', 0, 0, 0, 0x1), rec(0, 'I', 0, 0, 0, 0x2)];
+        let s = compute(&records);
+        assert_eq!(s.errors_by_socket, [1, 1]);
+        assert_eq!(s.faults_by_socket, [1, 1]);
+    }
+
+    #[test]
+    fn rank_and_slot_axes() {
+        let records = vec![
+            rec(0, 'J', 0, 0, 0, 0x1),
+            rec(0, 'J', 0, 0, 0, 0x1),
+            rec(0, 'K', 1, 0, 0, 0x2),
+        ];
+        let s = compute(&records);
+        assert_eq!(s.errors_by_rank, [2, 1]);
+        assert_eq!(s.faults_by_rank, [1, 1]);
+        let j = DimmSlot::from_letter('J').unwrap().index();
+        let k = DimmSlot::from_letter('K').unwrap().index();
+        assert_eq!(s.errors_by_slot[j], 2);
+        assert_eq!(s.errors_by_slot[k], 1);
+        assert_eq!(s.faults_by_slot[j], 1);
+    }
+
+    #[test]
+    fn rack_and_region() {
+        // Node 0 is rack 0 bottom; node 71 is rack 0 top; node 100 is
+        // rack 1 chassis 7 (middle).
+        let records = vec![
+            rec(0, 'A', 0, 0, 0, 0x1),
+            rec(71, 'B', 0, 1, 0, 0x2),
+            rec(100, 'C', 0, 2, 0, 0x3),
+        ];
+        let s = compute(&records);
+        assert_eq!(s.errors_by_rack, vec![2, 1]);
+        assert_eq!(s.faults_by_rack, vec![2, 1]);
+        assert_eq!(s.errors_by_region, [1, 1, 1]);
+        let fr = s.region_fractions(0).unwrap();
+        assert!((fr[0] - 0.5).abs() < 1e-12);
+        assert!((fr[2] - 0.5).abs() < 1e-12);
+        assert_eq!(s.region_fractions(1).unwrap(), [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn region_fraction_empty_rack_is_none() {
+        let s = compute(&[rec(0, 'A', 0, 0, 0, 0x1)]);
+        assert_eq!(s.region_fractions(1), None);
+        assert_eq!(s.region_fractions(99), None);
+    }
+
+    #[test]
+    fn all_node_vectors_cover_machine() {
+        let s = compute(&[rec(5, 'A', 0, 0, 0, 0x1)]);
+        let system = SystemConfig::scaled(2);
+        let faults = s.fault_counts_all_nodes(&system);
+        let errors = s.error_counts_all_nodes(&system);
+        assert_eq!(faults.len(), 144);
+        assert_eq!(errors.len(), 144);
+        assert_eq!(faults.iter().sum::<u64>(), 1);
+        assert_eq!(errors[5], 1);
+        assert_eq!(errors[6], 0);
+    }
+
+    #[test]
+    fn bank_and_column_faults_exclude_wide_modes() {
+        // A single-bank fault (bank-dispersed: >= 8 columns, addresses
+        // spread) has a bank but no column.
+        let records: Vec<CeRecord> =
+            (0..10).map(|i| rec(0, 'D', 0, 7, i as u16, 0x100 + i)).collect();
+        let s = compute(&records);
+        assert_eq!(s.faults_by_bank[7], 1);
+        assert_eq!(s.faults_by_col.iter().sum::<u64>(), 0);
+        assert_eq!(s.errors_by_col.iter().sum::<u64>(), 10);
+    }
+}

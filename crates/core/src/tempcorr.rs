@@ -1,0 +1,527 @@
+//! Temperature / utilization ↔ correctable-error analyses (§3.3).
+//!
+//! Three analyses, mirroring the paper's methodology exactly:
+//!
+//! * [`window_correlation`] (Fig 9) — for each CE, the mean temperature of
+//!   the errored DIMM's sensor over the interval immediately preceding the
+//!   error (one hour to one month), binned by temperature, with an OLS fit
+//!   whose slope sign is the verdict;
+//! * [`temperature_deciles`] (Fig 13, after Schroeder et al.) — monthly
+//!   average sensor temperature per (node, month) sample, cut into
+//!   deciles, vs the average monthly CE count within each decile;
+//! * [`power_hot_cold`] (Fig 14) — monthly average node DC power (the
+//!   utilization proxy; Astra has no direct CPU-utilization telemetry) cut
+//!   into deciles, split into "hot" and "cold" halves by the sensor's
+//!   median temperature — Schroeder et al.'s method for separating the
+//!   temperature effect from the utilization effect.
+//!
+//! All three operate on the *sensor assigned to the errored component*:
+//! CE records carry the DIMM slot, and §2.2 defines which of the four
+//! DIMM sensors covers each slot.
+
+use astra_logs::CeRecord;
+use astra_stats::{deciles, linear_fit, median, LinearFit};
+use astra_telemetry::TelemetryModel;
+use astra_topology::{DimmGroup, NodeId, SensorId, SystemConfig};
+use astra_util::time::TimeSpan;
+
+/// Sampling knobs — the full dataset is large, so the analyses subsample
+/// deterministically (every k-th CE / configurable telemetry strides).
+#[derive(Debug, Clone, Copy)]
+pub struct TempCorrConfig {
+    /// Maximum CEs to evaluate in [`window_correlation`].
+    pub max_ce_samples: usize,
+    /// Telemetry sampling stride (minutes) inside a pre-error window.
+    pub window_stride: u64,
+    /// Telemetry sampling stride (minutes) for monthly means.
+    pub monthly_stride: u64,
+    /// Temperature bin width (°C) for the Fig 9 scatter.
+    pub bin_width: f64,
+}
+
+impl Default for TempCorrConfig {
+    fn default() -> Self {
+        TempCorrConfig {
+            max_ce_samples: 20_000,
+            window_stride: 30,
+            monthly_stride: 12 * 60,
+            bin_width: 1.0,
+        }
+    }
+}
+
+/// Result of the Fig 9 analysis for one window length.
+#[derive(Debug, Clone)]
+pub struct WindowCorrelation {
+    /// Window length in minutes.
+    pub window_minutes: u64,
+    /// `(bin center °C, CE count)` points, ascending by temperature.
+    pub points: Vec<(f64, f64)>,
+    /// OLS fit over the points (`None` if degenerate).
+    pub fit: Option<LinearFit>,
+    /// CEs actually evaluated.
+    pub sampled: usize,
+    /// Scale factor from sampling (total CEs ÷ sampled); multiply counts
+    /// by this to estimate full-population bin counts.
+    pub sample_scale: f64,
+}
+
+impl WindowCorrelation {
+    /// Slope relative to the mean bin height — the dimensionless "is
+    /// temperature driving errors" number. Near zero ⇒ the paper's
+    /// negative result.
+    pub fn relative_slope_per_degree(&self) -> Option<f64> {
+        let fit = self.fit?;
+        let mean_y: f64 =
+            self.points.iter().map(|(_, y)| *y).sum::<f64>() / self.points.len() as f64;
+        (mean_y > 0.0).then(|| fit.slope / mean_y)
+    }
+}
+
+/// Fig 9: CE count vs mean errored-DIMM temperature over the preceding
+/// window.
+pub fn window_correlation(
+    records: &[CeRecord],
+    telemetry: &TelemetryModel,
+    span: TimeSpan,
+    window_minutes: u64,
+    config: &TempCorrConfig,
+) -> WindowCorrelation {
+    // Only errors inside the sensor-data interval can be attributed.
+    let eligible: Vec<&CeRecord> = records
+        .iter()
+        .filter(|r| span.contains(r.time) && r.time.value() - (window_minutes as i64) >= 0)
+        .collect();
+    let step = (eligible.len() / config.max_ce_samples).max(1);
+    let sampled: Vec<&CeRecord> = eligible.iter().step_by(step).copied().collect();
+
+    let mut temps: Vec<f64> = Vec::with_capacity(sampled.len());
+    for rec in &sampled {
+        let sensor = SensorId::for_slot(rec.slot);
+        if let Some(mean) = telemetry.window_mean(
+            rec.node,
+            sensor,
+            rec.time,
+            window_minutes,
+            config.window_stride.min(window_minutes.max(1)),
+        ) {
+            temps.push(mean);
+        }
+    }
+
+    // Bin by temperature.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    if !temps.is_empty() {
+        let lo = temps.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = temps.iter().cloned().fold(f64::MIN, f64::max) + 1e-9;
+        let bins = (((hi - lo) / config.bin_width).ceil() as usize).max(1);
+        let mut counts = vec![0u64; bins];
+        for &t in &temps {
+            let idx = (((t - lo) / config.bin_width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                points.push((lo + config.bin_width * (i as f64 + 0.5), c as f64));
+            }
+        }
+    }
+    let xs: Vec<f64> = points.iter().map(|(x, _)| *x).collect();
+    let ys: Vec<f64> = points.iter().map(|(_, y)| *y).collect();
+    let fit = linear_fit(&xs, &ys);
+    let sample_scale = if sampled.is_empty() {
+        1.0
+    } else {
+        eligible.len() as f64 / sampled.len() as f64
+    };
+    WindowCorrelation {
+        window_minutes,
+        points,
+        fit,
+        sampled: sampled.len(),
+        sample_scale,
+    }
+}
+
+/// A `(node, month)` observation: the unit of the Fig 13/14 analyses.
+#[derive(Debug, Clone, Copy)]
+pub struct MonthlySample {
+    /// The node.
+    pub node: NodeId,
+    /// Month index (Jan 2019 = 0).
+    pub month: i64,
+    /// Monthly mean of the sensor's temperature (or power).
+    pub mean_value: f64,
+    /// CEs attributed to the sensor's components in that month.
+    pub ce_count: u64,
+}
+
+/// One decile point: max sample value in the decile vs mean monthly CE
+/// count over the decile.
+pub type DecilePoint = (f64, f64);
+
+/// A labeled decile series (one line in Fig 13 / Fig 14).
+#[derive(Debug, Clone)]
+pub struct DecileSeries {
+    /// Legend label, e.g. `CPU1` or `CPU2 DIMMs 1-4 (hot)`.
+    pub label: String,
+    /// Ten (or fewer) decile points.
+    pub points: Vec<DecilePoint>,
+}
+
+/// Which months (indices from Jan 2019) intersect a span.
+fn months_in(span: TimeSpan) -> Vec<i64> {
+    let first = span.start.month_index();
+    let last = span.end.plus(-1).month_index();
+    (first..=last).collect()
+}
+
+/// Collect `(node, month)` samples for one sensor: its monthly mean value
+/// and the CE count on its associated components.
+pub fn monthly_samples(
+    records: &[CeRecord],
+    telemetry: &TelemetryModel,
+    system: &SystemConfig,
+    span: TimeSpan,
+    sensor: SensorId,
+    config: &TempCorrConfig,
+) -> Vec<MonthlySample> {
+    // Pre-tally CE counts per (node, month) for this sensor's components.
+    let relevant = |rec: &CeRecord| match sensor.kind() {
+        astra_topology::SensorKind::CpuTemp(socket) => rec.socket == socket,
+        astra_topology::SensorKind::DimmTemp(group) => DimmGroup::of_slot(rec.slot) == group,
+        astra_topology::SensorKind::DcPower => true,
+    };
+    let mut ce: std::collections::HashMap<(u32, i64), u64> = std::collections::HashMap::new();
+    for rec in records {
+        if span.contains(rec.time) && relevant(rec) {
+            *ce.entry((rec.node.0, rec.time.month_index())).or_insert(0) += 1;
+        }
+    }
+
+    let months = months_in(span);
+    let mut out = Vec::new();
+    for node in system.nodes() {
+        for &month in &months {
+            // Month window clipped to the span.
+            let m_start = month_start(month).max(span.start.value());
+            let m_end = month_start(month + 1).min(span.end.value());
+            if m_end <= m_start {
+                continue;
+            }
+            let mut sum = 0.0;
+            let mut n = 0u64;
+            let mut t = m_start;
+            while t < m_end {
+                if let Some(v) = telemetry
+                    .reading(node, sensor, astra_util::Minute::from_i64(t))
+                    .valid_value()
+                {
+                    sum += v;
+                    n += 1;
+                }
+                t += config.monthly_stride as i64;
+            }
+            if n == 0 {
+                continue;
+            }
+            out.push(MonthlySample {
+                node,
+                month,
+                mean_value: sum / n as f64,
+                ce_count: ce.get(&(node.0, month)).copied().unwrap_or(0),
+            });
+        }
+    }
+    out
+}
+
+/// First minute of a month index (Jan 2019 = 0).
+fn month_start(month: i64) -> i64 {
+    let year = 2019 + month.div_euclid(12);
+    let m = month.rem_euclid(12) as u32 + 1;
+    astra_util::CalDate::new(year, m, 1).midnight().value()
+}
+
+/// Reduce samples to a decile series: x = decile max of `mean_value`,
+/// y = mean `ce_count` in the decile.
+pub fn decile_series(label: &str, samples: &[MonthlySample]) -> DecileSeries {
+    let values: Vec<f64> = samples.iter().map(|s| s.mean_value).collect();
+    let points = deciles(&values)
+        .into_iter()
+        .map(|bucket| {
+            let mean_ce = bucket
+                .members
+                .iter()
+                .map(|&i| samples[i].ce_count as f64)
+                .sum::<f64>()
+                / bucket.members.len() as f64;
+            (bucket.max_value, mean_ce)
+        })
+        .collect();
+    DecileSeries {
+        label: label.to_string(),
+        points,
+    }
+}
+
+/// Fig 13: decile series for the temperature sensors.
+///
+/// Returns `(cpu_series, dimm_series)`: two CPU lines and four DIMM-group
+/// lines.
+pub fn temperature_deciles(
+    records: &[CeRecord],
+    telemetry: &TelemetryModel,
+    system: &SystemConfig,
+    span: TimeSpan,
+    config: &TempCorrConfig,
+) -> (Vec<DecileSeries>, Vec<DecileSeries>) {
+    let mut cpu = Vec::new();
+    for socket in astra_topology::SocketId::ALL {
+        let sensor = SensorId::cpu(socket);
+        let samples = monthly_samples(records, telemetry, system, span, sensor, config);
+        cpu.push(decile_series(socket.cpu_label(), &samples));
+    }
+    let mut dimm = Vec::new();
+    for group in DimmGroup::ALL {
+        let sensor = SensorId::dimm_group(group);
+        let samples = monthly_samples(records, telemetry, system, span, sensor, config);
+        dimm.push(decile_series(&group.panel_label(), &samples));
+    }
+    (cpu, dimm)
+}
+
+/// Fig 14: for one temperature sensor, split `(node, month)` samples into
+/// hot/cold halves by the sensor's median monthly temperature, then decile
+/// each half by monthly mean node power.
+pub fn power_hot_cold(
+    records: &[CeRecord],
+    telemetry: &TelemetryModel,
+    system: &SystemConfig,
+    span: TimeSpan,
+    temp_sensor: SensorId,
+    config: &TempCorrConfig,
+) -> Vec<DecileSeries> {
+    let temp_samples = monthly_samples(records, telemetry, system, span, temp_sensor, config);
+    let power_samples =
+        monthly_samples(records, telemetry, system, span, SensorId::dc_power(), config);
+    // Index power means by (node, month).
+    let mut power: std::collections::HashMap<(u32, i64), f64> = std::collections::HashMap::new();
+    for s in &power_samples {
+        power.insert((s.node.0, s.month), s.mean_value);
+    }
+
+    let temps: Vec<f64> = temp_samples.iter().map(|s| s.mean_value).collect();
+    let Some(med) = median(&temps) else {
+        return Vec::new();
+    };
+
+    let label = |hot: bool| {
+        let sensor_name = match temp_sensor.kind() {
+            astra_topology::SensorKind::CpuTemp(s) => s.cpu_label().to_string(),
+            astra_topology::SensorKind::DimmTemp(g) => g.panel_label(),
+            astra_topology::SensorKind::DcPower => "power".to_string(),
+        };
+        format!("{sensor_name} ({})", if hot { "hot" } else { "cold" })
+    };
+
+    let mut series = Vec::new();
+    for hot in [true, false] {
+        let half: Vec<MonthlySample> = temp_samples
+            .iter()
+            .filter(|s| (s.mean_value > med) == hot)
+            .filter_map(|s| {
+                power.get(&(s.node.0, s.month)).map(|&p| MonthlySample {
+                    node: s.node,
+                    month: s.month,
+                    mean_value: p,
+                    ce_count: s.ce_count,
+                })
+            })
+            .collect();
+        series.push(decile_series(&label(hot), &half));
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_logs::CeRecord;
+    use astra_telemetry::ThermalProfile;
+    use astra_topology::{DimmSlot, PhysAddr, RankId};
+    use astra_util::time::MINUTES_PER_DAY;
+    use astra_util::CalDate;
+
+    fn system() -> SystemConfig {
+        SystemConfig::scaled(1)
+    }
+
+    fn telemetry() -> TelemetryModel {
+        TelemetryModel::new(system(), ThermalProfile::astra(), 42)
+    }
+
+    fn span() -> TimeSpan {
+        TimeSpan::dates(CalDate::new(2019, 6, 1), CalDate::new(2019, 8, 1))
+    }
+
+    fn ce(node: u32, slot: char, day: u32, month: u32) -> CeRecord {
+        let slot = DimmSlot::from_letter(slot).unwrap();
+        CeRecord {
+            time: CalDate::new(2019, month, day).midnight().plus(600),
+            node: NodeId(node),
+            socket: slot.socket(),
+            slot,
+            rank: RankId(0),
+            bank: 0,
+            row: None,
+            col: 0,
+            bit_pos: 0,
+            addr: PhysAddr(0),
+            syndrome: 0,
+        }
+    }
+
+    fn quick_config() -> TempCorrConfig {
+        TempCorrConfig {
+            max_ce_samples: 500,
+            window_stride: 30,
+            monthly_stride: MINUTES_PER_DAY, // daily sampling in tests
+            bin_width: 1.0,
+        }
+    }
+
+    #[test]
+    fn months_enumeration() {
+        let s = TimeSpan::dates(CalDate::new(2019, 5, 20), CalDate::new(2019, 9, 19));
+        assert_eq!(months_in(s), vec![4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn month_start_boundaries() {
+        assert_eq!(month_start(0), 0);
+        assert_eq!(
+            month_start(6),
+            CalDate::new(2019, 7, 1).midnight().value()
+        );
+        assert_eq!(
+            month_start(12),
+            CalDate::new(2020, 1, 1).midnight().value()
+        );
+    }
+
+    #[test]
+    fn window_correlation_runs_and_is_flat() {
+        // Errors placed independent of temperature: relative slope small.
+        let records: Vec<CeRecord> = (0..300)
+            .map(|i| ce((i % 60) as u32, ['A', 'E', 'J', 'O'][i % 4], 1 + (i % 25) as u32, 7))
+            .collect();
+        let wc = window_correlation(&records, &telemetry(), span(), 60, &quick_config());
+        assert!(wc.sampled > 0);
+        assert!(!wc.points.is_empty());
+        if let Some(rel) = wc.relative_slope_per_degree() {
+            assert!(rel.abs() < 0.6, "relative slope {rel} should be weak");
+        }
+    }
+
+    #[test]
+    fn window_correlation_empty_records() {
+        let wc = window_correlation(&[], &telemetry(), span(), 60, &quick_config());
+        assert_eq!(wc.sampled, 0);
+        assert!(wc.points.is_empty());
+        assert!(wc.fit.is_none());
+    }
+
+    #[test]
+    fn monthly_samples_attribute_ces_to_right_sensor() {
+        // Slot E is in group ACEG (sensor dimmg0); slot B is in BDFH
+        // (dimmg1). CEs on E must count for dimmg0 only.
+        let records = vec![ce(3, 'E', 10, 6), ce(3, 'E', 11, 6), ce(3, 'B', 12, 6)];
+        let s0 = monthly_samples(
+            &records,
+            &telemetry(),
+            &system(),
+            span(),
+            SensorId::for_slot(DimmSlot::from_letter('E').unwrap()),
+            &quick_config(),
+        );
+        let s1 = monthly_samples(
+            &records,
+            &telemetry(),
+            &system(),
+            span(),
+            SensorId::for_slot(DimmSlot::from_letter('B').unwrap()),
+            &quick_config(),
+        );
+        let june = 5;
+        let node3_june_g0 = s0
+            .iter()
+            .find(|s| s.node.0 == 3 && s.month == june)
+            .unwrap();
+        let node3_june_g1 = s1
+            .iter()
+            .find(|s| s.node.0 == 3 && s.month == june)
+            .unwrap();
+        assert_eq!(node3_june_g0.ce_count, 2);
+        assert_eq!(node3_june_g1.ce_count, 1);
+    }
+
+    #[test]
+    fn decile_series_shape() {
+        let samples: Vec<MonthlySample> = (0..100)
+            .map(|i| MonthlySample {
+                node: NodeId(i),
+                month: 5,
+                mean_value: f64::from(i),
+                ce_count: 3,
+            })
+            .collect();
+        let series = decile_series("test", &samples);
+        assert_eq!(series.points.len(), 10);
+        // Constant CE count → flat series.
+        assert!(series.points.iter().all(|(_, y)| (*y - 3.0).abs() < 1e-12));
+        // X values ascend.
+        assert!(series
+            .points
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn temperature_deciles_produce_six_series() {
+        let records = vec![ce(1, 'A', 5, 6), ce(2, 'K', 6, 7)];
+        let (cpu, dimm) =
+            temperature_deciles(&records, &telemetry(), &system(), span(), &quick_config());
+        assert_eq!(cpu.len(), 2);
+        assert_eq!(dimm.len(), 4);
+        assert_eq!(cpu[0].label, "CPU1");
+        assert_eq!(dimm[3].label, "CPU2 DIMMs 5-8");
+        // CPU1 deciles should sit at higher temperatures than CPU2.
+        let max_x = |s: &DecileSeries| s.points.last().map(|p| p.0).unwrap_or(0.0);
+        assert!(max_x(&cpu[0]) > max_x(&cpu[1]));
+    }
+
+    #[test]
+    fn power_hot_cold_splits_in_two() {
+        let records = vec![ce(1, 'A', 5, 6)];
+        let series = power_hot_cold(
+            &records,
+            &telemetry(),
+            &system(),
+            span(),
+            SensorId::cpu(astra_topology::SocketId(0)),
+            &quick_config(),
+        );
+        assert_eq!(series.len(), 2);
+        assert!(series[0].label.contains("hot"));
+        assert!(series[1].label.contains("cold"));
+        assert!(!series[0].points.is_empty());
+        assert!(!series[1].points.is_empty());
+        // Hot samples should be shifted toward higher power (power and
+        // temperature share the utilization driver).
+        let mean_x = |s: &DecileSeries| {
+            s.points.iter().map(|p| p.0).sum::<f64>() / s.points.len() as f64
+        };
+        assert!(mean_x(&series[0]) > mean_x(&series[1]));
+    }
+}

@@ -1,0 +1,78 @@
+//! Calibration check: run the full-scale simulation and print the headline
+//! population statistics next to the paper's targets. Used when tuning
+//! `SimProfile::astra`.
+
+use astra_faultsim::{simulate, FaultMode, SimProfile};
+use astra_topology::SystemConfig;
+
+fn main() {
+    let racks: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(36);
+    let system = SystemConfig::scaled(racks);
+    let profile = SimProfile::astra();
+    let t0 = std::time::Instant::now();
+    let out = simulate(&system, &profile, 42);
+    let dt = t0.elapsed();
+    let scale = 2592.0 / f64::from(system.node_count());
+
+    println!("racks={racks} nodes={} sim took {dt:?}", system.node_count());
+    println!(
+        "logged CEs {:>10}  (x{scale:.1} => {:>10.0}; paper 4,369,731)",
+        out.ce_log.len(),
+        out.ce_log.len() as f64 * scale
+    );
+    println!("dropped CEs {:>9}  ({:.2}% of offered)", out.dropped_ces,
+        100.0 * out.dropped_ces as f64 / out.offered_errors() as f64);
+    println!("faults      {:>9}  (x{scale:.1} => {:>9.0})", out.ground_truth.len(),
+        out.ground_truth.len() as f64 * scale);
+
+    // Errors offered per ground-truth mode.
+    for mode in FaultMode::ALL {
+        let faults = out.ground_truth.iter().filter(|g| g.fault.mode == mode);
+        let (n, errs) = faults.fold((0u64, 0u64), |(n, e), g| (n + 1, e + g.offered_errors));
+        println!(
+            "  {:<14} faults {:>7} ({:>9.0} scaled)  errors {:>9} ({:>11.0} scaled)",
+            mode.name(),
+            n,
+            n as f64 * scale,
+            errs,
+            errs as f64 * scale
+        );
+    }
+
+    // Node concentration.
+    let mut per_node = std::collections::HashMap::new();
+    for rec in &out.ce_log {
+        *per_node.entry(rec.node.0).or_insert(0u64) += 1;
+    }
+    let nodes_with_ce = per_node.len();
+    let mut counts: Vec<u64> = per_node.values().copied().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = counts.iter().sum();
+    let scaled_top = ((8.0 / scale).round() as usize).max(1);
+    let top_share: u64 = counts.iter().take(scaled_top).sum();
+    println!(
+        "nodes with >=1 CE: {} / {} ({:.1}%; paper 1013/2592 = 39.1%)",
+        nodes_with_ce,
+        system.node_count(),
+        100.0 * nodes_with_ce as f64 / f64::from(system.node_count())
+    );
+    println!(
+        "top {} nodes carry {:.1}% of CEs (paper: top 8 of 2592 carry >50%)",
+        scaled_top,
+        100.0 * top_share as f64 / total as f64
+    );
+    let max_epf = out.ground_truth.iter().map(|g| g.offered_errors).max().unwrap_or(0);
+    println!("max errors/fault: {max_epf} (paper ~91,000)");
+    let ones = out.ground_truth.iter().filter(|g| g.offered_errors == 1).count();
+    println!(
+        "faults with exactly 1 error: {:.1}% (paper: vast majority, median 1)",
+        100.0 * ones as f64 / out.ground_truth.len() as f64
+    );
+    println!("HET records: {} (paper Fig 15 scale: tens)", out.het_log.len());
+    let dues = out.het_log.iter().filter(|r| r.kind.is_memory_due()).count();
+    println!("memory DUEs: {dues} (paper-rate expectation at this scale: {:.1})",
+        system.dimm_count() as f64 * 0.00948 * 22.0 / 365.0);
+}

@@ -1,0 +1,227 @@
+//! Uncorrectable-error (DUE) and background HET event generation (§3.5).
+//!
+//! HET recording begins at the August 2019 firmware date; before it, no
+//! events are logged (Fig 15 is empty from May 20 to Aug 23). Memory DUEs
+//! occur at a calibrated per-DIMM-year rate (0.00948, FIT ≈ 1081); the
+//! non-memory kinds (power-supply and threshold events) occur at small
+//! system-wide daily rates.
+
+use astra_logs::{HetKind, HetRecord};
+use astra_topology::{DimmSlot, NodeId, SystemConfig};
+use astra_util::dist::poisson;
+use astra_util::time::MINUTES_PER_DAY;
+use astra_util::{DetRng, StreamKey};
+
+use crate::profile::SimProfile;
+
+/// The six non-memory HET kinds, in the order of
+/// [`SimProfile::het_background_daily`].
+pub const BACKGROUND_KINDS: [HetKind; 6] = [
+    HetKind::RedundancyLost,
+    HetKind::UcGoingHigh,
+    HetKind::PowerSupplyFailureDeasserted,
+    HetKind::UnrGoingHigh,
+    HetKind::PowerSupplyFailureDetected,
+    HetKind::RedundancyInsufficient,
+];
+
+/// Generate the complete HET log for the simulation interval.
+///
+/// `faulty_dimms` lists the DIMMs carrying correctable faults: a
+/// calibrated share of memory DUEs lands on them (CE→UE escalation),
+/// the rest strike the population uniformly. Returned records are sorted
+/// by time (ties by node).
+pub fn generate_het(
+    system: &SystemConfig,
+    profile: &SimProfile,
+    seed: u64,
+    faulty_dimms: &[astra_topology::DimmId],
+) -> Vec<HetRecord> {
+    let mut rng = DetRng::for_stream(seed, StreamKey::root("het"));
+    let het_start = profile.het_start.midnight();
+    let window_start = het_start.max(profile.span.start);
+    let window_end = profile.span.end;
+    if window_start >= window_end {
+        return Vec::new();
+    }
+    let window_minutes = (window_end.value() - window_start.value()) as u64;
+    let window_days = window_minutes as f64 / MINUTES_PER_DAY as f64;
+    let window_years = window_days / 365.0;
+
+    let mut out = Vec::new();
+
+    // Memory DUEs: Poisson over the whole DIMM population.
+    let expected_dues = system.dimm_count() as f64 * profile.due_rate_per_dimm_year * window_years;
+    let n_dues = poisson(&mut rng, expected_dues);
+    for _ in 0..n_dues {
+        let (node, slot) = if !faulty_dimms.is_empty() && rng.chance(profile.due_on_faulty_share)
+        {
+            let dimm = *rng.pick(faulty_dimms);
+            (dimm.node, dimm.slot)
+        } else {
+            (
+                NodeId(rng.below(u64::from(system.node_count())) as u32),
+                DimmSlot::from_index(rng.below(16) as u8).expect("slot < 16"),
+            )
+        };
+        let kind = if rng.chance(0.7) {
+            HetKind::UncorrectableEcc
+        } else {
+            HetKind::UncorrectableMce
+        };
+        let time = window_start.plus(rng.below(window_minutes) as i64);
+        out.push(HetRecord {
+            time,
+            node,
+            kind,
+            severity: kind.severity(),
+            slot: Some(slot),
+        });
+    }
+
+    // Background (non-memory) events. Rates are per-day for the full Astra
+    // machine; scale with node count so small test machines stay quiet.
+    let machine_scale = f64::from(system.node_count()) / 2592.0;
+    for (kind, &daily) in BACKGROUND_KINDS.iter().zip(&profile.het_background_daily) {
+        let expected = daily * window_days * machine_scale;
+        let n = poisson(&mut rng, expected);
+        for _ in 0..n {
+            let node = NodeId(rng.below(u64::from(system.node_count())) as u32);
+            let time = window_start.plus(rng.below(window_minutes) as i64);
+            out.push(HetRecord {
+                time,
+                node,
+                kind: *kind,
+                severity: kind.severity(),
+                slot: None,
+            });
+        }
+    }
+
+    out.sort_by_key(|r| (r.time, r.node.0));
+    out
+}
+
+/// The §3.5 FIT computation: DUEs per DIMM per year → failures in 10⁹
+/// device-hours.
+pub fn fit_per_dimm(dues: u64, dimms: u64, years: f64) -> f64 {
+    if dimms == 0 || years <= 0.0 {
+        return 0.0;
+    }
+    let dues_per_dimm_year = dues as f64 / (dimms as f64 * years);
+    // One year = 8760 hours; FIT = failures per 1e9 hours.
+    dues_per_dimm_year / 8760.0 * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_util::CalDate;
+
+    #[test]
+    fn no_events_before_firmware() {
+        let system = SystemConfig::scaled(4);
+        let profile = SimProfile::astra();
+        let log = generate_het(&system, &profile, 42, &[]);
+        let start = profile.het_start.midnight();
+        assert!(log.iter().all(|r| r.time >= start));
+    }
+
+    #[test]
+    fn empty_when_firmware_after_span() {
+        let system = SystemConfig::scaled(4);
+        let mut profile = SimProfile::astra();
+        profile.het_start = CalDate::new(2020, 1, 1);
+        assert!(generate_het(&system, &profile, 42, &[]).is_empty());
+    }
+
+    #[test]
+    fn due_count_tracks_rate() {
+        // Crank the rate so the Poisson mean is large and relative error
+        // small, then check we land near the expectation.
+        let system = SystemConfig::scaled(4);
+        let mut profile = SimProfile::astra();
+        profile.due_rate_per_dimm_year = 5.0;
+        let log = generate_het(&system, &profile, 42, &[]);
+        let dues = log.iter().filter(|r| r.kind.is_memory_due()).count() as f64;
+        let years = 22.0 / 365.0; // Aug 23 -> Sep 14
+        let expected = system.dimm_count() as f64 * 5.0 * years;
+        assert!(
+            (dues - expected).abs() < 4.0 * expected.sqrt(),
+            "dues {dues} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn memory_dues_carry_slots_and_severity() {
+        let system = SystemConfig::scaled(4);
+        let mut profile = SimProfile::astra();
+        profile.due_rate_per_dimm_year = 1.0;
+        let log = generate_het(&system, &profile, 7, &[]);
+        for rec in log.iter().filter(|r| r.kind.is_memory_due()) {
+            assert!(rec.slot.is_some());
+            assert_eq!(rec.severity, astra_logs::HetSeverity::NonRecoverable);
+        }
+        for rec in log.iter().filter(|r| !r.kind.is_memory_due()) {
+            assert!(rec.slot.is_none());
+        }
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let system = SystemConfig::scaled(2);
+        let mut profile = SimProfile::astra();
+        profile.due_rate_per_dimm_year = 2.0;
+        let a = generate_het(&system, &profile, 11, &[]);
+        let b = generate_het(&system, &profile, 11, &[]);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn dues_prefer_faulty_dimms() {
+        use astra_topology::DimmId;
+        let system = SystemConfig::scaled(4);
+        let mut profile = SimProfile::astra();
+        profile.due_rate_per_dimm_year = 20.0; // plenty of samples
+        let faulty: Vec<DimmId> = (0..10)
+            .map(|i| DimmId {
+                node: NodeId(i),
+                slot: DimmSlot::from_index(0).unwrap(),
+            })
+            .collect();
+        let log = generate_het(&system, &profile, 42, &faulty);
+        let dues: Vec<_> = log.iter().filter(|r| r.kind.is_memory_due()).collect();
+        let on_faulty = dues
+            .iter()
+            .filter(|r| r.slot == Some(DimmSlot::from_index(0).unwrap()) && r.node.0 < 10)
+            .count();
+        let share = on_faulty as f64 / dues.len() as f64;
+        // 55% configured share plus the tiny uniform chance.
+        assert!(
+            (0.45..0.65).contains(&share),
+            "share on faulty DIMMs {share} (n = {})",
+            dues.len()
+        );
+    }
+
+    #[test]
+    fn fit_computation_matches_paper() {
+        // §3.5: 0.00948 DUEs per DIMM per year ⇒ FIT ≈ 1081.
+        // Construct counts that produce exactly that rate.
+        let dimms = 41_472u64;
+        let years = 1.0;
+        let dues = (0.009_48 * dimms as f64 * years).round() as u64;
+        let fit = fit_per_dimm(dues, dimms, years);
+        assert!(
+            (fit - 1081.0).abs() < 15.0,
+            "FIT {fit} should be near 1081"
+        );
+    }
+
+    #[test]
+    fn fit_degenerate_inputs() {
+        assert_eq!(fit_per_dimm(10, 0, 1.0), 0.0);
+        assert_eq!(fit_per_dimm(10, 100, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! ECC models: SEC-DED (what Astra uses) and Chipkill (what it does not).
+//!
+//! §2.2: "Astra does not utilize Chipkill to protect the contents of its
+//! DRAM; it uses the cheaper and less power-hungry single-error-correction,
+//! double-error-detection (SEC-DED) ECC." The consequence the paper draws
+//! (§3.2) is that fault modes corrupting several bits of one ECC word —
+//! multi-rank, multi-bank alignments — "would manifest as uncorrectable
+//! memory errors", so they are invisible in the CE stream. The
+//! `what_if_chipkill` example flips this model to show those modes becoming
+//! correctable (and therefore visible to CE-based analysis).
+
+/// An ECC scheme's verdict on one corrupted word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// The word was repaired; a correctable error (CE) is logged.
+    Corrected,
+    /// Corruption detected but unrepairable; a DUE / machine check fires.
+    DetectedUncorrectable,
+    /// Corruption beyond the code's detection guarantee — may be silent or
+    /// miscorrected. Out of scope for the paper's analysis, but the model
+    /// reports it honestly.
+    BeyondDetection,
+}
+
+/// Memory protection schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccModel {
+    /// Single-error-correct, double-error-detect over a 64+8-bit word.
+    SecDed,
+    /// Symbol-based correction: corrects any number of corrupted bits
+    /// confined to one x8 DRAM device (symbol), detects two corrupted
+    /// symbols.
+    Chipkill,
+}
+
+impl EccModel {
+    /// Judge a corrupted word given the set of corrupted bit positions
+    /// within the 64-bit data word.
+    pub fn judge(self, corrupted_bits: &[u8]) -> EccOutcome {
+        debug_assert!(corrupted_bits.iter().all(|&b| b < 64));
+        let distinct = {
+            let mut bits: Vec<u8> = corrupted_bits.to_vec();
+            bits.sort_unstable();
+            bits.dedup();
+            bits
+        };
+        match self {
+            EccModel::SecDed => match distinct.len() {
+                0 => EccOutcome::Corrected, // vacuous: nothing corrupted
+                1 => EccOutcome::Corrected,
+                2 => EccOutcome::DetectedUncorrectable,
+                _ => EccOutcome::BeyondDetection,
+            },
+            EccModel::Chipkill => {
+                // x8 device: bits b belong to symbol b / 8.
+                let mut symbols: Vec<u8> = distinct.iter().map(|&b| b / 8).collect();
+                symbols.dedup();
+                match symbols.len() {
+                    0 | 1 => EccOutcome::Corrected,
+                    2 => EccOutcome::DetectedUncorrectable,
+                    _ => EccOutcome::BeyondDetection,
+                }
+            }
+        }
+    }
+
+    /// Whether a fault whose footprint spans `devices` distinct DRAM
+    /// devices *aligned on the same word* stays correctable. This is the
+    /// coarse question §3.2 answers for multi-rank/multi-bank modes.
+    pub fn multi_device_correctable(self, devices: u32) -> bool {
+        match self {
+            EccModel::SecDed => devices == 0, // any aligned multi-device hit is >1 bit
+            EccModel::Chipkill => devices <= 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secded_single_bit_corrects() {
+        assert_eq!(EccModel::SecDed.judge(&[17]), EccOutcome::Corrected);
+    }
+
+    #[test]
+    fn secded_double_bit_detects() {
+        assert_eq!(
+            EccModel::SecDed.judge(&[17, 41]),
+            EccOutcome::DetectedUncorrectable
+        );
+    }
+
+    #[test]
+    fn secded_triple_bit_is_beyond() {
+        assert_eq!(
+            EccModel::SecDed.judge(&[1, 2, 3]),
+            EccOutcome::BeyondDetection
+        );
+    }
+
+    #[test]
+    fn duplicate_bits_count_once() {
+        assert_eq!(EccModel::SecDed.judge(&[9, 9, 9]), EccOutcome::Corrected);
+    }
+
+    #[test]
+    fn chipkill_corrects_whole_symbol() {
+        // Bits 8..16 are all in symbol 1.
+        assert_eq!(
+            EccModel::Chipkill.judge(&[8, 9, 10, 15]),
+            EccOutcome::Corrected
+        );
+    }
+
+    #[test]
+    fn chipkill_two_symbols_detects() {
+        assert_eq!(
+            EccModel::Chipkill.judge(&[0, 8]),
+            EccOutcome::DetectedUncorrectable
+        );
+    }
+
+    #[test]
+    fn chipkill_three_symbols_beyond() {
+        assert_eq!(
+            EccModel::Chipkill.judge(&[0, 8, 16]),
+            EccOutcome::BeyondDetection
+        );
+    }
+
+    #[test]
+    fn multi_device_visibility() {
+        // The §3.2 statement: under SEC-DED, word-aligned multi-device
+        // faults are not correctable; under Chipkill a single bad device is.
+        assert!(!EccModel::SecDed.multi_device_correctable(1));
+        assert!(EccModel::Chipkill.multi_device_correctable(1));
+        assert!(!EccModel::Chipkill.multi_device_correctable(2));
+    }
+}

@@ -1,0 +1,277 @@
+//! Fault modes and footprints.
+//!
+//! A fault is a persistent defect anchored somewhere in a DRAM rank; each
+//! time it activates it corrupts one bit at a coordinate drawn from its
+//! footprint. The modes mirror §2.1/§3.2 of the paper:
+//!
+//! * `SingleBit` — every error at one (address, bit);
+//! * `SingleWord` — one address, bits vary within one 64-bit word;
+//! * `SingleColumn` — one column of one bank, rows vary;
+//! * `SingleRow` — one row of one bank, columns vary (ground truth only:
+//!   Astra's logs cannot expose rows, so the analyzer will see these as
+//!   bank-footprint faults — exactly the limitation §3.2 describes);
+//! * `SingleBank` — one bank, rows and columns vary;
+//! * `RankPin` — a pin/lane defect: one bit lane across many banks of one
+//!   rank. These are the super-sticky faults that produce the huge error
+//!   counts (§3.2's 91,000-error fault) and concentrate CEs on a handful
+//!   of nodes.
+
+use astra_topology::{DimmId, DramCoord, DramGeometry, RankId};
+use astra_util::{DetRng, Minute};
+
+/// Physical fault modes (ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultMode {
+    /// One stuck/weak bit.
+    SingleBit,
+    /// One weak 64-bit word.
+    SingleWord,
+    /// One bad column.
+    SingleColumn,
+    /// One bad row.
+    SingleRow,
+    /// One bad bank (e.g. row-decoder defect).
+    SingleBank,
+    /// One bad data pin / lane across a rank.
+    RankPin,
+}
+
+impl FaultMode {
+    /// All modes.
+    pub const ALL: [FaultMode; 6] = [
+        FaultMode::SingleBit,
+        FaultMode::SingleWord,
+        FaultMode::SingleColumn,
+        FaultMode::SingleRow,
+        FaultMode::SingleBank,
+        FaultMode::RankPin,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMode::SingleBit => "single-bit",
+            FaultMode::SingleWord => "single-word",
+            FaultMode::SingleColumn => "single-column",
+            FaultMode::SingleRow => "single-row",
+            FaultMode::SingleBank => "single-bank",
+            FaultMode::RankPin => "rank-pin",
+        }
+    }
+}
+
+/// A ground-truth fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// The DIMM the fault lives on.
+    pub dimm: DimmId,
+    /// The rank within the DIMM.
+    pub rank: RankId,
+    /// Fault mode.
+    pub mode: FaultMode,
+    /// Anchor coordinate: the fixed part of the footprint (fields the mode
+    /// varies are re-drawn per error).
+    pub anchor: DramCoord,
+    /// Anchor bit within the 512-bit cache line.
+    pub bit: u16,
+    /// When the fault became active.
+    pub onset: Minute,
+    /// Total errors this fault will produce over the simulation (before
+    /// any logging losses).
+    pub error_budget: u64,
+}
+
+impl Fault {
+    /// Draw the coordinate and bit for one error activation.
+    ///
+    /// The fixed/varying split per mode is what the downstream classifier
+    /// reconstructs from the error stream.
+    pub fn sample_error(&self, geom: &DramGeometry, rng: &mut DetRng) -> (DramCoord, u16) {
+        let mut coord = self.anchor;
+        let mut bit = self.bit;
+        match self.mode {
+            FaultMode::SingleBit => {}
+            FaultMode::SingleWord => {
+                // Same word: keep the word index, vary the bit within it.
+                let word_base = (self.bit / 64) * 64;
+                bit = word_base + rng.below(64) as u16;
+            }
+            FaultMode::SingleColumn => {
+                coord.row = rng.below(u64::from(geom.rows)) as u32;
+            }
+            FaultMode::SingleRow => {
+                coord.col = rng.below(u64::from(geom.cols)) as u16;
+            }
+            FaultMode::SingleBank => {
+                coord.row = rng.below(u64::from(geom.rows)) as u32;
+                coord.col = rng.below(u64::from(geom.cols)) as u16;
+            }
+            FaultMode::RankPin => {
+                // Same bit lane, anywhere in the rank.
+                coord.bank = rng.below(u64::from(geom.banks)) as u16;
+                coord.row = rng.below(u64::from(geom.rows)) as u32;
+                coord.col = rng.below(u64::from(geom.cols)) as u16;
+            }
+        }
+        (coord, bit)
+    }
+
+    /// Draw a random anchor for a fault of the given mode on `(dimm, rank)`.
+    pub fn random_anchor(
+        dimm: DimmId,
+        rank: RankId,
+        mode: FaultMode,
+        geom: &DramGeometry,
+        onset: Minute,
+        error_budget: u64,
+        rng: &mut DetRng,
+    ) -> Fault {
+        let anchor = DramCoord {
+            slot: dimm.slot,
+            rank,
+            bank: rng.below(u64::from(geom.banks)) as u16,
+            row: rng.below(u64::from(geom.rows)) as u32,
+            col: rng.below(u64::from(geom.cols)) as u16,
+        };
+        let bit = rng.below(u64::from(geom.cacheline_bits)) as u16;
+        Fault {
+            dimm,
+            rank,
+            mode,
+            anchor,
+            bit,
+            onset,
+            error_budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_topology::{DimmSlot, NodeId};
+
+    const GEOM: DramGeometry = DramGeometry::ASTRA;
+
+    fn fault(mode: FaultMode) -> Fault {
+        let dimm = DimmId {
+            node: NodeId(3),
+            slot: DimmSlot::from_letter('E').unwrap(),
+        };
+        let mut rng = DetRng::new(7);
+        Fault::random_anchor(dimm, RankId(0), mode, &GEOM, Minute::from_i64(0), 10, &mut rng)
+    }
+
+    #[test]
+    fn single_bit_never_moves() {
+        let f = fault(FaultMode::SingleBit);
+        let mut rng = DetRng::new(1);
+        for _ in 0..100 {
+            let (coord, bit) = f.sample_error(&GEOM, &mut rng);
+            assert_eq!(coord, f.anchor);
+            assert_eq!(bit, f.bit);
+        }
+    }
+
+    #[test]
+    fn single_word_stays_in_word() {
+        let f = fault(FaultMode::SingleWord);
+        let word = f.bit / 64;
+        let mut rng = DetRng::new(2);
+        let mut bits_seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let (coord, bit) = f.sample_error(&GEOM, &mut rng);
+            assert_eq!(coord, f.anchor, "address fixed for word faults");
+            assert_eq!(bit / 64, word, "bit stays in the anchored word");
+            bits_seen.insert(bit);
+        }
+        assert!(bits_seen.len() > 10, "word fault should vary the bit");
+    }
+
+    #[test]
+    fn single_column_varies_rows_only() {
+        let f = fault(FaultMode::SingleColumn);
+        let mut rng = DetRng::new(3);
+        let mut rows = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let (coord, bit) = f.sample_error(&GEOM, &mut rng);
+            assert_eq!(coord.col, f.anchor.col);
+            assert_eq!(coord.bank, f.anchor.bank);
+            assert_eq!(coord.rank, f.anchor.rank);
+            assert_eq!(bit, f.bit);
+            rows.insert(coord.row);
+        }
+        assert!(rows.len() > 100);
+    }
+
+    #[test]
+    fn single_row_varies_cols_only() {
+        let f = fault(FaultMode::SingleRow);
+        let mut rng = DetRng::new(4);
+        let mut cols = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let (coord, _) = f.sample_error(&GEOM, &mut rng);
+            assert_eq!(coord.row, f.anchor.row);
+            assert_eq!(coord.bank, f.anchor.bank);
+            cols.insert(coord.col);
+        }
+        assert!(cols.len() > 50);
+    }
+
+    #[test]
+    fn single_bank_stays_in_bank() {
+        let f = fault(FaultMode::SingleBank);
+        let mut rng = DetRng::new(5);
+        for _ in 0..200 {
+            let (coord, _) = f.sample_error(&GEOM, &mut rng);
+            assert_eq!(coord.bank, f.anchor.bank);
+            assert_eq!(coord.rank, f.anchor.rank);
+        }
+    }
+
+    #[test]
+    fn rank_pin_fixes_bit_varies_banks() {
+        let f = fault(FaultMode::RankPin);
+        let mut rng = DetRng::new(6);
+        let mut banks = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let (coord, bit) = f.sample_error(&GEOM, &mut rng);
+            assert_eq!(bit, f.bit, "pin faults pin the bit lane");
+            assert_eq!(coord.rank, f.anchor.rank);
+            banks.insert(coord.bank);
+        }
+        assert_eq!(banks.len(), GEOM.banks as usize, "pin fault spans all banks");
+    }
+
+    #[test]
+    fn anchors_respect_geometry() {
+        let mut rng = DetRng::new(8);
+        let dimm = DimmId {
+            node: NodeId(0),
+            slot: DimmSlot::from_letter('A').unwrap(),
+        };
+        for mode in FaultMode::ALL {
+            for _ in 0..50 {
+                let f = Fault::random_anchor(
+                    dimm,
+                    RankId(1),
+                    mode,
+                    &GEOM,
+                    Minute::from_i64(0),
+                    1,
+                    &mut rng,
+                );
+                assert!(u32::from(f.anchor.bank) < GEOM.banks);
+                assert!(f.anchor.row < GEOM.rows);
+                assert!(u32::from(f.anchor.col) < GEOM.cols);
+                assert!(u32::from(f.bit) < GEOM.cacheline_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(FaultMode::SingleBit.name(), "single-bit");
+        assert_eq!(FaultMode::RankPin.name(), "rank-pin");
+    }
+}

@@ -1,0 +1,50 @@
+//! Ground-truth DRAM fault and error simulator for the Astra machine model.
+//!
+//! The paper analyzes production logs; this crate is the workspace's
+//! substitute for the production machine. It injects **faults** (persistent
+//! hardware defects with a physical footprint) into the modeled DRAM
+//! population and lets them produce **errors** (individual corrected-bit
+//! events) over simulated time, reproducing the population statistics the
+//! paper reports:
+//!
+//! * ≈ 4.37 M correctable errors over the Jan 20 – Sep 14, 2019 interval,
+//!   a slight downward trend over time, with error-mode totals near the
+//!   paper's single-bit / single-word / single-column / single-bank counts;
+//! * heavy-tailed errors-per-fault (median 1, maximum ≈ 91,000 — Fig 4b);
+//! * a power-law faults-per-node distribution with > 60 % of nodes at zero
+//!   and the top 8 nodes carrying > 50 % of all CEs (Fig 5);
+//! * positional skew in faults across DIMM ranks (rank 0 high) and slots
+//!   (J, E, I, P high; A, K, L, M, N low) but *uniform* fault distributions
+//!   across sockets, banks, and columns (Figs 6, 7);
+//! * rack-level error spikes without fault spikes (Fig 12);
+//! * DUEs at ≈ 0.00948 per DIMM-year, recorded only after the August 2019
+//!   HET firmware update (Fig 15).
+//!
+//! Structure:
+//!
+//! * [`ecc`] — the SEC-DED model (and a Chipkill alternative for the
+//!   what-if example): how many corrupted bits in a word stay correctable.
+//! * [`fault`] — fault modes, footprints, and per-error coordinate
+//!   sampling.
+//! * [`profile`] — every calibration constant, in one documented struct.
+//! * [`scramble`] — the bijective address scrambling that models Astra's
+//!   undocumented physical-address interleaving (the reason the paper
+//!   could not analyze single-row faults).
+//! * [`sim`] — the node-parallel simulation driver producing syslog-ready
+//!   CE records (through the bounded kernel log buffer) plus ground truth.
+//! * [`due`] — uncorrectable-error and other HET event generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod due;
+pub mod ecc;
+pub mod fault;
+pub mod profile;
+pub mod scramble;
+pub mod sim;
+
+pub use ecc::{EccModel, EccOutcome};
+pub use fault::{Fault, FaultMode};
+pub use profile::SimProfile;
+pub use sim::{simulate, GroundTruthFault, SimOutput};

@@ -1,0 +1,226 @@
+//! Calibration constants for the fault simulator, in one documented place.
+//!
+//! [`SimProfile::astra`] is tuned so that a full-scale run (36 racks,
+//! Jan 20 – Sep 14, 2019, seed 42) lands near the paper's population
+//! statistics; EXPERIMENTS.md records paper-vs-measured for each. All
+//! rates are per-node or per-DIMM, so scaling the machine down (fewer
+//! racks) preserves distribution shapes automatically.
+
+use astra_topology::{DimmSlot, RackRegion};
+use astra_util::time::{study_span, TimeSpan};
+
+use crate::fault::FaultMode;
+
+/// Errors-per-fault distribution for one fault mode: a point mass at one
+/// error plus a truncated power-law tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetDist {
+    /// Probability the fault produces exactly one error (page retirement
+    /// and transient activation make this the common case).
+    pub p_single: f64,
+    /// Power-law exponent of the tail (≥ 2 errors).
+    pub tail_alpha: f64,
+    /// Hard cap on errors per fault. For small-footprint modes the cap is
+    /// the page-retirement model: once the OS maps the page out, the fault
+    /// stops producing errors.
+    pub tail_cap: u64,
+}
+
+/// Every knob of the fault/error generator.
+#[derive(Debug, Clone)]
+pub struct SimProfile {
+    /// Simulation interval.
+    pub span: TimeSpan,
+    /// Fraction of nodes that are susceptible to DRAM faults at all
+    /// (the paper: > 60 % of nodes saw no CEs).
+    pub susceptible_fraction: f64,
+    /// Power-law exponent for faults-per-susceptible-node.
+    pub node_fault_alpha: f64,
+    /// Cap on faults per node (Fig 5a's x-axis tops out near 60).
+    pub node_fault_cap: u64,
+    /// Relative probability that a regular fault lands on each mode, in
+    /// [`FaultMode::ALL`] order (rank-pin weight applies only to
+    /// pathological DIMMs and is zero here).
+    pub mode_weights: [f64; 6],
+    /// Errors-per-fault distribution per mode (same order).
+    pub budgets: [BudgetDist; 6],
+    /// Probability a fault lands on rank 0 (Fig 7b: rank 0 experiences
+    /// more faults, plausibly the hotter DIMM side).
+    pub rank0_weight: f64,
+    /// Per-slot relative fault weights, indexed by `DimmSlot::index()`.
+    /// Fig 7d: J, E, I, P high; A, K, L, M, N low.
+    pub slot_weights: [f64; 16],
+    /// Per-region fault multipliers (bottom, middle, top). Fig 10b: top
+    /// slightly ahead; differences small.
+    pub region_fault_mult: [f64; 3],
+    /// Linear decline of fault-onset density across the span (0.25 means
+    /// the onset rate at the end is 25 % lower than at the start) —
+    /// produces Fig 4a's slight downward error trend.
+    pub onset_decline: f64,
+    /// Lognormal(mu, sigma) of a regular fault's active window in days:
+    /// errors are emitted within this window after onset.
+    pub window_days_mu: f64,
+    /// Sigma of the active-window lognormal.
+    pub window_days_sigma: f64,
+    /// Expected burst size: errors from one fault cluster into same-minute
+    /// bursts of roughly this size (exercises the kernel CE buffer).
+    pub burst_mean: f64,
+    /// Probability a regular fault anchors at one of the system-wide weak
+    /// locations (shared weak physical rows/columns and OS-hot pages that
+    /// recur identically across nodes). This produces the cross-node
+    /// per-address and per-bit-position fault concentration of Fig 8
+    /// while staying small enough that per-bank fault counts remain
+    /// statistically uniform (Fig 6).
+    pub hot_anchor_prob: f64,
+    /// Size of the ordinary weak-location pool.
+    pub weak_pool: u64,
+    /// Size of the small "very weak" pool that forms the heavy tail of
+    /// the per-address fault counts.
+    pub very_weak_pool: u64,
+    /// Fraction of weak-location draws that hit the very-weak pool.
+    pub very_weak_share: f64,
+    /// Pathological DIMMs per thousand nodes. These carry the rank-pin
+    /// faults that concentrate most CEs onto a few nodes (Fig 5b's top-8
+    /// effect and Fig 12a's rack spikes).
+    pub pathological_per_1000_nodes: f64,
+    /// Rank-pin faults per pathological DIMM (inclusive range).
+    pub pathological_faults: (u32, u32),
+    /// Errors per pathological rank-pin fault (inclusive range; the top of
+    /// this range is the paper's ≈ 91,000-error fault).
+    pub pathological_budget: (u64, u64),
+    /// Fraction of pathological DIMMs pinned to the spike rack.
+    pub spike_rack_share: f64,
+    /// Rack that receives the pinned share (clamped to the machine's rack
+    /// count; rack 31 on Astra, Fig 12a).
+    pub spike_rack: u32,
+    /// Region where pathological DIMMs concentrate (Fig 10a: errors are
+    /// highest at the *bottom* of racks even though faults tilt top).
+    pub pathological_region: RackRegion,
+    /// DUE rate per DIMM per year (§3.5: 0.00948 → FIT ≈ 1081).
+    pub due_rate_per_dimm_year: f64,
+    /// Fraction of memory DUEs that strike DIMMs already carrying a
+    /// correctable fault. Field studies consistently find prior CEs to be
+    /// the strongest DUE predictor; the escalation path is a fault
+    /// corrupting a second bit of an ECC word.
+    pub due_on_faulty_share: f64,
+    /// Day HET recording begins (events before this are not logged).
+    pub het_start: astra_util::CalDate,
+    /// System-wide daily rates for the non-memory HET kinds, in
+    /// [`crate::due::BACKGROUND_KINDS`] order.
+    pub het_background_daily: [f64; 6],
+    /// Kernel CE buffer capacity (records).
+    pub buffer_capacity: usize,
+    /// Kernel CE polls per minute.
+    pub polls_per_minute: u32,
+}
+
+impl SimProfile {
+    /// The calibrated Astra profile (see module docs).
+    pub fn astra() -> Self {
+        SimProfile {
+            span: study_span(),
+            susceptible_fraction: 0.405,
+            node_fault_alpha: 1.50,
+            node_fault_cap: 65,
+            // bit, word, column, row, bank, rank-pin
+            mode_weights: [0.79, 0.08, 0.09, 0.02, 0.02, 0.0],
+            budgets: [
+                // Single-bit: heavy tail up to the retirement-escape cap.
+                BudgetDist { p_single: 0.68, tail_alpha: 1.315, tail_cap: 60_000 },
+                // Single-word.
+                BudgetDist { p_single: 0.60, tail_alpha: 1.33, tail_cap: 5_000 },
+                // Single-column.
+                BudgetDist { p_single: 0.55, tail_alpha: 1.47, tail_cap: 14_000 },
+                // Single-row (classified as bank-footprint by the analyzer).
+                BudgetDist { p_single: 0.55, tail_alpha: 1.55, tail_cap: 2_000 },
+                // Single-bank.
+                BudgetDist { p_single: 0.55, tail_alpha: 1.47, tail_cap: 4_000 },
+                // Rank-pin (regular population; pathological DIMMs override).
+                BudgetDist { p_single: 0.40, tail_alpha: 1.40, tail_cap: 20_000 },
+            ],
+            rank0_weight: 0.58,
+            slot_weights: slot_weights_astra(),
+            region_fault_mult: [0.96, 1.0, 1.04],
+            onset_decline: 0.25,
+            window_days_mu: 2.3,  // median ~10 days
+            window_days_sigma: 1.1,
+            burst_mean: 3.0,
+            hot_anchor_prob: 0.25,
+            weak_pool: 768,
+            very_weak_pool: 24,
+            very_weak_share: 0.10,
+            pathological_per_1000_nodes: 4.6,
+            pathological_faults: (3, 5),
+            pathological_budget: (33_000, 91_000),
+            spike_rack_share: 0.3,
+            spike_rack: 31,
+            pathological_region: RackRegion::Bottom,
+            due_rate_per_dimm_year: 0.009_48,
+            due_on_faulty_share: 0.55,
+            het_start: astra_util::time::het_firmware_date(),
+            het_background_daily: [0.5, 0.35, 0.1, 0.15, 0.1, 0.05],
+            buffer_capacity: 64,
+            polls_per_minute: 12,
+        }
+    }
+
+    /// Budget distribution for a mode.
+    pub fn budget_for(&self, mode: FaultMode) -> BudgetDist {
+        let idx = FaultMode::ALL.iter().position(|&m| m == mode).expect("mode in ALL");
+        self.budgets[idx]
+    }
+}
+
+/// Fig 7d slot skew: J, E, I, P experience the most faults; A, K, L, M, N
+/// the fewest.
+fn slot_weights_astra() -> [f64; 16] {
+    let mut w = [1.0f64; 16];
+    for hot in ['J', 'E', 'I', 'P'] {
+        w[DimmSlot::from_letter(hot).unwrap().index()] = 1.8;
+    }
+    for cold in ['A', 'K', 'L', 'M', 'N'] {
+        w[DimmSlot::from_letter(cold).unwrap().index()] = 0.45;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astra_profile_is_sane() {
+        let p = SimProfile::astra();
+        assert!((0.0..=1.0).contains(&p.susceptible_fraction));
+        assert!(p.node_fault_alpha > 1.0);
+        let total: f64 = p.mode_weights.iter().sum();
+        assert!(total > 0.0);
+        for b in p.budgets {
+            assert!((0.0..=1.0).contains(&b.p_single));
+            assert!(b.tail_alpha > 1.0);
+            assert!(b.tail_cap >= 2);
+        }
+        assert!(p.pathological_budget.0 <= p.pathological_budget.1);
+        assert!(p.pathological_faults.0 <= p.pathological_faults.1);
+        assert_eq!(p.span.days(), 237);
+    }
+
+    #[test]
+    fn slot_weights_match_paper_ordering() {
+        let w = slot_weights_astra();
+        let at = |c: char| w[DimmSlot::from_letter(c).unwrap().index()];
+        for hot in ['J', 'E', 'I', 'P'] {
+            for cold in ['A', 'K', 'L', 'M', 'N'] {
+                assert!(at(hot) > at(cold), "{hot} should out-fault {cold}");
+            }
+        }
+        assert!(at('B') > at('A') && at('B') < at('J'));
+    }
+
+    #[test]
+    fn budget_lookup_by_mode() {
+        let p = SimProfile::astra();
+        assert_eq!(p.budget_for(FaultMode::SingleBit), p.budgets[0]);
+        assert_eq!(p.budget_for(FaultMode::RankPin), p.budgets[5]);
+    }
+}

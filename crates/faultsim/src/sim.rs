@@ -1,0 +1,575 @@
+//! The node-parallel simulation driver.
+//!
+//! [`simulate`] produces the machine's complete log output for the study
+//! interval: syslog CE records (after passing through the bounded kernel
+//! log buffer), the HET log, and the ground-truth fault population that the
+//! analyzer's inferences can be validated against.
+//!
+//! Each node is simulated on its own deterministic RNG stream
+//! (`splitmix`-derived from `(seed, node)`), so the output is bit-identical
+//! regardless of worker count or scheduling. Pathological DIMM placement —
+//! the handful of rank-pin-faulted DIMMs that carry most of the machine's
+//! CEs — is decided up front on a global stream, then handed to the
+//! per-node workers.
+
+use astra_logs::{CeLogBuffer, CeRecord, HetRecord};
+use astra_topology::{DimmId, DimmSlot, NodeId, RankId, SystemConfig};
+use astra_util::dist::{lognormal, poisson, power_law_truncated};
+use astra_util::par::par_map_indexed;
+use astra_util::rng::splitmix64;
+use astra_util::time::MINUTES_PER_DAY;
+use astra_util::{DetRng, Minute, StreamKey};
+
+use crate::due::generate_het;
+use crate::fault::{Fault, FaultMode};
+use crate::profile::{BudgetDist, SimProfile};
+use crate::scramble::scramble;
+
+/// A ground-truth fault plus how many errors it actually offered to the
+/// logging path (≤ its budget only if the span truncated its window).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruthFault {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Errors generated (offered to the kernel buffer; some may have been
+    /// dropped before reaching the syslog).
+    pub offered_errors: u64,
+}
+
+/// Complete simulation output.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// Syslog CE records, time-sorted. These are what the analyzer sees.
+    pub ce_log: Vec<CeRecord>,
+    /// HET records (uncorrectable and background events), time-sorted.
+    pub het_log: Vec<HetRecord>,
+    /// Ground truth for validation, ordered by (node, onset).
+    pub ground_truth: Vec<GroundTruthFault>,
+    /// CEs lost to kernel log-buffer overflow.
+    pub dropped_ces: u64,
+}
+
+impl SimOutput {
+    /// Total errors offered by all faults (logged + dropped).
+    pub fn offered_errors(&self) -> u64 {
+        self.ground_truth.iter().map(|g| g.offered_errors).sum()
+    }
+}
+
+/// Run the fault/error simulation for `system` under `profile`.
+pub fn simulate(system: &SystemConfig, profile: &SimProfile, seed: u64) -> SimOutput {
+    let pathological = place_pathological_dimms(system, profile, seed);
+    let mut path_by_node: std::collections::HashMap<u32, Vec<DimmSlot>> =
+        std::collections::HashMap::new();
+    for d in &pathological {
+        path_by_node.entry(d.node.0).or_default().push(d.slot);
+    }
+
+    let node_count = system.node_count() as usize;
+    let per_node: Vec<NodeOutput> = par_map_indexed(node_count, |idx| {
+        let node = NodeId(idx as u32);
+        let path_slots = path_by_node
+            .get(&node.0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        simulate_node(system, profile, seed, node, path_slots)
+    });
+
+    let mut ce_log = Vec::new();
+    let mut ground_truth = Vec::new();
+    let mut dropped_ces = 0;
+    for out in per_node {
+        ce_log.extend(out.ces);
+        ground_truth.extend(out.faults);
+        dropped_ces += out.dropped;
+    }
+    ce_log.sort_by_key(|r| (r.time, r.node.0, r.addr.0, r.bit_pos));
+
+    let mut faulty_dimms: Vec<DimmId> = ground_truth
+        .iter()
+        .map(|g| g.fault.dimm)
+        .collect();
+    faulty_dimms.sort_by_key(|d| d.dense_index());
+    faulty_dimms.dedup();
+    let het_log = generate_het(system, profile, seed, &faulty_dimms);
+
+    SimOutput {
+        ce_log,
+        het_log,
+        ground_truth,
+        dropped_ces,
+    }
+}
+
+struct NodeOutput {
+    ces: Vec<CeRecord>,
+    faults: Vec<GroundTruthFault>,
+    dropped: u64,
+}
+
+/// Choose which DIMMs are pathological (rank-pin afflicted).
+fn place_pathological_dimms(
+    system: &SystemConfig,
+    profile: &SimProfile,
+    seed: u64,
+) -> Vec<DimmId> {
+    let mut rng = DetRng::for_stream(seed, StreamKey::root("pathological"));
+    let n = ((f64::from(system.node_count()) / 1000.0) * profile.pathological_per_1000_nodes)
+        .round()
+        .max(1.0) as usize;
+    let spike_rack = profile.spike_rack.min(system.racks - 1);
+    let mut chosen: Vec<DimmId> = Vec::with_capacity(n);
+    let mut used_nodes = std::collections::HashSet::new();
+    for i in 0..n {
+        // A share of pathological DIMMs is pinned to the spike rack
+        // (Fig 12a's rack-31 error spike); the rest land anywhere, biased
+        // toward the configured region (Fig 10a).
+        let in_spike_rack = (i as f64) < profile.spike_rack_share * n as f64;
+        let node = loop {
+            let candidate = if in_spike_rack {
+                let base = spike_rack * system.nodes_per_rack();
+                NodeId(base + rng.below(u64::from(system.nodes_per_rack())) as u32)
+            } else {
+                NodeId(rng.below(u64::from(system.node_count())) as u32)
+            };
+            // Region bias: accept non-preferred regions with reduced
+            // probability.
+            let region = system.region_of(candidate);
+            let accept = if region == profile.pathological_region {
+                true
+            } else {
+                rng.chance(0.25)
+            };
+            if accept && !used_nodes.contains(&candidate.0) {
+                break candidate;
+            }
+            // Allow reuse if the machine is tiny and all nodes are taken.
+            if used_nodes.len() >= system.node_count() as usize {
+                break candidate;
+            }
+        };
+        used_nodes.insert(node.0);
+        let slot = DimmSlot::from_index(rng.below(16) as u8).expect("slot < 16");
+        chosen.push(DimmId { node, slot });
+    }
+    chosen
+}
+
+/// Simulate one node: inject faults, emit errors, run the logging path.
+fn simulate_node(
+    system: &SystemConfig,
+    profile: &SimProfile,
+    seed: u64,
+    node: NodeId,
+    pathological_slots: &[DimmSlot],
+) -> NodeOutput {
+    let mut rng = DetRng::for_stream(seed, StreamKey::root("node").with(u64::from(node.0)));
+    let geom = &system.geometry;
+    let span = profile.span;
+    let span_minutes = span.minutes();
+
+    let mut faults: Vec<Fault> = Vec::new();
+
+    // Regular fault population.
+    let region = system.region_of(node);
+    let region_mult = profile.region_fault_mult[region.index()];
+    let max_mult = profile
+        .region_fault_mult
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    if rng.chance(profile.susceptible_fraction * region_mult / max_mult) {
+        let n_faults =
+            power_law_truncated(&mut rng, 1, profile.node_fault_cap, profile.node_fault_alpha);
+        for _ in 0..n_faults {
+            let slot_idx = rng.pick_weighted(&profile.slot_weights);
+            let slot = DimmSlot::from_index(slot_idx as u8).expect("slot < 16");
+            let rank = if rng.chance(profile.rank0_weight) {
+                RankId(0)
+            } else {
+                RankId(1)
+            };
+            let mode_idx = rng.pick_weighted(&profile.mode_weights);
+            let mode = FaultMode::ALL[mode_idx];
+            let onset = sample_onset(&mut rng, span.start, span_minutes, profile.onset_decline);
+            let budget = sample_budget(&mut rng, profile.budget_for(mode));
+            let dimm = DimmId { node, slot };
+            let mut fault = Fault::random_anchor(dimm, rank, mode, geom, onset, budget, &mut rng);
+            fault.error_budget = budget;
+            maybe_snap_to_weak_location(&mut fault, system, profile, seed, &mut rng);
+            faults.push(fault);
+        }
+    }
+
+    // Pathological rank-pin faults.
+    for &slot in pathological_slots {
+        let (lo, hi) = profile.pathological_faults;
+        let n = rng.range_inclusive(u64::from(lo), u64::from(hi));
+        let rank = if rng.chance(0.5) { RankId(0) } else { RankId(1) };
+        for _ in 0..n {
+            // Pathological DIMMs fail early (they dominate from the start
+            // of the interval) and stay active to the end.
+            let onset_window = span_minutes / 4;
+            let onset = span.start.plus(rng.below(onset_window.max(1)) as i64);
+            let (blo, bhi) = profile.pathological_budget;
+            let budget = rng.range_inclusive(blo, bhi);
+            let dimm = DimmId { node, slot };
+            let fault = Fault::random_anchor(
+                dimm,
+                rank,
+                FaultMode::RankPin,
+                geom,
+                onset,
+                budget,
+                &mut rng,
+            );
+            faults.push(fault);
+        }
+    }
+
+    // Emit error events for every fault.
+    // Each event carries a poll-slot tag so the log buffer sees realistic
+    // same-burst contention.
+    let mut events: Vec<(Minute, u32, CeRecord)> = Vec::new();
+    let mut ground_truth = Vec::with_capacity(faults.len());
+    for fault in faults {
+        let offered = emit_fault_errors(&fault, system, profile, &mut rng, &mut events);
+        ground_truth.push(GroundTruthFault {
+            fault,
+            offered_errors: offered,
+        });
+    }
+
+    events.sort_by_key(|(t, slot, rec)| (*t, *slot, rec.addr.0, rec.bit_pos));
+
+    // Run the kernel logging path.
+    let mut buffer = CeLogBuffer::new(profile.buffer_capacity, profile.polls_per_minute);
+    for (_, slot, rec) in &events {
+        buffer.offer(*rec, *slot);
+    }
+    let (ces, dropped) = buffer.finish();
+
+    ground_truth.sort_by_key(|g| (g.fault.onset, g.fault.dimm.slot.index() as u8));
+    NodeOutput {
+        ces,
+        faults: ground_truth,
+        dropped,
+    }
+}
+
+/// Emit all error events for one fault. Returns the number offered.
+fn emit_fault_errors(
+    fault: &Fault,
+    system: &SystemConfig,
+    profile: &SimProfile,
+    rng: &mut DetRng,
+    events: &mut Vec<(Minute, u32, CeRecord)>,
+) -> u64 {
+    let geom = &system.geometry;
+    let span_end = profile.span.end;
+    // Active window: pathological rank-pin faults persist to the end of
+    // the interval; regular faults burn out on a lognormal timescale.
+    let window_minutes = if fault.mode == FaultMode::RankPin {
+        (span_end.value() - fault.onset.value()).max(1) as u64
+    } else {
+        let days = lognormal(rng, profile.window_days_mu, profile.window_days_sigma).max(0.01);
+        let m = (days * MINUTES_PER_DAY as f64) as i64;
+        m.min(span_end.value() - fault.onset.value()).max(1) as u64
+    };
+
+    let mut remaining = fault.error_budget;
+    let mut offered = 0;
+    while remaining > 0 {
+        // Errors arrive in same-minute bursts.
+        let burst = (1 + poisson(rng, (profile.burst_mean - 1.0).max(0.0))).min(remaining);
+        let minute = fault.onset.plus(rng.below(window_minutes) as i64);
+        let poll_slot = rng.below(u64::from(profile.polls_per_minute)) as u32;
+        for _ in 0..burst {
+            let (coord, bit) = fault.sample_error(geom, rng);
+            events.push((minute, poll_slot, make_record(minute, fault, coord, bit, geom)));
+        }
+        offered += burst;
+        remaining -= burst;
+    }
+    offered
+}
+
+/// Build the syslog-visible CE record for one error event.
+fn make_record(
+    time: Minute,
+    fault: &Fault,
+    coord: astra_topology::DramCoord,
+    bit: u16,
+    geom: &astra_topology::DramGeometry,
+) -> CeRecord {
+    let true_addr = coord.encode(geom);
+    let logged_addr = scramble(true_addr);
+    // Vendor syndrome: a consistent function of the failing location, as
+    // footnote 1 of the paper observes ("the encoding was consistent").
+    let mut h = logged_addr.0 ^ (u64::from(bit) << 48) ^ 0xA5A5;
+    let syndrome = (splitmix64(&mut h) & 0xFFFF) as u32;
+    let class = ((syndrome >> 13) & 0x7) as u16;
+    let bit_pos = bit | (class << 9);
+    CeRecord {
+        time,
+        node: fault.dimm.node,
+        socket: coord.slot.socket(),
+        slot: coord.slot,
+        rank: coord.rank,
+        bank: coord.bank,
+        row: None, // Astra's records never carry the row (§3.2).
+        col: coord.col,
+        bit_pos,
+        addr: logged_addr,
+        syndrome,
+    }
+}
+
+/// Re-anchor a fault onto a system-wide weak location with the profile's
+/// probability.
+///
+/// Weak locations model two real phenomena the per-address analysis
+/// (Fig 8b) depends on: physically weak rows/columns that recur at the
+/// same device coordinates across the DIMM population (manufacturing
+/// correlation), and OS-hot physical pages that sit at identical
+/// node-local addresses on every node. The table is derived from the
+/// master seed only — not the node — so the same *full* node-local
+/// coordinate (slot, rank, bank, row, column, bit) repeats machine-wide
+/// and per-address fault counts develop the heavy tail the paper
+/// observes. The table's own slot/rank distribution follows the same
+/// positional skew as ordinary faults, so Fig 7's slot ordering is
+/// preserved.
+fn maybe_snap_to_weak_location(
+    fault: &mut Fault,
+    system: &SystemConfig,
+    profile: &SimProfile,
+    seed: u64,
+    rng: &mut DetRng,
+) {
+    if profile.weak_pool == 0 || !rng.chance(profile.hot_anchor_prob) {
+        return;
+    }
+    let geom = &system.geometry;
+    // Two tiers: a broad pool of mildly weak locations and a small pool
+    // of very weak ones. Uniform draws within each tier keep any single
+    // location's mass bounded, which is what preserves per-bank
+    // uniformity while still producing the Fig 8 concentration.
+    let idx = if rng.chance(profile.very_weak_share) && profile.very_weak_pool > 0 {
+        (1u64 << 32) | rng.below(profile.very_weak_pool)
+    } else {
+        rng.below(profile.weak_pool)
+    };
+    // The weak location is a pure function of (seed, idx) — identical on
+    // every node.
+    let mut loc_rng = DetRng::for_stream(seed, StreamKey::root("weak-loc").with(idx));
+    let slot = DimmSlot::from_index(loc_rng.pick_weighted(&profile.slot_weights) as u8)
+        .expect("slot < 16");
+    let rank = if loc_rng.chance(profile.rank0_weight) {
+        RankId(0)
+    } else {
+        RankId(1)
+    };
+    fault.dimm.slot = slot;
+    fault.rank = rank;
+    fault.anchor.slot = slot;
+    fault.anchor.rank = rank;
+    fault.anchor.bank = loc_rng.below(u64::from(geom.banks)) as u16;
+    fault.anchor.row = loc_rng.below(u64::from(geom.rows)) as u32;
+    fault.anchor.col = loc_rng.below(u64::from(geom.cols)) as u16;
+    fault.bit = loc_rng.below(u64::from(geom.cacheline_bits)) as u16;
+}
+
+/// Sample a fault onset with linearly declining density across the span.
+fn sample_onset(rng: &mut DetRng, start: Minute, span_minutes: u64, decline: f64) -> Minute {
+    let u = rng.f64();
+    let x = if decline <= 1e-9 {
+        u
+    } else {
+        let d = decline.min(0.99);
+        let c = u * (1.0 - d / 2.0);
+        (1.0 - (1.0 - 2.0 * d * c).max(0.0).sqrt()) / d
+    };
+    start.plus((x * span_minutes as f64) as i64)
+}
+
+/// Sample an errors-per-fault budget from the mode's mixture distribution.
+fn sample_budget(rng: &mut DetRng, dist: BudgetDist) -> u64 {
+    if rng.chance(dist.p_single) {
+        1
+    } else {
+        power_law_truncated(rng, 2, dist.tail_cap.max(2), dist.tail_alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim() -> SimOutput {
+        let system = SystemConfig::scaled(2);
+        let profile = SimProfile::astra();
+        simulate(&system, &profile, 42)
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = small_sim();
+        let b = small_sim();
+        assert_eq!(a.ce_log, b.ce_log);
+        assert_eq!(a.het_log, b.het_log);
+        assert_eq!(a.ground_truth, b.ground_truth);
+        assert_eq!(a.dropped_ces, b.dropped_ces);
+    }
+
+    #[test]
+    fn ce_log_is_time_sorted_and_in_span() {
+        let out = small_sim();
+        let profile = SimProfile::astra();
+        assert!(!out.ce_log.is_empty());
+        assert!(out.ce_log.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(out
+            .ce_log
+            .iter()
+            .all(|r| profile.span.contains(r.time)));
+    }
+
+    #[test]
+    fn records_are_internally_consistent() {
+        let out = small_sim();
+        let system = SystemConfig::scaled(2);
+        for rec in out.ce_log.iter().take(10_000) {
+            assert_eq!(rec.socket, rec.slot.socket());
+            assert!(rec.node.0 < system.node_count());
+            assert!(u32::from(rec.bank) < system.geometry.banks);
+            assert!(u32::from(rec.col) < system.geometry.cols);
+            assert!(rec.row.is_none(), "Astra records never carry rows");
+            assert!(rec.rank.0 < 2);
+        }
+    }
+
+    #[test]
+    fn logged_plus_dropped_equals_offered() {
+        let out = small_sim();
+        assert_eq!(
+            out.ce_log.len() as u64 + out.dropped_ces,
+            out.offered_errors()
+        );
+    }
+
+    #[test]
+    fn most_faults_produce_one_error() {
+        let out = small_sim();
+        let ones = out
+            .ground_truth
+            .iter()
+            .filter(|g| g.offered_errors == 1)
+            .count();
+        let total = out.ground_truth.len();
+        assert!(total > 50, "need a meaningful fault population, got {total}");
+        assert!(
+            ones * 2 > total,
+            "majority of faults should offer exactly one error: {ones}/{total}"
+        );
+    }
+
+    #[test]
+    fn error_budgets_respect_caps() {
+        let out = small_sim();
+        let profile = SimProfile::astra();
+        let max_cap = profile
+            .budgets
+            .iter()
+            .map(|b| b.tail_cap)
+            .max()
+            .unwrap()
+            .max(profile.pathological_budget.1);
+        for g in &out.ground_truth {
+            assert!(g.offered_errors <= max_cap);
+            assert_eq!(g.offered_errors, g.fault.error_budget);
+        }
+    }
+
+    #[test]
+    fn pathological_dimms_dominate_errors() {
+        let out = small_sim();
+        // Count errors per node; the top node should carry a large share
+        // (the Fig 5b concentration).
+        let mut per_node = std::collections::HashMap::new();
+        for rec in &out.ce_log {
+            *per_node.entry(rec.node.0).or_insert(0u64) += 1;
+        }
+        let total: u64 = per_node.values().sum();
+        let max = per_node.values().copied().max().unwrap_or(0);
+        assert!(
+            max as f64 > total as f64 * 0.10,
+            "top node {max} of {total} should be a sizable share"
+        );
+    }
+
+    #[test]
+    fn ground_truth_covers_multiple_modes() {
+        let out = small_sim();
+        let mut seen = std::collections::BTreeSet::new();
+        for g in &out.ground_truth {
+            seen.insert(g.fault.mode);
+        }
+        assert!(seen.contains(&FaultMode::SingleBit));
+        assert!(seen.contains(&FaultMode::RankPin));
+        assert!(seen.len() >= 4, "modes seen: {seen:?}");
+    }
+
+    #[test]
+    fn onset_density_declines() {
+        let mut rng = DetRng::new(5);
+        let start = Minute::from_i64(0);
+        let n = 50_000;
+        let span = 1000u64;
+        let first_half = (0..n)
+            .filter(|_| sample_onset(&mut rng, start, span, 0.3).value() < 500)
+            .count();
+        // With decline 0.3 the first half holds ~54% of onsets.
+        let frac = first_half as f64 / n as f64;
+        assert!((0.52..0.57).contains(&frac), "first-half fraction {frac}");
+    }
+
+    #[test]
+    fn onset_zero_decline_is_uniform() {
+        let mut rng = DetRng::new(6);
+        let start = Minute::from_i64(0);
+        let n = 50_000;
+        let first_half = (0..n)
+            .filter(|_| sample_onset(&mut rng, start, 1000, 0.0).value() < 500)
+            .count();
+        let frac = first_half as f64 / n as f64;
+        assert!((0.48..0.52).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn budget_sampler_mixture() {
+        let mut rng = DetRng::new(7);
+        let dist = BudgetDist {
+            p_single: 0.7,
+            tail_alpha: 1.5,
+            tail_cap: 100,
+        };
+        let samples: Vec<u64> = (0..20_000).map(|_| sample_budget(&mut rng, dist)).collect();
+        let ones = samples.iter().filter(|&&b| b == 1).count() as f64 / 20_000.0;
+        assert!((0.68..0.72).contains(&ones), "P(1) {ones}");
+        assert!(samples.iter().all(|&b| (1..=100).contains(&b)));
+        assert!(samples.iter().any(|&b| b > 10), "tail must be exercised");
+    }
+
+    #[test]
+    fn pathological_placement_is_deterministic_and_scaled() {
+        let system = SystemConfig::scaled(4);
+        let profile = SimProfile::astra();
+        let a = place_pathological_dimms(&system, &profile, 42);
+        let b = place_pathological_dimms(&system, &profile, 42);
+        assert_eq!(a, b);
+        // 288 nodes * 4.6 / 1000 ≈ 1.3 → at least one.
+        assert!(!a.is_empty());
+        for d in &a {
+            assert!(system.contains(d.node));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Hardware Event Tracker (HET) records.
+//!
+//! On Astra, uncorrectable memory errors are "recorded via a machine check
+//! and logged to the syslog or serial console depending on the severity"
+//! (§2.3), surfaced through the Hardware Event Tracker. Figure 15 plots
+//! HET event counts by kind; the NON-RECOVERABLE subset (Fig 15b) is the
+//! two uncorrectable-memory kinds. HET recording only began after an
+//! August 2019 firmware update, which the simulator models as a gate.
+
+use astra_topology::{DimmSlot, NodeId};
+use astra_util::Minute;
+
+use crate::kv;
+
+/// Kinds of HET event, matching the legend of Fig 15a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HetKind {
+    /// Power-supply redundancy lost.
+    RedundancyLost,
+    /// Upper-critical threshold crossing.
+    UcGoingHigh,
+    /// Power supply failure cleared.
+    PowerSupplyFailureDeasserted,
+    /// Upper non-recoverable threshold crossing.
+    UnrGoingHigh,
+    /// Uncorrectable ECC memory error (a DUE).
+    UncorrectableEcc,
+    /// Power supply failure detected.
+    PowerSupplyFailureDetected,
+    /// Uncorrectable machine-check exception (a DUE).
+    UncorrectableMce,
+    /// Redundancy degraded: insufficient resources.
+    RedundancyInsufficient,
+}
+
+impl HetKind {
+    /// All kinds, in the order of the Fig 15a legend.
+    pub const ALL: [HetKind; 8] = [
+        HetKind::RedundancyLost,
+        HetKind::UcGoingHigh,
+        HetKind::PowerSupplyFailureDeasserted,
+        HetKind::UnrGoingHigh,
+        HetKind::UncorrectableEcc,
+        HetKind::PowerSupplyFailureDetected,
+        HetKind::UncorrectableMce,
+        HetKind::RedundancyInsufficient,
+    ];
+
+    /// Event-name token used in the log format (mirrors the paper's
+    /// figure legend, including its spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            HetKind::RedundancyLost => "redundacyLost",
+            HetKind::UcGoingHigh => "ucGoingHigh",
+            HetKind::PowerSupplyFailureDeasserted => "powerSupplyFailureDetectedDeasserted",
+            HetKind::UnrGoingHigh => "unrGoingHigh",
+            HetKind::UncorrectableEcc => "uncorrectableECC",
+            HetKind::PowerSupplyFailureDetected => "powerSupplyFailureDetected",
+            HetKind::UncorrectableMce => "uncorrectableMachineCheckException",
+            HetKind::RedundancyInsufficient => "redundacyNeInsufficientResources",
+        }
+    }
+
+    /// Parse the token produced by [`HetKind::name`].
+    pub fn parse_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// The severity the tracker assigns to this kind.
+    pub fn severity(self) -> HetSeverity {
+        match self {
+            HetKind::UncorrectableEcc | HetKind::UncorrectableMce => HetSeverity::NonRecoverable,
+            HetKind::UnrGoingHigh | HetKind::PowerSupplyFailureDetected => HetSeverity::Critical,
+            _ => HetSeverity::Warning,
+        }
+    }
+
+    /// Whether this kind is a detected uncorrectable memory error (DUE) —
+    /// the events that enter the FIT-rate computation of §3.5.
+    pub fn is_memory_due(self) -> bool {
+        matches!(self, HetKind::UncorrectableEcc | HetKind::UncorrectableMce)
+    }
+}
+
+/// Severity levels recorded by the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HetSeverity {
+    /// Informational / warning events.
+    Warning,
+    /// Critical but recoverable.
+    Critical,
+    /// `NON-RECOVERABLE` — the Fig 15b subset.
+    NonRecoverable,
+}
+
+impl HetSeverity {
+    /// Token used in the log format.
+    pub fn name(self) -> &'static str {
+        match self {
+            HetSeverity::Warning => "WARNING",
+            HetSeverity::Critical => "CRITICAL",
+            HetSeverity::NonRecoverable => "NON-RECOVERABLE",
+        }
+    }
+
+    /// Parse the token produced by [`HetSeverity::name`].
+    pub fn parse_name(s: &str) -> Option<Self> {
+        match s {
+            "WARNING" => Some(HetSeverity::Warning),
+            "CRITICAL" => Some(HetSeverity::Critical),
+            "NON-RECOVERABLE" => Some(HetSeverity::NonRecoverable),
+            _ => None,
+        }
+    }
+}
+
+/// One HET record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HetRecord {
+    /// Event time.
+    pub time: Minute,
+    /// Reporting node.
+    pub node: NodeId,
+    /// Event kind.
+    pub kind: HetKind,
+    /// Recorded severity.
+    pub severity: HetSeverity,
+    /// For memory DUEs, the DIMM slot involved (absent for non-memory
+    /// events).
+    pub slot: Option<DimmSlot>,
+}
+
+impl HetRecord {
+    /// Serialize to the one-line HET format.
+    pub fn to_line(&self) -> String {
+        let slot = match self.slot {
+            Some(s) => format!(" slot={s}"),
+            None => String::new(),
+        };
+        format!(
+            "{} {} HET: event={} severity={}{}",
+            self.time.rfc3339(),
+            self.node,
+            self.kind.name(),
+            self.severity.name(),
+            slot,
+        )
+    }
+
+    /// Parse a line produced by [`HetRecord::to_line`].
+    pub fn parse_line(line: &str) -> Option<Self> {
+        let (ts, node, source, tail) = kv::split_line(line)?;
+        if source != "HET" {
+            return None;
+        }
+        let time = Minute::parse_rfc3339(ts)?;
+        let node = NodeId(kv::parse_node(node)?);
+        let kind = HetKind::parse_name(kv::field(tail, "event")?)?;
+        let severity = HetSeverity::parse_name(kv::field(tail, "severity")?)?;
+        let slot = match kv::field(tail, "slot") {
+            Some(s) => Some(DimmSlot::from_letter(s.chars().next()?)?),
+            None => None,
+        };
+        Some(HetRecord {
+            time,
+            node,
+            kind,
+            severity,
+            slot,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_util::CalDate;
+
+    fn sample() -> HetRecord {
+        HetRecord {
+            time: CalDate::new(2019, 8, 25).midnight().plus(190),
+            node: NodeId(12),
+            kind: HetKind::UncorrectableEcc,
+            severity: HetSeverity::NonRecoverable,
+            slot: Some(DimmSlot::from_letter('D').unwrap()),
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_slot() {
+        let rec = sample();
+        assert_eq!(HetRecord::parse_line(&rec.to_line()), Some(rec));
+    }
+
+    #[test]
+    fn roundtrip_without_slot() {
+        let rec = HetRecord {
+            kind: HetKind::RedundancyLost,
+            severity: HetSeverity::Warning,
+            slot: None,
+            ..sample()
+        };
+        assert_eq!(HetRecord::parse_line(&rec.to_line()), Some(rec));
+    }
+
+    #[test]
+    fn line_shape() {
+        assert_eq!(
+            sample().to_line(),
+            "2019-08-25T03:10:00 node0012 HET: event=uncorrectableECC \
+             severity=NON-RECOVERABLE slot=D"
+        );
+    }
+
+    #[test]
+    fn all_kinds_roundtrip_names() {
+        for kind in HetKind::ALL {
+            assert_eq!(HetKind::parse_name(kind.name()), Some(kind));
+        }
+        assert_eq!(HetKind::parse_name("nonsense"), None);
+    }
+
+    #[test]
+    fn due_kinds_are_non_recoverable() {
+        for kind in HetKind::ALL {
+            assert_eq!(
+                kind.is_memory_due(),
+                kind.severity() == HetSeverity::NonRecoverable,
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_lines() {
+        assert_eq!(HetRecord::parse_line("x"), None);
+        assert_eq!(
+            HetRecord::parse_line(
+                "2019-08-25T03:10:00 node0012 kernel: EDAC MC0: CE slot=E rank=1"
+            ),
+            None
+        );
+        let bad = sample().to_line().replace("NON-RECOVERABLE", "FATAL");
+        assert_eq!(HetRecord::parse_line(&bad), None);
+    }
+}

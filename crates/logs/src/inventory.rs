@@ -1,0 +1,171 @@
+//! Inventory-scan component replacement records.
+//!
+//! Table 1 and Figure 3 of the paper come from "analyzing the site's daily
+//! inventory scan logs": a component replacement is detected when a part's
+//! serial number changes between consecutive daily scans. The record here
+//! is the distilled event — date, node, and which component was swapped.
+
+use astra_topology::{DimmSlot, NodeId, SocketId};
+use astra_util::CalDate;
+
+use crate::kv;
+
+/// Which component was replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// A ThunderX2 processor (socket 0 or 1).
+    Processor(SocketId),
+    /// The node motherboard.
+    Motherboard,
+    /// A DIMM in the given slot.
+    Dimm(DimmSlot),
+}
+
+impl Component {
+    /// Category label used in Table 1.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Component::Processor(_) => "Processors",
+            Component::Motherboard => "Motherboards",
+            Component::Dimm(_) => "DIMMs",
+        }
+    }
+
+    /// Stable index for array-based tallies (processor/motherboard/DIMM).
+    pub fn category_index(&self) -> usize {
+        match self {
+            Component::Processor(_) => 0,
+            Component::Motherboard => 1,
+            Component::Dimm(_) => 2,
+        }
+    }
+}
+
+/// One replacement event, as distilled from consecutive inventory scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplacementRecord {
+    /// Scan date on which the replacement was detected.
+    pub date: CalDate,
+    /// Node whose component changed.
+    pub node: NodeId,
+    /// The replaced component.
+    pub component: Component,
+}
+
+impl ReplacementRecord {
+    /// Serialize to the one-line inventory format.
+    pub fn to_line(&self) -> String {
+        let detail = match self.component {
+            Component::Processor(s) => format!("component=processor socket={}", s.0),
+            Component::Motherboard => "component=motherboard".to_string(),
+            Component::Dimm(slot) => format!("component=dimm slot={slot}"),
+        };
+        format!("{} {} inventory: {}", self.date, self.node, detail)
+    }
+
+    /// Parse a line produced by [`ReplacementRecord::to_line`].
+    pub fn parse_line(line: &str) -> Option<Self> {
+        let (date_str, node, source, tail) = kv::split_line(line)?;
+        if source != "inventory" {
+            return None;
+        }
+        let mut dit = date_str.splitn(3, '-');
+        let year: i64 = dit.next()?.parse().ok()?;
+        let month: u32 = dit.next()?.parse().ok()?;
+        let day: u32 = dit.next()?.parse().ok()?;
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        let date = CalDate::new(year, month, day);
+        let node = NodeId(kv::parse_node(node)?);
+        let component = match kv::field(tail, "component")? {
+            "processor" => {
+                let s: u8 = kv::field(tail, "socket")?.parse().ok()?;
+                if s > 1 {
+                    return None;
+                }
+                Component::Processor(SocketId(s))
+            }
+            "motherboard" => Component::Motherboard,
+            "dimm" => {
+                let slot = DimmSlot::from_letter(kv::field(tail, "slot")?.chars().next()?)?;
+                Component::Dimm(slot)
+            }
+            _ => return None,
+        };
+        Some(ReplacementRecord {
+            date,
+            node,
+            component,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_components() {
+        let records = [
+            ReplacementRecord {
+                date: CalDate::new(2019, 2, 18),
+                node: NodeId(5),
+                component: Component::Processor(SocketId(1)),
+            },
+            ReplacementRecord {
+                date: CalDate::new(2019, 6, 1),
+                node: NodeId(2591),
+                component: Component::Motherboard,
+            },
+            ReplacementRecord {
+                date: CalDate::new(2019, 9, 17),
+                node: NodeId(100),
+                component: Component::Dimm(DimmSlot::from_letter('J').unwrap()),
+            },
+        ];
+        for rec in records {
+            assert_eq!(ReplacementRecord::parse_line(&rec.to_line()), Some(rec));
+        }
+    }
+
+    #[test]
+    fn line_shape() {
+        let rec = ReplacementRecord {
+            date: CalDate::new(2019, 2, 18),
+            node: NodeId(5),
+            component: Component::Dimm(DimmSlot::from_letter('J').unwrap()),
+        };
+        assert_eq!(
+            rec.to_line(),
+            "2019-02-18 node0005 inventory: component=dimm slot=J"
+        );
+    }
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(Component::Processor(SocketId(0)).category(), "Processors");
+        assert_eq!(Component::Motherboard.category(), "Motherboards");
+        assert_eq!(
+            Component::Dimm(DimmSlot::from_letter('A').unwrap()).category(),
+            "DIMMs"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert_eq!(ReplacementRecord::parse_line(""), None);
+        assert_eq!(
+            ReplacementRecord::parse_line("2019-02-18 node0005 inventory: component=gpu"),
+            None
+        );
+        assert_eq!(
+            ReplacementRecord::parse_line("2019-02-18 node0005 inventory: component=processor socket=3"),
+            None
+        );
+        assert_eq!(
+            ReplacementRecord::parse_line("2019-13-18 node0005 inventory: component=motherboard"),
+            None
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Tiny `key=value` tokenizer shared by the record parsers.
+//!
+//! Log lines in this workspace look like
+//! `<timestamp> <node> <source>: k1=v1 k2=v2 …`. The tokenizer splits on
+//! single spaces and returns the value for a requested key; parsers then
+//! interpret each value. Unknown keys are ignored so formats can gain
+//! fields without breaking old parsers.
+
+/// Find `key=` in a space-separated tail and return the raw value.
+pub(crate) fn field<'a>(tail: &'a str, key: &str) -> Option<&'a str> {
+    tail.split(' ').find_map(|tok| {
+        let (k, v) = tok.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// Split a log line into `(timestamp, node, source, tail)`.
+///
+/// The source token carries a trailing colon, e.g. `kernel:`; it is
+/// returned without it.
+pub(crate) fn split_line(line: &str) -> Option<(&str, &str, &str, &str)> {
+    let mut parts = line.splitn(4, ' ');
+    let ts = parts.next()?;
+    let node = parts.next()?;
+    let source = parts.next()?.strip_suffix(':')?;
+    let tail = parts.next().unwrap_or("");
+    Some((ts, node, source, tail))
+}
+
+/// Parse the `node####` form produced by `NodeId`'s `Display`.
+pub(crate) fn parse_node(s: &str) -> Option<u32> {
+    s.strip_prefix("node")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup() {
+        let tail = "a=1 b=two c=0x3";
+        assert_eq!(field(tail, "a"), Some("1"));
+        assert_eq!(field(tail, "b"), Some("two"));
+        assert_eq!(field(tail, "c"), Some("0x3"));
+        assert_eq!(field(tail, "d"), None);
+    }
+
+    #[test]
+    fn split_line_shape() {
+        let (ts, node, src, tail) =
+            split_line("2019-01-20T00:00:00 node0001 kernel: x=1").unwrap();
+        assert_eq!(ts, "2019-01-20T00:00:00");
+        assert_eq!(node, "node0001");
+        assert_eq!(src, "kernel");
+        assert_eq!(tail, "x=1");
+    }
+
+    #[test]
+    fn split_line_rejects_missing_colon() {
+        assert!(split_line("2019-01-20T00:00:00 node0001 kernel x=1").is_none());
+        assert!(split_line("too short").is_none());
+    }
+
+    #[test]
+    fn node_parse() {
+        assert_eq!(parse_node("node0042"), Some(42));
+        assert_eq!(parse_node("n42"), None);
+        assert_eq!(parse_node("nodeXX"), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! BMC environmental sensor records.
+//!
+//! Each node reports six temperature sensors (two CPU, four DIMM-group) and
+//! one DC power sensor, sampled once per minute (§2.2). The paper notes
+//! that some samples are invalid — sensors "not functioning or not properly
+//! read", plus DC power readings that were "clearly identified as invalid"
+//! — and excludes them (< 1 % of the data). The format therefore allows an
+//! explicit invalid marker *and* implausible numeric values; the analyzer
+//! applies the paper's validity filters rather than trusting the producer.
+
+use astra_topology::{NodeId, SensorId, SensorKind};
+use astra_util::Minute;
+
+use crate::kv;
+
+/// One sensor reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorRecord {
+    /// Sample time (per-minute cadence).
+    pub time: Minute,
+    /// Reporting node.
+    pub node: NodeId,
+    /// Which sensor.
+    pub sensor: SensorId,
+    /// Raw value: °C for temperature sensors, W for the power sensor.
+    /// `None` when the BMC failed to read the sensor.
+    pub value: Option<f64>,
+}
+
+impl SensorRecord {
+    /// Serialize to the one-line BMC format.
+    pub fn to_line(&self) -> String {
+        let value = match self.value {
+            Some(v) => format!("{v:.1}"),
+            None => "unreadable".to_string(),
+        };
+        format!(
+            "{} {} BMC: sensor={} value={}",
+            self.time.rfc3339(),
+            self.node,
+            self.sensor.name(),
+            value,
+        )
+    }
+
+    /// Parse a line produced by [`SensorRecord::to_line`].
+    pub fn parse_line(line: &str) -> Option<Self> {
+        let (ts, node, source, tail) = kv::split_line(line)?;
+        if source != "BMC" {
+            return None;
+        }
+        let time = Minute::parse_rfc3339(ts)?;
+        let node = NodeId(kv::parse_node(node)?);
+        let sensor = SensorId::parse_name(kv::field(tail, "sensor")?)?;
+        let value = match kv::field(tail, "value")? {
+            "unreadable" => None,
+            v => Some(v.parse().ok()?),
+        };
+        Some(SensorRecord {
+            time,
+            node,
+            sensor,
+            value,
+        })
+    }
+
+    /// The paper's validity filter: readable, and physically plausible for
+    /// the sensor kind. Implausible power values model the "clearly
+    /// invalid" DC readings §2.2 mentions.
+    pub fn valid_value(&self) -> Option<f64> {
+        let v = self.value?;
+        let plausible = match self.sensor.kind() {
+            SensorKind::CpuTemp(_) => (0.0..=150.0).contains(&v),
+            SensorKind::DimmTemp(_) => (0.0..=100.0).contains(&v),
+            SensorKind::DcPower => (50.0..=1000.0).contains(&v),
+        };
+        plausible.then_some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_topology::{DimmGroup, SocketId};
+    use astra_util::CalDate;
+
+    fn at(minute: i64) -> Minute {
+        CalDate::new(2019, 5, 20).midnight().plus(minute)
+    }
+
+    #[test]
+    fn roundtrip_cpu_temp() {
+        let rec = SensorRecord {
+            time: at(1),
+            node: NodeId(1),
+            sensor: SensorId::cpu(SocketId(0)),
+            value: Some(67.0),
+        };
+        assert_eq!(SensorRecord::parse_line(&rec.to_line()), Some(rec));
+    }
+
+    #[test]
+    fn roundtrip_unreadable() {
+        let rec = SensorRecord {
+            time: at(2),
+            node: NodeId(3),
+            sensor: SensorId::dimm_group(DimmGroup::from_index(2).unwrap()),
+            value: None,
+        };
+        assert_eq!(SensorRecord::parse_line(&rec.to_line()), Some(rec));
+    }
+
+    #[test]
+    fn line_shape() {
+        let rec = SensorRecord {
+            time: at(0),
+            node: NodeId(1),
+            sensor: SensorId::dc_power(),
+            value: Some(312.5),
+        };
+        assert_eq!(
+            rec.to_line(),
+            "2019-05-20T00:00:00 node0001 BMC: sensor=power value=312.5"
+        );
+    }
+
+    #[test]
+    fn validity_filters() {
+        let base = SensorRecord {
+            time: at(0),
+            node: NodeId(1),
+            sensor: SensorId::cpu(SocketId(0)),
+            value: Some(67.0),
+        };
+        assert_eq!(base.valid_value(), Some(67.0));
+        assert_eq!(
+            SensorRecord {
+                value: None,
+                ..base
+            }
+            .valid_value(),
+            None
+        );
+        assert_eq!(
+            SensorRecord {
+                value: Some(900.0),
+                ..base
+            }
+            .valid_value(),
+            None,
+            "a 900 degree CPU reading is invalid"
+        );
+        let power = SensorRecord {
+            sensor: SensorId::dc_power(),
+            value: Some(5.0),
+            ..base
+        };
+        assert_eq!(power.valid_value(), None, "5 W node power is invalid");
+        let power_ok = SensorRecord {
+            value: Some(320.0),
+            ..power
+        };
+        assert_eq!(power_ok.valid_value(), Some(320.0));
+    }
+
+    #[test]
+    fn rejects_foreign_lines() {
+        assert_eq!(SensorRecord::parse_line(""), None);
+        assert_eq!(
+            SensorRecord::parse_line("2019-05-20T00:00:00 node0001 HET: event=ucGoingHigh severity=WARNING"),
+            None
+        );
+        assert_eq!(
+            SensorRecord::parse_line("2019-05-20T00:00:00 node0001 BMC: sensor=dimmg9 value=1.0"),
+            None
+        );
+    }
+}

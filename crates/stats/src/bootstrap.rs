@@ -1,0 +1,105 @@
+//! Bootstrap confidence intervals.
+//!
+//! Used to attach uncertainty to the headline ratios in EXPERIMENTS.md
+//! (e.g. the share of CEs carried by the top-8 nodes) without assuming a
+//! parametric form — appropriate for the heavy-tailed distributions this
+//! workload produces.
+
+use astra_util::DetRng;
+
+/// Percentile-bootstrap confidence interval for `stat` over `samples`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+    /// Number of resamples used.
+    pub resamples: usize,
+}
+
+/// Compute a percentile-bootstrap CI.
+///
+/// * `confidence` — e.g. `0.95` for a 95 % interval.
+/// * `resamples` — bootstrap iterations (1,000 is plenty for reporting).
+///
+/// Returns `None` on an empty sample.
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    stat: F,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if samples.is_empty() || resamples == 0 {
+        return None;
+    }
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0);
+    let point = stat(samples);
+    let mut rng = DetRng::new(seed);
+    let n = samples.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = samples[rng.below(n as u64) as usize];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64 * alpha) as usize).min(resamples - 1);
+    let hi_idx = ((resamples as f64 * (1.0 - alpha)) as usize).min(resamples - 1);
+    Some(BootstrapCi {
+        point,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        resamples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let samples: Vec<f64> = (0..500).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_ci(&samples, mean, 1000, 0.95, 7).unwrap();
+        assert!((ci.point - 4.5).abs() < 1e-12);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        // CI for a 500-sample mean of bounded data should be tight.
+        assert!(ci.hi - ci.lo < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&samples, mean, 200, 0.9, 42).unwrap();
+        let b = bootstrap_ci(&samples, mean, 200, 0.9, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(bootstrap_ci(&[], mean, 100, 0.95, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], mean, 0, 0.95, 1).is_none());
+    }
+
+    #[test]
+    fn constant_sample_gives_degenerate_ci() {
+        let samples = vec![3.0; 50];
+        let ci = bootstrap_ci(&samples, mean, 100, 0.95, 9).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+    }
+}

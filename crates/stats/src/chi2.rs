@@ -1,0 +1,239 @@
+//! χ² uniformity test.
+//!
+//! §3.2 of the paper argues that fault counts across sockets, banks and
+//! columns are "fairly uniformly distributed and that variation can be
+//! explained by statistical noise". [`chi_square_uniform`] quantifies that
+//! claim: it tests observed category counts against the uniform null and
+//! reports the p-value via the regularized upper incomplete gamma function.
+
+/// Result of a χ² goodness-of-fit test against the uniform distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (categories − 1).
+    pub dof: usize,
+    /// Probability of a statistic at least this large under the null.
+    pub p_value: f64,
+}
+
+impl ChiSquareResult {
+    /// Whether the uniform null survives at the given significance level.
+    pub fn is_uniform_at(&self, significance: f64) -> bool {
+        self.p_value > significance
+    }
+}
+
+/// Test observed category `counts` against a uniform expectation.
+///
+/// Returns `None` when there are fewer than two categories or the total
+/// count is zero (the test is undefined).
+pub fn chi_square_uniform(counts: &[u64]) -> Option<ChiSquareResult> {
+    let k = counts.len();
+    if k < 2 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let expected = total as f64 / k as f64;
+    let statistic: f64 = counts
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let dof = k - 1;
+    let p_value = gamma_q(dof as f64 / 2.0, statistic / 2.0);
+    Some(ChiSquareResult {
+        statistic,
+        dof,
+        p_value,
+    })
+}
+
+/// Test observed counts against arbitrary expected proportions.
+///
+/// `expected_weights` are unnormalized; they must be positive. Returns
+/// `None` on degenerate inputs.
+pub fn chi_square_expected(counts: &[u64], expected_weights: &[f64]) -> Option<ChiSquareResult> {
+    if counts.len() != expected_weights.len() || counts.len() < 2 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    let wsum: f64 = expected_weights.iter().sum();
+    if total == 0 || wsum <= 0.0 || expected_weights.iter().any(|&w| w <= 0.0) {
+        return None;
+    }
+    let statistic: f64 = counts
+        .iter()
+        .zip(expected_weights)
+        .map(|(&o, &w)| {
+            let e = total as f64 * w / wsum;
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum();
+    let dof = counts.len() - 1;
+    Some(ChiSquareResult {
+        statistic,
+        dof,
+        p_value: gamma_q(dof as f64 / 2.0, statistic / 2.0),
+    })
+}
+
+/// Natural log of the gamma function (Lanczos approximation, |ε| < 2e-10).
+pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes `gammq`).
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-14 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-14 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_q_boundaries() {
+        assert_eq!(gamma_q(1.0, 0.0), 1.0);
+        // Q(1, x) = e^-x for the exponential case.
+        for x in [0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_q(1.0, x) - (-x).exp()).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn chi2_p_value_known_case() {
+        // dof=1, statistic=3.841 is the 95th percentile: p ≈ 0.05.
+        let p = gamma_q(0.5, 3.841 / 2.0);
+        assert!((p - 0.05).abs() < 0.001, "p {p}");
+        // dof=10, statistic=18.307 is the 95th percentile.
+        let p = gamma_q(5.0, 18.307 / 2.0);
+        assert!((p - 0.05).abs() < 0.001, "p {p}");
+    }
+
+    #[test]
+    fn uniform_counts_pass() {
+        let counts = [100u64, 103, 97, 101, 99, 100, 98, 102];
+        let r = chi_square_uniform(&counts).unwrap();
+        assert!(r.p_value > 0.9, "near-uniform counts, p {}", r.p_value);
+        assert!(r.is_uniform_at(0.05));
+    }
+
+    #[test]
+    fn skewed_counts_fail() {
+        let counts = [1000u64, 100, 100, 100];
+        let r = chi_square_uniform(&counts).unwrap();
+        assert!(r.p_value < 1e-6, "heavily skewed counts, p {}", r.p_value);
+        assert!(!r.is_uniform_at(0.05));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(chi_square_uniform(&[]).is_none());
+        assert!(chi_square_uniform(&[5]).is_none());
+        assert!(chi_square_uniform(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn expected_weights_variant() {
+        // Observation matches a 1:2:3 expectation.
+        let counts = [100u64, 200, 300];
+        let r = chi_square_expected(&counts, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(r.p_value > 0.99, "p {}", r.p_value);
+        // Same counts against uniform should fail.
+        let r = chi_square_uniform(&counts).unwrap();
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn expected_weights_rejects_bad_input() {
+        assert!(chi_square_expected(&[1, 2], &[1.0]).is_none());
+        assert!(chi_square_expected(&[1, 2], &[1.0, 0.0]).is_none());
+        assert!(chi_square_expected(&[1, 2], &[1.0, -1.0]).is_none());
+    }
+}

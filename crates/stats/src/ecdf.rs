@@ -1,0 +1,136 @@
+//! Empirical CDFs and concentration ("top-k share") curves.
+//!
+//! Figure 5b of the paper plots, for each x, the fraction of all CEs
+//! contributed by the x nodes with the most CEs — a concentration curve over
+//! *entities ranked by count*, not a plain ECDF over values. [`top_share`]
+//! computes exactly that, including entities with zero events (the paper's
+//! curve spans all 2,592 nodes even though >60 % of them saw no CEs).
+
+/// Concentration curve: `share[k]` is the fraction of the total carried by
+/// the `k` highest-count entities (`share[0] == 0`).
+#[derive(Debug, Clone)]
+pub struct TopShareCurve {
+    share: Vec<f64>,
+    total: u64,
+}
+
+impl TopShareCurve {
+    /// Fraction of the total carried by the top `k` entities.
+    ///
+    /// `k` saturates at the number of entities.
+    pub fn share_of_top(&self, k: usize) -> f64 {
+        let k = k.min(self.share.len() - 1);
+        self.share[k]
+    }
+
+    /// The full curve, `share[0] == 0.0`, `share[n] == 1.0` (if total > 0).
+    pub fn curve(&self) -> &[f64] {
+        &self.share
+    }
+
+    /// Number of entities (including zero-count ones).
+    pub fn entities(&self) -> usize {
+        self.share.len() - 1
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest `k` such that the top `k` entities carry at least `frac` of
+    /// the total. Returns `entities()` if the total is zero.
+    pub fn entities_for_share(&self, frac: f64) -> usize {
+        if self.total == 0 {
+            return self.entities();
+        }
+        self.share
+            .iter()
+            .position(|&s| s >= frac)
+            .unwrap_or(self.entities())
+    }
+}
+
+/// Build a concentration curve from per-entity counts.
+///
+/// `counts` holds one entry per entity **including zeros**; order is
+/// irrelevant.
+pub fn top_share(counts: &[u64]) -> TopShareCurve {
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = sorted.iter().sum();
+    let mut share = Vec::with_capacity(sorted.len() + 1);
+    share.push(0.0);
+    let mut acc: u64 = 0;
+    for c in sorted {
+        acc += c;
+        share.push(if total == 0 {
+            0.0
+        } else {
+            acc as f64 / total as f64
+        });
+    }
+    TopShareCurve { share, total }
+}
+
+/// Plain ECDF over a sample: returns `(sorted values, cumulative fractions)`.
+pub fn ecdf(samples: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    let n = sorted.len() as f64;
+    let fracs = (1..=sorted.len()).map(|i| i as f64 / n).collect();
+    (sorted, fracs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concentrated_counts() {
+        // One entity carries 90 of 100 events.
+        let counts = [90u64, 5, 3, 2, 0, 0];
+        let curve = top_share(&counts);
+        assert_eq!(curve.entities(), 6);
+        assert_eq!(curve.total(), 100);
+        assert!((curve.share_of_top(1) - 0.90).abs() < 1e-12);
+        assert!((curve.share_of_top(2) - 0.95).abs() < 1e-12);
+        assert!((curve.share_of_top(6) - 1.0).abs() < 1e-12);
+        assert!((curve.share_of_top(100) - 1.0).abs() < 1e-12);
+        assert_eq!(curve.entities_for_share(0.5), 1);
+        assert_eq!(curve.entities_for_share(0.94), 2);
+    }
+
+    #[test]
+    fn uniform_counts_are_linear() {
+        let counts = [10u64; 10];
+        let curve = top_share(&counts);
+        for k in 0..=10 {
+            assert!((curve.share_of_top(k) - k as f64 / 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_zero_counts() {
+        let counts = [0u64; 4];
+        let curve = top_share(&counts);
+        assert_eq!(curve.total(), 0);
+        assert_eq!(curve.share_of_top(4), 0.0);
+        assert_eq!(curve.entities_for_share(0.5), 4);
+    }
+
+    #[test]
+    fn share_zero_is_zero() {
+        let curve = top_share(&[1, 2, 3]);
+        assert_eq!(curve.share_of_top(0), 0.0);
+        assert_eq!(curve.entities_for_share(0.0), 0);
+    }
+
+    #[test]
+    fn plain_ecdf() {
+        let (xs, fs) = ecdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+        assert!((fs[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((fs[2] - 1.0).abs() < 1e-12);
+    }
+}

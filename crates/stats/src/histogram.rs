@@ -1,0 +1,271 @@
+//! Histograms and frequency tables.
+
+use std::collections::BTreeMap;
+
+/// Fixed-bin histogram over a closed interval of `f64` values.
+///
+/// Out-of-range samples are counted in saturating edge bins (recorded
+/// separately as underflow/overflow so distribution mass is never silently
+/// lost — the sensor datasets contain occasional invalid readings that the
+/// caller filters, but a histogram should still be honest about clipping).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo && lo.is_finite() && hi.is_finite(), "bad range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo || x.is_nan() {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Merge another histogram with identical binning.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo);
+        assert_eq!(self.hi, other.hi);
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of samples below the range (plus NaNs).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Left edge of bin `i` (and `bin_edge(bins)` is the upper bound).
+    pub fn bin_edge(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * i as f64
+    }
+
+    /// Normalized bin heights (sum to 1 over in-range samples; all zeros if
+    /// empty).
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// Sparse frequency table over integer-keyed categories (node ids, bit
+/// positions, addresses, …).
+#[derive(Debug, Clone, Default)]
+pub struct FreqTable {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl FreqTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` observations of `key`.
+    pub fn add(&mut self, key: u64, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+    }
+
+    /// Increment `key` by one.
+    pub fn bump(&mut self, key: u64) {
+        self.add(key, 1);
+    }
+
+    /// Merge another table into this one.
+    pub fn merge(&mut self, other: &FreqTable) {
+        for (&k, &v) in &other.counts {
+            self.add(k, v);
+        }
+    }
+
+    /// Count for `key` (zero if absent).
+    pub fn get(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterate `(key, count)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All counts as a vector (key order).
+    pub fn count_values(&self) -> Vec<u64> {
+        self.counts.values().copied().collect()
+    }
+
+    /// The "distribution of counts": how many keys saw exactly `c`
+    /// observations, for each observed `c`. This is the transform behind
+    /// Fig 5a (x = faults on a node, y = number of nodes with that count).
+    pub fn count_of_counts(&self) -> FreqTable {
+        let mut out = FreqTable::new();
+        for &c in self.counts.values() {
+            out.bump(c);
+        }
+        out
+    }
+
+    /// Keys sorted by descending count (ties broken by key for determinism).
+    pub fn keys_by_count_desc(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl FromIterator<u64> for FreqTable {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut t = FreqTable::new();
+        for k in iter {
+            t.bump(k);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1, f64::NAN] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow(), 2); // -0.1 and NaN
+        assert_eq!(h.overflow(), 1); // 10.0 is outside [0,10)
+        assert_eq!(h.total(), 4);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_edge(5) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        a.push(0.1);
+        b.push(0.9);
+        b.push(2.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 0, 0, 1]);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..1000 {
+            h.push(i as f64 / 1000.0);
+        }
+        let total: f64 = h.normalized().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn histogram_rejects_inverted_range() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn freq_table_basics() {
+        let t: FreqTable = [3u64, 3, 3, 7, 9, 9].into_iter().collect();
+        assert_eq!(t.get(3), 3);
+        assert_eq!(t.get(7), 1);
+        assert_eq!(t.get(42), 0);
+        assert_eq!(t.distinct(), 3);
+        assert_eq!(t.total(), 6);
+    }
+
+    #[test]
+    fn count_of_counts() {
+        let t: FreqTable = [1u64, 1, 2, 2, 3].into_iter().collect();
+        // keys 1 and 2 have count 2; key 3 has count 1.
+        let cc = t.count_of_counts();
+        assert_eq!(cc.get(2), 2);
+        assert_eq!(cc.get(1), 1);
+    }
+
+    #[test]
+    fn keys_by_count_desc_is_deterministic() {
+        let t: FreqTable = [5u64, 5, 4, 4, 1].into_iter().collect();
+        assert_eq!(t.keys_by_count_desc(), vec![(4, 2), (5, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn merge_tables() {
+        let mut a: FreqTable = [1u64, 2].into_iter().collect();
+        let b: FreqTable = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 2);
+        assert_eq!(a.get(3), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Kernel density estimation and violin-plot summaries.
+//!
+//! Figure 4b of the paper is a violin plot of errors-per-fault: a quartile
+//! box plus a kernel density silhouette. [`ViolinSummary`] computes both
+//! from raw counts. Because errors-per-fault spans five orders of magnitude
+//! (median 1, max ≈ 91,000), the density is estimated in log₁₀ space — the
+//! same transform the paper's plot uses on its y-axis.
+
+use crate::quantile::quantile_sorted;
+
+/// Gaussian KDE evaluated on a uniform grid.
+///
+/// Bandwidth is Silverman's rule of thumb; an explicit bandwidth can be
+/// supplied for testing. Returns `(grid, densities)`.
+pub fn gaussian_kde(samples: &[f64], grid_points: usize, bandwidth: Option<f64>) -> (Vec<f64>, Vec<f64>) {
+    assert!(grid_points >= 2, "need at least two grid points");
+    assert!(!samples.is_empty(), "KDE over empty sample");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
+    let h = bandwidth.unwrap_or_else(|| {
+        let h = 1.06 * sd * n.powf(-0.2);
+        if h > 0.0 {
+            h
+        } else {
+            // Degenerate (constant) sample: any positive bandwidth gives a
+            // spike at the value.
+            0.1
+        }
+    });
+    let lo = samples.iter().copied().fold(f64::INFINITY, f64::min) - 3.0 * h;
+    let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 3.0 * h;
+    let step = (hi - lo) / (grid_points - 1) as f64;
+    let norm = 1.0 / (n * h * (2.0 * std::f64::consts::PI).sqrt());
+    let grid: Vec<f64> = (0..grid_points).map(|i| lo + step * i as f64).collect();
+    let dens: Vec<f64> = grid
+        .iter()
+        .map(|&g| {
+            let mut acc = 0.0;
+            for &x in samples {
+                let z = (g - x) / h;
+                acc += (-0.5 * z * z).exp();
+            }
+            acc * norm
+        })
+        .collect();
+    (grid, dens)
+}
+
+/// Summary statistics + density silhouette for a violin plot of positive
+/// integer counts.
+#[derive(Debug, Clone)]
+pub struct ViolinSummary {
+    /// Smallest value.
+    pub min: u64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples.
+    pub n: usize,
+    /// Density grid in log₁₀(value) space.
+    pub log10_grid: Vec<f64>,
+    /// Density values matching `log10_grid`.
+    pub density: Vec<f64>,
+}
+
+impl ViolinSummary {
+    /// Build a summary from positive counts. Returns `None` for an empty
+    /// input. Zeros are rejected (errors-per-fault is ≥ 1 by construction).
+    pub fn from_counts(counts: &[u64], grid_points: usize) -> Option<Self> {
+        if counts.is_empty() {
+            return None;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "violin counts must be positive");
+        let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let logs: Vec<f64> = sorted.iter().map(|&c| c.log10()).collect();
+        let (grid, density) = gaussian_kde(&logs, grid_points, None);
+        Some(ViolinSummary {
+            min: counts.iter().copied().min().unwrap(),
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: counts.iter().copied().max().unwrap(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            n: counts.len(),
+            log10_grid: grid,
+            density,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kde_integrates_to_one() {
+        let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 0.173).sin() * 2.0).collect();
+        let (grid, dens) = gaussian_kde(&samples, 256, None);
+        let step = grid[1] - grid[0];
+        let integral: f64 = dens.iter().sum::<f64>() * step;
+        assert!((integral - 1.0).abs() < 0.02, "integral {integral}");
+    }
+
+    #[test]
+    fn kde_peaks_near_mode() {
+        let samples = vec![5.0; 100];
+        let (grid, dens) = gaussian_kde(&samples, 101, Some(0.5));
+        let (argmax, _) = dens
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((grid[argmax] - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn kde_handles_constant_sample() {
+        let (_, dens) = gaussian_kde(&[2.0, 2.0, 2.0], 16, None);
+        assert!(dens.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn violin_summary_basics() {
+        // Mostly ones with one huge outlier — the Fig 4b shape.
+        let mut counts = vec![1u64; 999];
+        counts.push(91_000);
+        let v = ViolinSummary::from_counts(&counts, 64).unwrap();
+        assert_eq!(v.min, 1);
+        assert_eq!(v.max, 91_000);
+        assert_eq!(v.median, 1.0);
+        assert_eq!(v.n, 1000);
+        assert!(v.mean > 1.0);
+        assert_eq!(v.log10_grid.len(), 64);
+        assert_eq!(v.density.len(), 64);
+    }
+
+    #[test]
+    fn violin_empty_is_none() {
+        assert!(ViolinSummary::from_counts(&[], 16).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn violin_rejects_zero_counts() {
+        ViolinSummary::from_counts(&[0, 1], 16);
+    }
+}

@@ -1,0 +1,36 @@
+//! Statistics substrate for the astra-mem workspace.
+//!
+//! The analyses in the paper need a specific, narrow toolkit: histograms and
+//! frequency tables, empirical CDFs and "top-k share" summaries (Fig 5b),
+//! decile bucketing (Fig 13/14, after Schroeder et al.), OLS linear fits
+//! (Fig 9), discrete power-law fitting in the style of Clauset, Shalizi &
+//! Newman (Figs 5a and 8), χ² uniformity tests (Fig 6's "variation is
+//! statistical noise" claim), kernel density estimates for violin summaries
+//! (Fig 4b), and bootstrap confidence intervals. Rather than pulling in a
+//! patchwork of external statistics crates, this crate implements exactly
+//! that toolkit, with every estimator validated against analytic cases in
+//! its tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod chi2;
+pub mod ecdf;
+pub mod histogram;
+pub mod kde;
+pub mod linfit;
+pub mod moments;
+pub mod powerlaw;
+pub mod quantile;
+pub mod survival;
+
+pub use chi2::{chi_square_uniform, ChiSquareResult};
+pub use ecdf::{top_share, TopShareCurve};
+pub use histogram::{FreqTable, Histogram};
+pub use kde::ViolinSummary;
+pub use linfit::{linear_fit, pearson, spearman, LinearFit};
+pub use moments::Moments;
+pub use powerlaw::{fit_power_law, fit_power_law_auto, PowerLawFit};
+pub use quantile::{deciles, median, quantile};
+pub use survival::{exponential_rate_mle, ks_two_sample, KaplanMeier, Lifetime};

@@ -1,0 +1,158 @@
+//! Streaming moments (Welford's algorithm).
+
+/// Single-pass accumulator for count, mean, variance, min, and max.
+///
+/// Uses Welford's numerically stable update, and merges with the parallel
+/// (Chan et al.) combination rule so partials from worker threads can be
+/// folded together.
+#[derive(Debug, Clone, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+impl FromIterator<f64> for Moments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = Moments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: Moments = data.iter().copied().collect();
+        let mut a: Moments = data[..300].iter().copied().collect();
+        let b: Moments = data[300..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.variance() - seq.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let data: Moments = [1.0, 2.0, 3.0].into_iter().collect();
+        let mut a = data.clone();
+        a.merge(&Moments::new());
+        assert_eq!(a.count(), 3);
+        let mut b = Moments::new();
+        b.merge(&data);
+        assert_eq!(b.count(), 3);
+        assert!((b.mean() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Quantiles and decile bucketing.
+//!
+//! Deciles follow the construction Schroeder et al. (and §3.3 of the Astra
+//! paper) use: sort the samples, split them into ten equal-population
+//! buckets, and summarize each bucket by its maximum sample value (the
+//! plotted x) plus whatever per-bucket statistic the analysis computes.
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`) of an unsorted sample.
+///
+/// Returns `None` for an empty sample. Uses the "linear" (type-7) method,
+/// matching numpy's default.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile of an already-sorted sample (type-7 interpolation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median of an unsorted sample.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    quantile(samples, 0.5)
+}
+
+/// A decile bucket: the samples (by index into the original data) whose
+/// values fall in one tenth of the sorted order.
+#[derive(Debug, Clone)]
+pub struct DecileBucket {
+    /// Largest sample value in the bucket (the x-coordinate in the paper's
+    /// decile figures).
+    pub max_value: f64,
+    /// Indices (into the input slice) of the samples in this bucket.
+    pub members: Vec<usize>,
+}
+
+/// Split samples into ten equal-population buckets by value.
+///
+/// Returns fewer than ten buckets when there are fewer than ten samples.
+/// Ties are kept in sorted-stable order so bucketing is deterministic.
+pub fn deciles(samples: &[f64]) -> Vec<DecileBucket> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&a, &b| {
+        samples[a]
+            .partial_cmp(&samples[b])
+            .expect("NaN in decile input")
+            .then(a.cmp(&b))
+    });
+    let n = order.len();
+    let buckets = n.min(10);
+    let mut out = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let start = b * n / buckets;
+        let end = (b + 1) * n / buckets;
+        let members: Vec<usize> = order[start..end].to_vec();
+        let max_value = members
+            .iter()
+            .map(|&i| samples[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        out.push(DecileBucket { max_value, members });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_basics() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(4.0));
+        assert_eq!(quantile(&data, 0.5), Some(2.5));
+        assert_eq!(median(&[5.0]), Some(5.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [0.0, 10.0];
+        assert_eq!(quantile(&data, 0.25), Some(2.5));
+    }
+
+    #[test]
+    fn deciles_partition_all_samples() {
+        let data: Vec<f64> = (0..103).map(|i| i as f64).collect();
+        let buckets = deciles(&data);
+        assert_eq!(buckets.len(), 10);
+        let covered: usize = buckets.iter().map(|b| b.members.len()).sum();
+        assert_eq!(covered, 103);
+        // Bucket populations differ by at most one.
+        let sizes: Vec<usize> = buckets.iter().map(|b| b.members.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn decile_max_values_increase() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 50.0).collect();
+        let buckets = deciles(&data);
+        for pair in buckets.windows(2) {
+            assert!(pair[0].max_value <= pair[1].max_value);
+        }
+    }
+
+    #[test]
+    fn deciles_small_samples() {
+        assert!(deciles(&[]).is_empty());
+        let buckets = deciles(&[3.0, 1.0, 2.0]);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].max_value, 1.0);
+        assert_eq!(buckets[2].max_value, 3.0);
+    }
+
+    #[test]
+    fn decile_members_index_original_positions() {
+        let data = [10.0, 0.0];
+        let buckets = deciles(&data);
+        assert_eq!(buckets[0].members, vec![1]);
+        assert_eq!(buckets[1].members, vec![0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Survival analysis: the Kaplan–Meier estimator and exponential-lifetime
+//! fitting.
+//!
+//! The paper's related work analyzes component lifetimes this way
+//! (Ostrouchov et al.'s GPU survival analysis on Titan); here it is
+//! applied to Astra's replacement data: each installed component either
+//! fails (replacement observed at day *t*) or survives past the end of
+//! the tracking window (right-censored). An infant-mortality population
+//! shows its hand as a steep early drop in the survival curve and a
+//! decreasing hazard.
+
+/// One observation: time on test, and whether the event (failure) was
+/// observed or the observation was censored at that time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lifetime {
+    /// Days (or any unit) until failure or censoring.
+    pub time: f64,
+    /// `true` if the component failed at `time`; `false` if it was still
+    /// alive when observation ended.
+    pub observed: bool,
+}
+
+/// A step of the Kaplan–Meier curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmStep {
+    /// Event time.
+    pub time: f64,
+    /// Survival probability just after this time.
+    pub survival: f64,
+    /// Number at risk just before this time.
+    pub at_risk: u64,
+    /// Events at this time.
+    pub events: u64,
+}
+
+/// Kaplan–Meier survival curve.
+#[derive(Debug, Clone)]
+pub struct KaplanMeier {
+    /// Steps at each distinct event time, ascending.
+    pub steps: Vec<KmStep>,
+    /// Total observations.
+    pub n: usize,
+    /// Observed events.
+    pub events: u64,
+}
+
+impl KaplanMeier {
+    /// Estimate the curve. Returns `None` on empty input.
+    pub fn fit(lifetimes: &[Lifetime]) -> Option<KaplanMeier> {
+        if lifetimes.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Lifetime> = lifetimes.to_vec();
+        sorted.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("NaN lifetime"));
+
+        let mut steps = Vec::new();
+        let mut survival = 1.0;
+        let mut at_risk = sorted.len() as u64;
+        let mut total_events = 0u64;
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].time;
+            let mut events = 0u64;
+            let mut leaving = 0u64;
+            while i < sorted.len() && sorted[i].time == t {
+                if sorted[i].observed {
+                    events += 1;
+                }
+                leaving += 1;
+                i += 1;
+            }
+            if events > 0 {
+                survival *= 1.0 - events as f64 / at_risk as f64;
+                steps.push(KmStep {
+                    time: t,
+                    survival,
+                    at_risk,
+                    events,
+                });
+                total_events += events;
+            }
+            at_risk -= leaving;
+        }
+        Some(KaplanMeier {
+            steps,
+            n: lifetimes.len(),
+            events: total_events,
+        })
+    }
+
+    /// Survival probability at time `t` (step function, right-continuous).
+    pub fn survival_at(&self, t: f64) -> f64 {
+        let mut s = 1.0;
+        for step in &self.steps {
+            if step.time <= t {
+                s = step.survival;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Median survival time (`None` if the curve never drops below 0.5 —
+    /// common for low-failure-rate populations like Astra's).
+    pub fn median(&self) -> Option<f64> {
+        self.steps
+            .iter()
+            .find(|s| s.survival <= 0.5)
+            .map(|s| s.time)
+    }
+}
+
+/// Maximum-likelihood exponential rate (failures per unit time per unit)
+/// with right censoring: `events / total time on test`.
+pub fn exponential_rate_mle(lifetimes: &[Lifetime]) -> Option<f64> {
+    let total_time: f64 = lifetimes.iter().map(|l| l.time).sum();
+    let events = lifetimes.iter().filter(|l| l.observed).count();
+    (total_time > 0.0).then(|| events as f64 / total_time)
+}
+
+/// Two-sample Kolmogorov–Smirnov distance and the asymptotic p-value.
+///
+/// Used to compare lifetime (or any) distributions between two
+/// populations, e.g. early-installed vs late-installed components.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<(f64, f64)> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut xa: Vec<f64> = a.to_vec();
+    let mut xb: Vec<f64> = b.to_vec();
+    xa.sort_by(|x, y| x.partial_cmp(y).expect("NaN sample"));
+    xb.sort_by(|x, y| x.partial_cmp(y).expect("NaN sample"));
+    let (na, nb) = (xa.len(), xb.len());
+    let mut i = 0;
+    let mut j = 0;
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let x = xa[i].min(xb[j]);
+        while i < na && xa[i] <= x {
+            i += 1;
+        }
+        while j < nb && xb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    // Asymptotic Kolmogorov distribution p-value.
+    let ne = (na as f64 * nb as f64) / (na + nb) as f64;
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    let p = kolmogorov_sf(lambda);
+    Some((d, p))
+}
+
+/// Kolmogorov distribution survival function
+/// `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_util::dist::{exponential, weibull};
+    use astra_util::DetRng;
+
+    #[test]
+    fn km_textbook_example() {
+        // Classic toy data: events at 1, 3, 5; censored at 2, 4.
+        let data = [
+            Lifetime { time: 1.0, observed: true },
+            Lifetime { time: 2.0, observed: false },
+            Lifetime { time: 3.0, observed: true },
+            Lifetime { time: 4.0, observed: false },
+            Lifetime { time: 5.0, observed: true },
+        ];
+        let km = KaplanMeier::fit(&data).unwrap();
+        assert_eq!(km.steps.len(), 3);
+        // S(1) = 4/5; S(3) = 4/5 * 2/3; S(5) = ... * 0.
+        assert!((km.survival_at(1.0) - 0.8).abs() < 1e-12);
+        assert!((km.survival_at(3.0) - 0.8 * (2.0 / 3.0)).abs() < 1e-12);
+        assert!(km.survival_at(5.0).abs() < 1e-12);
+        assert_eq!(km.events, 3);
+        // S(3) = 0.533 is still above one half; the curve first reaches
+        // 0.5 at the event at t = 5.
+        assert_eq!(km.median(), Some(5.0));
+    }
+
+    #[test]
+    fn km_all_censored() {
+        let data = [
+            Lifetime { time: 10.0, observed: false },
+            Lifetime { time: 20.0, observed: false },
+        ];
+        let km = KaplanMeier::fit(&data).unwrap();
+        assert!(km.steps.is_empty());
+        assert_eq!(km.survival_at(100.0), 1.0);
+        assert_eq!(km.median(), None);
+    }
+
+    #[test]
+    fn km_empty() {
+        assert!(KaplanMeier::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn km_survival_is_monotone() {
+        let mut rng = DetRng::new(31);
+        let data: Vec<Lifetime> = (0..500)
+            .map(|_| Lifetime {
+                time: weibull(&mut rng, 30.0, 0.6),
+                observed: rng.chance(0.7),
+            })
+            .collect();
+        let km = KaplanMeier::fit(&data).unwrap();
+        for pair in km.steps.windows(2) {
+            assert!(pair[1].survival <= pair[0].survival);
+            assert!(pair[1].time >= pair[0].time);
+        }
+    }
+
+    #[test]
+    fn exponential_mle_recovers_rate() {
+        let mut rng = DetRng::new(32);
+        // True rate 0.1; censor everything beyond t=30.
+        let data: Vec<Lifetime> = (0..20_000)
+            .map(|_| {
+                let t = exponential(&mut rng, 0.1);
+                if t > 30.0 {
+                    Lifetime { time: 30.0, observed: false }
+                } else {
+                    Lifetime { time: t, observed: true }
+                }
+            })
+            .collect();
+        let rate = exponential_rate_mle(&data).unwrap();
+        assert!((rate - 0.1).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn ks_same_distribution_high_p() {
+        let mut rng = DetRng::new(33);
+        let a: Vec<f64> = (0..800).map(|_| exponential(&mut rng, 1.0)).collect();
+        let b: Vec<f64> = (0..800).map(|_| exponential(&mut rng, 1.0)).collect();
+        let (d, p) = ks_two_sample(&a, &b).unwrap();
+        assert!(d < 0.08, "d {d}");
+        assert!(p > 0.05, "p {p}");
+    }
+
+    #[test]
+    fn ks_different_distributions_low_p() {
+        let mut rng = DetRng::new(34);
+        let a: Vec<f64> = (0..800).map(|_| exponential(&mut rng, 1.0)).collect();
+        let b: Vec<f64> = (0..800).map(|_| exponential(&mut rng, 2.0)).collect();
+        let (d, p) = ks_two_sample(&a, &b).unwrap();
+        assert!(d > 0.1, "d {d}");
+        assert!(p < 1e-6, "p {p}");
+    }
+
+    #[test]
+    fn ks_degenerate() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        let (d, p) = ks_two_sample(&[1.0, 2.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(d, 0.0);
+        assert!(p > 0.99);
+    }
+
+    #[test]
+    fn kolmogorov_sf_bounds() {
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(0.5) > kolmogorov_sf(1.0));
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+}

@@ -1,0 +1,410 @@
+//! The O(1) random-access telemetry model.
+//!
+//! Every quantity is a pure function of `(seed, node, sensor, minute)`:
+//!
+//! * **Utilization** is piecewise-constant over fixed job blocks (jobs on
+//!   HPC machines run for hours), with a diurnal modulation. Each block's
+//!   busy/idle state and level come from a counter-mode hash, so
+//!   utilization at an arbitrary minute costs one hash, not a replay.
+//! * **Temperatures** are inlet + position offsets + utilization-driven
+//!   rise + per-minute sensor noise.
+//! * **Power** is idle + utilization-proportional dynamic power + noise.
+//!
+//! Per-minute noise is also counter-mode: `hash(seed, node, sensor,
+//! minute)` seeds a tiny Box–Muller draw. Nothing here consults the fault
+//! simulator, so CE occurrence is independent of temperature by
+//! construction — the paper's negative result.
+
+use astra_logs::SensorRecord;
+use astra_topology::{NodeId, RackRegion, SensorId, SensorKind, SystemConfig};
+use astra_util::rng::splitmix64;
+use astra_util::time::TimeSpan;
+use astra_util::{Minute, StreamKey};
+
+use crate::profile::ThermalProfile;
+
+/// Deterministic telemetry source for one machine.
+#[derive(Debug, Clone)]
+pub struct TelemetryModel {
+    system: SystemConfig,
+    profile: ThermalProfile,
+    seed: u64,
+    key: StreamKey,
+}
+
+/// Map a 64-bit hash to a uniform in [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl TelemetryModel {
+    /// Create a model for `system` under `profile`.
+    pub fn new(system: SystemConfig, profile: ThermalProfile, seed: u64) -> Self {
+        TelemetryModel {
+            system,
+            profile,
+            seed,
+            key: StreamKey::root("telemetry"),
+        }
+    }
+
+    /// The machine this model covers.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    fn hash(&self, a: u64, b: u64, c: u64) -> u64 {
+        let mut state = self.seed
+            ^ self.key.value()
+            ^ a.rotate_left(17)
+            ^ b.rotate_left(34)
+            ^ c.rotate_left(51);
+        splitmix64(&mut state);
+        splitmix64(&mut state)
+    }
+
+    /// Standard-normal draw in counter mode.
+    fn noise(&self, a: u64, b: u64, c: u64) -> f64 {
+        let h1 = self.hash(a, b, c);
+        let h2 = self.hash(a ^ 0xDEAD_BEEF, b, c);
+        let u1 = (1.0 - unit(h1)).max(1e-12);
+        let u2 = unit(h2);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Node utilization in [0, 1] at a given minute.
+    pub fn utilization(&self, node: NodeId, t: Minute) -> f64 {
+        let p = &self.profile;
+        let block = t.value().div_euclid(p.job_block_minutes as i64) as u64;
+        let h = self.hash(1, u64::from(node.0), block);
+        let busy = unit(h) < p.busy_prob;
+        let base = if busy {
+            // Per-block level jitter so busy blocks aren't identical.
+            p.busy_util + 0.1 * (unit(self.hash(2, u64::from(node.0), block)) - 0.5)
+        } else {
+            p.idle_util
+        };
+        // Diurnal modulation: the machine room is busier in working hours.
+        let phase = f64::from(t.minute_of_day()) / 1440.0 * std::f64::consts::TAU;
+        let diurnal = p.diurnal_amplitude * (phase - std::f64::consts::PI * 0.75).sin();
+        (base + diurnal).clamp(0.0, 1.0)
+    }
+
+    /// Inlet air temperature for a node: room base + rack offset + region
+    /// offset (both small, per §3.4).
+    pub fn inlet(&self, node: NodeId) -> f64 {
+        let p = &self.profile;
+        let rack = self.system.rack_of(node);
+        let rack_off = (unit(self.hash(3, u64::from(rack.0), 0)) - 0.5) * p.rack_inlet_spread;
+        let region = self.system.region_of(node);
+        let region_off = match region {
+            RackRegion::Bottom => -0.5,
+            RackRegion::Middle => 0.0,
+            RackRegion::Top => 0.5,
+        } * p.region_inlet_spread;
+        p.inlet_temp + rack_off + region_off
+    }
+
+    /// The true (pre-corruption) value of a sensor at a minute.
+    pub fn true_value(&self, node: NodeId, sensor: SensorId, t: Minute) -> f64 {
+        let p = &self.profile;
+        let util = self.utilization(node, t);
+        let inlet = self.inlet(node);
+        let noise = self.noise(
+            4 + sensor.index() as u64,
+            u64::from(node.0),
+            t.value() as u64,
+        );
+        match sensor.kind() {
+            SensorKind::CpuTemp(socket) => {
+                inlet
+                    + p.cpu_idle_rise[usize::from(socket.0)]
+                    + p.cpu_util_rise * util
+                    + p.cpu_noise_sd * noise
+            }
+            SensorKind::DimmTemp(group) => {
+                inlet
+                    + p.dimm_idle_rise[group.index()]
+                    + p.dimm_util_rise * util
+                    + p.dimm_noise_sd * noise
+            }
+            SensorKind::DcPower => p.idle_power + p.dynamic_power * util + p.power_noise_sd * noise,
+        }
+    }
+
+    /// A BMC reading: the true value possibly replaced by an unreadable
+    /// marker or a clearly-invalid outlier (which
+    /// [`SensorRecord::valid_value`] filters, as the paper's analysis
+    /// does).
+    pub fn reading(&self, node: NodeId, sensor: SensorId, t: Minute) -> SensorRecord {
+        let p = &self.profile;
+        let h = self.hash(99, u64::from(node.0) << 3 | sensor.index() as u64, t.value() as u64);
+        let u = unit(h);
+        let value = if u < p.unreadable_prob {
+            None
+        } else if u < p.unreadable_prob + p.invalid_prob {
+            // A stuck/garbage reading far outside plausibility.
+            Some(if sensor.kind() == SensorKind::DcPower {
+                4000.0
+            } else {
+                255.0
+            })
+        } else {
+            Some(self.true_value(node, sensor, t))
+        };
+        SensorRecord {
+            time: t,
+            node,
+            sensor,
+            value,
+        }
+    }
+
+    /// Materialize records for every sensor of the given nodes over a
+    /// span, sampling every `stride_minutes` (1 = the BMC's real cadence).
+    pub fn records(
+        &self,
+        nodes: impl IntoIterator<Item = NodeId>,
+        span: TimeSpan,
+        stride_minutes: u64,
+    ) -> Vec<SensorRecord> {
+        assert!(stride_minutes > 0, "stride must be positive");
+        let mut out = Vec::new();
+        for node in nodes {
+            let mut t = span.start;
+            while t < span.end {
+                for sensor in SensorId::all() {
+                    out.push(self.reading(node, sensor, t));
+                }
+                t = t.plus(stride_minutes as i64);
+            }
+        }
+        out
+    }
+
+    /// Mean of *valid* readings of one sensor over `[end - window, end)`,
+    /// sampling every `stride_minutes`. Returns `None` when no valid
+    /// sample falls in the window. This is the §3.3 primitive: "the mean
+    /// temperature over the time interval immediately before the error".
+    pub fn window_mean(
+        &self,
+        node: NodeId,
+        sensor: SensorId,
+        end: Minute,
+        window_minutes: u64,
+        stride_minutes: u64,
+    ) -> Option<f64> {
+        assert!(stride_minutes > 0);
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        let mut t = end.plus(-(window_minutes as i64));
+        while t < end {
+            if let Some(v) = self.reading(node, sensor, t).valid_value() {
+                sum += v;
+                n += 1;
+            }
+            t = t.plus(stride_minutes as i64);
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_topology::SocketId;
+    use astra_util::time::sensor_span;
+    use astra_util::CalDate;
+
+    fn model() -> TelemetryModel {
+        TelemetryModel::new(SystemConfig::scaled(4), ThermalProfile::astra(), 42)
+    }
+
+    fn at(day: u32, minute: i64) -> Minute {
+        CalDate::new(2019, 6, day).midnight().plus(minute)
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = model();
+        let t = at(1, 600);
+        for sensor in SensorId::all() {
+            let a = m.reading(NodeId(7), sensor, t);
+            let b = m.reading(NodeId(7), sensor, t);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn utilization_in_unit_interval_and_blocky() {
+        let m = model();
+        let u1 = m.utilization(NodeId(3), at(1, 0));
+        let u2 = m.utilization(NodeId(3), at(1, 30));
+        // Same job block, same diurnal-ish phase: close values.
+        assert!((u1 - u2).abs() < 0.2);
+        for minute in (0..1440).step_by(17) {
+            let u = m.utilization(NodeId(3), at(2, minute));
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn cpu1_runs_hotter_than_cpu2() {
+        let m = model();
+        let mut sum = [0.0f64; 2];
+        let mut n = 0;
+        for node in 0..64u32 {
+            for minute in (0..1440).step_by(60) {
+                for s in [0u8, 1] {
+                    let v = m
+                        .true_value(NodeId(node), SensorId::cpu(SocketId(s)), at(3, minute));
+                    sum[usize::from(s)] += v;
+                }
+                n += 1;
+            }
+        }
+        let mean0 = sum[0] / f64::from(n);
+        let mean1 = sum[1] / f64::from(n);
+        assert!(
+            mean0 > mean1 + 2.0,
+            "CPU1 {mean0:.1} should be clearly hotter than CPU2 {mean1:.1}"
+        );
+    }
+
+    #[test]
+    fn temperature_ranges_match_paper() {
+        // Fig 13: monthly average CPU temps ~55-75 C, DIMM ~35-52 C.
+        let m = model();
+        let mut cpu = astra_stats::Moments::new();
+        let mut dimm = astra_stats::Moments::new();
+        let mut power = astra_stats::Moments::new();
+        for node in (0..288u32).step_by(7) {
+            for minute in (0..1440).step_by(120) {
+                cpu.push(m.true_value(NodeId(node), SensorId::cpu(SocketId(0)), at(5, minute)));
+                dimm.push(m.true_value(
+                    NodeId(node),
+                    SensorId::from_index(3).unwrap(),
+                    at(5, minute),
+                ));
+                power.push(m.true_value(NodeId(node), SensorId::dc_power(), at(5, minute)));
+            }
+        }
+        assert!(
+            (55.0..=75.0).contains(&cpu.mean()),
+            "cpu mean {}",
+            cpu.mean()
+        );
+        assert!(
+            (35.0..=52.0).contains(&dimm.mean()),
+            "dimm mean {}",
+            dimm.mean()
+        );
+        assert!(
+            (240.0..=390.0).contains(&power.mean()),
+            "power mean {}",
+            power.mean()
+        );
+    }
+
+    #[test]
+    fn rack_and_region_offsets_are_small() {
+        let m = model();
+        let sys = *m.system();
+        // Mean inlet per rack varies less than the paper's 4.2 C bound;
+        // per region less than 1 C.
+        let mut rack_means = Vec::new();
+        for rack in 0..sys.racks {
+            let nodes: Vec<NodeId> = sys.rack_nodes(astra_topology::RackId(rack)).collect();
+            let mean: f64 =
+                nodes.iter().map(|&n| m.inlet(n)).sum::<f64>() / nodes.len() as f64;
+            rack_means.push(mean);
+        }
+        let spread = rack_means.iter().cloned().fold(f64::MIN, f64::max)
+            - rack_means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 4.2, "rack spread {spread}");
+
+        let mut region_means = [0.0f64; 3];
+        let mut counts = [0u32; 3];
+        for node in sys.nodes() {
+            let r = sys.region_of(node).index();
+            region_means[r] += m.inlet(node);
+            counts[r] += 1;
+        }
+        for r in 0..3 {
+            region_means[r] /= f64::from(counts[r]);
+        }
+        let rspread = region_means.iter().cloned().fold(f64::MIN, f64::max)
+            - region_means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(rspread < 1.0, "region spread {rspread}");
+    }
+
+    #[test]
+    fn invalid_fraction_below_one_percent() {
+        let m = model();
+        let mut invalid = 0u32;
+        let mut total = 0u32;
+        for node in 0..64u32 {
+            for minute in (0..1440).step_by(13) {
+                for sensor in SensorId::all() {
+                    let rec = m.reading(NodeId(node), sensor, at(7, minute));
+                    if rec.valid_value().is_none() {
+                        invalid += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        let frac = f64::from(invalid) / f64::from(total);
+        assert!(frac < 0.01, "invalid fraction {frac}");
+        assert!(invalid > 0, "some samples must be invalid");
+    }
+
+    #[test]
+    fn power_tracks_utilization() {
+        let m = model();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for node in 0..96u32 {
+            let t = at(9, 600);
+            xs.push(m.utilization(NodeId(node), t));
+            ys.push(m.true_value(NodeId(node), SensorId::dc_power(), t));
+        }
+        let r = astra_stats::pearson(&xs, &ys).unwrap();
+        assert!(r > 0.9, "power should track utilization, r = {r}");
+    }
+
+    #[test]
+    fn window_mean_reasonable() {
+        let m = model();
+        let end = at(10, 720);
+        let mean = m
+            .window_mean(NodeId(5), SensorId::from_index(2).unwrap(), end, 60, 5)
+            .unwrap();
+        assert!((30.0..=60.0).contains(&mean), "window mean {mean}");
+    }
+
+    #[test]
+    fn records_cover_all_sensors_and_stride() {
+        let m = model();
+        let span = TimeSpan::new(at(11, 0), at(11, 30));
+        let recs = m.records([NodeId(1), NodeId(2)], span, 10);
+        // 2 nodes x 3 samples x 7 sensors.
+        assert_eq!(recs.len(), 2 * 3 * 7);
+        assert!(recs.iter().all(|r| span.contains(r.time)));
+    }
+
+    #[test]
+    fn full_sensor_span_sampling_is_fast_enough() {
+        // Random access means a month-long window query is cheap.
+        let m = model();
+        let span = sensor_span();
+        let mean = m.window_mean(
+            NodeId(0),
+            SensorId::cpu(SocketId(0)),
+            span.end,
+            30 * 1440,
+            60,
+        );
+        assert!(mean.is_some());
+    }
+}

@@ -1,0 +1,93 @@
+//! Thermal/power model constants.
+
+/// Calibration constants for the telemetry model. Temperatures in °C,
+/// power in watts, durations in minutes.
+#[derive(Debug, Clone)]
+pub struct ThermalProfile {
+    /// Machine-room inlet air temperature.
+    pub inlet_temp: f64,
+    /// Peak-to-peak rack-to-rack inlet variation (the paper observed mean
+    /// sensor differences below ≈ 4.2 °C across racks).
+    pub rack_inlet_spread: f64,
+    /// Peak-to-peak region (vertical) inlet variation (< 1 °C on Astra).
+    pub region_inlet_spread: f64,
+    /// CPU die rise above inlet at idle, per socket `[socket0, socket1]`.
+    /// Socket 0 ("CPU1") is downstream in the airflow and runs hotter.
+    pub cpu_idle_rise: [f64; 2],
+    /// Additional CPU rise at full utilization.
+    pub cpu_util_rise: f64,
+    /// Per-minute CPU sensor noise (standard deviation).
+    pub cpu_noise_sd: f64,
+    /// DIMM rise above inlet at idle per sensor group (A,C,E,G / H,F,D,B /
+    /// I,K,M,O / J,L,N,P). Socket-0 groups are downstream and warmer.
+    pub dimm_idle_rise: [f64; 4],
+    /// Additional DIMM rise at full utilization.
+    pub dimm_util_rise: f64,
+    /// Per-minute DIMM sensor noise.
+    pub dimm_noise_sd: f64,
+    /// Node DC power at idle.
+    pub idle_power: f64,
+    /// Additional power at full utilization.
+    pub dynamic_power: f64,
+    /// Per-minute power sensor noise.
+    pub power_noise_sd: f64,
+    /// Utilization when a job occupies the node.
+    pub busy_util: f64,
+    /// Utilization when idle.
+    pub idle_util: f64,
+    /// Probability a job block is busy.
+    pub busy_prob: f64,
+    /// Job block length in minutes (utilization is constant per block).
+    pub job_block_minutes: u64,
+    /// Amplitude of the diurnal utilization modulation (0–1 scale).
+    pub diurnal_amplitude: f64,
+    /// Probability a sample is unreadable.
+    pub unreadable_prob: f64,
+    /// Probability a readable sample is a clearly-invalid outlier
+    /// (the bogus DC power readings §2.2 mentions).
+    pub invalid_prob: f64,
+}
+
+impl ThermalProfile {
+    /// Calibrated Astra profile (see crate docs for the targets).
+    pub fn astra() -> Self {
+        ThermalProfile {
+            inlet_temp: 18.0,
+            rack_inlet_spread: 3.0,
+            region_inlet_spread: 0.6,
+            cpu_idle_rise: [39.0, 34.0],
+            cpu_util_rise: 16.0,
+            cpu_noise_sd: 1.2,
+            dimm_idle_rise: [19.5, 21.0, 16.5, 18.0],
+            dimm_util_rise: 7.0,
+            dimm_noise_sd: 0.7,
+            idle_power: 242.0,
+            dynamic_power: 130.0,
+            power_noise_sd: 7.0,
+            busy_util: 0.82,
+            idle_util: 0.12,
+            busy_prob: 0.62,
+            job_block_minutes: 360,
+            diurnal_amplitude: 0.08,
+            unreadable_prob: 0.004,
+            invalid_prob: 0.001,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astra_profile_sane() {
+        let p = ThermalProfile::astra();
+        assert!(p.cpu_idle_rise[0] > p.cpu_idle_rise[1], "CPU1 runs hotter");
+        // Socket-0 DIMM groups (0, 1) warmer than socket-1 groups (2, 3).
+        assert!(p.dimm_idle_rise[0] > p.dimm_idle_rise[2]);
+        assert!(p.dimm_idle_rise[1] > p.dimm_idle_rise[3]);
+        assert!(p.unreadable_prob + p.invalid_prob < 0.01, "< 1% excluded");
+        assert!(p.job_block_minutes > 0);
+        assert!((0.0..=1.0).contains(&p.busy_prob));
+    }
+}

@@ -1,0 +1,335 @@
+//! Strongly-typed identifiers for Astra's physical hierarchy.
+//!
+//! Node numbering follows rack-major order: node `n` lives in rack
+//! `n / 72`, chassis `(n % 72) / 4` (chassis 0 at the *bottom* of the rack),
+//! position `n % 4` within the chassis. The positional analyses of §3.4
+//! divide each 18-chassis rack into three 6-chassis [`RackRegion`]s.
+
+use std::fmt;
+
+/// Identifier of a rack, 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RackId(pub u32);
+
+/// Identifier of a chassis within a rack, 0-based from the **bottom**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChassisId(pub u32);
+
+/// Vertical region of a rack, per the §3.4 analysis: 18 chassis split into
+/// three groups of six.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RackRegion {
+    /// Chassis 0–5.
+    Bottom,
+    /// Chassis 6–11.
+    Middle,
+    /// Chassis 12–17.
+    Top,
+}
+
+impl RackRegion {
+    /// All regions, bottom to top.
+    pub const ALL: [RackRegion; 3] = [RackRegion::Bottom, RackRegion::Middle, RackRegion::Top];
+
+    /// Region containing the given chassis (assuming `chassis_per_rack`
+    /// divides into three equal groups).
+    pub fn of_chassis(chassis: ChassisId, chassis_per_rack: u32) -> Self {
+        let third = (chassis_per_rack / 3).max(1);
+        match chassis.0 / third {
+            0 => RackRegion::Bottom,
+            1 => RackRegion::Middle,
+            _ => RackRegion::Top,
+        }
+    }
+
+    /// Stable index for array-indexed aggregation (bottom = 0).
+    pub fn index(self) -> usize {
+        match self {
+            RackRegion::Bottom => 0,
+            RackRegion::Middle => 1,
+            RackRegion::Top => 2,
+        }
+    }
+
+    /// Lower-case name as used in figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            RackRegion::Bottom => "bottom",
+            RackRegion::Middle => "middle",
+            RackRegion::Top => "top",
+        }
+    }
+}
+
+impl fmt::Display for RackRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier of a compute node: a dense index in rack-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Nodes per chassis on Astra.
+    pub const PER_CHASSIS: u32 = 4;
+
+    /// Rack containing this node, given nodes-per-rack.
+    pub fn rack(self, nodes_per_rack: u32) -> RackId {
+        RackId(self.0 / nodes_per_rack)
+    }
+
+    /// Chassis within the rack containing this node.
+    pub fn chassis(self, nodes_per_rack: u32) -> ChassisId {
+        ChassisId((self.0 % nodes_per_rack) / Self::PER_CHASSIS)
+    }
+
+    /// Position of the node within its chassis, 0–3.
+    pub fn slot_in_chassis(self) -> u32 {
+        self.0 % Self::PER_CHASSIS
+    }
+
+    /// Vertical region of the rack this node sits in.
+    pub fn region(self, nodes_per_rack: u32, chassis_per_rack: u32) -> RackRegion {
+        RackRegion::of_chassis(self.chassis(nodes_per_rack), chassis_per_rack)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{:04}", self.0)
+    }
+}
+
+/// CPU socket within a node: 0 or 1.
+///
+/// Per Figure 1 of the paper, cooling flows front-to-back and reaches
+/// socket 1 ("CPU2") *before* socket 0 ("CPU1"), so CPU1 runs hotter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SocketId(pub u8);
+
+impl SocketId {
+    /// Both sockets.
+    pub const ALL: [SocketId; 2] = [SocketId(0), SocketId(1)];
+
+    /// Human label used by the paper's figures: socket 0 is "CPU1".
+    pub fn cpu_label(self) -> &'static str {
+        match self.0 {
+            0 => "CPU1",
+            _ => "CPU2",
+        }
+    }
+}
+
+/// DIMM slot letter, `A`–`P`. Slots A–H belong to socket 0, I–P to socket 1
+/// (Figure 7 caption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimmSlot(u8);
+
+impl DimmSlot {
+    /// Number of DIMM slots per node.
+    pub const COUNT: usize = 16;
+
+    /// Construct from a slot index 0–15 (0 = `A`).
+    pub fn from_index(idx: u8) -> Option<Self> {
+        (idx < 16).then_some(DimmSlot(idx))
+    }
+
+    /// Construct from the slot letter `A`–`P` (case-insensitive).
+    pub fn from_letter(c: char) -> Option<Self> {
+        let c = c.to_ascii_uppercase();
+        ('A'..='P')
+            .contains(&c)
+            .then(|| DimmSlot(c as u8 - b'A'))
+    }
+
+    /// Slot index, 0–15.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Slot letter, `A`–`P`.
+    pub fn letter(self) -> char {
+        (b'A' + self.0) as char
+    }
+
+    /// The socket this slot's memory channel belongs to.
+    pub fn socket(self) -> SocketId {
+        SocketId(self.0 / 8)
+    }
+
+    /// The memory channel within the socket, 0–7.
+    pub fn channel(self) -> u8 {
+        self.0 % 8
+    }
+
+    /// Iterate over all sixteen slots in letter order.
+    pub fn all() -> impl Iterator<Item = DimmSlot> {
+        (0..16).map(DimmSlot)
+    }
+}
+
+impl fmt::Display for DimmSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// DIMM rank: which side of the (dual-rank) DIMM, 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RankId(pub u8);
+
+impl RankId {
+    /// Both ranks of a dual-rank DIMM.
+    pub const ALL: [RankId; 2] = [RankId(0), RankId(1)];
+}
+
+/// A specific DIMM in the system: a node plus a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimmId {
+    /// Host node.
+    pub node: NodeId,
+    /// Slot letter on that node.
+    pub slot: DimmSlot,
+}
+
+impl DimmId {
+    /// Dense index of this DIMM across the whole system (16 per node).
+    pub fn dense_index(self) -> u64 {
+        u64::from(self.node.0) * 16 + self.slot.index() as u64
+    }
+
+    /// Inverse of [`DimmId::dense_index`].
+    pub fn from_dense_index(idx: u64) -> Self {
+        DimmId {
+            node: NodeId((idx / 16) as u32),
+            slot: DimmSlot::from_index((idx % 16) as u8).expect("mod 16 < 16"),
+        }
+    }
+}
+
+impl fmt::Display for DimmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODES_PER_RACK: u32 = 72;
+    const CHASSIS_PER_RACK: u32 = 18;
+
+    #[test]
+    fn node_rack_chassis_math() {
+        let n = NodeId(0);
+        assert_eq!(n.rack(NODES_PER_RACK), RackId(0));
+        assert_eq!(n.chassis(NODES_PER_RACK), ChassisId(0));
+        assert_eq!(n.slot_in_chassis(), 0);
+
+        let n = NodeId(71);
+        assert_eq!(n.rack(NODES_PER_RACK), RackId(0));
+        assert_eq!(n.chassis(NODES_PER_RACK), ChassisId(17));
+        assert_eq!(n.slot_in_chassis(), 3);
+
+        let n = NodeId(72);
+        assert_eq!(n.rack(NODES_PER_RACK), RackId(1));
+        assert_eq!(n.chassis(NODES_PER_RACK), ChassisId(0));
+
+        let n = NodeId(2591);
+        assert_eq!(n.rack(NODES_PER_RACK), RackId(35));
+        assert_eq!(n.chassis(NODES_PER_RACK), ChassisId(17));
+    }
+
+    #[test]
+    fn regions_split_rack_in_thirds() {
+        assert_eq!(
+            RackRegion::of_chassis(ChassisId(0), CHASSIS_PER_RACK),
+            RackRegion::Bottom
+        );
+        assert_eq!(
+            RackRegion::of_chassis(ChassisId(5), CHASSIS_PER_RACK),
+            RackRegion::Bottom
+        );
+        assert_eq!(
+            RackRegion::of_chassis(ChassisId(6), CHASSIS_PER_RACK),
+            RackRegion::Middle
+        );
+        assert_eq!(
+            RackRegion::of_chassis(ChassisId(11), CHASSIS_PER_RACK),
+            RackRegion::Middle
+        );
+        assert_eq!(
+            RackRegion::of_chassis(ChassisId(12), CHASSIS_PER_RACK),
+            RackRegion::Top
+        );
+        assert_eq!(
+            RackRegion::of_chassis(ChassisId(17), CHASSIS_PER_RACK),
+            RackRegion::Top
+        );
+    }
+
+    #[test]
+    fn region_indices_are_stable() {
+        assert_eq!(RackRegion::Bottom.index(), 0);
+        assert_eq!(RackRegion::Middle.index(), 1);
+        assert_eq!(RackRegion::Top.index(), 2);
+    }
+
+    #[test]
+    fn slot_letters_roundtrip() {
+        for slot in DimmSlot::all() {
+            assert_eq!(DimmSlot::from_letter(slot.letter()), Some(slot));
+            assert_eq!(DimmSlot::from_index(slot.index() as u8), Some(slot));
+        }
+        assert_eq!(DimmSlot::from_letter('Q'), None);
+        assert_eq!(DimmSlot::from_letter('a'), DimmSlot::from_letter('A'));
+        assert_eq!(DimmSlot::from_index(16), None);
+    }
+
+    #[test]
+    fn slot_socket_split() {
+        // A-H on socket 0, I-P on socket 1 (Fig 7 caption).
+        assert_eq!(DimmSlot::from_letter('A').unwrap().socket(), SocketId(0));
+        assert_eq!(DimmSlot::from_letter('H').unwrap().socket(), SocketId(0));
+        assert_eq!(DimmSlot::from_letter('I').unwrap().socket(), SocketId(1));
+        assert_eq!(DimmSlot::from_letter('P').unwrap().socket(), SocketId(1));
+    }
+
+    #[test]
+    fn slot_channels_cover_eight_per_socket() {
+        let mut ch0: Vec<u8> = DimmSlot::all()
+            .filter(|s| s.socket() == SocketId(0))
+            .map(|s| s.channel())
+            .collect();
+        ch0.sort_unstable();
+        assert_eq!(ch0, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dimm_dense_index_roundtrip() {
+        for node in [0u32, 1, 2591] {
+            for slot in DimmSlot::all() {
+                let d = DimmId {
+                    node: NodeId(node),
+                    slot,
+                };
+                assert_eq!(DimmId::from_dense_index(d.dense_index()), d);
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = DimmId {
+            node: NodeId(17),
+            slot: DimmSlot::from_letter('J').unwrap(),
+        };
+        assert_eq!(d.to_string(), "node0017:J");
+        assert_eq!(SocketId(0).cpu_label(), "CPU1");
+        assert_eq!(SocketId(1).cpu_label(), "CPU2");
+        assert_eq!(RackRegion::Top.to_string(), "top");
+    }
+}

@@ -1,0 +1,35 @@
+//! Machine model of the Astra petascale Arm system.
+//!
+//! Astra (§2.2 of the paper) is 36 racks × 18 chassis × 4 nodes = 2,592
+//! dual-socket compute nodes. Each socket is a 28-core Marvell ThunderX2
+//! with **eight** DDR4-2666 memory channels, one dual-rank 8 GB RDIMM per
+//! channel — 16 DIMM slots per node lettered `A`–`P` (A–H on socket 0,
+//! I–P on socket 1), 41,472 DIMMs system-wide. Memory is protected by
+//! SEC-DED ECC, *not* Chipkill.
+//!
+//! This crate encodes that structure as types:
+//!
+//! * [`ids`] — strongly-typed identifiers ([`NodeId`], [`DimmSlot`],
+//!   [`SocketId`], [`DimmId`]) with the rack/chassis/region arithmetic the
+//!   positional analyses (§3.4) need.
+//! * [`geometry`] — DRAM device geometry (ranks, banks, rows, columns, bit
+//!   lanes) and the physical-address codec that maps a DRAM coordinate to a
+//!   system physical address and back.
+//! * [`layout`] — sensor placement (one CPU sensor per socket, one DIMM
+//!   sensor per group of four slots) and the front-to-back airflow order
+//!   that makes CPU1 run hotter than CPU2.
+//! * [`system`] — [`SystemConfig`]: the full Astra configuration plus scaled
+//!   variants for tests and benches, with iterators over nodes and DIMMs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod ids;
+pub mod layout;
+pub mod system;
+
+pub use geometry::{DramCoord, DramGeometry, PhysAddr};
+pub use ids::{ChassisId, DimmId, DimmSlot, NodeId, RackId, RackRegion, RankId, SocketId};
+pub use layout::{DimmGroup, SensorId, SensorKind};
+pub use system::SystemConfig;

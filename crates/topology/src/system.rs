@@ -1,0 +1,166 @@
+//! The system-level configuration: how many racks, and iterators over the
+//! hierarchy.
+//!
+//! [`SystemConfig::astra`] is the full 2,592-node machine. Tests and benches
+//! use [`SystemConfig::scaled`] to shrink the rack count while keeping every
+//! structural ratio (chassis per rack, nodes per chassis, DIMMs per node)
+//! identical, so distribution *shapes* are preserved at lower cost.
+
+use crate::geometry::DramGeometry;
+use crate::ids::{DimmId, DimmSlot, NodeId, RackId, RackRegion};
+
+/// Static description of a machine in the Astra family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of racks.
+    pub racks: u32,
+    /// Chassis per rack (18 on Astra, stacked vertically).
+    pub chassis_per_rack: u32,
+    /// Nodes per chassis (4 on Astra).
+    pub nodes_per_chassis: u32,
+    /// DRAM geometry of every DIMM.
+    pub geometry: DramGeometry,
+}
+
+impl SystemConfig {
+    /// The full Astra machine: 36 racks, 2,592 nodes, 41,472 DIMMs.
+    pub fn astra() -> Self {
+        SystemConfig {
+            racks: 36,
+            chassis_per_rack: 18,
+            nodes_per_chassis: 4,
+            geometry: DramGeometry::ASTRA,
+        }
+    }
+
+    /// A structurally identical machine with the given rack count.
+    ///
+    /// Panics if `racks == 0`.
+    pub fn scaled(racks: u32) -> Self {
+        assert!(racks > 0, "a machine needs at least one rack");
+        SystemConfig {
+            racks,
+            ..Self::astra()
+        }
+    }
+
+    /// Nodes per rack.
+    pub fn nodes_per_rack(&self) -> u32 {
+        self.chassis_per_rack * self.nodes_per_chassis
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> u32 {
+        self.racks * self.nodes_per_rack()
+    }
+
+    /// Total socket count (two per node).
+    pub fn socket_count(&self) -> u32 {
+        self.node_count() * 2
+    }
+
+    /// Total DIMM count (sixteen per node).
+    pub fn dimm_count(&self) -> u64 {
+        u64::from(self.node_count()) * DimmSlot::COUNT as u64
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterate over all DIMMs in (node, slot) order.
+    pub fn dimms(&self) -> impl Iterator<Item = DimmId> {
+        let count = self.node_count();
+        (0..count).flat_map(|n| DimmSlot::all().map(move |slot| DimmId { node: NodeId(n), slot }))
+    }
+
+    /// Iterate over the nodes of one rack.
+    pub fn rack_nodes(&self, rack: RackId) -> impl Iterator<Item = NodeId> {
+        let per = self.nodes_per_rack();
+        let start = rack.0 * per;
+        (start..start + per).map(NodeId)
+    }
+
+    /// Rack of a node under this configuration.
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        node.rack(self.nodes_per_rack())
+    }
+
+    /// Rack region of a node under this configuration.
+    pub fn region_of(&self, node: NodeId) -> RackRegion {
+        node.region(self.nodes_per_rack(), self.chassis_per_rack)
+    }
+
+    /// Whether `node` is a valid id for this configuration.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 < self.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astra_headline_counts() {
+        let sys = SystemConfig::astra();
+        assert_eq!(sys.node_count(), 2_592);
+        assert_eq!(sys.socket_count(), 5_184);
+        assert_eq!(sys.dimm_count(), 41_472);
+        assert_eq!(sys.nodes_per_rack(), 72);
+    }
+
+    #[test]
+    fn scaled_preserves_ratios() {
+        let sys = SystemConfig::scaled(6);
+        assert_eq!(sys.node_count(), 432);
+        assert_eq!(sys.dimm_count(), 6_912);
+        assert_eq!(sys.nodes_per_rack(), 72);
+    }
+
+    #[test]
+    fn node_iteration_matches_count() {
+        let sys = SystemConfig::scaled(2);
+        assert_eq!(sys.nodes().count() as u32, sys.node_count());
+        assert_eq!(sys.dimms().count() as u64, sys.dimm_count());
+    }
+
+    #[test]
+    fn rack_nodes_partition_the_machine() {
+        let sys = SystemConfig::scaled(3);
+        let mut seen = vec![false; sys.node_count() as usize];
+        for rack in 0..sys.racks {
+            for node in sys.rack_nodes(RackId(rack)) {
+                assert_eq!(sys.rack_of(node), RackId(rack));
+                assert!(!seen[node.0 as usize], "node visited twice");
+                seen[node.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn regions_are_balanced_per_rack() {
+        let sys = SystemConfig::astra();
+        let mut counts = [0u32; 3];
+        for node in sys.rack_nodes(RackId(7)) {
+            counts[sys.region_of(node).index()] += 1;
+        }
+        assert_eq!(counts, [24, 24, 24]);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let sys = SystemConfig::scaled(1);
+        assert!(sys.contains(NodeId(0)));
+        assert!(sys.contains(NodeId(71)));
+        assert!(!sys.contains(NodeId(72)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn zero_racks_panics() {
+        SystemConfig::scaled(0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Probability distributions used by the simulators.
+//!
+//! Each sampler takes a [`DetRng`] explicitly — there is no global RNG state
+//! anywhere in the workspace. All samplers are implemented from first
+//! principles (inverse-transform, Box–Muller, Knuth/normal-approximation
+//! Poisson) and validated against their analytic moments in the test suite.
+
+use crate::rng::DetRng;
+
+/// Standard normal sample via the Box–Muller transform.
+///
+/// Uses only one of the two generated variates; the simulators sample in
+/// irregular patterns where caching the spare would complicate stream
+/// reproducibility for no measurable gain.
+#[inline]
+pub fn std_normal(rng: &mut DetRng) -> f64 {
+    let u1 = rng.f64_open();
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+#[inline]
+pub fn normal(rng: &mut DetRng, mean: f64, sd: f64) -> f64 {
+    debug_assert!(sd >= 0.0);
+    mean + sd * std_normal(rng)
+}
+
+/// Normal sample truncated (by resampling) to `[lo, hi]`.
+///
+/// Falls back to clamping after 64 rejections so pathological parameter
+/// choices cannot hang a simulation.
+pub fn truncated_normal(rng: &mut DetRng, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    for _ in 0..64 {
+        let x = normal(rng, mean, sd);
+        if x >= lo && x <= hi {
+            return x;
+        }
+    }
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Lognormal sample: `exp(N(mu, sigma))`.
+#[inline]
+pub fn lognormal(rng: &mut DetRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Exponential sample with the given rate (`lambda`), mean `1/lambda`.
+#[inline]
+pub fn exponential(rng: &mut DetRng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    -rng.f64_open().ln() / rate
+}
+
+/// Poisson sample with the given mean.
+///
+/// Knuth's product method for small means; for `mean > 32` a rounded normal
+/// approximation (accurate to well under the noise floor of anything we
+/// aggregate) keeps sampling O(1).
+pub fn poisson(rng: &mut DetRng, mean: f64) -> u64 {
+    debug_assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 32.0 {
+        let x = normal(rng, mean, mean.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let threshold = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.f64_open();
+        if p <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Weibull sample with `scale` (lambda) and `shape` (k).
+///
+/// `shape < 1` gives a decreasing hazard — the infant-mortality regime the
+/// replacement simulator relies on.
+#[inline]
+pub fn weibull(rng: &mut DetRng, scale: f64, shape: f64) -> f64 {
+    debug_assert!(scale > 0.0 && shape > 0.0);
+    scale * (-rng.f64_open().ln()).powf(1.0 / shape)
+}
+
+/// Weibull hazard rate `h(t) = (k/λ) (t/λ)^(k-1)` at time `t >= 0`.
+pub fn weibull_hazard(t: f64, scale: f64, shape: f64) -> f64 {
+    debug_assert!(scale > 0.0 && shape > 0.0);
+    if t <= 0.0 {
+        // h(0) diverges for shape < 1; evaluate just above zero instead.
+        return weibull_hazard(1e-9, scale, shape);
+    }
+    (shape / scale) * (t / scale).powf(shape - 1.0)
+}
+
+/// Discrete power-law sample on `{xmin, xmin+1, ...}` with exponent `alpha`.
+///
+/// Uses the continuous inverse-transform approximation from Clauset,
+/// Shalizi & Newman (2009), Appendix D: round a continuous power-law sample
+/// drawn from `[xmin - 1/2, ∞)`. For `alpha` around 2–3 this approximates the
+/// discrete distribution closely, which is all the simulators need (the
+/// *fitting* side in `astra-stats` uses the exact discrete MLE).
+pub fn power_law(rng: &mut DetRng, xmin: u64, alpha: f64) -> u64 {
+    debug_assert!(xmin >= 1 && alpha > 1.0);
+    let x = (xmin as f64 - 0.5) * rng.f64_open().powf(-1.0 / (alpha - 1.0));
+    // +0.5 then floor == round-half-up of the continuous variate.
+    (x + 0.5).floor() as u64
+}
+
+/// Discrete power-law sample truncated to `[xmin, xmax]` (by resampling).
+pub fn power_law_truncated(rng: &mut DetRng, xmin: u64, xmax: u64, alpha: f64) -> u64 {
+    debug_assert!(xmin <= xmax);
+    for _ in 0..256 {
+        let x = power_law(rng, xmin, alpha);
+        if x <= xmax {
+            return x;
+        }
+    }
+    xmax
+}
+
+/// Pareto (continuous power-law) sample with minimum `xmin` and exponent
+/// `alpha` (density ∝ x^-(alpha)).
+#[inline]
+pub fn pareto(rng: &mut DetRng, xmin: f64, alpha: f64) -> f64 {
+    debug_assert!(xmin > 0.0 && alpha > 1.0);
+    xmin * rng.f64_open().powf(-1.0 / (alpha - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_sd(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = DetRng::new(11);
+        let samples: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let (m, s) = mean_sd(&samples);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert!((s - 2.0).abs() < 0.05, "sd {s}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = DetRng::new(12);
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut rng, 0.0, 5.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = DetRng::new(13);
+        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, 0.5)).collect();
+        let (m, _) = mean_sd(&samples);
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = DetRng::new(14);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 2.5)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 2.5).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_path() {
+        let mut rng = DetRng::new(15);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 100.0)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 100.0).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = DetRng::new(16);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn weibull_mean_shape_one_is_exponential() {
+        // shape == 1 reduces to exponential with mean == scale.
+        let mut rng = DetRng::new(17);
+        let samples: Vec<f64> = (0..50_000).map(|_| weibull(&mut rng, 4.0, 1.0)).collect();
+        let (m, _) = mean_sd(&samples);
+        assert!((m - 4.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn weibull_hazard_decreases_for_shape_below_one() {
+        let h1 = weibull_hazard(1.0, 10.0, 0.5);
+        let h10 = weibull_hazard(10.0, 10.0, 0.5);
+        let h100 = weibull_hazard(100.0, 10.0, 0.5);
+        assert!(h1 > h10 && h10 > h100, "hazard must decrease: {h1} {h10} {h100}");
+    }
+
+    #[test]
+    fn weibull_hazard_at_zero_is_finite() {
+        assert!(weibull_hazard(0.0, 10.0, 0.5).is_finite());
+    }
+
+    #[test]
+    fn power_law_respects_xmin() {
+        let mut rng = DetRng::new(18);
+        for _ in 0..10_000 {
+            assert!(power_law(&mut rng, 3, 2.5) >= 3);
+        }
+    }
+
+    #[test]
+    fn power_law_tail_heaviness_orders_by_alpha() {
+        // Smaller alpha => heavier tail => larger high quantiles.
+        let mut rng = DetRng::new(19);
+        let n = 30_000;
+        let mut a: Vec<u64> = (0..n).map(|_| power_law(&mut rng, 1, 1.8)).collect();
+        let mut b: Vec<u64> = (0..n).map(|_| power_law(&mut rng, 1, 3.0)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let q99a = a[n * 99 / 100];
+        let q99b = b[n * 99 / 100];
+        assert!(q99a > q99b, "q99 {q99a} vs {q99b}");
+    }
+
+    #[test]
+    fn power_law_truncated_obeys_cap() {
+        let mut rng = DetRng::new(20);
+        for _ in 0..10_000 {
+            let x = power_law_truncated(&mut rng, 1, 50, 1.5);
+            assert!((1..=50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_min() {
+        let mut rng = DetRng::new(21);
+        for _ in 0..10_000 {
+            assert!(pareto(&mut rng, 2.0, 2.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = DetRng::new(22);
+        let mut samples: Vec<f64> = (0..30_001).map(|_| lognormal(&mut rng, 1.0, 0.75)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[15_000];
+        // Median of lognormal is e^mu.
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median {median}");
+    }
+}

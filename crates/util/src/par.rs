@@ -1,0 +1,222 @@
+//! Scoped-thread data parallelism.
+//!
+//! The workloads here are embarrassingly parallel sweeps over nodes, DIMMs,
+//! or log shards, so a chunked fork-join over `std::thread::scope` covers
+//! every need without pulling in a work-stealing pool. Determinism is
+//! preserved by construction: each result carries its input index and is
+//! scattered back into position, so output is identical for any worker
+//! count or scheduling order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: the available parallelism, capped so
+/// tiny inputs do not pay thread-spawn overhead for nothing.
+pub fn worker_count(items: usize) -> usize {
+    if items == 0 {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(items).max(1)
+}
+
+/// Parallel map: applies `f` to every item, preserving input order.
+///
+/// Work is distributed dynamically with an atomic cursor over fixed-size
+/// chunks so uneven per-item cost (some nodes have far more faults than
+/// others) still balances. Each worker gathers `(index, value)` pairs
+/// locally; the results are scattered back into input order at the end.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let mut gathered: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    local.reserve(end - start);
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        local.push((start + i, f(item)));
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            gathered.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for local in gathered {
+        for (i, v) in local {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("par_map left an index unfilled"))
+        .collect()
+}
+
+/// Parallel indexed map over `0..n`: like [`par_map`] but driven by index,
+/// for when inputs are generated rather than stored.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |&i| f(i))
+}
+
+/// Parallel fold: folds each item into a per-worker accumulator with `map`,
+/// then combines the per-worker partials with `merge`. `merge` must be
+/// associative and commutative (aggregation into counters, histograms, …)
+/// for the result to be deterministic.
+pub fn par_fold<T, A, M, G>(items: &[T], identity: impl Fn() -> A + Sync, map: M, merge: G) -> A
+where
+    T: Sync,
+    A: Send,
+    M: Fn(&mut A, &T) + Sync,
+    G: Fn(A, A) -> A,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        let mut acc = identity();
+        for item in items {
+            map(&mut acc, item);
+        }
+        return acc;
+    }
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut partials: Vec<A> = Vec::with_capacity(workers);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut acc = identity();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for item in &items[start..end] {
+                        map(&mut acc, item);
+                    }
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("par_fold worker panicked"));
+        }
+    });
+
+    let mut iter = partials.into_iter();
+    let first = iter.next().expect("at least one worker");
+    iter.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        let par = par_map(&items, |x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let items: Vec<u64> = vec![];
+        assert!(par_map(&items, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn par_map_single_item() {
+        assert_eq!(par_map(&[41u64], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_uneven_cost_stays_ordered() {
+        // Items near the front are much more expensive; dynamic chunking
+        // must still scatter results back in order.
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&items, |&x| {
+            let mut acc = 0u64;
+            let spins = if x < 10 { 100_000 } else { 10 };
+            for i in 0..spins {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_fold_counts() {
+        let items: Vec<u64> = (0..100_000).collect();
+        let total = par_fold(&items, || 0u64, |acc, x| *acc += *x, |a, b| a + b);
+        assert_eq!(total, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn par_fold_histogram_merge() {
+        let items: Vec<usize> = (0..50_000).map(|i| i % 10).collect();
+        let hist = par_fold(
+            &items,
+            || vec![0u64; 10],
+            |acc, &x| acc[x] += 1,
+            |mut a, b| {
+                for (slot, v) in a.iter_mut().zip(b) {
+                    *slot += v;
+                }
+                a
+            },
+        );
+        assert!(hist.iter().all(|&c| c == 5_000));
+    }
+
+    #[test]
+    fn par_map_indexed_order() {
+        let v = par_map_indexed(1000, |i| i * 2);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1_000_000) >= 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Deterministic random number streams.
+//!
+//! Simulations in this workspace must be reproducible from a single `u64`
+//! seed *and* independent of iteration order: simulating node 17 must yield
+//! the same fault history whether nodes are processed sequentially,
+//! rack-by-rack, or across eight worker threads. We get this by deriving an
+//! independent stream per entity: `DetRng::for_stream(seed, key)` where `key`
+//! hashes the entity's identity (node id, DIMM id, subsystem tag, …).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64, the seeding
+//! procedure recommended by the xoshiro authors. It is not cryptographic and
+//! does not need to be.
+
+use rand::RngCore;
+
+/// SplitMix64 step: mixes `state` and returns the next 64-bit output.
+///
+/// Used both as a seeding PRNG and as a cheap hash for stream keys.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A key identifying an independent random stream.
+///
+/// Build one by folding entity identifiers into it; the construction is a
+/// simple iterated SplitMix64 hash, which is plenty for decorrelating
+/// streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamKey(u64);
+
+impl StreamKey {
+    /// Root key for a named subsystem (e.g. `"faultsim"`, `"thermal"`).
+    pub fn root(tag: &str) -> Self {
+        let mut state = 0xA076_1D64_78BD_642F;
+        for b in tag.as_bytes() {
+            state ^= u64::from(*b);
+            splitmix64(&mut state);
+        }
+        StreamKey(state)
+    }
+
+    /// Derive a child key by mixing in an integer component.
+    #[must_use]
+    pub fn with(self, component: u64) -> Self {
+        let mut state = self.0 ^ component.rotate_left(17);
+        splitmix64(&mut state);
+        StreamKey(state)
+    }
+
+    /// The raw key value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Deterministic xoshiro256++ generator.
+///
+/// Implements [`rand::RngCore`] so the `rand` adapter methods
+/// (`gen_range`, shuffling, …) work on it directly.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Create a generator from a bare seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not be seeded with all zeros; splitmix64 of any seed
+        // cannot produce four zero outputs in a row, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        DetRng { s }
+    }
+
+    /// Create the generator for stream `key` under global `seed`.
+    ///
+    /// Streams with distinct keys are statistically independent for our
+    /// purposes, and a given `(seed, key)` pair always yields the same
+    /// sequence.
+    pub fn for_stream(seed: u64, key: StreamKey) -> Self {
+        let mut state = seed ^ key.value().rotate_left(32);
+        splitmix64(&mut state);
+        Self::new(state)
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `(0, 1]` — safe to pass to `ln()`.
+    #[inline]
+    pub fn f64_open(&mut self) -> f64 {
+        1.0 - self.f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's nearly-divisionless method.
+        let mut m = u128::from(self.next()) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = u128::from(self.next()) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive. Panics if `lo > hi`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Pick an index according to (unnormalized, non-negative) `weights`.
+    ///
+    /// Panics if the weights are empty or sum to zero.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must have positive finite sum"
+        );
+        let mut target = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 12345u64;
+        let mut b = 12345u64;
+        for _ in 0..16 {
+            assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut r1 = DetRng::new(7);
+        let mut r2 = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut r1 = DetRng::new(7);
+        let mut r2 = DetRng::new(8);
+        let same = (0..64).filter(|_| r1.next_u64() == r2.next_u64()).count();
+        assert!(same < 2, "independent seeds should rarely collide");
+    }
+
+    #[test]
+    fn streams_are_order_independent() {
+        let key_a = StreamKey::root("test").with(1);
+        let key_b = StreamKey::root("test").with(2);
+        let mut a_first = DetRng::for_stream(42, key_a);
+        let a1: Vec<u64> = (0..8).map(|_| a_first.next_u64()).collect();
+        // Consuming stream B in between must not perturb stream A.
+        let mut b = DetRng::for_stream(42, key_b);
+        let _ = b.next_u64();
+        let mut a_again = DetRng::for_stream(42, key_a);
+        let a2: Vec<u64> = (0..8).map(|_| a_again.next_u64()).collect();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn stream_keys_distinguish_components() {
+        let root = StreamKey::root("x");
+        assert_ne!(root.with(0).value(), root.with(1).value());
+        assert_ne!(
+            StreamKey::root("x").value(),
+            StreamKey::root("y").value()
+        );
+        // with(a).with(b) != with(b).with(a): order matters.
+        assert_ne!(
+            root.with(1).with(2).value(),
+            root.with(2).with(1).value()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(1);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut r = DetRng::new(3);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 each; allow +-5%.
+            assert!((9_500..10_500).contains(&c), "count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = DetRng::new(4);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            match r.range_inclusive(5, 8) {
+                5 => saw_lo = true,
+                8 => saw_hi = true,
+                6 | 7 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        let mut r = DetRng::new(5);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[r.pick_weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = f64::from(counts[2]) / f64::from(counts[0]);
+        assert!((2.7..3.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        DetRng::new(0).below(0);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = DetRng::new(9);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // 13 bytes: any fixed output would be suspicious, just check it ran
+        // over the tail chunk without panicking and produced some entropy.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,408 @@
+//! Simulated time for the study interval.
+//!
+//! All timestamps in the workspace are [`Minute`]s — minutes elapsed since
+//! the **epoch 2019-01-01 00:00**, the year the Astra study data was
+//! collected. A minute is the natural resolution: BMC sensors sample once per
+//! minute, and the kernel CE-polling cadence (seconds) is modeled inside the
+//! log-buffer simulation without needing sub-minute global timestamps.
+//!
+//! [`CalDate`] provides just enough proleptic-Gregorian calendar to convert
+//! between dates and day indices, bucket by month, and format RFC-3339-style
+//! strings for log records. 2019 is not a leap year, but the conversions are
+//! exact for arbitrary years anyway — the library should not break if someone
+//! simulates a different interval.
+
+use std::fmt;
+
+/// Minutes in a day.
+pub const MINUTES_PER_DAY: u64 = 24 * 60;
+
+/// Cumulative days at the start of each month for a non-leap year.
+const CUM_DAYS: [u64; 13] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365];
+
+fn is_leap(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_year(year: i64) -> u64 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+fn days_in_month(year: i64, month: u32) -> u64 {
+    let base = CUM_DAYS[month as usize] - CUM_DAYS[month as usize - 1];
+    if month == 2 && is_leap(year) {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CalDate {
+    /// Four-digit year.
+    pub year: i64,
+    /// Month, 1–12.
+    pub month: u32,
+    /// Day of month, 1-based.
+    pub day: u32,
+}
+
+impl CalDate {
+    /// Construct a date, panicking on out-of-range components.
+    pub fn new(year: i64, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(
+            day >= 1 && u64::from(day) <= days_in_month(year, month),
+            "day {day} out of range for {year}-{month:02}"
+        );
+        CalDate { year, month, day }
+    }
+
+    /// Days elapsed since 2019-01-01 (may be negative for earlier dates).
+    pub fn day_index(self) -> i64 {
+        let mut days: i64 = 0;
+        if self.year >= 2019 {
+            for y in 2019..self.year {
+                days += days_in_year(y) as i64;
+            }
+        } else {
+            for y in self.year..2019 {
+                days -= days_in_year(y) as i64;
+            }
+        }
+        days += CUM_DAYS[self.month as usize - 1] as i64;
+        if self.month > 2 && is_leap(self.year) {
+            days += 1;
+        }
+        days + i64::from(self.day) - 1
+    }
+
+    /// Inverse of [`CalDate::day_index`].
+    pub fn from_day_index(mut idx: i64) -> Self {
+        let mut year = 2019i64;
+        while idx < 0 {
+            year -= 1;
+            idx += days_in_year(year) as i64;
+        }
+        while idx >= days_in_year(year) as i64 {
+            idx -= days_in_year(year) as i64;
+            year += 1;
+        }
+        let mut month = 1u32;
+        while u64::try_from(idx).unwrap() >= days_in_month(year, month) {
+            idx -= days_in_month(year, month) as i64;
+            month += 1;
+        }
+        CalDate {
+            year,
+            month,
+            day: idx as u32 + 1,
+        }
+    }
+
+    /// Midnight at the start of this date.
+    pub fn midnight(self) -> Minute {
+        Minute::from_i64(self.day_index() * MINUTES_PER_DAY as i64)
+    }
+
+    /// The date `n` days later.
+    #[must_use]
+    pub fn plus_days(self, n: i64) -> Self {
+        Self::from_day_index(self.day_index() + n)
+    }
+}
+
+impl fmt::Display for CalDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A timestamp: minutes since 2019-01-01 00:00.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Minute(pub i64);
+
+impl Minute {
+    /// Construct from a raw minute count.
+    pub fn from_i64(v: i64) -> Self {
+        Minute(v)
+    }
+
+    /// Raw minute count.
+    pub fn value(self) -> i64 {
+        self.0
+    }
+
+    /// The calendar date containing this minute.
+    pub fn date(self) -> CalDate {
+        CalDate::from_day_index(self.0.div_euclid(MINUTES_PER_DAY as i64))
+    }
+
+    /// Day index (days since 2019-01-01) of this minute.
+    pub fn day_index(self) -> i64 {
+        self.0.div_euclid(MINUTES_PER_DAY as i64)
+    }
+
+    /// Hour-of-day, 0–23.
+    pub fn hour(self) -> u32 {
+        (self.0.rem_euclid(MINUTES_PER_DAY as i64) / 60) as u32
+    }
+
+    /// Minute-of-hour, 0–59.
+    pub fn minute_of_hour(self) -> u32 {
+        (self.0.rem_euclid(60)) as u32
+    }
+
+    /// Minutes elapsed since midnight, 0–1439.
+    pub fn minute_of_day(self) -> u32 {
+        self.0.rem_euclid(MINUTES_PER_DAY as i64) as u32
+    }
+
+    /// Month bucket index counted from January 2019 (Jan 2019 = 0).
+    pub fn month_index(self) -> i64 {
+        let d = self.date();
+        (d.year - 2019) * 12 + i64::from(d.month) - 1
+    }
+
+    /// Timestamp `n` minutes later.
+    #[must_use]
+    pub fn plus(self, n: i64) -> Self {
+        Minute(self.0 + n)
+    }
+
+    /// Format as `YYYY-MM-DDTHH:MM:00` (seconds are always zero at this
+    /// resolution; log formats that need seconds add them downstream).
+    pub fn rfc3339(self) -> String {
+        format!(
+            "{}T{:02}:{:02}:00",
+            self.date(),
+            self.hour(),
+            self.minute_of_hour()
+        )
+    }
+
+    /// Parse the format produced by [`Minute::rfc3339`]. Seconds are
+    /// accepted and truncated.
+    pub fn parse_rfc3339(s: &str) -> Option<Self> {
+        let (date_part, time_part) = s.split_once('T')?;
+        let mut dit = date_part.splitn(3, '-');
+        let year: i64 = dit.next()?.parse().ok()?;
+        let month: u32 = dit.next()?.parse().ok()?;
+        let day: u32 = dit.next()?.parse().ok()?;
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day < 1 || u64::from(day) > days_in_month(year, month) {
+            return None;
+        }
+        let mut tit = time_part.splitn(3, ':');
+        let hour: i64 = tit.next()?.parse().ok()?;
+        let min: i64 = tit.next()?.parse().ok()?;
+        if !(0..24).contains(&hour) || !(0..60).contains(&min) {
+            return None;
+        }
+        let date = CalDate::new(year, month, day);
+        Some(date.midnight().plus(hour * 60 + min))
+    }
+}
+
+impl fmt::Display for Minute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rfc3339())
+    }
+}
+
+/// Half-open interval of simulated time `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeSpan {
+    /// Inclusive start.
+    pub start: Minute,
+    /// Exclusive end.
+    pub end: Minute,
+}
+
+impl TimeSpan {
+    /// Construct; panics if `end < start`.
+    pub fn new(start: Minute, end: Minute) -> Self {
+        assert!(end >= start, "TimeSpan end before start");
+        TimeSpan { start, end }
+    }
+
+    /// Span covering `[start_date, end_date)` midnight-to-midnight.
+    pub fn dates(start: CalDate, end: CalDate) -> Self {
+        Self::new(start.midnight(), end.midnight())
+    }
+
+    /// Number of minutes in the span.
+    pub fn minutes(self) -> u64 {
+        (self.end.0 - self.start.0) as u64
+    }
+
+    /// Number of whole days covered (rounded up).
+    pub fn days(self) -> u64 {
+        self.minutes().div_ceil(MINUTES_PER_DAY)
+    }
+
+    /// Whether the span contains the instant `t`.
+    pub fn contains(self, t: Minute) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Fraction of a year this span covers (365-day year convention, as the
+    /// FIT-rate computation in the paper uses calendar-day arithmetic).
+    pub fn years(self) -> f64 {
+        self.minutes() as f64 / (365.0 * MINUTES_PER_DAY as f64)
+    }
+}
+
+/// The paper's main failure-analysis interval: Jan 20 – Sep 14, 2019 (§2.3).
+pub fn study_span() -> TimeSpan {
+    TimeSpan::dates(CalDate::new(2019, 1, 20), CalDate::new(2019, 9, 14))
+}
+
+/// The environmental-data interval: May 20 – Sep 19, 2019 (§3.3, Fig 2).
+pub fn sensor_span() -> TimeSpan {
+    TimeSpan::dates(CalDate::new(2019, 5, 20), CalDate::new(2019, 9, 19))
+}
+
+/// The replacement-tracking interval: Feb 17 – Sep 17, 2019 (Table 1).
+pub fn replacement_span() -> TimeSpan {
+    TimeSpan::dates(CalDate::new(2019, 2, 17), CalDate::new(2019, 9, 17))
+}
+
+/// Date the Hardware Event Tracker firmware started recording (§3.5).
+pub fn het_firmware_date() -> CalDate {
+    CalDate::new(2019, 8, 23)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_index_roundtrip_over_years() {
+        for idx in [-400i64, -1, 0, 1, 58, 59, 60, 364, 365, 366, 800] {
+            let d = CalDate::from_day_index(idx);
+            assert_eq!(d.day_index(), idx, "date {d}");
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(CalDate::new(2019, 1, 1).day_index(), 0);
+        assert_eq!(CalDate::new(2019, 1, 20).day_index(), 19);
+        assert_eq!(CalDate::new(2019, 2, 17).day_index(), 47);
+        assert_eq!(CalDate::new(2019, 12, 31).day_index(), 364);
+        assert_eq!(CalDate::new(2020, 1, 1).day_index(), 365);
+        // 2020 is a leap year.
+        assert_eq!(CalDate::new(2020, 3, 1).day_index(), 365 + 31 + 29);
+    }
+
+    #[test]
+    fn study_interval_length() {
+        // Jan 20 -> Sep 14 2019 is 237 days.
+        assert_eq!(study_span().days(), 237);
+        assert_eq!(replacement_span().days(), 212);
+        assert_eq!(sensor_span().days(), 122);
+    }
+
+    #[test]
+    fn minute_components() {
+        let t = CalDate::new(2019, 5, 20).midnight().plus(13 * 60 + 45);
+        assert_eq!(t.hour(), 13);
+        assert_eq!(t.minute_of_hour(), 45);
+        assert_eq!(t.date(), CalDate::new(2019, 5, 20));
+        assert_eq!(t.rfc3339(), "2019-05-20T13:45:00");
+    }
+
+    #[test]
+    fn rfc3339_roundtrip() {
+        let t = CalDate::new(2019, 9, 13).midnight().plus(23 * 60 + 59);
+        assert_eq!(Minute::parse_rfc3339(&t.rfc3339()), Some(t));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Minute::parse_rfc3339("not a date"), None);
+        assert_eq!(Minute::parse_rfc3339("2019-13-01T00:00:00"), None);
+        assert_eq!(Minute::parse_rfc3339("2019-02-30T00:00:00"), None);
+        assert_eq!(Minute::parse_rfc3339("2019-02-28T25:00:00"), None);
+    }
+
+    #[test]
+    fn month_index_buckets() {
+        assert_eq!(CalDate::new(2019, 1, 31).midnight().month_index(), 0);
+        assert_eq!(CalDate::new(2019, 2, 1).midnight().month_index(), 1);
+        assert_eq!(CalDate::new(2019, 9, 14).midnight().month_index(), 8);
+        assert_eq!(CalDate::new(2020, 1, 1).midnight().month_index(), 12);
+    }
+
+    #[test]
+    fn timespan_contains_and_years() {
+        let span = study_span();
+        assert!(span.contains(span.start));
+        assert!(!span.contains(span.end));
+        assert!((span.years() - 237.0 / 365.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_minutes_floor_correctly() {
+        let t = Minute::from_i64(-1);
+        assert_eq!(t.date(), CalDate::new(2018, 12, 31));
+        assert_eq!(t.hour(), 23);
+        assert_eq!(t.minute_of_hour(), 59);
+    }
+
+    #[test]
+    fn plus_days_crosses_month() {
+        assert_eq!(
+            CalDate::new(2019, 1, 31).plus_days(1),
+            CalDate::new(2019, 2, 1)
+        );
+        assert_eq!(
+            CalDate::new(2019, 3, 1).plus_days(-1),
+            CalDate::new(2019, 2, 28)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_day_index_roundtrip(idx in -200_000i64..200_000) {
+            let d = CalDate::from_day_index(idx);
+            prop_assert_eq!(d.day_index(), idx);
+            prop_assert!((1..=12).contains(&d.month));
+            prop_assert!(d.day >= 1 && d.day <= 31);
+        }
+
+        #[test]
+        fn prop_minute_rfc3339_roundtrip(m in -1_000_000i64..10_000_000) {
+            let t = Minute::from_i64(m);
+            prop_assert_eq!(Minute::parse_rfc3339(&t.rfc3339()), Some(t));
+        }
+
+        #[test]
+        fn prop_plus_days_is_additive(idx in -1000i64..1000, a in -500i64..500, b in -500i64..500) {
+            let d = CalDate::from_day_index(idx);
+            prop_assert_eq!(d.plus_days(a).plus_days(b), d.plus_days(a + b));
+        }
+
+        #[test]
+        fn prop_month_index_monotone(a in 0i64..600_000, b in 0i64..600_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                Minute::from_i64(lo).month_index() <= Minute::from_i64(hi).month_index()
+            );
+        }
+    }
+}

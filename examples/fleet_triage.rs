@@ -1,0 +1,100 @@
+//! Fleet triage: turn the fault analysis into the operational outputs the
+//! paper motivates (§3.2) — a node exclude-list for the few nodes with
+//! pathological fault counts, page-retirement coverage for small-footprint
+//! faults, and DIMM replacement candidates for wide-footprint faults.
+//!
+//! ```text
+//! cargo run --release --example fleet_triage -- [racks] [seed]
+//! ```
+
+use astra_core::pipeline::{Analysis, Dataset};
+use astra_core::{ObservedFault, ObservedMode};
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let racks: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let ds = Dataset::generate(racks, seed);
+    let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+    println!(
+        "triage over {} nodes: {} errors, {} faults\n",
+        ds.system.node_count(),
+        analysis.total_errors(),
+        analysis.total_faults()
+    );
+
+    // 1. Exclude list: nodes whose error volume dwarfs the fleet. The
+    //    paper: "an exclude list for the small number of nodes
+    //    experiencing large numbers of faults".
+    let mut per_node: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for f in &analysis.faults {
+        let e = per_node.entry(f.node.0).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += f.error_count;
+    }
+    let total_errors = analysis.total_errors();
+    let mut worst: Vec<(u32, (u64, u64))> = per_node.iter().map(|(&k, &v)| (k, v)).collect();
+    worst.sort_by_key(|item| std::cmp::Reverse(item.1 .1));
+    println!("exclude-list candidates (node, faults, errors, % of fleet errors):");
+    for (node, (faults, errors)) in worst.iter().take(8) {
+        let pct = 100.0 * *errors as f64 / total_errors as f64;
+        if pct < 1.0 {
+            break;
+        }
+        println!("  node{node:04}  {faults:>3} faults  {errors:>8} errors  {pct:>5.1}%");
+    }
+
+    // 2. Page retirement coverage: small-footprint faults are cheaply
+    //    contained by retiring one page each.
+    let (small, wide): (Vec<&ObservedFault>, Vec<&ObservedFault>) = analysis
+        .faults
+        .iter()
+        .partition(|f| f.mode.small_footprint());
+    let small_errors: u64 = small.iter().map(|f| f.error_count).sum();
+    println!(
+        "\npage retirement: {} faults ({:.1}% of faults, {:.1}% of errors) are\n\
+         single-bit/word and containable at one 4 KiB page each (~{} KiB total)",
+        small.len(),
+        100.0 * small.len() as f64 / analysis.total_faults() as f64,
+        100.0 * small_errors as f64 / total_errors as f64,
+        4 * small.len()
+    );
+
+    // 3. Replacement candidates: DIMMs carrying wide-footprint or
+    //    rank-level faults, ranked by attributed errors.
+    let mut per_dimm: BTreeMap<(u32, usize), (u64, u64, bool)> = BTreeMap::new();
+    for f in &wide {
+        let e = per_dimm.entry((f.node.0, f.slot.index())).or_insert((0, 0, false));
+        e.0 += 1;
+        e.1 += f.error_count;
+        e.2 |= f.mode == ObservedMode::RankLevel;
+    }
+    let mut dimms: Vec<_> = per_dimm.iter().collect();
+    dimms.sort_by_key(|item| std::cmp::Reverse(item.1 .1));
+    println!("\nDIMM replacement candidates (wide-footprint faults):");
+    for ((node, slot), (faults, errors, rank_level)) in dimms.iter().take(10) {
+        let slot = astra_topology::DimmSlot::from_index(*slot as u8).unwrap();
+        println!(
+            "  node{node:04}:{slot}  {faults} wide faults  {errors:>8} errors{}",
+            if *rank_level { "  [rank-level: replace]" } else { "" }
+        );
+    }
+
+    // 4. DUE exposure: expected uncorrectable errors per year at the
+    //    paper's measured FIT.
+    let window = astra_util::time::TimeSpan::dates(
+        astra_util::time::het_firmware_date(),
+        astra_util::CalDate::new(2019, 9, 14),
+    );
+    let stats = astra_core::het::due_stats(&ds.sim.het_log, window, ds.system.dimm_count());
+    println!(
+        "\nDUE exposure: {:.4} DUE/DIMM/yr (FIT {:.0}) -> expect {:.0} job-killing\n\
+         memory errors per year across this {}-node fleet",
+        stats.dues_per_dimm_year,
+        stats.fit_per_dimm,
+        stats.dues_per_dimm_year * ds.system.dimm_count() as f64,
+        ds.system.node_count()
+    );
+}

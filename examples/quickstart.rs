@@ -1,0 +1,42 @@
+//! Quickstart: generate a small synthetic Astra dataset, coalesce errors
+//! into faults, and print the headline reliability summary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use astra_core::experiments;
+use astra_core::pipeline::{Analysis, Dataset};
+use astra_util::time::study_span;
+
+fn main() {
+    // Two racks (144 nodes) of the Astra machine model, fixed seed.
+    let ds = Dataset::generate(2, 42);
+    println!(
+        "machine: {} racks, {} nodes, {} DIMMs",
+        ds.system.racks,
+        ds.system.node_count(),
+        ds.system.dimm_count()
+    );
+    println!(
+        "generated {} CE records ({} dropped in the kernel buffer), {} HET records\n",
+        ds.sim.ce_log.len(),
+        ds.sim.dropped_ces,
+        ds.sim.het_log.len()
+    );
+
+    // The analysis consumes records exactly as parsed from the syslog.
+    let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+    println!(
+        "coalesced {} errors into {} faults\n",
+        analysis.total_errors(),
+        analysis.total_faults()
+    );
+
+    // The paper's central exhibit: errors vs faults.
+    let fig4 = experiments::fig4::compute(&analysis, study_span());
+    print!("{}", fig4.render());
+    println!();
+    let fig5 = experiments::fig5::compute(&analysis);
+    print!("{}", fig5.render());
+}

@@ -1,0 +1,86 @@
+//! Site report: the full production workflow — write the machine's logs
+//! to disk in the published text formats, re-ingest them exactly as a
+//! site's extraction scripts would, and render the complete reliability
+//! report (every table and figure of the paper).
+//!
+//! ```text
+//! cargo run --release --example site_report -- [racks] [seed] [outdir]
+//! ```
+
+use astra_core::experiments;
+use astra_core::pipeline::{Analysis, AnalysisInput, Dataset};
+use astra_core::tempcorr::TempCorrConfig;
+use astra_util::time::{het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan};
+use astra_util::CalDate;
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let racks: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let outdir = args
+        .next()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("astra-site-report"));
+
+    eprintln!("simulating {racks} racks (seed {seed})...");
+    let ds = Dataset::generate(racks, seed);
+
+    eprintln!("writing logs to {}...", outdir.display());
+    ds.write_logs(&outdir)?;
+
+    eprintln!("re-ingesting text logs...");
+    let input = AnalysisInput::from_dir(&outdir)?;
+    eprintln!(
+        "parsed {} CE, {} HET, {} inventory records ({} skipped lines)",
+        input.records.len(),
+        input.hets.len(),
+        input.replacements.len(),
+        input.skipped
+    );
+
+    let analysis = Analysis::run(ds.system, input.records);
+    let config = TempCorrConfig::default();
+
+    println!("==============================================================");
+    println!(" Astra memory reliability report — {} nodes, seed {seed}", ds.system.node_count());
+    println!("==============================================================\n");
+
+    println!(
+        "{}",
+        experiments::table1::compute(&ds.system, &input.replacements).render()
+    );
+    println!(
+        "{}",
+        experiments::fig2::compute(&ds.telemetry, sensor_span(), 8, 6 * 60).render()
+    );
+    println!(
+        "{}",
+        experiments::fig3::compute(&input.replacements, replacement_span()).render()
+    );
+    println!("{}", experiments::fig4::compute(&analysis, study_span()).render());
+    println!("{}", experiments::fig5::compute(&analysis).render());
+    println!("{}", experiments::fig6::compute(&analysis).render());
+    println!("{}", experiments::fig7::compute(&analysis).render());
+    println!("{}", experiments::fig8::compute(&analysis).render());
+    println!(
+        "{}",
+        experiments::fig9::compute(&analysis, &ds.telemetry, sensor_span(), &config).render()
+    );
+    println!("{}", experiments::fig10_12::compute(&analysis).render());
+    println!(
+        "{}",
+        experiments::fig13_14::compute_fig13(&analysis, &ds.telemetry, sensor_span(), &config)
+            .render()
+    );
+    println!(
+        "{}",
+        experiments::fig13_14::compute_fig14(&analysis, &ds.telemetry, sensor_span(), &config)
+            .render()
+    );
+    let window = TimeSpan::dates(het_firmware_date(), CalDate::new(2019, 9, 14));
+    println!(
+        "{}",
+        experiments::fig15::compute(&input.hets, window, ds.system.dimm_count()).render()
+    );
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! What if Astra had Chipkill? (§2.2 / §3.2 counterfactual.)
+//!
+//! The paper notes Astra uses SEC-DED rather than Chipkill, and that
+//! multi-rank / multi-bank fault modes therefore "would manifest as
+//! uncorrectable memory errors" — invisible to a CE-based study. This
+//! example replays the ground-truth fault population under both ECC
+//! models and reports which fault modes stay correctable, and how much
+//! DUE exposure Chipkill would remove.
+//!
+//! ```text
+//! cargo run --release --example what_if_chipkill -- [racks] [seed]
+//! ```
+
+use astra_faultsim::{EccModel, EccOutcome, FaultMode};
+use astra_core::pipeline::Dataset;
+
+/// How a fault mode stresses one ECC word when its footprint is fully
+/// active. Single-device modes corrupt one bit per word; a word fault can
+/// corrupt several bits of the same word; rank-spanning alignment faults
+/// hit multiple devices of the same word.
+fn worst_case_word_corruption(mode: FaultMode) -> Vec<u8> {
+    match mode {
+        // One cell at a time: one bit per word access.
+        FaultMode::SingleBit | FaultMode::SingleColumn | FaultMode::SingleRow
+        | FaultMode::SingleBank => vec![11],
+        // A weak word can flip neighbouring bits within one x8 device.
+        FaultMode::SingleWord => vec![8, 9, 10],
+        // A pin/lane fault: same lane each access — one bit per word, but
+        // chronically. (An *aligned multi-device* variant would be two
+        // distinct devices; model that as the stress case.)
+        FaultMode::RankPin => vec![3, 3],
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let racks: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let ds = Dataset::generate(racks, seed);
+
+    println!("ECC what-if over {} ground-truth faults\n", ds.sim.ground_truth.len());
+    println!("worst-case word corruption per mode, judged by each code:");
+    println!("{:<14} {:>22} {:>22}", "mode", "SEC-DED", "Chipkill");
+    for mode in FaultMode::ALL {
+        let bits = worst_case_word_corruption(mode);
+        let secded = EccModel::SecDed.judge(&bits);
+        let chipkill = EccModel::Chipkill.judge(&bits);
+        println!(
+            "{:<14} {:>22} {:>22}",
+            mode.name(),
+            label(secded),
+            label(chipkill)
+        );
+    }
+
+    // Error-volume view: how many of the generated errors came from
+    // faults whose worst case stays correctable under each model.
+    let mut visible = [0u64; 2];
+    let mut total = 0u64;
+    for g in &ds.sim.ground_truth {
+        let bits = worst_case_word_corruption(g.fault.mode);
+        total += g.offered_errors;
+        if EccModel::SecDed.judge(&bits) == EccOutcome::Corrected {
+            visible[0] += g.offered_errors;
+        }
+        if EccModel::Chipkill.judge(&bits) == EccOutcome::Corrected {
+            visible[1] += g.offered_errors;
+        }
+    }
+    println!(
+        "\nerror volume whose worst case stays CE-visible:\n\
+         SEC-DED : {:>12} / {} ({:.1}%)\n\
+         Chipkill: {:>12} / {} ({:.1}%)",
+        visible[0],
+        total,
+        100.0 * visible[0] as f64 / total as f64,
+        visible[1],
+        total,
+        100.0 * visible[1] as f64 / total as f64,
+    );
+    println!(
+        "\nreading: under SEC-DED, word faults and aligned multi-device faults\n\
+         escalate to DUEs — exactly why the paper could not analyze\n\
+         multi-rank/multi-bank CE modes (§3.2). Chipkill would keep whole-device\n\
+         failures correctable, at higher cost and power (§2.2)."
+    );
+}
+
+fn label(outcome: EccOutcome) -> &'static str {
+    match outcome {
+        EccOutcome::Corrected => "corrected (CE)",
+        EccOutcome::DetectedUncorrectable => "DUE",
+        EccOutcome::BeyondDetection => "beyond detection",
+    }
+}

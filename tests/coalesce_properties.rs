@@ -1,0 +1,205 @@
+//! Property-based tests of the coalescing and mitigation invariants.
+//!
+//! The generators produce arbitrary (not merely realistic) CE record
+//! sets, so these properties must hold for *any* input a log could
+//! contain — the analyzer is meant for real site data, not only for our
+//! simulator's output.
+
+use astra_core::coalesce::{coalesce, CoalesceConfig};
+use astra_core::mitigation::{simulate_retirement, RetirementPolicy};
+use astra_core::ObservedMode;
+use astra_logs::CeRecord;
+use astra_topology::{DimmSlot, NodeId, PhysAddr, RankId};
+use astra_util::Minute;
+use proptest::prelude::*;
+
+/// Strategy: one CE record confined to a small coordinate space so that
+/// interesting collisions (same bank, same address, shared lanes) are
+/// common.
+fn arb_record() -> impl Strategy<Value = CeRecord> {
+    (
+        0i64..(200 * 1440),
+        0u32..6,
+        0u8..16,
+        0u8..2,
+        0u16..16,
+        0u16..8,
+        0u16..64,
+        0u64..128,
+        0u32..0x100,
+    )
+        .prop_map(
+            |(minutes, node, slot_idx, rank, bank, col, bit, addr_sel, synd)| {
+                let slot = DimmSlot::from_index(slot_idx).expect("slot < 16");
+                CeRecord {
+                    time: Minute::from_i64(minutes),
+                    node: NodeId(node),
+                    socket: slot.socket(),
+                    slot,
+                    rank: RankId(rank),
+                    bank,
+                    row: None,
+                    col,
+                    bit_pos: bit,
+                    addr: PhysAddr(addr_sel * 64),
+                    syndrome: synd,
+                }
+            },
+        )
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<CeRecord>> {
+    proptest::collection::vec(arb_record(), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_every_record_attributed_exactly_once(records in arb_records()) {
+        let faults = coalesce(&records, &CoalesceConfig::default());
+        let mut seen = vec![false; records.len()];
+        for f in &faults {
+            prop_assert_eq!(f.error_count as usize, f.record_indices.len());
+            for &i in &f.record_indices {
+                prop_assert!(!seen[i as usize], "record {} attributed twice", i);
+                seen[i as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&v| v), "unattributed records exist");
+    }
+
+    #[test]
+    fn prop_fault_fields_are_consistent(records in arb_records()) {
+        let faults = coalesce(&records, &CoalesceConfig::default());
+        for f in &faults {
+            prop_assert!(f.first_seen <= f.last_seen);
+            prop_assert!(f.error_count >= 1);
+            // Every attributed record matches the fault's device population.
+            for &i in &f.record_indices {
+                let rec = &records[i as usize];
+                prop_assert_eq!(rec.node, f.node);
+                prop_assert_eq!(rec.slot, f.slot);
+                prop_assert_eq!(rec.rank, f.rank);
+                if let Some(bank) = f.bank {
+                    prop_assert_eq!(rec.bank, bank);
+                }
+                if let Some(col) = f.col {
+                    prop_assert_eq!(rec.col, col);
+                }
+            }
+            // Mode-specific footprint guarantees.
+            match f.mode {
+                ObservedMode::SingleBit => {
+                    let mut pairs: Vec<(u64, u16)> = f
+                        .record_indices
+                        .iter()
+                        .map(|&i| (records[i as usize].addr.0, records[i as usize].bit_pos))
+                        .collect();
+                    pairs.dedup();
+                    pairs.sort_unstable();
+                    pairs.dedup();
+                    prop_assert_eq!(pairs.len(), 1, "single-bit spans locations");
+                }
+                ObservedMode::SingleWord => {
+                    let mut addrs: Vec<u64> = f
+                        .record_indices
+                        .iter()
+                        .map(|&i| records[i as usize].addr.0)
+                        .collect();
+                    addrs.sort_unstable();
+                    addrs.dedup();
+                    prop_assert_eq!(addrs.len(), 1, "single-word spans addresses");
+                }
+                ObservedMode::SingleColumn => {
+                    prop_assert!(f.col.is_some());
+                }
+                ObservedMode::SingleBank => {
+                    prop_assert!(f.bank.is_some());
+                    prop_assert!(f.col.is_none());
+                }
+                ObservedMode::RankLevel => {
+                    prop_assert!(f.bank.is_none());
+                    // All errors share one bit lane.
+                    for &i in &f.record_indices {
+                        prop_assert_eq!(records[i as usize].bit_pos, f.bit_pos);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_order_invariance(mut records in arb_records(), seed in 0u64..1000) {
+        let a = coalesce(&records, &CoalesceConfig::default());
+        // Deterministic shuffle.
+        let mut rng = astra_util::DetRng::new(seed);
+        for i in (1..records.len()).rev() {
+            let j = rng.below((i + 1) as u64) as usize;
+            records.swap(i, j);
+        }
+        let b = coalesce(&records, &CoalesceConfig::default());
+        prop_assert_eq!(a.len(), b.len());
+        // Same (mode, count, location) multiset.
+        let key = |f: &astra_core::ObservedFault| {
+            (f.node.0, f.slot.index(), f.rank.0, f.bank, f.mode, f.error_count)
+        };
+        let mut ka: Vec<_> = a.iter().map(key).collect();
+        let mut kb: Vec<_> = b.iter().map(key).collect();
+        ka.sort_unstable();
+        kb.sort_unstable();
+        prop_assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn prop_retirement_conserves_errors(
+        records in arb_records(),
+        threshold in 1u64..20,
+        budget in 1u64..8,
+    ) {
+        let faults = coalesce(&records, &CoalesceConfig::default());
+        for policy in [
+            RetirementPolicy::None,
+            RetirementPolicy::Threshold { ce_threshold: threshold },
+            RetirementPolicy::Budgeted {
+                ce_threshold: threshold,
+                max_pages_per_fault: budget,
+            },
+        ] {
+            let out = simulate_retirement(&records, &faults, policy);
+            prop_assert_eq!(
+                out.residual_errors + out.errors_avoided,
+                records.len() as u64,
+                "errors must be conserved under {:?}", policy
+            );
+            if policy == RetirementPolicy::None {
+                prop_assert_eq!(out.errors_avoided, 0);
+                prop_assert_eq!(out.retired_pages, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_stricter_policy_never_avoids_less(
+        records in arb_records(),
+        threshold in 2u64..20,
+    ) {
+        let faults = coalesce(&records, &CoalesceConfig::default());
+        let strict = simulate_retirement(
+            &records,
+            &faults,
+            RetirementPolicy::Threshold { ce_threshold: threshold - 1 },
+        );
+        let lax = simulate_retirement(
+            &records,
+            &faults,
+            RetirementPolicy::Threshold { ce_threshold: threshold },
+        );
+        prop_assert!(
+            strict.errors_avoided >= lax.errors_avoided,
+            "lower threshold avoided {} < higher threshold {}",
+            strict.errors_avoided,
+            lax.errors_avoided
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration: log formats across crates — mixed logs, corruption, and
+//! property-based roundtrips at the integration boundary.
+
+use astra_core::pipeline::{AnalysisInput, Dataset};
+use astra_logs::{io as logio, CeRecord, HetRecord, ReplacementRecord, SensorRecord};
+use astra_topology::{NodeId, SensorId};
+use astra_util::time::sensor_span;
+use proptest::prelude::*;
+
+#[test]
+fn mixed_log_file_separates_cleanly() {
+    // A single interleaved "syslog" with all record kinds: each parser
+    // must extract exactly its own lines.
+    let ds = Dataset::generate(1, 7);
+    let telemetry_records = ds.telemetry.records(
+        [NodeId(0), NodeId(1)],
+        astra_util::time::TimeSpan::new(sensor_span().start, sensor_span().start.plus(30)),
+        10,
+    );
+
+    let mut mixed = String::new();
+    let ce_count = ds.sim.ce_log.len().min(500);
+    for rec in ds.sim.ce_log.iter().take(ce_count) {
+        mixed.push_str(&rec.to_line());
+        mixed.push('\n');
+    }
+    for rec in &ds.sim.het_log {
+        mixed.push_str(&rec.to_line());
+        mixed.push('\n');
+    }
+    for rec in &telemetry_records {
+        mixed.push_str(&rec.to_line());
+        mixed.push('\n');
+    }
+    for rec in ds.replacements.iter().take(100) {
+        mixed.push_str(&rec.to_line());
+        mixed.push('\n');
+    }
+    mixed.push_str("garbage line that parses as nothing\n\n");
+
+    let ces = logio::read_lines(mixed.as_bytes(), CeRecord::parse_line).unwrap();
+    let hets = logio::read_lines(mixed.as_bytes(), HetRecord::parse_line).unwrap();
+    let sensors = logio::read_lines(mixed.as_bytes(), SensorRecord::parse_line).unwrap();
+    let invs = logio::read_lines(mixed.as_bytes(), ReplacementRecord::parse_line).unwrap();
+
+    assert_eq!(ces.records.len(), ce_count);
+    assert_eq!(hets.records.len(), ds.sim.het_log.len());
+    assert_eq!(sensors.records.len(), telemetry_records.len());
+    assert_eq!(invs.records.len(), 100.min(ds.replacements.len()));
+}
+
+#[test]
+fn truncated_log_degrades_gracefully() {
+    // Chop the CE log mid-line: the damaged line is skipped, everything
+    // before it parses.
+    let ds = Dataset::generate(1, 9);
+    let (ce, _, _) = ds.to_text();
+    let cut = ce.len() * 2 / 3;
+    // Find a safe UTF-8 boundary.
+    let mut cut = cut;
+    while !ce.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let truncated = &ce[..cut];
+    let full_lines = truncated.lines().count().saturating_sub(1);
+    let parsed = logio::read_lines(truncated.as_bytes(), CeRecord::parse_line).unwrap();
+    assert!(parsed.records.len() >= full_lines);
+    assert!(parsed.skipped <= 1);
+}
+
+#[test]
+fn analysis_input_counts_skips_across_logs() {
+    let ds = Dataset::generate(1, 11);
+    let (mut ce, mut het, mut inv) = ds.to_text();
+    ce.push_str("broken ce\n");
+    het.push_str("broken het\n");
+    inv.push_str("broken inv\n");
+    let input = AnalysisInput::from_text(&ce, &het, &inv).unwrap();
+    assert_eq!(input.skipped, 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_sensor_line_roundtrip(
+        node in 0u32..2592,
+        sensor_idx in 0u8..7,
+        minutes in 0i64..(300 * 1440),
+        raw in proptest::option::of(0u32..6000),
+    ) {
+        let rec = SensorRecord {
+            time: astra_util::Minute::from_i64(minutes),
+            node: NodeId(node),
+            sensor: SensorId::from_index(sensor_idx).unwrap(),
+            // One decimal place, as the format emits.
+            value: raw.map(|v| f64::from(v) / 10.0),
+        };
+        prop_assert_eq!(SensorRecord::parse_line(&rec.to_line()), Some(rec));
+    }
+
+    #[test]
+    fn prop_random_lines_never_panic_parsers(line in "\\PC{0,120}") {
+        // Fuzz: arbitrary printable junk must be rejected, not panic.
+        let _ = CeRecord::parse_line(&line);
+        let _ = HetRecord::parse_line(&line);
+        let _ = SensorRecord::parse_line(&line);
+        let _ = ReplacementRecord::parse_line(&line);
+    }
+
+    #[test]
+    fn prop_near_miss_lines_never_panic(
+        ts in "2019-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}:00",
+        node in "node[0-9]{1,6}",
+        tail in "[a-zA-Z0-9=: xX-]{0,60}",
+    ) {
+        // Lines that look like records but have corrupted fields.
+        let line = format!("{ts} {node} kernel: EDAC MC0: CE {tail}");
+        let _ = CeRecord::parse_line(&line);
+        let line = format!("{ts} {node} HET: {tail}");
+        let _ = HetRecord::parse_line(&line);
+        let line = format!("{ts} {node} BMC: {tail}");
+        let _ = SensorRecord::parse_line(&line);
+    }
+}

@@ -1,0 +1,105 @@
+//! Seed robustness: the paper-shape conclusions must not be artifacts of
+//! the default seed. Every structural claim is re-checked across several
+//! seeds at 4-rack scale; statistical claims are allowed one marginal
+//! seed out of the set (they are, after all, statistical).
+
+use astra_core::experiments;
+use astra_core::pipeline::{Analysis, Dataset};
+use astra_util::time::study_span;
+
+const SEEDS: [u64; 5] = [1, 7, 42, 1337, 99991];
+
+fn analyses() -> Vec<(u64, Dataset, Analysis)> {
+    SEEDS
+        .iter()
+        .map(|&seed| {
+            let ds = Dataset::generate(4, seed);
+            let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
+            (seed, ds, analysis)
+        })
+        .collect()
+}
+
+#[test]
+fn structural_invariants_hold_for_every_seed() {
+    for (seed, ds, analysis) in analyses() {
+        // Attribution is complete.
+        let attributed: u64 = analysis.faults.iter().map(|f| f.error_count).sum();
+        assert_eq!(
+            attributed + ds.sim.dropped_ces,
+            ds.sim.offered_errors(),
+            "seed {seed}: errors lost in the pipeline"
+        );
+        // Faults are orders of magnitude fewer than errors.
+        assert!(
+            analysis.total_faults() * 50 < analysis.total_errors(),
+            "seed {seed}: fault/error ratio"
+        );
+    }
+}
+
+#[test]
+fn headline_shapes_hold_for_most_seeds() {
+    let mut zero_frac_ok = 0;
+    let mut concentration_ok = 0;
+    let mut rank0_ok = 0;
+    let mut slot_ok = 0;
+    let mut median_one_ok = 0;
+    let mut flatter_ok = 0;
+    let n = SEEDS.len();
+
+    for (_seed, _ds, analysis) in analyses() {
+        let f5 = experiments::fig5::compute(&analysis);
+        if f5.zero_ce_fraction() > 0.5 {
+            zero_frac_ok += 1;
+        }
+        if f5.top_percent_share(2.0) > 0.6 {
+            concentration_ok += 1;
+        }
+        let f7 = experiments::fig7::compute(&analysis);
+        if f7.rank0_dominates() {
+            rank0_ok += 1;
+        }
+        if f7.hot_slots_dominate() {
+            slot_ok += 1;
+        }
+        let f4 = experiments::fig4::compute(&analysis, study_span());
+        if f4.violin.as_ref().map(|v| v.median) == Some(1.0) {
+            median_one_ok += 1;
+        }
+        let f6 = experiments::fig6::compute(&analysis);
+        if f6.faults_flatter_than_errors() {
+            flatter_ok += 1;
+        }
+    }
+
+    // Structural skews must hold for nearly every seed (the rank split is
+    // 58/42 and the machine-wide weak-location table re-draws ranks per
+    // location, so a small machine can flip it — as a real 4-rack slice
+    // of Astra could); tail statistics for all but at most one.
+    assert!(rank0_ok >= n - 1, "rank-0 skew: {rank0_ok}/{n}");
+    assert_eq!(slot_ok, n, "slot skew is built in");
+    assert_eq!(median_one_ok, n, "median errors/fault is 1");
+    assert_eq!(flatter_ok, n, "faults flatter than errors");
+    assert!(zero_frac_ok >= n - 1, "zero-CE fraction: {zero_frac_ok}/{n}");
+    assert!(
+        concentration_ok >= n - 1,
+        "concentration: {concentration_ok}/{n}"
+    );
+}
+
+#[test]
+fn calibrated_volume_is_stable_across_seeds() {
+    // Per-node CE volume should stay within a factor band across seeds —
+    // the heavy tail moves totals around, but not by orders of magnitude.
+    let volumes: Vec<f64> = analyses()
+        .iter()
+        .map(|(_, ds, a)| a.total_errors() as f64 / f64::from(ds.system.node_count()))
+        .collect();
+    let min = volumes.iter().cloned().fold(f64::MAX, f64::min);
+    let max = volumes.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        max / min < 4.0,
+        "per-node volumes vary too wildly: {volumes:?}"
+    );
+}

@@ -8,9 +8,7 @@ use std::hint::black_box;
 use astra_core::experiments as exp;
 use astra_core::pipeline::{Analysis, Dataset};
 use astra_core::tempcorr::TempCorrConfig;
-use astra_util::time::{
-    het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan,
-};
+use astra_util::time::{het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan};
 use astra_util::CalDate;
 
 fn bench_experiments(c: &mut Criterion) {

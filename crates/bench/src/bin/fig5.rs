@@ -8,7 +8,5 @@ fn main() {
     let (_, analysis) = prepare(cli);
     let fig = fig5::compute(&analysis);
     print!("{}", fig.render());
-    println!(
-        "(paper: >60% zero-CE nodes; top 8 >50%; top 2% ~90%)"
-    );
+    println!("(paper: >60% zero-CE nodes; top 8 >50%; top 2% ~90%)");
 }

@@ -24,9 +24,7 @@ use astra_core::pipeline::{Analysis, AnalysisInput, Dataset};
 use astra_core::reliability;
 use astra_core::tempcorr::TempCorrConfig;
 use astra_topology::SystemConfig;
-use astra_util::time::{
-    het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan,
-};
+use astra_util::time::{het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan};
 use astra_util::CalDate;
 
 const USAGE: &str = "\
@@ -37,29 +35,34 @@ USAGE:
     astra-mem analyze  DIR [--racks N]
     astra-mem report   DIR [--racks N] [--seed S]
     astra-mem triage   DIR [--racks N]
+    astra-mem stats    DIR [--racks N]
 
 COMMANDS:
     generate   simulate a machine; write ce/het/inventory/sensors logs
     analyze    parse a log directory and print the fault summary
     report     render every table and figure of the paper
     triage     operational outputs: exclude list, retirement, replacements
+    stats      pipeline health report: throughput, drop/skip rates, ratios
 
 OPTIONS:
-    --racks N  machine size in racks (default 4; Astra is 36)
-    --seed S   master seed (default 42)
-    --out DIR  output directory for generate
+    --racks N           machine size in racks (default 4; Astra is 36)
+    --seed S            master seed (default 42)
+    --out DIR           output directory for generate
+    --metrics-out FILE  write all metrics as JSON lines to FILE on exit
 ";
 
+#[derive(Debug)]
 struct Args {
     command: String,
     dir: Option<PathBuf>,
     racks: u32,
     seed: u64,
     out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut args = argv.into_iter();
     let command = args.next().ok_or("missing command")?;
     let mut parsed = Args {
         command,
@@ -67,12 +70,16 @@ fn parse_args() -> Result<Args, String> {
         racks: 4,
         seed: 42,
         out: None,
+        metrics_out: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--racks" => {
                 let v = args.next().ok_or("--racks needs a value")?;
                 parsed.racks = v.parse().map_err(|_| format!("bad rack count {v}"))?;
+                if parsed.racks == 0 {
+                    return Err("--racks must be at least 1".into());
+                }
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -81,7 +88,18 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 parsed.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
             }
-            other if !other.starts_with('-') && parsed.dir.is_none() => {
+            "--metrics-out" => {
+                parsed.metrics_out = Some(PathBuf::from(
+                    args.next().ok_or("--metrics-out needs a value")?,
+                ));
+            }
+            other if !other.starts_with('-') => {
+                if let Some(first) = &parsed.dir {
+                    return Err(format!(
+                        "unexpected second directory {other} (already got {})",
+                        first.display()
+                    ));
+                }
                 parsed.dir = Some(PathBuf::from(other));
             }
             other => return Err(format!("unknown argument {other}")),
@@ -91,7 +109,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -103,12 +121,22 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "report" => cmd_report(&args),
         "triage" => cmd_triage(&args),
+        "stats" => cmd_stats(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other}")),
     };
+    // Export metrics even on failure: a run that died half-way is exactly
+    // the one whose counters you want to see.
+    if let Some(path) = &args.metrics_out {
+        let jsonl = astra_obs::global().snapshot().to_jsonl();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -123,6 +151,12 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     eprintln!("simulating {} racks (seed {})...", args.racks, args.seed);
     let ds = Dataset::generate(args.racks, args.seed);
     ds.write_logs(&out).map_err(|e| e.to_string())?;
+    // Persist generation-time metrics next to the logs. Analysis commands
+    // fold this file back in, so kernel-buffer drop counts and ECC
+    // verdicts — facts only the generator knows — survive into `report
+    // --metrics-out` and `stats` on the same directory.
+    let jsonl = astra_obs::global().snapshot().to_jsonl();
+    std::fs::write(out.join("metrics.jsonl"), jsonl).map_err(|e| e.to_string())?;
     println!(
         "wrote {} CE, {} HET, {} inventory records (+ sensors.log excerpt) to {}",
         ds.sim.ce_log.len(),
@@ -134,10 +168,20 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 }
 
 fn load(args: &Args) -> Result<(SystemConfig, AnalysisInput), String> {
-    let dir = args.dir.clone().ok_or("this command needs a log directory")?;
+    let dir = args
+        .dir
+        .clone()
+        .ok_or("this command needs a log directory")?;
     let input = AnalysisInput::from_dir(&dir).map_err(|e| e.to_string())?;
     if input.skipped > 0 {
         eprintln!("note: skipped {} unparseable lines", input.skipped);
+    }
+    // Fold in the dataset's generation-time metrics, if present.
+    if let Ok(text) = std::fs::read_to_string(dir.join("metrics.jsonl")) {
+        let bad = astra_obs::global().import_jsonl(&text);
+        if bad > 0 {
+            eprintln!("note: skipped {bad} unparseable metrics.jsonl lines");
+        }
     }
     Ok((SystemConfig::scaled(args.racks), input))
 }
@@ -169,7 +213,10 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     );
     let config = TempCorrConfig::default();
 
-    println!("{}", exp::table1::compute(&system, &input.replacements).render());
+    println!(
+        "{}",
+        exp::table1::compute(&system, &input.replacements).render()
+    );
     // Prefer the parsed sensors.log excerpt when the directory has one;
     // otherwise sample the telemetry model.
     let fig2 = if input.sensors.is_empty() {
@@ -178,7 +225,10 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         exp::fig2::compute_from_records(&input.sensors)
     };
     println!("{}", fig2.render());
-    println!("{}", exp::fig3::compute(&input.replacements, replacement_span()).render());
+    println!(
+        "{}",
+        exp::fig3::compute(&input.replacements, replacement_span()).render()
+    );
     println!("{}", exp::fig4::compute(&analysis, study_span()).render());
     println!("{}", exp::fig5::compute(&analysis).render());
     println!("{}", exp::fig6::compute(&analysis).render());
@@ -204,14 +254,10 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     );
 
     // CE -> DUE escalation addendum.
-    if let Some(rr) = astra_core::het::due_relative_risk(
-        &analysis.faults,
-        &input.hets,
-        system.dimm_count(),
-    ) {
-        println!(
-            "DUE relative risk for DIMMs with prior CE faults: {rr:.1}x\n"
-        );
+    if let Some(rr) =
+        astra_core::het::due_relative_risk(&analysis.faults, &input.hets, system.dimm_count())
+    {
+        println!("DUE relative risk for DIMMs with prior CE faults: {rr:.1}x\n");
     }
 
     // Failure-model addendum.
@@ -259,7 +305,10 @@ fn cmd_triage(args: &Args) -> Result<(), String> {
     println!("smallest exclude list removing half of all CEs: {k} nodes\n");
 
     for (name, policy) in [
-        ("threshold(8)", RetirementPolicy::Threshold { ce_threshold: 8 }),
+        (
+            "threshold(8)",
+            RetirementPolicy::Threshold { ce_threshold: 8 },
+        ),
         (
             "budgeted(8, 16 pages)",
             RetirementPolicy::Budgeted {
@@ -280,4 +329,175 @@ fn cmd_triage(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Sum of all timing metrics whose span path ends in `suffix` (span paths
+/// nest, e.g. `time.pipeline.parse/parse.ce`, so stats matches by leaf).
+fn timing_secs_by_suffix(snap: &astra_obs::Snapshot, suffix: &str) -> f64 {
+    snap.entries
+        .iter()
+        .filter(|(name, _)| {
+            name.strip_prefix("time.")
+                .map(|path| path == suffix || path.ends_with(&format!("/{suffix}")))
+                .unwrap_or(false)
+        })
+        .map(|(name, _)| snap.timing_secs(name))
+        .sum()
+}
+
+fn rate_per_sec(count: u64, secs: f64) -> String {
+    if secs > 0.0 {
+        format!("{:.0}/s", count as f64 / secs)
+    } else {
+        "-".to_string()
+    }
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let (system, input) = load(args)?;
+    let analysis = Analysis::run(system, input.records);
+    let snap = astra_obs::global().snapshot();
+
+    println!("pipeline health ({} nodes)", system.node_count());
+    println!("\nparse stages:");
+    println!(
+        "  {:<10} {:>10} {:>9} {:>8} {:>12}",
+        "stage", "lines ok", "skipped", "skip %", "throughput"
+    );
+    for stage in ["ce", "het", "inventory", "sensors"] {
+        let ok = snap.counter(&format!("parse.{stage}.lines_ok"));
+        let skipped = snap.counter(&format!("parse.{stage}.lines_skipped"));
+        if ok == 0 && skipped == 0 {
+            continue;
+        }
+        let secs = timing_secs_by_suffix(&snap, &format!("parse.{stage}"));
+        println!(
+            "  {:<10} {:>10} {:>9} {:>7.2}% {:>12}",
+            stage,
+            ok,
+            skipped,
+            percent(skipped, ok + skipped),
+            rate_per_sec(ok, secs),
+        );
+    }
+
+    let offered = snap.counter("faultsim.events_offered");
+    if offered > 0 {
+        let dropped = snap.counter("faultsim.ces_dropped");
+        println!("\ngeneration (from metrics.jsonl):");
+        println!(
+            "  CEs offered {} | logged {} | dropped {} ({:.2}% kernel-buffer loss)",
+            offered,
+            snap.counter("faultsim.ces_logged"),
+            dropped,
+            percent(dropped, offered),
+        );
+        println!(
+            "  ECC verdicts: {} corrected, {} uncorrected, {} background HET",
+            snap.counter("faultsim.ecc.corrected"),
+            snap.counter("faultsim.ecc.due"),
+            snap.counter("faultsim.ecc.background"),
+        );
+    }
+
+    let records_in = snap.counter("coalesce.records_in");
+    println!("\ncoalesce:");
+    println!(
+        "  {} errors -> {} faults (ratio {:.1} errors/fault, throughput {})",
+        records_in,
+        snap.counter("coalesce.faults_out"),
+        snap.gauge("coalesce.ratio"),
+        rate_per_sec(records_in, timing_secs_by_suffix(&snap, "coalesce")),
+    );
+    let mode_counts: Vec<(String, u64)> = snap
+        .entries
+        .iter()
+        .filter_map(|(name, _)| {
+            name.strip_prefix("coalesce.mode.")
+                .map(|mode| (mode.to_string(), snap.counter(name)))
+        })
+        .collect();
+    for (mode, n) in &mode_counts {
+        println!(
+            "    {:<14} {:>6} ({:.1}%)",
+            mode,
+            n,
+            percent(*n, analysis.faults.len() as u64)
+        );
+    }
+
+    let ws = snap.gauge("pipeline.workingset_bytes");
+    if ws > 0.0 {
+        println!(
+            "\npeak analysis working set: {:.1} MiB",
+            ws / (1024.0 * 1024.0)
+        );
+    }
+    let analyze_secs = timing_secs_by_suffix(&snap, "pipeline.analyze");
+    if analyze_secs > 0.0 {
+        println!("analyze wall time: {analyze_secs:.3}s");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let a = parse_args(argv(&[
+            "report",
+            "/tmp/logs",
+            "--racks",
+            "2",
+            "--seed",
+            "7",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, "report");
+        assert_eq!(a.dir.as_deref().unwrap().to_str().unwrap(), "/tmp/logs");
+        assert_eq!(a.racks, 2);
+        assert_eq!(a.seed, 7);
+        assert_eq!(
+            a.metrics_out.as_deref().unwrap().to_str().unwrap(),
+            "m.json"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_racks() {
+        let err = parse_args(argv(&["generate", "--racks", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_directory() {
+        let err = parse_args(argv(&["analyze", "dir1", "dir2"])).unwrap_err();
+        assert!(err.contains("dir2") && err.contains("dir1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_missing_value() {
+        assert!(parse_args(argv(&["analyze", "--bogus"])).is_err());
+        assert!(parse_args(argv(&["generate", "--racks"])).is_err());
+        assert!(parse_args(argv(&["analyze", "--metrics-out"])).is_err());
+    }
 }

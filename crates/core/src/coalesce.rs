@@ -86,10 +86,7 @@ pub struct ObservedFault {
 
 impl ObservedFault {
     /// Month index (Jan 2019 = 0) of each attributed error.
-    pub fn error_months<'a>(
-        &'a self,
-        records: &'a [CeRecord],
-    ) -> impl Iterator<Item = i64> + 'a {
+    pub fn error_months<'a>(&'a self, records: &'a [CeRecord]) -> impl Iterator<Item = i64> + 'a {
         self.record_indices
             .iter()
             .map(move |&i| records[i as usize].time.month_index())
@@ -101,6 +98,7 @@ impl ObservedFault {
 /// Records may arrive in any order; output is sorted by
 /// `(node, slot, rank, first_seen)` and is deterministic.
 pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFault> {
+    let _span = astra_obs::span("coalesce");
     // Group record indices by device population.
     let mut groups: HashMap<(u32, u8, u8), Vec<u32>> = HashMap::new();
     for (i, rec) in records.iter().enumerate() {
@@ -111,6 +109,7 @@ pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFa
     }
 
     let mut out: Vec<ObservedFault> = Vec::new();
+    let groups_seen = groups.len() as u64;
     for ((node, slot_idx, rank), indices) in groups {
         let node = NodeId(node);
         let slot = DimmSlot::from_index(slot_idx).expect("slot from grouping");
@@ -127,6 +126,13 @@ pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFa
             f.bank,
         )
     });
+
+    let obs = astra_obs::global();
+    obs.counter("coalesce.groups").add(groups_seen);
+    for fault in &out {
+        obs.counter(&format!("coalesce.mode.{}", fault.mode.name()))
+            .inc();
+    }
     out
 }
 
@@ -437,7 +443,18 @@ mod tests {
     fn pin_lane_across_banks_is_rank_level() {
         // Same bit lane in 6 banks.
         let records: Vec<CeRecord> = (0..12)
-            .map(|i| rec(1, 'F', 1, (i % 6) as u16, i as u16, 200, 0x6000 + i, i as i64))
+            .map(|i| {
+                rec(
+                    1,
+                    'F',
+                    1,
+                    (i % 6) as u16,
+                    i as u16,
+                    200,
+                    0x6000 + i,
+                    i as i64,
+                )
+            })
             .collect();
         let faults = run(&records);
         assert_eq!(faults.len(), 1);
@@ -498,8 +515,9 @@ mod tests {
         // Two sticky single-bit faults that happen to share a bank must
         // not merge into a phantom single-bank fault (the minimal-fault-
         // set principle).
-        let mut records: Vec<CeRecord> =
-            (0..40).map(|m| rec(1, 'O', 0, 3, 10, 21, 0xAA00, m)).collect();
+        let mut records: Vec<CeRecord> = (0..40)
+            .map(|m| rec(1, 'O', 0, 3, 10, 21, 0xAA00, m))
+            .collect();
         records.extend((0..25).map(|m| rec(1, 'O', 0, 3, 55, 99, 0xBB00, 100 + m)));
         let faults = run(&records);
         assert_eq!(faults.len(), 2, "faults: {faults:?}");
@@ -567,7 +585,18 @@ mod tests {
     #[test]
     fn deterministic_regardless_of_input_order() {
         let mut records: Vec<CeRecord> = (0..30)
-            .map(|i| rec(1, 'N', 0, (i % 8) as u16, (i % 4) as u16, 50, 0xE000 + i, i as i64))
+            .map(|i| {
+                rec(
+                    1,
+                    'N',
+                    0,
+                    (i % 8) as u16,
+                    (i % 4) as u16,
+                    50,
+                    0xE000 + i,
+                    i as i64,
+                )
+            })
             .collect();
         let a = run(&records);
         records.reverse();

@@ -31,6 +31,7 @@ pub struct Fig10To12 {
 
 /// Compute Figs 10–12 from an analysis.
 pub fn compute(analysis: &Analysis) -> Fig10To12 {
+    let _span = super::figure_span("fig10_12");
     let s = &analysis.spatial;
     let region_fractions = (0..analysis.system.racks as usize)
         .map(|rack| s.region_fractions(rack))

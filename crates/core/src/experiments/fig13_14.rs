@@ -43,6 +43,7 @@ pub fn compute_fig13(
     span: TimeSpan,
     config: &TempCorrConfig,
 ) -> Fig13 {
+    let _span = super::figure_span("fig13");
     let (cpu, dimm) =
         temperature_deciles(&analysis.records, telemetry, &analysis.system, span, config);
     Fig13 { cpu, dimm }
@@ -55,6 +56,7 @@ pub fn compute_fig14(
     span: TimeSpan,
     config: &TempCorrConfig,
 ) -> Fig14 {
+    let _span = super::figure_span("fig14");
     let mut panels = Vec::new();
     for socket in SocketId::ALL {
         let sensor = SensorId::cpu(socket);
@@ -252,7 +254,10 @@ mod tests {
         let (analysis, telemetry) = setup();
         let f = compute_fig14(&analysis, &telemetry, sensor_span(), &quick());
         assert_eq!(f.panels.len(), 6);
-        assert!(f.hot_series_shifted_right(), "hot half should use more power");
+        assert!(
+            f.hot_series_shifted_right(),
+            "hot half should use more power"
+        );
         assert!(f.no_strong_power_trend(0.6), "unexpected power trend");
     }
 

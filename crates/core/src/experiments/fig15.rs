@@ -23,6 +23,7 @@ pub struct Fig15 {
 
 /// Compute Fig 15 over the HET recording window.
 pub fn compute(records: &[HetRecord], window: TimeSpan, dimms: u64) -> Fig15 {
+    let _span = super::figure_span("fig15");
     Fig15 {
         all: all_events(records, window),
         non_recoverable: non_recoverable(records, window),
@@ -69,7 +70,7 @@ mod tests {
     use super::*;
     use crate::pipeline::Dataset;
     use astra_util::time::het_firmware_date;
-    use astra_util::{CalDate, time::study_span};
+    use astra_util::{time::study_span, CalDate};
 
     fn window() -> TimeSpan {
         TimeSpan::dates(het_firmware_date(), CalDate::new(2019, 9, 14))

@@ -33,10 +33,14 @@ pub fn compute(
     node_stride: u32,
     minute_stride: u64,
 ) -> Fig2 {
+    let _span = super::figure_span("fig2");
     assert!(node_stride > 0 && minute_stride > 0);
     let system = *telemetry.system();
     let mut fig = Fig2 {
-        cpu: [Histogram::new(40.0, 90.0, 50), Histogram::new(40.0, 90.0, 50)],
+        cpu: [
+            Histogram::new(40.0, 90.0, 50),
+            Histogram::new(40.0, 90.0, 50),
+        ],
         dimm: [
             Histogram::new(25.0, 60.0, 70),
             Histogram::new(25.0, 60.0, 70),
@@ -85,8 +89,12 @@ pub fn compute(
 /// instead of querying the telemetry model — the path a site with real
 /// BMC logs would take.
 pub fn compute_from_records(records: &[astra_logs::SensorRecord]) -> Fig2 {
+    let _span = super::figure_span("fig2");
     let mut fig = Fig2 {
-        cpu: [Histogram::new(40.0, 90.0, 50), Histogram::new(40.0, 90.0, 50)],
+        cpu: [
+            Histogram::new(40.0, 90.0, 50),
+            Histogram::new(40.0, 90.0, 50),
+        ],
         dimm: [
             Histogram::new(25.0, 60.0, 70),
             Histogram::new(25.0, 60.0, 70),
@@ -104,9 +112,7 @@ pub fn compute_from_records(records: &[astra_logs::SensorRecord]) -> Fig2 {
             continue;
         };
         match rec.sensor.kind() {
-            astra_topology::SensorKind::CpuTemp(socket) => {
-                fig.cpu[usize::from(socket.0)].push(v)
-            }
+            astra_topology::SensorKind::CpuTemp(socket) => fig.cpu[usize::from(socket.0)].push(v),
             astra_topology::SensorKind::DimmTemp(group) => fig.dimm[group.index()].push(v),
             astra_topology::SensorKind::DcPower => fig.power.push(v),
         }
@@ -163,8 +169,7 @@ mod tests {
     use astra_util::CalDate;
 
     fn compute_small() -> Fig2 {
-        let telemetry =
-            TelemetryModel::new(SystemConfig::scaled(1), ThermalProfile::astra(), 42);
+        let telemetry = TelemetryModel::new(SystemConfig::scaled(1), ThermalProfile::astra(), 42);
         let span = TimeSpan::dates(CalDate::new(2019, 6, 1), CalDate::new(2019, 6, 8));
         compute(&telemetry, span, 4, 180)
     }
@@ -217,8 +222,7 @@ mod tests {
     fn records_path_matches_model_path() {
         // The record-based Fig 2 over a materialized excerpt must agree
         // with the model-based computation over the same samples.
-        let telemetry =
-            TelemetryModel::new(SystemConfig::scaled(1), ThermalProfile::astra(), 42);
+        let telemetry = TelemetryModel::new(SystemConfig::scaled(1), ThermalProfile::astra(), 42);
         let span = TimeSpan::dates(CalDate::new(2019, 6, 1), CalDate::new(2019, 6, 3));
         let nodes: Vec<astra_topology::NodeId> =
             (0..72).step_by(4).map(astra_topology::NodeId).collect();

@@ -18,6 +18,7 @@ pub struct Fig3 {
 
 /// Aggregate replacement records into the daily series.
 pub fn compute(records: &[ReplacementRecord], span: TimeSpan) -> Fig3 {
+    let _span = super::figure_span("fig3");
     let (dates, series) = daily_series(records, span);
     Fig3 { dates, series }
 }

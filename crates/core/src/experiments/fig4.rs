@@ -33,6 +33,7 @@ pub struct Fig4 {
 
 /// Compute Fig 4 from an analysis over `span`.
 pub fn compute(analysis: &Analysis, span: TimeSpan) -> Fig4 {
+    let _span = super::figure_span("fig4");
     let first = span.start.month_index();
     let last = span.end.plus(-1).month_index();
     let months: Vec<i64> = (first..=last).collect();

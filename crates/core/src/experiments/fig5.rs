@@ -28,6 +28,7 @@ pub struct Fig5 {
 
 /// Compute Fig 5 from an analysis.
 pub fn compute(analysis: &Analysis) -> Fig5 {
+    let _span = super::figure_span("fig5");
     let fault_counts = analysis.spatial.fault_counts_all_nodes(&analysis.system);
     let error_counts = analysis.spatial.error_counts_all_nodes(&analysis.system);
 
@@ -80,10 +81,7 @@ impl Fig5 {
                 fit.alpha, fit.xmin, fit.ks, fit.n_tail
             ));
         }
-        let mut rows = vec![vec![
-            "Faults/node".to_string(),
-            "Nodes".to_string(),
-        ]];
+        let mut rows = vec![vec!["Faults/node".to_string(), "Nodes".to_string()]];
         for (count, nodes) in self.fault_count_freq.iter().take(12) {
             rows.push(vec![count.to_string(), thousands(nodes)]);
         }

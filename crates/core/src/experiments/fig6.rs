@@ -37,6 +37,7 @@ pub struct Fig6 {
 
 /// Compute Fig 6 from an analysis.
 pub fn compute(analysis: &Analysis) -> Fig6 {
+    let _span = super::figure_span("fig6");
     let s = &analysis.spatial;
     Fig6 {
         errors_by_socket: s.errors_by_socket,
@@ -99,7 +100,10 @@ impl Fig6 {
         push("socket", &self.errors_by_socket, &self.faults_by_socket);
         push("bank", &self.errors_by_bank, &self.faults_by_bank);
         push("column", &self.errors_by_col, &self.faults_by_col);
-        let mut out = format!("Fig 6: errors vs faults by socket/bank/column\n{}", table(&rows));
+        let mut out = format!(
+            "Fig 6: errors vs faults by socket/bank/column\n{}",
+            table(&rows)
+        );
         if let Some(chi) = self.bank_fault_chi2 {
             out.push_str(&format!(
                 "faults-by-bank chi2 p = {:.3} (uniform at 5%: {})\n",

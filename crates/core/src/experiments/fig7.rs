@@ -25,6 +25,7 @@ pub struct Fig7 {
 
 /// Compute Fig 7 from an analysis.
 pub fn compute(analysis: &Analysis) -> Fig7 {
+    let _span = super::figure_span("fig7");
     let s = &analysis.spatial;
     Fig7 {
         errors_by_rank: s.errors_by_rank,

@@ -26,6 +26,7 @@ pub struct Fig8 {
 
 /// Compute Fig 8 from an analysis.
 pub fn compute(analysis: &Analysis) -> Fig8 {
+    let _span = super::figure_span("fig8");
     let faults_by_bit = analysis.spatial.faults_by_bit.clone();
     let faults_by_addr = analysis.spatial.faults_by_addr.clone();
     let bit_counts = faults_by_bit.count_values();
@@ -57,10 +58,7 @@ impl Fig8 {
         let mut out = String::from("Fig 8: faults per bit position and physical address\n");
         let panel = |name: &str, freq: &FreqTable, fit: &Option<PowerLawFit>| -> String {
             let cc = freq.count_of_counts();
-            let mut rows = vec![vec![
-                format!("Faults/{name}"),
-                "Locations".to_string(),
-            ]];
+            let mut rows = vec![vec![format!("Faults/{name}"), "Locations".to_string()]];
             for (count, locations) in cc.iter().take(8) {
                 rows.push(vec![count.to_string(), thousands(locations)]);
             }

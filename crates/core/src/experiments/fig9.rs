@@ -35,6 +35,7 @@ pub fn compute(
     span: TimeSpan,
     config: &TempCorrConfig,
 ) -> Fig9 {
+    let _span = super::figure_span("fig9");
     let windows = WINDOWS
         .iter()
         .map(|(label, minutes)| {

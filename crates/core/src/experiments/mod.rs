@@ -20,6 +20,17 @@
 //! | [`fig13_14`] | Figs 13–14 — temperature deciles and hot/cold power split |
 //! | [`fig15`]    | Fig 15 — HET events and the FIT computation               |
 
+/// Instrument one figure driver: bump `experiments.<figure>.computed` and
+/// time the body under `time.experiments.<figure>`. Every `compute` entry
+/// point opens with this, so a `--metrics-out` export shows exactly which
+/// exhibits a run produced and what each cost.
+pub(crate) fn figure_span(figure: &str) -> astra_obs::SpanGuard<'static> {
+    astra_obs::global()
+        .counter(&format!("experiments.{figure}.computed"))
+        .inc();
+    astra_obs::span(&format!("experiments.{figure}"))
+}
+
 pub mod fig10_12;
 pub mod fig13_14;
 pub mod fig15;

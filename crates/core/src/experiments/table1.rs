@@ -36,6 +36,7 @@ pub struct Table1 {
 
 /// Tally replacements per category.
 pub fn compute(system: &SystemConfig, records: &[ReplacementRecord]) -> Table1 {
+    let _span = super::figure_span("table1");
     let mut counts = [0u64; 3];
     for rec in records {
         counts[rec.component.category_index()] += 1;

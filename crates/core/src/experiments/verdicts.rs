@@ -66,7 +66,9 @@ pub fn evaluate(ds: &Dataset, analysis: &Analysis, tc: &TempCorrConfig) -> Vec<V
         claim: "maximum errors per fault just over 91,000",
         paper: "~91,000".into(),
         measured: format!("{:?}", v.map(|v| v.max)),
-        pass: v.map(|v| v.max >= 20_000 && v.max <= 91_000).unwrap_or(false),
+        pass: v
+            .map(|v| v.max >= 20_000 && v.max <= 91_000)
+            .unwrap_or(false),
     });
     let bit = f4.mode_total(ObservedMode::SingleBit);
     let word = f4.mode_total(ObservedMode::SingleWord);
@@ -273,8 +275,7 @@ pub fn evaluate(ds: &Dataset, analysis: &Analysis, tc: &TempCorrConfig) -> Vec<V
             f15.dues.dues_per_dimm_year, f15.dues.fit_per_dimm
         ),
         // Wide band: the Poisson mean is ~24 even at full scale.
-        pass: f15.dues.dues == 0
-            || (0.003..0.03).contains(&f15.dues.dues_per_dimm_year),
+        pass: f15.dues.dues == 0 || (0.003..0.03).contains(&f15.dues.dues_per_dimm_year),
     });
 
     out

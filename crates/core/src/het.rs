@@ -63,9 +63,7 @@ pub fn all_events(records: &[HetRecord], span: TimeSpan) -> HetSeries {
 
 /// NON-RECOVERABLE subset (Fig 15b).
 pub fn non_recoverable(records: &[HetRecord], span: TimeSpan) -> HetSeries {
-    het_series(records, span, |r| {
-        r.severity == HetSeverity::NonRecoverable
-    })
+    het_series(records, span, |r| r.severity == HetSeverity::NonRecoverable)
 }
 
 /// DUE statistics over an observation window (§3.5).
@@ -121,10 +119,7 @@ pub fn due_relative_risk(
     total_dimms: u64,
 ) -> Option<f64> {
     use std::collections::HashSet;
-    let faulty: HashSet<(u32, usize)> = faults
-        .iter()
-        .map(|f| (f.node.0, f.slot.index()))
-        .collect();
+    let faulty: HashSet<(u32, usize)> = faults.iter().map(|f| (f.node.0, f.slot.index())).collect();
     let faulty_count = faulty.len() as u64;
     let healthy_count = total_dimms.checked_sub(faulty_count)?;
     if faulty_count == 0 || healthy_count == 0 {
@@ -254,11 +249,7 @@ mod tests {
         // Full-ish scale so there are enough DUEs to measure.
         let ds = Dataset::generate(16, 42);
         let analysis = Analysis::run(ds.system, ds.sim.ce_log.clone());
-        let rr = due_relative_risk(
-            &analysis.faults,
-            &ds.sim.het_log,
-            ds.system.dimm_count(),
-        );
+        let rr = due_relative_risk(&analysis.faults, &ds.sim.het_log, ds.system.dimm_count());
         if let Some(rr) = rr {
             // 55% of DUEs on ~1.5% of DIMMs: the relative risk is large.
             assert!(rr > 5.0, "relative risk {rr} should be elevated");

@@ -63,6 +63,7 @@ impl Dataset {
         thermal_profile: ThermalProfile,
         seed: u64,
     ) -> Dataset {
+        let _span = astra_obs::span("pipeline.generate");
         let sim = simulate(&system, sim_profile, seed);
         let replacements = simulate_replacements(&system, replacement_profile, seed);
         let telemetry = TelemetryModel::new(system, thermal_profile, seed);
@@ -129,10 +130,7 @@ impl Dataset {
             }
             f.flush()
         };
-        write(
-            "ce.log",
-            &mut self.sim.ce_log.iter().map(CeRecord::to_line),
-        )?;
+        write("ce.log", &mut self.sim.ce_log.iter().map(CeRecord::to_line))?;
         write(
             "het.log",
             &mut self.sim.het_log.iter().map(HetRecord::to_line),
@@ -168,9 +166,14 @@ impl AnalysisInput {
     /// Parse the three text logs. The CE log — by far the largest — is
     /// parsed in parallel shards.
     pub fn from_text(ce_log: &str, het_log: &str, inventory_log: &str) -> io::Result<Self> {
-        let ces = logio::parse_lines_parallel(ce_log, CeRecord::parse_line);
-        let hets = logio::read_lines(het_log.as_bytes(), HetRecord::parse_line)?;
-        let invs = logio::read_lines(inventory_log.as_bytes(), ReplacementRecord::parse_line)?;
+        let _span = astra_obs::span("pipeline.parse");
+        let ces = logio::parse_lines_parallel_metered(ce_log, CeRecord::parse_line, "ce");
+        let hets = logio::read_lines_metered(het_log.as_bytes(), HetRecord::parse_line, "het")?;
+        let invs = logio::read_lines_metered(
+            inventory_log.as_bytes(),
+            ReplacementRecord::parse_line,
+            "inventory",
+        )?;
         Ok(AnalysisInput {
             records: ces.records,
             hets: hets.records,
@@ -188,7 +191,8 @@ impl AnalysisInput {
         let mut input =
             Self::from_text(&read("ce.log")?, &read("het.log")?, &read("inventory.log")?)?;
         if let Ok(text) = read("sensors.log") {
-            let parsed = logio::parse_lines_parallel(&text, SensorRecord::parse_line);
+            let parsed =
+                logio::parse_lines_parallel_metered(&text, SensorRecord::parse_line, "sensors");
             input.sensors = parsed.records;
             input.skipped += parsed.skipped;
         }
@@ -235,8 +239,31 @@ impl Analysis {
         records: Vec<CeRecord>,
         config: &CoalesceConfig,
     ) -> Analysis {
+        let span = astra_obs::span("pipeline.analyze");
         let faults = coalesce(&records, config);
         let spatial = SpatialCounts::compute(&system, &records, &faults);
+
+        let obs = astra_obs::global();
+        obs.counter("coalesce.records_in").add(records.len() as u64);
+        obs.counter("coalesce.faults_out").add(faults.len() as u64);
+        if !records.is_empty() {
+            // Coalescing ratio: how many raw CEs each inferred fault
+            // absorbs on average (the paper's ~4.4M errors → ~27k faults
+            // story at full scale).
+            obs.gauge("coalesce.ratio")
+                .set(records.len() as f64 / faults.len().max(1) as f64);
+        }
+        // Peak working set of the analysis stage: the record stream plus
+        // the fault list with its per-fault record-index backing store.
+        let record_bytes = records.len() * std::mem::size_of::<CeRecord>();
+        let fault_bytes: usize = faults
+            .iter()
+            .map(|f| std::mem::size_of_val(f) + f.record_indices.len() * 4)
+            .sum();
+        obs.gauge("pipeline.workingset_bytes")
+            .set_max((record_bytes + fault_bytes) as f64);
+        drop(span);
+
         Analysis {
             system,
             records,
@@ -300,17 +327,43 @@ mod tests {
         assert!(analysis.total_faults() < analysis.total_errors());
     }
 
+    /// Removes its temp dir on drop, including when the test panics —
+    /// otherwise a failing assertion leaks the directory and a later run
+    /// (or a parallel test landing on the same name) sees stale logs.
+    struct TempDirGuard(std::path::PathBuf);
+
+    impl TempDirGuard {
+        fn new(tag: &str) -> TempDirGuard {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            // pid alone collides when two test binaries fork from the
+            // same runner or a previous run left the dir behind; a
+            // per-process counter makes every call site unique.
+            let dir = std::env::temp_dir().join(format!(
+                "astra-{tag}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            TempDirGuard(dir)
+        }
+    }
+
+    impl Drop for TempDirGuard {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
     #[test]
     fn write_and_read_directory() {
         let ds = dataset();
-        let dir = std::env::temp_dir().join(format!("astra-pipeline-test-{}", std::process::id()));
-        ds.write_logs(&dir).unwrap();
-        let input = AnalysisInput::from_dir(&dir).unwrap();
+        let guard = TempDirGuard::new("pipeline-test");
+        ds.write_logs(&guard.0).unwrap();
+        let input = AnalysisInput::from_dir(&guard.0).unwrap();
         assert_eq!(input.records.len(), ds.sim.ce_log.len());
         // The sensor excerpt roundtrips too.
         assert_eq!(input.sensors.len(), ds.sensor_excerpt().len());
         assert!(!input.sensors.is_empty());
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

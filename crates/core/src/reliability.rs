@@ -7,8 +7,8 @@
 //! (infant mortality) rather than constant.
 
 use astra_logs::ReplacementRecord;
-use astra_stats::survival::{exponential_rate_mle, KaplanMeier, Lifetime};
 use astra_stats::ks_two_sample;
+use astra_stats::survival::{exponential_rate_mle, KaplanMeier, Lifetime};
 use astra_topology::SystemConfig;
 use astra_util::time::TimeSpan;
 

@@ -61,11 +61,8 @@ pub struct SpatialCounts {
 
 impl SpatialCounts {
     /// Compute all aggregations for a machine.
-    pub fn compute(
-        system: &SystemConfig,
-        records: &[CeRecord],
-        faults: &[ObservedFault],
-    ) -> Self {
+    pub fn compute(system: &SystemConfig, records: &[CeRecord], faults: &[ObservedFault]) -> Self {
+        let _span = astra_obs::span("spatial.compute");
         let banks = system.geometry.banks as usize;
         let cols = system.geometry.cols as usize;
         let racks = system.racks as usize;
@@ -205,8 +202,7 @@ mod tests {
     #[test]
     fn errors_and_faults_diverge() {
         // 100 errors from one fault on node 0; 1 error each on 3 nodes.
-        let mut records: Vec<CeRecord> =
-            (0..100).map(|_| rec(0, 'E', 0, 1, 2, 0x100)).collect();
+        let mut records: Vec<CeRecord> = (0..100).map(|_| rec(0, 'E', 0, 1, 2, 0x100)).collect();
         records.push(rec(10, 'A', 1, 0, 0, 0x200));
         records.push(rec(20, 'B', 1, 3, 1, 0x300));
         records.push(rec(30, 'C', 0, 5, 9, 0x400));
@@ -285,8 +281,9 @@ mod tests {
     fn bank_and_column_faults_exclude_wide_modes() {
         // A single-bank fault (bank-dispersed: >= 8 columns, addresses
         // spread) has a bank but no column.
-        let records: Vec<CeRecord> =
-            (0..10).map(|i| rec(0, 'D', 0, 7, i as u16, 0x100 + i)).collect();
+        let records: Vec<CeRecord> = (0..10)
+            .map(|i| rec(0, 'D', 0, 7, i as u16, 0x100 + i))
+            .collect();
         let s = compute(&records);
         assert_eq!(s.faults_by_bank[7], 1);
         assert_eq!(s.faults_by_col.iter().sum::<u64>(), 0);

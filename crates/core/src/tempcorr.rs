@@ -303,8 +303,14 @@ pub fn power_hot_cold(
     config: &TempCorrConfig,
 ) -> Vec<DecileSeries> {
     let temp_samples = monthly_samples(records, telemetry, system, span, temp_sensor, config);
-    let power_samples =
-        monthly_samples(records, telemetry, system, span, SensorId::dc_power(), config);
+    let power_samples = monthly_samples(
+        records,
+        telemetry,
+        system,
+        span,
+        SensorId::dc_power(),
+        config,
+    );
     // Index power means by (node, month).
     let mut power: std::collections::HashMap<(u32, i64), f64> = std::collections::HashMap::new();
     for s in &power_samples {
@@ -400,21 +406,22 @@ mod tests {
     #[test]
     fn month_start_boundaries() {
         assert_eq!(month_start(0), 0);
-        assert_eq!(
-            month_start(6),
-            CalDate::new(2019, 7, 1).midnight().value()
-        );
-        assert_eq!(
-            month_start(12),
-            CalDate::new(2020, 1, 1).midnight().value()
-        );
+        assert_eq!(month_start(6), CalDate::new(2019, 7, 1).midnight().value());
+        assert_eq!(month_start(12), CalDate::new(2020, 1, 1).midnight().value());
     }
 
     #[test]
     fn window_correlation_runs_and_is_flat() {
         // Errors placed independent of temperature: relative slope small.
         let records: Vec<CeRecord> = (0..300)
-            .map(|i| ce((i % 60) as u32, ['A', 'E', 'J', 'O'][i % 4], 1 + (i % 25) as u32, 7))
+            .map(|i| {
+                ce(
+                    (i % 60) as u32,
+                    ['A', 'E', 'J', 'O'][i % 4],
+                    1 + (i % 25) as u32,
+                    7,
+                )
+            })
             .collect();
         let wc = window_correlation(&records, &telemetry(), span(), 60, &quick_config());
         assert!(wc.sampled > 0);
@@ -481,10 +488,7 @@ mod tests {
         // Constant CE count → flat series.
         assert!(series.points.iter().all(|(_, y)| (*y - 3.0).abs() < 1e-12));
         // X values ascend.
-        assert!(series
-            .points
-            .windows(2)
-            .all(|w| w[0].0 <= w[1].0));
+        assert!(series.points.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]
@@ -519,9 +523,8 @@ mod tests {
         assert!(!series[1].points.is_empty());
         // Hot samples should be shifted toward higher power (power and
         // temperature share the utilization driver).
-        let mean_x = |s: &DecileSeries| {
-            s.points.iter().map(|p| p.0).sum::<f64>() / s.points.len() as f64
-        };
+        let mean_x =
+            |s: &DecileSeries| s.points.iter().map(|p| p.0).sum::<f64>() / s.points.len() as f64;
         assert!(mean_x(&series[0]) > mean_x(&series[1]));
     }
 }

@@ -17,16 +17,25 @@ fn main() {
     let dt = t0.elapsed();
     let scale = 2592.0 / f64::from(system.node_count());
 
-    println!("racks={racks} nodes={} sim took {dt:?}", system.node_count());
+    println!(
+        "racks={racks} nodes={} sim took {dt:?}",
+        system.node_count()
+    );
     println!(
         "logged CEs {:>10}  (x{scale:.1} => {:>10.0}; paper 4,369,731)",
         out.ce_log.len(),
         out.ce_log.len() as f64 * scale
     );
-    println!("dropped CEs {:>9}  ({:.2}% of offered)", out.dropped_ces,
-        100.0 * out.dropped_ces as f64 / out.offered_errors() as f64);
-    println!("faults      {:>9}  (x{scale:.1} => {:>9.0})", out.ground_truth.len(),
-        out.ground_truth.len() as f64 * scale);
+    println!(
+        "dropped CEs {:>9}  ({:.2}% of offered)",
+        out.dropped_ces,
+        100.0 * out.dropped_ces as f64 / out.offered_errors() as f64
+    );
+    println!(
+        "faults      {:>9}  (x{scale:.1} => {:>9.0})",
+        out.ground_truth.len(),
+        out.ground_truth.len() as f64 * scale
+    );
 
     // Errors offered per ground-truth mode.
     for mode in FaultMode::ALL {
@@ -64,15 +73,33 @@ fn main() {
         scaled_top,
         100.0 * top_share as f64 / total as f64
     );
-    let max_epf = out.ground_truth.iter().map(|g| g.offered_errors).max().unwrap_or(0);
+    let max_epf = out
+        .ground_truth
+        .iter()
+        .map(|g| g.offered_errors)
+        .max()
+        .unwrap_or(0);
     println!("max errors/fault: {max_epf} (paper ~91,000)");
-    let ones = out.ground_truth.iter().filter(|g| g.offered_errors == 1).count();
+    let ones = out
+        .ground_truth
+        .iter()
+        .filter(|g| g.offered_errors == 1)
+        .count();
     println!(
         "faults with exactly 1 error: {:.1}% (paper: vast majority, median 1)",
         100.0 * ones as f64 / out.ground_truth.len() as f64
     );
-    println!("HET records: {} (paper Fig 15 scale: tens)", out.het_log.len());
-    let dues = out.het_log.iter().filter(|r| r.kind.is_memory_due()).count();
-    println!("memory DUEs: {dues} (paper-rate expectation at this scale: {:.1})",
-        system.dimm_count() as f64 * 0.00948 * 22.0 / 365.0);
+    println!(
+        "HET records: {} (paper Fig 15 scale: tens)",
+        out.het_log.len()
+    );
+    let dues = out
+        .het_log
+        .iter()
+        .filter(|r| r.kind.is_memory_due())
+        .count();
+    println!(
+        "memory DUEs: {dues} (paper-rate expectation at this scale: {:.1})",
+        system.dimm_count() as f64 * 0.00948 * 22.0 / 365.0
+    );
 }

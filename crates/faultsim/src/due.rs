@@ -54,8 +54,7 @@ pub fn generate_het(
     let expected_dues = system.dimm_count() as f64 * profile.due_rate_per_dimm_year * window_years;
     let n_dues = poisson(&mut rng, expected_dues);
     for _ in 0..n_dues {
-        let (node, slot) = if !faulty_dimms.is_empty() && rng.chance(profile.due_on_faulty_share)
-        {
+        let (node, slot) = if !faulty_dimms.is_empty() && rng.chance(profile.due_on_faulty_share) {
             let dimm = *rng.pick(faulty_dimms);
             (dimm.node, dimm.slot)
         } else {
@@ -213,10 +212,7 @@ mod tests {
         let years = 1.0;
         let dues = (0.009_48 * dimms as f64 * years).round() as u64;
         let fit = fit_per_dimm(dues, dimms, years);
-        assert!(
-            (fit - 1081.0).abs() < 15.0,
-            "FIT {fit} should be near 1081"
-        );
+        assert!((fit - 1081.0).abs() < 15.0, "FIT {fit} should be near 1081");
     }
 
     #[test]

@@ -159,7 +159,15 @@ mod tests {
             slot: DimmSlot::from_letter('E').unwrap(),
         };
         let mut rng = DetRng::new(7);
-        Fault::random_anchor(dimm, RankId(0), mode, &GEOM, Minute::from_i64(0), 10, &mut rng)
+        Fault::random_anchor(
+            dimm,
+            RankId(0),
+            mode,
+            &GEOM,
+            Minute::from_i64(0),
+            10,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -240,7 +248,11 @@ mod tests {
             assert_eq!(coord.rank, f.anchor.rank);
             banks.insert(coord.bank);
         }
-        assert_eq!(banks.len(), GEOM.banks as usize, "pin fault spans all banks");
+        assert_eq!(
+            banks.len(),
+            GEOM.banks as usize,
+            "pin fault spans all banks"
+        );
     }
 
     #[test]

@@ -126,23 +126,47 @@ impl SimProfile {
             mode_weights: [0.79, 0.08, 0.09, 0.02, 0.02, 0.0],
             budgets: [
                 // Single-bit: heavy tail up to the retirement-escape cap.
-                BudgetDist { p_single: 0.68, tail_alpha: 1.315, tail_cap: 60_000 },
+                BudgetDist {
+                    p_single: 0.68,
+                    tail_alpha: 1.315,
+                    tail_cap: 60_000,
+                },
                 // Single-word.
-                BudgetDist { p_single: 0.60, tail_alpha: 1.33, tail_cap: 5_000 },
+                BudgetDist {
+                    p_single: 0.60,
+                    tail_alpha: 1.33,
+                    tail_cap: 5_000,
+                },
                 // Single-column.
-                BudgetDist { p_single: 0.55, tail_alpha: 1.47, tail_cap: 14_000 },
+                BudgetDist {
+                    p_single: 0.55,
+                    tail_alpha: 1.47,
+                    tail_cap: 14_000,
+                },
                 // Single-row (classified as bank-footprint by the analyzer).
-                BudgetDist { p_single: 0.55, tail_alpha: 1.55, tail_cap: 2_000 },
+                BudgetDist {
+                    p_single: 0.55,
+                    tail_alpha: 1.55,
+                    tail_cap: 2_000,
+                },
                 // Single-bank.
-                BudgetDist { p_single: 0.55, tail_alpha: 1.47, tail_cap: 4_000 },
+                BudgetDist {
+                    p_single: 0.55,
+                    tail_alpha: 1.47,
+                    tail_cap: 4_000,
+                },
                 // Rank-pin (regular population; pathological DIMMs override).
-                BudgetDist { p_single: 0.40, tail_alpha: 1.40, tail_cap: 20_000 },
+                BudgetDist {
+                    p_single: 0.40,
+                    tail_alpha: 1.40,
+                    tail_cap: 20_000,
+                },
             ],
             rank0_weight: 0.58,
             slot_weights: slot_weights_astra(),
             region_fault_mult: [0.96, 1.0, 1.04],
             onset_decline: 0.25,
-            window_days_mu: 2.3,  // median ~10 days
+            window_days_mu: 2.3, // median ~10 days
             window_days_sigma: 1.1,
             burst_mean: 3.0,
             hot_anchor_prob: 0.25,
@@ -166,7 +190,10 @@ impl SimProfile {
 
     /// Budget distribution for a mode.
     pub fn budget_for(&self, mode: FaultMode) -> BudgetDist {
-        let idx = FaultMode::ALL.iter().position(|&m| m == mode).expect("mode in ALL");
+        let idx = FaultMode::ALL
+            .iter()
+            .position(|&m| m == mode)
+            .expect("mode in ALL");
         self.budgets[idx]
     }
 }

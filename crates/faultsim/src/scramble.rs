@@ -55,11 +55,7 @@ mod tests {
         for _ in 0..100_000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let addr = PhysAddr(x & ((1 << 37) - 1));
-            assert!(
-                seen.insert(scramble(addr).0),
-                "collision for {:#x}",
-                addr.0
-            );
+            assert!(seen.insert(scramble(addr).0), "collision for {:#x}", addr.0);
         }
     }
 

@@ -58,6 +58,7 @@ impl SimOutput {
 
 /// Run the fault/error simulation for `system` under `profile`.
 pub fn simulate(system: &SystemConfig, profile: &SimProfile, seed: u64) -> SimOutput {
+    let _span = astra_obs::span("faultsim.simulate");
     let pathological = place_pathological_dimms(system, profile, seed);
     let mut path_by_node: std::collections::HashMap<u32, Vec<DimmSlot>> =
         std::collections::HashMap::new();
@@ -68,30 +69,49 @@ pub fn simulate(system: &SystemConfig, profile: &SimProfile, seed: u64) -> SimOu
     let node_count = system.node_count() as usize;
     let per_node: Vec<NodeOutput> = par_map_indexed(node_count, |idx| {
         let node = NodeId(idx as u32);
-        let path_slots = path_by_node
-            .get(&node.0)
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
+        let path_slots = path_by_node.get(&node.0).map(Vec::as_slice).unwrap_or(&[]);
         simulate_node(system, profile, seed, node, path_slots)
     });
 
+    let obs = astra_obs::global();
+    let node_drop_hist = obs.histogram("faultsim.node_drops", &astra_obs::size_bounds());
     let mut ce_log = Vec::new();
     let mut ground_truth = Vec::new();
     let mut dropped_ces = 0;
     for out in per_node {
+        // §2.3's lossy kernel buffer, made queryable: the per-node drop
+        // distribution shows whether loss is broad or concentrated on
+        // the pathological nodes.
+        node_drop_hist.record(out.dropped);
         ce_log.extend(out.ces);
         ground_truth.extend(out.faults);
         dropped_ces += out.dropped;
     }
     ce_log.sort_by_key(|r| (r.time, r.node.0, r.addr.0, r.bit_pos));
 
-    let mut faulty_dimms: Vec<DimmId> = ground_truth
-        .iter()
-        .map(|g| g.fault.dimm)
-        .collect();
+    let mut faulty_dimms: Vec<DimmId> = ground_truth.iter().map(|g| g.fault.dimm).collect();
     faulty_dimms.sort_by_key(|d| d.dense_index());
     faulty_dimms.dedup();
     let het_log = generate_het(system, profile, seed, &faulty_dimms);
+
+    let offered: u64 = ground_truth.iter().map(|g| g.offered_errors).sum();
+    obs.counter("faultsim.faults_injected")
+        .add(ground_truth.len() as u64);
+    obs.counter("faultsim.pathological_dimms")
+        .add(pathological.len() as u64);
+    obs.counter("faultsim.events_offered").add(offered);
+    obs.counter("faultsim.ces_logged").add(ce_log.len() as u64);
+    obs.counter("faultsim.ces_dropped").add(dropped_ces);
+    obs.counter("faultsim.het_records")
+        .add(het_log.len() as u64);
+    // ECC verdicts: every CE event was corrected by SEC-DED (that is
+    // what makes it a CE); the HET log carries the uncorrectable
+    // verdicts and non-memory background events.
+    let dues = het_log.iter().filter(|r| r.kind.is_memory_due()).count() as u64;
+    obs.counter("faultsim.ecc.corrected").add(offered);
+    obs.counter("faultsim.ecc.due").add(dues);
+    obs.counter("faultsim.ecc.background")
+        .add(het_log.len() as u64 - dues);
 
     SimOutput {
         ce_log,
@@ -108,11 +128,7 @@ struct NodeOutput {
 }
 
 /// Choose which DIMMs are pathological (rank-pin afflicted).
-fn place_pathological_dimms(
-    system: &SystemConfig,
-    profile: &SimProfile,
-    seed: u64,
-) -> Vec<DimmId> {
+fn place_pathological_dimms(system: &SystemConfig, profile: &SimProfile, seed: u64) -> Vec<DimmId> {
     let mut rng = DetRng::for_stream(seed, StreamKey::root("pathological"));
     let n = ((f64::from(system.node_count()) / 1000.0) * profile.pathological_per_1000_nodes)
         .round()
@@ -179,8 +195,12 @@ fn simulate_node(
         .cloned()
         .fold(f64::MIN, f64::max);
     if rng.chance(profile.susceptible_fraction * region_mult / max_mult) {
-        let n_faults =
-            power_law_truncated(&mut rng, 1, profile.node_fault_cap, profile.node_fault_alpha);
+        let n_faults = power_law_truncated(
+            &mut rng,
+            1,
+            profile.node_fault_cap,
+            profile.node_fault_alpha,
+        );
         for _ in 0..n_faults {
             let slot_idx = rng.pick_weighted(&profile.slot_weights);
             let slot = DimmSlot::from_index(slot_idx as u8).expect("slot < 16");
@@ -205,7 +225,11 @@ fn simulate_node(
     for &slot in pathological_slots {
         let (lo, hi) = profile.pathological_faults;
         let n = rng.range_inclusive(u64::from(lo), u64::from(hi));
-        let rank = if rng.chance(0.5) { RankId(0) } else { RankId(1) };
+        let rank = if rng.chance(0.5) {
+            RankId(0)
+        } else {
+            RankId(1)
+        };
         for _ in 0..n {
             // Pathological DIMMs fail early (they dominate from the start
             // of the interval) and stay active to the end.
@@ -286,7 +310,11 @@ fn emit_fault_errors(
         let poll_slot = rng.below(u64::from(profile.polls_per_minute)) as u32;
         for _ in 0..burst {
             let (coord, bit) = fault.sample_error(geom, rng);
-            events.push((minute, poll_slot, make_record(minute, fault, coord, bit, geom)));
+            events.push((
+                minute,
+                poll_slot,
+                make_record(minute, fault, coord, bit, geom),
+            ));
         }
         offered += burst;
         remaining -= burst;
@@ -427,10 +455,7 @@ mod tests {
         let profile = SimProfile::astra();
         assert!(!out.ce_log.is_empty());
         assert!(out.ce_log.windows(2).all(|w| w[0].time <= w[1].time));
-        assert!(out
-            .ce_log
-            .iter()
-            .all(|r| profile.span.contains(r.time)));
+        assert!(out.ce_log.iter().all(|r| profile.span.contains(r.time)));
     }
 
     #[test]
@@ -465,7 +490,10 @@ mod tests {
             .filter(|g| g.offered_errors == 1)
             .count();
         let total = out.ground_truth.len();
-        assert!(total > 50, "need a meaningful fault population, got {total}");
+        assert!(
+            total > 50,
+            "need a meaningful fault population, got {total}"
+        );
         assert!(
             ones * 2 > total,
             "majority of faults should offer exactly one error: {ones}/{total}"

@@ -160,7 +160,9 @@ mod tests {
             None
         );
         assert_eq!(
-            ReplacementRecord::parse_line("2019-02-18 node0005 inventory: component=processor socket=3"),
+            ReplacementRecord::parse_line(
+                "2019-02-18 node0005 inventory: component=processor socket=3"
+            ),
             None
         );
         assert_eq!(

@@ -57,6 +57,50 @@ where
     Ok(ParsedLog { records, skipped })
 }
 
+impl<T> ParsedLog<T> {
+    /// Publish this log's parse outcome under `parse.<stage>.*` in the
+    /// global metrics registry: lines parsed, lines skipped, and bytes
+    /// consumed. The skip counter is the §2.3 lesson applied to our own
+    /// apparatus — corrupt/foreign lines are dropped silently by the
+    /// parser, so the registry is where that loss becomes visible.
+    fn publish(&self, stage: &str, bytes: usize) {
+        let obs = astra_obs::global();
+        obs.counter(&format!("parse.{stage}.lines_ok"))
+            .add(self.records.len() as u64);
+        obs.counter(&format!("parse.{stage}.lines_skipped"))
+            .add(self.skipped);
+        obs.counter(&format!("parse.{stage}.bytes"))
+            .add(bytes as u64);
+    }
+}
+
+/// [`read_lines`] plus metrics: records the outcome under
+/// `parse.<stage>.*` and times the pass under `time.parse.<stage>`.
+pub fn read_lines_metered<R, T, F>(source: R, parse: F, stage: &str) -> io::Result<ParsedLog<T>>
+where
+    R: BufRead,
+    F: Fn(&str) -> Option<T>,
+{
+    let _span = astra_obs::span(&format!("parse.{stage}"));
+    let parsed = read_lines(source, parse)?;
+    parsed.publish(stage, 0);
+    Ok(parsed)
+}
+
+/// [`parse_lines_parallel`] plus metrics: per-stage line/skip/byte
+/// counters, the shard count, the per-shard line distribution, and a
+/// `time.parse.<stage>` span.
+pub fn parse_lines_parallel_metered<T, F>(text: &str, parse: F, stage: &str) -> ParsedLog<T>
+where
+    T: Send,
+    F: Fn(&str) -> Option<T> + Sync,
+{
+    let _span = astra_obs::span(&format!("parse.{stage}"));
+    let parsed = parse_lines_parallel_inner(text, parse, Some(stage));
+    parsed.publish(stage, text.len());
+    parsed
+}
+
 /// Parse a whole in-memory log in parallel.
 ///
 /// The text is split at line boundaries into one shard per worker;
@@ -65,6 +109,14 @@ where
 /// full-scale CE log (hundreds of MB) this is the difference between a
 /// coffee break and a blink.
 pub fn parse_lines_parallel<T, F>(text: &str, parse: F) -> ParsedLog<T>
+where
+    T: Send,
+    F: Fn(&str) -> Option<T> + Sync,
+{
+    parse_lines_parallel_inner(text, parse, None)
+}
+
+fn parse_lines_parallel_inner<T, F>(text: &str, parse: F, stage: Option<&str>) -> ParsedLog<T>
 where
     T: Send,
     F: Fn(&str) -> Option<T> + Sync,
@@ -81,6 +133,9 @@ where
                 Some(rec) => records.push(rec),
                 None => skipped += 1,
             }
+        }
+        if let Some(stage) = stage {
+            record_shard_metrics(stage, &[records.len()]);
         }
         return ParsedLog { records, skipped };
     }
@@ -123,6 +178,11 @@ where
         ParsedLog { records, skipped }
     });
 
+    if let Some(stage) = stage {
+        let shard_lines: Vec<usize> = parsed.iter().map(|p| p.records.len()).collect();
+        record_shard_metrics(stage, &shard_lines);
+    }
+
     let mut records = Vec::with_capacity(parsed.iter().map(|p| p.records.len()).sum());
     let mut skipped = 0;
     for shard in parsed {
@@ -130,6 +190,21 @@ where
         skipped += shard.skipped;
     }
     ParsedLog { records, skipped }
+}
+
+/// Shard-level parse metrics: how many shards ran and how evenly the
+/// lines spread across them.
+fn record_shard_metrics(stage: &str, shard_lines: &[usize]) {
+    let obs = astra_obs::global();
+    obs.counter(&format!("parse.{stage}.shards"))
+        .add(shard_lines.len() as u64);
+    let hist = obs.histogram(
+        &format!("parse.{stage}.shard_lines"),
+        &astra_obs::size_bounds(),
+    );
+    for &lines in shard_lines {
+        hist.record(lines as u64);
+    }
 }
 
 #[cfg(test)]

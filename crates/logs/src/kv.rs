@@ -47,8 +47,7 @@ mod tests {
 
     #[test]
     fn split_line_shape() {
-        let (ts, node, src, tail) =
-            split_line("2019-01-20T00:00:00 node0001 kernel: x=1").unwrap();
+        let (ts, node, src, tail) = split_line("2019-01-20T00:00:00 node0001 kernel: x=1").unwrap();
         assert_eq!(ts, "2019-01-20T00:00:00");
         assert_eq!(node, "node0001");
         assert_eq!(src, "kernel");

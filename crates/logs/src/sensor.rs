@@ -167,7 +167,9 @@ mod tests {
     fn rejects_foreign_lines() {
         assert_eq!(SensorRecord::parse_line(""), None);
         assert_eq!(
-            SensorRecord::parse_line("2019-05-20T00:00:00 node0001 HET: event=ucGoingHigh severity=WARNING"),
+            SensorRecord::parse_line(
+                "2019-05-20T00:00:00 node0001 HET: event=ucGoingHigh severity=WARNING"
+            ),
             None
         );
         assert_eq!(

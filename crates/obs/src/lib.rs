@@ -1,0 +1,78 @@
+//! Observability for the astra-mem pipeline.
+//!
+//! The paper's methodology hinges on knowing what the measurement
+//! apparatus dropped: §2.3 models a lossy bounded kernel log buffer, and
+//! the field studies it builds on stress that uninstrumented collection
+//! pipelines silently bias failure rates. This crate turns the
+//! reproduction's own pipeline into an instrumented system: every stage
+//! (simulate → parse → coalesce → aggregate → report) publishes counters,
+//! gauges, and histograms into a process-wide [`Registry`], and wall-time
+//! is captured with RAII [`span`] timers that nest into hierarchical
+//! stage paths.
+//!
+//! Design rules:
+//!
+//! - **Zero dependencies.** Only `std`; the crate sits below every other
+//!   workspace crate.
+//! - **Metric naming** follows `stage.metric` (e.g. `parse.ce.lines_ok`,
+//!   `faultsim.ces_dropped`, `coalesce.faults_out`). Span timings are
+//!   registered under `time.<path>` where `<path>` is the `/`-joined
+//!   nesting of active span names on the thread.
+//! - **Determinism.** Everything except `timing` metrics is a pure
+//!   function of the workload `(racks, seed, input)`, so two runs over
+//!   the same dataset export identical non-timing lines — the property
+//!   the integration tests pin down.
+//!
+//! ```
+//! let registry = astra_obs::global();
+//! registry.counter("parse.ce.lines_ok").add(128);
+//! {
+//!     let _outer = astra_obs::span("analyze");
+//!     let _inner = astra_obs::span("coalesce"); // records time.analyze/coalesce
+//! }
+//! let jsonl = registry.snapshot().to_jsonl();
+//! assert!(jsonl.contains("parse.ce.lines_ok"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod registry;
+mod span;
+
+pub use export::Snapshot;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricKind, MetricValue, Registry};
+pub use span::{span, span_in, SpanGuard};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry all pipeline instrumentation writes to.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Drop every metric in the [`global`] registry.
+///
+/// Handles obtained before the reset keep working but are no longer
+/// exported; call sites that re-fetch by name (the crate's idiom) see
+/// fresh zeroed metrics.
+pub fn reset_global() {
+    global().clear();
+}
+
+/// Default bucket upper bounds for span timings, in nanoseconds:
+/// 1 µs · 4^k for 13 buckets (1 µs … ≈ 16.8 s), plus the implicit
+/// overflow bucket.
+pub fn timing_bounds_ns() -> Vec<u64> {
+    (0..13).map(|k| 1_000u64 * 4u64.pow(k)).collect()
+}
+
+/// Default bucket upper bounds for size/count histograms: powers of 4
+/// from 1 to 4^12 (≈ 16.8 M), plus the implicit overflow bucket.
+pub fn size_bounds() -> Vec<u64> {
+    (0..13).map(|k| 4u64.pow(k)).collect()
+}

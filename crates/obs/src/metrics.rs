@@ -1,0 +1,295 @@
+//! The three metric primitives: counters, gauges, and fixed-bucket
+//! histograms. All are cheap `Arc`-backed handles over atomics, so call
+//! sites clone them freely and never take the registry lock on the hot
+//! path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge (stored as `f64` bits).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `value` if it is higher than the current
+    /// reading (peak tracking).
+    pub fn set_max(&self, value: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(current) >= value {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram over `u64` observations (latencies in
+/// nanoseconds, sizes in items/bytes).
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one extra overflow
+/// bucket catches the rest. Sum, count, min, and max are tracked
+/// exactly; buckets give shape.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramCore>,
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (overflow last)
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Create a histogram with the given sorted bucket upper bounds.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            inner: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let core = &*self.inner;
+        let idx = core
+            .bounds
+            .partition_point(|&bound| bound < value)
+            .min(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Consistent-enough point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.inner;
+        let count = core.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            bounds: core.bounds.clone(),
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                core.min.load(Ordering::Relaxed)
+            },
+            max: core.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold another histogram's exported state into this one (used when
+    /// importing a dataset's `metrics.jsonl`). Bucket-by-bucket when the
+    /// bounds match; otherwise the counts are re-bucketed by bound value.
+    pub fn merge_snapshot(&self, other: &HistogramSnapshot) {
+        let core = &*self.inner;
+        if other.bounds == core.bounds {
+            for (mine, theirs) in core.buckets.iter().zip(&other.buckets) {
+                mine.fetch_add(*theirs, Ordering::Relaxed);
+            }
+        } else {
+            for (i, &n) in other.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                // Re-bucket by the source bucket's upper bound (overflow
+                // keeps overflowing).
+                let idx = match other.bounds.get(i) {
+                    Some(&bound) => core.bounds.partition_point(|&b| b < bound),
+                    None => core.bounds.len(),
+                };
+                core.buckets[idx.min(core.bounds.len())].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if other.count > 0 {
+            core.count.fetch_add(other.count, Ordering::Relaxed);
+            core.sum.fetch_add(other.sum, Ordering::Relaxed);
+            core.min.fetch_min(other.min, Ordering::Relaxed);
+            core.max.fetch_max(other.max, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_set_and_peak() {
+        let g = Gauge::default();
+        g.set(1.5);
+        assert_eq!(g.get(), 1.5);
+        g.set_max(0.5);
+        assert_eq!(g.get(), 1.5, "set_max never lowers");
+        g.set_max(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let h = Histogram::new(&[1, 10, 100]);
+        for v in [0, 1, 5, 10, 11, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 2, 1, 1]); // <=1, <=10, <=100, overflow
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1027);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn histogram_merge_matching_bounds() {
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[10, 100]);
+        a.record(5);
+        b.record(50);
+        b.record(500);
+        a.merge_snapshot(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets, vec![1, 1, 1]);
+        assert_eq!(s.max, 500);
+    }
+
+    #[test]
+    fn histogram_merge_rebuckets_foreign_bounds() {
+        let a = Histogram::new(&[100]);
+        let b = Histogram::new(&[10, 1000]);
+        b.record(5); // bucket le=10 → lands in a's le=100
+        b.record(500); // bucket le=1000 → overflow in a
+        a.merge_snapshot(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.buckets, vec![1, 1]);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = Counter::default();
+        let h = Histogram::new(&[8, 64, 512]);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record((i * (t + 1)) % 1024);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 80_000);
+    }
+}

@@ -1,0 +1,114 @@
+//! RAII span timers with hierarchical stage paths.
+//!
+//! `let _s = obs::span("parse.ce");` times the enclosing scope. Spans
+//! opened while another span is live on the same thread nest: their
+//! timing is recorded under the `/`-joined path of active span names
+//! (`time.analyze/parse.ce`), giving per-stage wall-time broken down by
+//! call context. The histogram's `count` doubles as the number of times
+//! the stage ran.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a span on the [global registry](crate::global). Dropping the
+/// guard records the elapsed time under `time.<path>`.
+pub fn span(name: &str) -> SpanGuard<'static> {
+    span_in(crate::global(), name)
+}
+
+/// Open a span recording into an explicit registry (tests, or tools
+/// holding several registries).
+pub fn span_in<'a>(registry: &'a Registry, name: &str) -> SpanGuard<'a> {
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name.to_string());
+        stack.join("/")
+    });
+    SpanGuard {
+        registry,
+        path,
+        start: Instant::now(),
+    }
+}
+
+/// Live span; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    registry: &'a Registry,
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// The full hierarchical path this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.registry
+            .timing(&format!("time.{}", self.path))
+            .record(elapsed_ns);
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let registry = Registry::new();
+        {
+            let guard = span_in(&registry, "stage");
+            assert_eq!(guard.path(), "stage");
+        }
+        let snap = registry.timing("time.stage").snapshot();
+        assert_eq!(snap.count, 1);
+    }
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let registry = Registry::new();
+        {
+            let _outer = span_in(&registry, "analyze");
+            {
+                let inner = span_in(&registry, "coalesce");
+                assert_eq!(inner.path(), "analyze/coalesce");
+            }
+            {
+                let inner2 = span_in(&registry, "spatial");
+                assert_eq!(inner2.path(), "analyze/spatial", "stack popped correctly");
+            }
+        }
+        // Fresh top-level span after everything closed.
+        {
+            let top = span_in(&registry, "report");
+            assert_eq!(top.path(), "report");
+        }
+        assert_eq!(registry.timing("time.analyze/coalesce").snapshot().count, 1);
+        assert_eq!(registry.timing("time.analyze/spatial").snapshot().count, 1);
+        assert_eq!(registry.timing("time.analyze").snapshot().count, 1);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_counts() {
+        let registry = Registry::new();
+        for _ in 0..5 {
+            let _s = span_in(&registry, "loop");
+        }
+        assert_eq!(registry.timing("time.loop").snapshot().count, 5);
+    }
+}

@@ -229,6 +229,7 @@ pub fn simulate_replacements(
     profile: &ReplacementProfile,
     seed: u64,
 ) -> Vec<ReplacementRecord> {
+    let _span = astra_obs::span("replace.simulate");
     let mut rng = DetRng::for_stream(seed, StreamKey::root("replace"));
     let days = profile.span.days();
     let start = profile.span.start.date();
@@ -262,6 +263,9 @@ pub fn simulate_replacements(
         }
     }
     out.sort_by_key(|r| (r.date, r.node.0, r.component.category_index()));
+    astra_obs::global()
+        .counter("replace.records")
+        .add(out.len() as u64);
     out
 }
 
@@ -347,8 +351,7 @@ mod tests {
             let early = recs
                 .iter()
                 .filter(|r| {
-                    r.component.category_index() == cat
-                        && (r.date.day_index() - start) < 30
+                    r.component.category_index() == cat && (r.date.day_index() - start) < 30
                 })
                 .count();
             let later = recs
@@ -393,9 +396,7 @@ mod tests {
         let start = replacement_span().start.date().day_index();
         let last_twelve: usize = recs
             .iter()
-            .filter(|r| {
-                r.component.category_index() == 2 && (r.date.day_index() - start) >= 200
-            })
+            .filter(|r| r.component.category_index() == 2 && (r.date.day_index() - start) >= 200)
             .count();
         assert!(last_twelve > 30, "vendor sweep too small: {last_twelve}");
     }

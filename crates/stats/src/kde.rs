@@ -12,7 +12,11 @@ use crate::quantile::quantile_sorted;
 ///
 /// Bandwidth is Silverman's rule of thumb; an explicit bandwidth can be
 /// supplied for testing. Returns `(grid, densities)`.
-pub fn gaussian_kde(samples: &[f64], grid_points: usize, bandwidth: Option<f64>) -> (Vec<f64>, Vec<f64>) {
+pub fn gaussian_kde(
+    samples: &[f64],
+    grid_points: usize,
+    bandwidth: Option<f64>,
+) -> (Vec<f64>, Vec<f64>) {
     assert!(grid_points >= 2, "need at least two grid points");
     assert!(!samples.is_empty(), "KDE over empty sample");
     let n = samples.len() as f64;
@@ -78,7 +82,10 @@ impl ViolinSummary {
         if counts.is_empty() {
             return None;
         }
-        assert!(counts.iter().all(|&c| c > 0), "violin counts must be positive");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "violin counts must be positive"
+        );
         let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let logs: Vec<f64> = sorted.iter().map(|&c| c.log10()).collect();

@@ -54,7 +54,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 0.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        0.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(LinearFit {
         slope,
         intercept,

@@ -69,7 +69,11 @@ pub fn fit_power_law(samples: &[u64], xmin: u64) -> Option<PowerLawFit> {
 /// at `max_candidates` smallest distinct values for cost) and keeping the
 /// cutoff with minimal KS distance, requiring at least `min_tail` samples in
 /// the tail.
-pub fn fit_power_law_auto(samples: &[u64], min_tail: usize, max_candidates: usize) -> Option<PowerLawFit> {
+pub fn fit_power_law_auto(
+    samples: &[u64],
+    min_tail: usize,
+    max_candidates: usize,
+) -> Option<PowerLawFit> {
     let mut candidates: Vec<u64> = samples.iter().copied().filter(|&x| x > 0).collect();
     candidates.sort_unstable();
     candidates.dedup();
@@ -135,7 +139,11 @@ mod tests {
             "alpha {} should be loosely near 2.5",
             fit.alpha
         );
-        assert!(fit.ks < 0.12, "ks {} too large for a true power law", fit.ks);
+        assert!(
+            fit.ks < 0.12,
+            "ks {} too large for a true power law",
+            fit.ks
+        );
     }
 
     #[test]

@@ -183,11 +183,26 @@ mod tests {
     fn km_textbook_example() {
         // Classic toy data: events at 1, 3, 5; censored at 2, 4.
         let data = [
-            Lifetime { time: 1.0, observed: true },
-            Lifetime { time: 2.0, observed: false },
-            Lifetime { time: 3.0, observed: true },
-            Lifetime { time: 4.0, observed: false },
-            Lifetime { time: 5.0, observed: true },
+            Lifetime {
+                time: 1.0,
+                observed: true,
+            },
+            Lifetime {
+                time: 2.0,
+                observed: false,
+            },
+            Lifetime {
+                time: 3.0,
+                observed: true,
+            },
+            Lifetime {
+                time: 4.0,
+                observed: false,
+            },
+            Lifetime {
+                time: 5.0,
+                observed: true,
+            },
         ];
         let km = KaplanMeier::fit(&data).unwrap();
         assert_eq!(km.steps.len(), 3);
@@ -204,8 +219,14 @@ mod tests {
     #[test]
     fn km_all_censored() {
         let data = [
-            Lifetime { time: 10.0, observed: false },
-            Lifetime { time: 20.0, observed: false },
+            Lifetime {
+                time: 10.0,
+                observed: false,
+            },
+            Lifetime {
+                time: 20.0,
+                observed: false,
+            },
         ];
         let km = KaplanMeier::fit(&data).unwrap();
         assert!(km.steps.is_empty());
@@ -242,9 +263,15 @@ mod tests {
             .map(|_| {
                 let t = exponential(&mut rng, 0.1);
                 if t > 30.0 {
-                    Lifetime { time: 30.0, observed: false }
+                    Lifetime {
+                        time: 30.0,
+                        observed: false,
+                    }
                 } else {
-                    Lifetime { time: t, observed: true }
+                    Lifetime {
+                        time: t,
+                        observed: true,
+                    }
                 }
             })
             .collect();

@@ -138,7 +138,11 @@ impl TelemetryModel {
     /// does).
     pub fn reading(&self, node: NodeId, sensor: SensorId, t: Minute) -> SensorRecord {
         let p = &self.profile;
-        let h = self.hash(99, u64::from(node.0) << 3 | sensor.index() as u64, t.value() as u64);
+        let h = self.hash(
+            99,
+            u64::from(node.0) << 3 | sensor.index() as u64,
+            t.value() as u64,
+        );
         let u = unit(h);
         let value = if u < p.unreadable_prob {
             None
@@ -169,6 +173,7 @@ impl TelemetryModel {
         stride_minutes: u64,
     ) -> Vec<SensorRecord> {
         assert!(stride_minutes > 0, "stride must be positive");
+        let _span = astra_obs::span("telemetry.records");
         let mut out = Vec::new();
         for node in nodes {
             let mut t = span.start;
@@ -179,6 +184,10 @@ impl TelemetryModel {
                 t = t.plus(stride_minutes as i64);
             }
         }
+        let obs = astra_obs::global();
+        obs.counter("telemetry.readings").add(out.len() as u64);
+        obs.counter("telemetry.readings_unreadable")
+            .add(out.iter().filter(|r| r.value.is_none()).count() as u64);
         out
     }
 
@@ -256,8 +265,7 @@ mod tests {
         for node in 0..64u32 {
             for minute in (0..1440).step_by(60) {
                 for s in [0u8, 1] {
-                    let v = m
-                        .true_value(NodeId(node), SensorId::cpu(SocketId(s)), at(3, minute));
+                    let v = m.true_value(NodeId(node), SensorId::cpu(SocketId(s)), at(3, minute));
                     sum[usize::from(s)] += v;
                 }
                 n += 1;
@@ -315,8 +323,7 @@ mod tests {
         let mut rack_means = Vec::new();
         for rack in 0..sys.racks {
             let nodes: Vec<NodeId> = sys.rack_nodes(astra_topology::RackId(rack)).collect();
-            let mean: f64 =
-                nodes.iter().map(|&n| m.inlet(n)).sum::<f64>() / nodes.len() as f64;
+            let mean: f64 = nodes.iter().map(|&n| m.inlet(n)).sum::<f64>() / nodes.len() as f64;
             rack_means.push(mean);
         }
         let spread = rack_means.iter().cloned().fold(f64::MIN, f64::max)

@@ -139,9 +139,7 @@ impl DimmSlot {
     /// Construct from the slot letter `A`–`P` (case-insensitive).
     pub fn from_letter(c: char) -> Option<Self> {
         let c = c.to_ascii_uppercase();
-        ('A'..='P')
-            .contains(&c)
-            .then(|| DimmSlot(c as u8 - b'A'))
+        ('A'..='P').contains(&c).then(|| DimmSlot(c as u8 - b'A'))
     }
 
     /// Slot index, 0–15.

@@ -61,13 +61,21 @@ impl DimmGroup {
 
     /// Label used in figure legends, e.g. `"DIMMs A,C,E,G"`.
     pub fn label(self) -> String {
-        let letters: Vec<String> = self.slots().iter().map(|s| s.letter().to_string()).collect();
+        let letters: Vec<String> = self
+            .slots()
+            .iter()
+            .map(|s| s.letter().to_string())
+            .collect();
         format!("DIMMs {}", letters.join(","))
     }
 
     /// Label used in the Fig 14 panels, e.g. `"CPU1 DIMMs 1-4"`.
     pub fn panel_label(self) -> String {
-        let half = if self.0.is_multiple_of(2) { "1-4" } else { "5-8" };
+        let half = if self.0.is_multiple_of(2) {
+            "1-4"
+        } else {
+            "5-8"
+        };
         format!("{} DIMMs {}", self.socket().cpu_label(), half)
     }
 }
@@ -177,7 +185,11 @@ pub fn airflow_position(socket: SocketId) -> f64 {
 /// offsets here are deliberately small).
 pub fn group_airflow_position(group: DimmGroup) -> f64 {
     let base = airflow_position(group.socket());
-    base + if group.index().is_multiple_of(2) { -0.05 } else { 0.05 }
+    base + if group.index().is_multiple_of(2) {
+        -0.05
+    } else {
+        0.05
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +235,10 @@ mod tests {
 
     #[test]
     fn sensor_kinds() {
-        assert_eq!(SensorId::cpu(SocketId(1)).kind(), SensorKind::CpuTemp(SocketId(1)));
+        assert_eq!(
+            SensorId::cpu(SocketId(1)).kind(),
+            SensorKind::CpuTemp(SocketId(1))
+        );
         assert_eq!(SensorId::dc_power().kind(), SensorKind::DcPower);
         let slot_j = DimmSlot::from_letter('J').unwrap();
         assert_eq!(

@@ -72,7 +72,12 @@ impl SystemConfig {
     /// Iterate over all DIMMs in (node, slot) order.
     pub fn dimms(&self) -> impl Iterator<Item = DimmId> {
         let count = self.node_count();
-        (0..count).flat_map(|n| DimmSlot::all().map(move |slot| DimmId { node: NodeId(n), slot }))
+        (0..count).flat_map(|n| {
+            DimmSlot::all().map(move |slot| DimmId {
+                node: NodeId(n),
+                slot,
+            })
+        })
     }
 
     /// Iterate over the nodes of one rack.

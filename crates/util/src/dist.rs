@@ -209,7 +209,10 @@ mod tests {
         let h1 = weibull_hazard(1.0, 10.0, 0.5);
         let h10 = weibull_hazard(10.0, 10.0, 0.5);
         let h100 = weibull_hazard(100.0, 10.0, 0.5);
-        assert!(h1 > h10 && h10 > h100, "hazard must decrease: {h1} {h10} {h100}");
+        assert!(
+            h1 > h10 && h10 > h100,
+            "hazard must decrease: {h1} {h10} {h100}"
+        );
     }
 
     #[test]
@@ -259,7 +262,9 @@ mod tests {
     #[test]
     fn lognormal_median() {
         let mut rng = DetRng::new(22);
-        let mut samples: Vec<f64> = (0..30_001).map(|_| lognormal(&mut rng, 1.0, 0.75)).collect();
+        let mut samples: Vec<f64> = (0..30_001)
+            .map(|_| lognormal(&mut rng, 1.0, 0.75))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[15_000];
         // Median of lognormal is e^mu.

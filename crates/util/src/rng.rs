@@ -11,8 +11,6 @@
 //! procedure recommended by the xoshiro authors. It is not cryptographic and
 //! does not need to be.
 
-use rand::RngCore;
-
 /// SplitMix64 step: mixes `state` and returns the next 64-bit output.
 ///
 /// Used both as a seeding PRNG and as a cheap hash for stream keys.
@@ -59,9 +57,6 @@ impl StreamKey {
 }
 
 /// Deterministic xoshiro256++ generator.
-///
-/// Implements [`rand::RngCore`] so the `rand` adapter methods
-/// (`gen_range`, shuffling, …) work on it directly.
 #[derive(Debug, Clone)]
 pub struct DetRng {
     s: [u64; 4],
@@ -177,24 +172,25 @@ impl DetRng {
         }
         weights.len() - 1
     }
-}
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
+    /// Next raw 32-bit output (upper half of the 64-bit state step).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
         (self.next() >> 32) as u32
     }
-    fn next_u64(&mut self) -> u64 {
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+
+    /// Fill `dest` with generator output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -246,15 +242,9 @@ mod tests {
     fn stream_keys_distinguish_components() {
         let root = StreamKey::root("x");
         assert_ne!(root.with(0).value(), root.with(1).value());
-        assert_ne!(
-            StreamKey::root("x").value(),
-            StreamKey::root("y").value()
-        );
+        assert_ne!(StreamKey::root("x").value(), StreamKey::root("y").value());
         // with(a).with(b) != with(b).with(a): order matters.
-        assert_ne!(
-            root.with(1).with(2).value(),
-            root.with(2).with(1).value()
-        );
+        assert_ne!(root.with(1).with(2).value(), root.with(2).with(1).value());
     }
 
     #[test]

@@ -66,7 +66,9 @@ fn main() {
     //    rank-level faults, ranked by attributed errors.
     let mut per_dimm: BTreeMap<(u32, usize), (u64, u64, bool)> = BTreeMap::new();
     for f in &wide {
-        let e = per_dimm.entry((f.node.0, f.slot.index())).or_insert((0, 0, false));
+        let e = per_dimm
+            .entry((f.node.0, f.slot.index()))
+            .or_insert((0, 0, false));
         e.0 += 1;
         e.1 += f.error_count;
         e.2 |= f.mode == ObservedMode::RankLevel;
@@ -78,7 +80,11 @@ fn main() {
         let slot = astra_topology::DimmSlot::from_index(*slot as u8).unwrap();
         println!(
             "  node{node:04}:{slot}  {faults} wide faults  {errors:>8} errors{}",
-            if *rank_level { "  [rank-level: replace]" } else { "" }
+            if *rank_level {
+                "  [rank-level: replace]"
+            } else {
+                ""
+            }
         );
     }
 

@@ -42,7 +42,10 @@ fn main() -> std::io::Result<()> {
     let config = TempCorrConfig::default();
 
     println!("==============================================================");
-    println!(" Astra memory reliability report — {} nodes, seed {seed}", ds.system.node_count());
+    println!(
+        " Astra memory reliability report — {} nodes, seed {seed}",
+        ds.system.node_count()
+    );
     println!("==============================================================\n");
 
     println!(
@@ -57,7 +60,10 @@ fn main() -> std::io::Result<()> {
         "{}",
         experiments::fig3::compute(&input.replacements, replacement_span()).render()
     );
-    println!("{}", experiments::fig4::compute(&analysis, study_span()).render());
+    println!(
+        "{}",
+        experiments::fig4::compute(&analysis, study_span()).render()
+    );
     println!("{}", experiments::fig5::compute(&analysis).render());
     println!("{}", experiments::fig6::compute(&analysis).render());
     println!("{}", experiments::fig7::compute(&analysis).render());

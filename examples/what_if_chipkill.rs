@@ -11,8 +11,8 @@
 //! cargo run --release --example what_if_chipkill -- [racks] [seed]
 //! ```
 
-use astra_faultsim::{EccModel, EccOutcome, FaultMode};
 use astra_core::pipeline::Dataset;
+use astra_faultsim::{EccModel, EccOutcome, FaultMode};
 
 /// How a fault mode stresses one ECC word when its footprint is fully
 /// active. Single-device modes corrupt one bit per word; a word fault can
@@ -21,7 +21,9 @@ use astra_core::pipeline::Dataset;
 fn worst_case_word_corruption(mode: FaultMode) -> Vec<u8> {
     match mode {
         // One cell at a time: one bit per word access.
-        FaultMode::SingleBit | FaultMode::SingleColumn | FaultMode::SingleRow
+        FaultMode::SingleBit
+        | FaultMode::SingleColumn
+        | FaultMode::SingleRow
         | FaultMode::SingleBank => vec![11],
         // A weak word can flip neighbouring bits within one x8 device.
         FaultMode::SingleWord => vec![8, 9, 10],
@@ -38,7 +40,10 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
     let ds = Dataset::generate(racks, seed);
 
-    println!("ECC what-if over {} ground-truth faults\n", ds.sim.ground_truth.len());
+    println!(
+        "ECC what-if over {} ground-truth faults\n",
+        ds.sim.ground_truth.len()
+    );
     println!("worst-case word corruption per mode, judged by each code:");
     println!("{:<14} {:>22} {:>22}", "mode", "SEC-DED", "Chipkill");
     for mode in FaultMode::ALL {

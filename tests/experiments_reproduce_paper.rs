@@ -56,7 +56,10 @@ fn section_3_2_fault_error_distinction() {
     let word = f4.mode_total(M::SingleWord);
     let col = f4.mode_total(M::SingleColumn);
     let bank = f4.mode_total(M::SingleBank);
-    assert!(bit > col && col > word && word > bank, "{bit} {col} {word} {bank}");
+    assert!(
+        bit > col && col > word && word > bank,
+        "{bit} {col} {word} {bank}"
+    );
 
     // Faults uniform where errors are not.
     assert!(f6.faults_flatter_than_errors());
@@ -80,8 +83,7 @@ fn section_3_2_node_concentration() {
         f5.zero_ce_fraction()
     );
     // Top 8-equivalent nodes carry >50%: 8 × (576/2592) ≈ 2 nodes.
-    let scaled_top =
-        ((8.0 * f64::from(ds.system.node_count()) / 2592.0).round() as usize).max(1);
+    let scaled_top = ((8.0 * f64::from(ds.system.node_count()) / 2592.0).round() as usize).max(1);
     assert!(
         f5.top_k_share(scaled_top) > 0.4,
         "top {} share {}",
@@ -121,7 +123,11 @@ fn section_3_3_no_temperature_or_power_correlation() {
     );
 
     let f13 = fig13_14::compute_fig13(&analysis, &ds.telemetry, sensor_span(), &quick());
-    assert!(f13.no_monotone_trend(0.5), "Fig 13 trend:\n{}", f13.render());
+    assert!(
+        f13.no_monotone_trend(0.5),
+        "Fig 13 trend:\n{}",
+        f13.render()
+    );
     // CPU1 hotter than CPU2 in every decile.
     for (a, b) in f13.cpu[0].points.iter().zip(&f13.cpu[1].points) {
         assert!(a.0 > b.0, "CPU1 {} <= CPU2 {}", a.0, b.0);
@@ -199,10 +205,7 @@ fn section_3_5_uncorrectable_errors() {
     );
     // Nothing before the firmware date.
     let pre = TimeSpan::dates(study_span().start.date(), het_firmware_date());
-    assert_eq!(
-        astra_core::het::all_events(&ds.sim.het_log, pre).total(),
-        0
-    );
+    assert_eq!(astra_core::het::all_events(&ds.sim.het_log, pre).total(), 0);
 }
 
 #[test]
@@ -210,7 +213,19 @@ fn table_1_replacement_rates() {
     let (ds, _) = scaled_dataset();
     let t1 = experiments::table1::compute(&ds.system, &ds.replacements);
     // Percent columns approximate Table 1: 16.1 / 1.8 / 3.7.
-    assert!((t1.rows[0].percent() - 16.1).abs() < 2.0, "{}", t1.rows[0].percent());
-    assert!((t1.rows[1].percent() - 1.8).abs() < 0.8, "{}", t1.rows[1].percent());
-    assert!((t1.rows[2].percent() - 3.7).abs() < 0.8, "{}", t1.rows[2].percent());
+    assert!(
+        (t1.rows[0].percent() - 16.1).abs() < 2.0,
+        "{}",
+        t1.rows[0].percent()
+    );
+    assert!(
+        (t1.rows[1].percent() - 1.8).abs() < 0.8,
+        "{}",
+        t1.rows[1].percent()
+    );
+    assert!(
+        (t1.rows[2].percent() - 3.7).abs() < 0.8,
+        "{}",
+        t1.rows[2].percent()
+    );
 }

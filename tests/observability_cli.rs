@@ -1,0 +1,226 @@
+//! End-to-end observability: drive the `astra-mem` binary as a subprocess
+//! and check the metrics it exports.
+//!
+//! Subprocesses, not in-process calls, because the metric registry is
+//! process-global: parallel tests in one binary would see each other's
+//! counters. Each subprocess starts with a clean registry and each test
+//! gets its own dataset directory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_astra-mem")
+}
+
+/// Unique per call; removed on drop even if the test panics.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        TempDir(std::env::temp_dir().join(format!(
+            "astra-obs-cli-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn join(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn run(args: &[&str]) {
+    let out = Command::new(bin()).args(args).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "astra-mem {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn generate(dir: &Path) {
+    run(&[
+        "generate",
+        "--racks",
+        "1",
+        "--seed",
+        "7",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+}
+
+/// Pull one `"field":value` number out of the JSONL line for `name`.
+fn metric_value(jsonl: &str, name: &str) -> Option<f64> {
+    let line = jsonl
+        .lines()
+        .find(|l| l.contains(&format!("\"name\":\"{name}\"")))?;
+    let tail = line.split("\"value\":").nth(1)?;
+    let num: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+#[test]
+fn generate_writes_dataset_metrics() {
+    let dir = TempDir::new("gen");
+    generate(dir.path());
+    let jsonl = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("metrics.jsonl");
+    let offered = metric_value(&jsonl, "faultsim.events_offered").expect("events_offered");
+    let logged = metric_value(&jsonl, "faultsim.ces_logged").expect("ces_logged");
+    assert!(offered > 0.0);
+    assert!(logged <= offered, "can't log more CEs than were offered");
+    assert!(metric_value(&jsonl, "faultsim.ecc.corrected").unwrap() > 0.0);
+}
+
+#[test]
+fn analyze_exports_nonzero_parse_throughput() {
+    let dir = TempDir::new("analyze");
+    generate(dir.path());
+    let metrics = dir.join("m.json");
+    run(&[
+        "analyze",
+        dir.path().to_str().unwrap(),
+        "--racks",
+        "1",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    let jsonl = std::fs::read_to_string(&metrics).expect("metrics file");
+
+    // Nonzero parse throughput: lines were parsed and time was recorded.
+    let lines = metric_value(&jsonl, "parse.ce.lines_ok").expect("parse.ce.lines_ok");
+    assert!(lines > 0.0, "no CE lines parsed");
+    let timing = jsonl
+        .lines()
+        .find(|l| l.contains("parse.ce") && l.contains("\"kind\":\"timing\""))
+        .expect("a timing for the ce parse stage");
+    let sum = timing.split("\"sum\":").nth(1).expect("sum field");
+    let ns: f64 = sum
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(ns > 0.0, "parse stage recorded zero elapsed time");
+
+    // The analysis side also ran.
+    assert!(metric_value(&jsonl, "coalesce.records_in").unwrap() > 0.0);
+    assert!(metric_value(&jsonl, "coalesce.faults_out").unwrap() > 0.0);
+}
+
+#[test]
+fn corrupt_lines_surface_in_skip_counters() {
+    let dir = TempDir::new("corrupt");
+    generate(dir.path());
+    // Corrupt the CE log: inject lines no parser accepts.
+    let ce = dir.join("ce.log");
+    let mut text = std::fs::read_to_string(&ce).unwrap();
+    for i in 0..5 {
+        text.push_str(&format!("@@ corrupted line {i} @@\n"));
+    }
+    std::fs::write(&ce, text).unwrap();
+
+    let metrics = dir.join("m.json");
+    run(&[
+        "analyze",
+        dir.path().to_str().unwrap(),
+        "--racks",
+        "1",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    let skipped = metric_value(&jsonl, "parse.ce.lines_skipped").expect("skip counter");
+    assert_eq!(skipped, 5.0, "each injected corrupt line must be counted");
+}
+
+#[test]
+fn report_metrics_span_all_stages_and_are_deterministic() {
+    let dir = TempDir::new("report");
+    generate(dir.path());
+    let mut exports = Vec::new();
+    for name in ["m1.json", "m2.json"] {
+        let metrics = dir.join(name);
+        run(&[
+            "report",
+            dir.path().to_str().unwrap(),
+            "--racks",
+            "1",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        exports.push(std::fs::read_to_string(&metrics).unwrap());
+    }
+
+    // Acceptance: >= 12 distinct metrics spanning faultsim, parse (logs),
+    // coalesce, and experiments.
+    let names: Vec<&str> = exports[0]
+        .lines()
+        .filter_map(|l| l.split("\"name\":\"").nth(1)?.split('"').next())
+        .collect();
+    assert!(names.len() >= 12, "only {} metrics exported", names.len());
+    for stage in ["faultsim.", "parse.", "coalesce.", "experiments."] {
+        assert!(
+            names.iter().any(|n| n.starts_with(stage)),
+            "no {stage}* metric in export; got {names:?}"
+        );
+    }
+
+    // Determinism: everything except wall-clock timings is identical
+    // across two runs over the same directory.
+    let strip = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.contains("\"kind\":\"timing\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&exports[0]),
+        strip(&exports[1]),
+        "non-timing metrics differ between identical runs"
+    );
+}
+
+#[test]
+fn stats_prints_throughput_and_rates() {
+    let dir = TempDir::new("stats");
+    generate(dir.path());
+    let out = Command::new(bin())
+        .args(["stats", dir.path().to_str().unwrap(), "--racks", "1"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("parse stages:"), "{text}");
+    assert!(text.contains("throughput"), "{text}");
+    assert!(text.contains("skip %"), "{text}");
+    assert!(text.contains("kernel-buffer loss"), "{text}");
+    assert!(text.contains("errors/fault"), "{text}");
+}
+
+#[test]
+fn bad_arguments_are_rejected() {
+    for args in [
+        &["generate", "--racks", "0", "--out", "/tmp/x"][..],
+        &["analyze", "/tmp/a", "/tmp/b"][..],
+    ] {
+        let out = Command::new(bin()).args(args).output().expect("spawn");
+        assert!(!out.status.success(), "astra-mem {args:?} should fail");
+    }
+}

@@ -141,7 +141,11 @@ fn every_experiment_driver_runs_on_one_dataset() {
     // At 2 racks the per-category daily counts are sparse; check the
     // infant-mortality burst on the combined series.
     let combined_first: u64 = f3.series.iter().map(|s| s[..30].iter().sum::<u64>()).sum();
-    let combined_second: u64 = f3.series.iter().map(|s| s[30..60].iter().sum::<u64>()).sum();
+    let combined_second: u64 = f3
+        .series
+        .iter()
+        .map(|s| s[30..60].iter().sum::<u64>())
+        .sum();
     assert!(combined_first > combined_second);
 
     let f4 = experiments::fig4::compute(&analysis, study_span());
@@ -165,12 +169,10 @@ fn every_experiment_driver_runs_on_one_dataset() {
     let f10 = experiments::fig10_12::compute(&analysis);
     assert!(f10.fault_region_spread_is_smaller());
 
-    let f13 =
-        experiments::fig13_14::compute_fig13(&analysis, &ds.telemetry, sensor_span(), &quick);
+    let f13 = experiments::fig13_14::compute_fig13(&analysis, &ds.telemetry, sensor_span(), &quick);
     assert_eq!(f13.cpu.len() + f13.dimm.len(), 6);
 
-    let f14 =
-        experiments::fig13_14::compute_fig14(&analysis, &ds.telemetry, sensor_span(), &quick);
+    let f14 = experiments::fig13_14::compute_fig14(&analysis, &ds.telemetry, sensor_span(), &quick);
     assert_eq!(f14.panels.len(), 6);
 
     let window = astra_util::time::TimeSpan::dates(

@@ -81,7 +81,10 @@ fn headline_shapes_hold_for_most_seeds() {
     assert_eq!(slot_ok, n, "slot skew is built in");
     assert_eq!(median_one_ok, n, "median errors/fault is 1");
     assert_eq!(flatter_ok, n, "faults flatter than errors");
-    assert!(zero_frac_ok >= n - 1, "zero-CE fraction: {zero_frac_ok}/{n}");
+    assert!(
+        zero_frac_ok >= n - 1,
+        "zero-CE fraction: {zero_frac_ok}/{n}"
+    );
     assert!(
         concentration_ok >= n - 1,
         "concentration: {concentration_ok}/{n}"

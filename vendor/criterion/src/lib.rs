@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `Bencher::iter` / `iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros — measured with plain `std::time::Instant`.
+//! No statistical analysis, HTML reports, or baselines: each benchmark
+//! prints its median, minimum, and throughput to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints for [`Bencher::iter_batched`]. The stand-in runs
+/// one input per measured call regardless, so these are accepted and
+/// ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Declared work per iteration; turns timings into rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside a group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named collection of benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            remaining: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        samples.sort_unstable();
+        let median = samples
+            .get(samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let min = samples.first().copied().unwrap_or(Duration::ZERO);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if median > Duration::ZERO => {
+                format!(
+                    "  {:.1} MiB/s",
+                    b as f64 / median.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  {:.0} elem/s", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: median {median:?}  min {min:?}  ({} samples){rate}",
+            self.name,
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    remaining: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up call, then timed samples.
+        let _ = routine();
+        for _ in 0..self.remaining {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let _ = routine(setup());
+        for _ in 0..self.remaining {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(2);
+        let mut setups = 0u32;
+        group.bench_function("setup", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 3);
+    }
+}

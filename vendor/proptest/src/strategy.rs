@@ -1,0 +1,257 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses:
+//! integer ranges, tuples, `prop_map`, and regex-literal strings.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Work in u64 offset space to cover signed ranges.
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let offset = rng.below(span);
+                    ((self.start as i128) + offset as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// String literals act as generators for the regex subset the suites
+/// use: literal characters, `[...]` classes with ranges, `{n}` / `{m,n}`
+/// repetition, and `\PC` for an arbitrary printable character.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, u32, u32)> {
+    let mut atoms: Vec<(Atom, u32, u32)> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // `\PC` / `\pC`: consume the class letter.
+                    let _ = chars.next();
+                    Atom::AnyPrintable
+                }
+                Some(escaped) => Atom::Literal(escaped),
+                None => break,
+            },
+            '[' => {
+                let mut members: Vec<char> = Vec::new();
+                for m in chars.by_ref() {
+                    if m == ']' {
+                        break;
+                    }
+                    members.push(m);
+                }
+                let mut ranges = Vec::new();
+                let mut i = 0;
+                while i < members.len() {
+                    if i + 2 < members.len() && members[i + 1] == '-' {
+                        ranges.push((members[i], members[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((members[i], members[i]));
+                        i += 1;
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            other => Atom::Literal(other),
+        };
+        // Optional {n} or {m,n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for q in chars.by_ref() {
+                if q == '}' {
+                    break;
+                }
+                spec.push(q);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(0),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse_pattern(pattern) {
+        let count = min + rng.below(u64::from(max - min + 1)) as u32;
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = (hi as u32).saturating_sub(lo as u32) + 1;
+                    let picked = lo as u32 + rng.below(u64::from(span)) as u32;
+                    out.push(char::from_u32(picked).unwrap_or(lo));
+                }
+                Atom::AnyPrintable => {
+                    // Mostly printable ASCII with occasional non-ASCII
+                    // printables, so parsers see multi-byte UTF-8 too.
+                    let c = if rng.below(8) == 0 {
+                        const EXOTIC: &[char] = &['é', 'Ω', 'λ', '中', '🦀', 'ß', '±'];
+                        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                    } else {
+                        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+                    };
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (5i64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let u = (0u8..16).generate(&mut rng);
+            assert!(u < 16);
+        }
+    }
+
+    #[test]
+    fn pattern_fixed_parts() {
+        let mut rng = TestRng::for_test("pattern");
+        for _ in 0..100 {
+            let s = "2019-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}:00".generate(&mut rng);
+            assert_eq!(s.len(), "2019-00-00T00:00:00".len());
+            assert!(s.starts_with("2019-"));
+            assert!(s.ends_with(":00"));
+        }
+    }
+
+    #[test]
+    fn pattern_bounded_repetition() {
+        let mut rng = TestRng::for_test("rep");
+        for _ in 0..200 {
+            let s = "node[0-9]{1,6}".generate(&mut rng);
+            assert!(s.starts_with("node"));
+            let digits = &s[4..];
+            assert!((1..=6).contains(&digits.len()));
+            assert!(digits.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_class_is_printable() {
+        let mut rng = TestRng::for_test("printable");
+        for _ in 0..200 {
+            let s = "\\PC{0,120}".generate(&mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_test("map");
+        let strat = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! `bench` — end-to-end pipeline stage benchmark.
+//!
+//! ```text
+//! cargo run --release -p astra-bench --bin bench -- pipeline \
+//!     [--racks 4,12,36] [--seed 42] [--out BENCH_pipeline.json] \
+//!     [--check-floor crates/bench/floor_pipeline.json]
+//! ```
+//!
+//! For each machine scale the driver runs the full production path —
+//! simulate → serialize to disk → streaming parse → coalesce → spatial
+//! aggregation — and records per-stage wall time, writing a JSON report
+//! (default `BENCH_pipeline.json`, checked in at the repo root so the
+//! perf trajectory is tracked across PRs).
+//!
+//! `--check-floor` turns the run into a smoke gate for CI: the written
+//! JSON must be syntactically valid and no stage may exceed 3× the
+//! checked-in floor time for the matching rack count.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use astra_bench::json;
+use astra_core::pipeline::{Analysis, AnalysisInput, Dataset};
+
+const USAGE: &str = "\
+bench — astra-mem pipeline benchmark driver
+
+USAGE:
+    bench pipeline [--racks LIST] [--seed S] [--out FILE] [--check-floor FILE]
+
+OPTIONS:
+    --racks LIST        comma-separated rack counts (default 4,12,36)
+    --seed S            master seed (default 42)
+    --out FILE          JSON report path (default BENCH_pipeline.json)
+    --check-floor FILE  fail if any stage exceeds 3x the floor time
+";
+
+/// How much slower than the floor a stage may run before the smoke check
+/// fails. Generous because CI machines are shared and slow.
+const FLOOR_TOLERANCE: f64 = 3.0;
+
+struct Args {
+    racks: Vec<u32>,
+    seed: u64,
+    out: PathBuf,
+    check_floor: Option<PathBuf>,
+}
+
+/// One measured pipeline stage: `(label, wall seconds)`.
+type Stage = (&'static str, f64);
+
+struct ScaleResult {
+    racks: u32,
+    nodes: u32,
+    ce_records: usize,
+    faults: usize,
+    log_bytes: u64,
+    workingset_bytes: f64,
+    stages: Vec<Stage>,
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut args = argv.into_iter();
+    match args.next().as_deref() {
+        Some("pipeline") => {}
+        Some("help" | "--help" | "-h") | None => return Err(String::new()),
+        Some(other) => return Err(format!("unknown subcommand {other}")),
+    }
+    let mut parsed = Args {
+        racks: vec![4, 12, 36],
+        seed: 42,
+        out: PathBuf::from("BENCH_pipeline.json"),
+        check_floor: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--racks" => {
+                let v = args.next().ok_or("--racks needs a value")?;
+                parsed.racks = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u32>()
+                            .map_err(|_| format!("bad rack count {s}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if parsed.racks.is_empty() || parsed.racks.contains(&0) {
+                    return Err("--racks needs positive counts".into());
+                }
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                parsed.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--check-floor" => {
+                parsed.check_floor = Some(PathBuf::from(
+                    args.next().ok_or("--check-floor needs a value")?,
+                ));
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) if e.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut results = Vec::new();
+    for &racks in &args.racks {
+        results.push(measure_scale(racks, args.seed)?);
+    }
+    let report = render_report(args.seed, &results);
+    json::validate(&report).map_err(|e| format!("generated report is malformed: {e}"))?;
+    std::fs::write(&args.out, &report)
+        .map_err(|e| format!("writing {}: {e}", args.out.display()))?;
+    eprintln!("[bench] wrote {}", args.out.display());
+    print_table(&results);
+    if let Some(floor_path) = &args.check_floor {
+        check_floor(floor_path, &args.out, &results)?;
+        eprintln!("[bench] floor check passed ({FLOOR_TOLERANCE}x tolerance)");
+    }
+    Ok(())
+}
+
+fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
+    eprintln!("[bench] measuring {racks} racks (seed {seed})...");
+    astra_obs::reset_global();
+
+    let t = Instant::now();
+    let ds = Dataset::generate(racks, seed);
+    let simulate_secs = t.elapsed().as_secs_f64();
+    // The parallel k-way merge runs inside `simulate`; report its share
+    // separately from the span metric it publishes.
+    let merge_secs = timing_by_suffix("pipeline.merge");
+
+    let dir = std::env::temp_dir().join(format!("astra-bench-pipeline-{}", std::process::id()));
+    let t = Instant::now();
+    ds.write_logs(&dir).map_err(|e| e.to_string())?;
+    let serialize_secs = t.elapsed().as_secs_f64();
+    let log_bytes = dir_bytes(&dir)?;
+
+    let t = Instant::now();
+    let input = AnalysisInput::from_dir(&dir).map_err(|e| e.to_string())?;
+    let parse_secs = t.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let ce_records = input.records.len();
+    let analysis = Analysis::run(ds.system, input.records);
+    let coalesce_secs = timing_by_suffix("pipeline.coalesce");
+    let spatial_secs = timing_by_suffix("pipeline.spatial");
+    let workingset_bytes = astra_obs::global()
+        .snapshot()
+        .gauge("pipeline.workingset_bytes");
+
+    Ok(ScaleResult {
+        racks,
+        nodes: ds.system.node_count(),
+        ce_records,
+        faults: analysis.faults.len(),
+        log_bytes,
+        workingset_bytes,
+        stages: vec![
+            ("simulate", simulate_secs),
+            ("merge", merge_secs),
+            ("serialize", serialize_secs),
+            ("parse", parse_secs),
+            ("coalesce", coalesce_secs),
+            ("spatial", spatial_secs),
+        ],
+    })
+}
+
+/// Sum of `time.` metrics whose span path ends in `suffix` (span paths
+/// nest, so match by leaf — same rule as `astra-mem stats`).
+fn timing_by_suffix(suffix: &str) -> f64 {
+    let snap = astra_obs::global().snapshot();
+    snap.entries
+        .iter()
+        .filter(|(name, _)| {
+            name.strip_prefix("time.")
+                .map(|path| path == suffix || path.ends_with(&format!("/{suffix}")))
+                .unwrap_or(false)
+        })
+        .map(|(name, _)| snap.timing_secs(name))
+        .sum()
+}
+
+fn dir_bytes(dir: &std::path::Path) -> Result<u64, String> {
+    let mut total = 0;
+    for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
+        total += entry
+            .and_then(|e| e.metadata())
+            .map_err(|e| e.to_string())?
+            .len();
+    }
+    Ok(total)
+}
+
+/// `simulate` wall time already contains the merge; the pipeline total is
+/// the sum of the disjoint stages.
+fn total_secs(r: &ScaleResult) -> f64 {
+    r.stages
+        .iter()
+        .filter(|(label, _)| *label != "merge")
+        .map(|(_, secs)| secs)
+        .sum()
+}
+
+fn render_report(seed: u64, results: &[ScaleResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"astra-bench-pipeline/v1\",\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(
+        out,
+        "  \"workers\": {},",
+        astra_util::par::worker_count(usize::MAX)
+    );
+    out.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"racks\": {},", r.racks);
+        let _ = writeln!(out, "      \"nodes\": {},", r.nodes);
+        let _ = writeln!(out, "      \"ce_records\": {},", r.ce_records);
+        let _ = writeln!(out, "      \"faults\": {},", r.faults);
+        let _ = writeln!(out, "      \"log_bytes\": {},", r.log_bytes);
+        let _ = writeln!(
+            out,
+            "      \"workingset_mib\": {:.1},",
+            r.workingset_bytes / (1024.0 * 1024.0)
+        );
+        out.push_str("      \"stages\": {\n");
+        for (j, (label, secs)) in r.stages.iter().enumerate() {
+            let comma = if j + 1 < r.stages.len() { "," } else { "" };
+            let _ = writeln!(out, "        \"{label}\": {secs:.6}{comma}");
+        }
+        out.push_str("      },\n");
+        let _ = writeln!(out, "      \"total_secs\": {:.6}", total_secs(r));
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn print_table(results: &[ScaleResult]) {
+    println!(
+        "{:>6} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "racks",
+        "nodes",
+        "CEs",
+        "simulate",
+        "merge",
+        "serialize",
+        "parse",
+        "coalesce",
+        "spatial",
+        "total"
+    );
+    for r in results {
+        print!("{:>6} {:>8} {:>10}", r.racks, r.nodes, r.ce_records);
+        for (_, secs) in &r.stages {
+            print!(" {secs:>8.3}s");
+        }
+        println!(" {:>8.3}s", total_secs(r));
+    }
+}
+
+/// Gate against the checked-in floor: the written report must be valid
+/// JSON and each stage listed in the floor must run within
+/// [`FLOOR_TOLERANCE`]× its floor time at the floor's rack count.
+fn check_floor(
+    floor_path: &std::path::Path,
+    report_path: &std::path::Path,
+    results: &[ScaleResult],
+) -> Result<(), String> {
+    // Re-read from disk: the gate is about the artifact CI would archive.
+    let report = std::fs::read_to_string(report_path)
+        .map_err(|e| format!("reading {}: {e}", report_path.display()))?;
+    json::validate(&report).map_err(|e| format!("{} is malformed: {e}", report_path.display()))?;
+
+    let floor = std::fs::read_to_string(floor_path)
+        .map_err(|e| format!("reading {}: {e}", floor_path.display()))?;
+    json::validate(&floor).map_err(|e| format!("{} is malformed: {e}", floor_path.display()))?;
+    let floor_racks = json::number_field(&floor, "racks")
+        .ok_or_else(|| format!("{} has no \"racks\" field", floor_path.display()))?
+        as u32;
+    let measured = results
+        .iter()
+        .find(|r| r.racks == floor_racks)
+        .ok_or_else(|| format!("no measured scale matches floor racks={floor_racks}"))?;
+
+    let mut failures = Vec::new();
+    for (label, secs) in &measured.stages {
+        let Some(floor_secs) = json::number_field(&floor, label) else {
+            continue;
+        };
+        let limit = floor_secs * FLOOR_TOLERANCE;
+        if *secs > limit {
+            failures.push(format!(
+                "{label}: {secs:.3}s exceeds {limit:.3}s ({FLOOR_TOLERANCE}x floor {floor_secs:.3}s)"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "stage regression vs floor:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let a = parse_args(argv(&[
+            "pipeline",
+            "--racks",
+            "2,4",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/x.json",
+            "--check-floor",
+            "floor.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.racks, vec![2, 4]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out, PathBuf::from("/tmp/x.json"));
+        assert_eq!(a.check_floor, Some(PathBuf::from("floor.json")));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(argv(&["pipeline", "--racks", "0"])).is_err());
+        assert!(parse_args(argv(&["nonsense"])).is_err());
+        assert!(parse_args(argv(&["pipeline", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn report_is_valid_json() {
+        let results = vec![ScaleResult {
+            racks: 2,
+            nodes: 144,
+            ce_records: 1000,
+            faults: 10,
+            log_bytes: 4096,
+            workingset_bytes: 65536.0,
+            stages: vec![("simulate", 0.5), ("merge", 0.1), ("parse", 0.25)],
+        }];
+        let report = render_report(42, &results);
+        json::validate(&report).unwrap();
+        assert_eq!(json::number_field(&report, "racks"), Some(2.0));
+        assert_eq!(json::number_field(&report, "simulate"), Some(0.5));
+        // total excludes the merge share (it is inside simulate).
+        assert_eq!(json::number_field(&report, "total_secs"), Some(0.75));
+    }
+}

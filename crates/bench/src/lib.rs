@@ -66,6 +66,194 @@ pub fn full_scale_factor(racks: u32) -> f64 {
     36.0 / f64::from(racks)
 }
 
+/// Minimal JSON handling for the `bench pipeline` driver: syntax
+/// validation of the emitted report and flat number extraction from the
+/// checked-in floor file. The workspace is offline and zero-dep by
+/// design, so there is no serde — this covers exactly what the bench
+/// smoke check needs.
+pub mod json {
+    /// Check that `text` is one well-formed JSON value (the whole input).
+    ///
+    /// Accepts the full JSON grammar; reports the byte offset of the
+    /// first violation. Used by the CI `bench-smoke` job to fail on a
+    /// malformed `BENCH_pipeline.json`.
+    pub fn validate(text: &str) -> Result<(), String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(())
+    }
+
+    /// Extract the number that follows `"key":` (first occurrence).
+    ///
+    /// Only suitable for flat documents whose keys are unique — the floor
+    /// file format — not a general JSON path query.
+    pub fn number_field(text: &str, key: &str) -> Option<f64> {
+        let needle = format!("\"{key}\"");
+        let after = text.find(&needle)? + needle.len();
+        let rest = text[after..].trim_start().strip_prefix(':')?.trim_start();
+        let end = rest
+            .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    const MAX_DEPTH: usize = 64;
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+        if depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {pos}",
+                pos = *pos
+            ));
+        }
+        match bytes.get(*pos) {
+            Some(b'{') => composite(bytes, pos, depth, b'}'),
+            Some(b'[') => composite(bytes, pos, depth, b']'),
+            Some(b'"') => string(bytes, pos),
+            Some(b't') => expect(bytes, pos, "true"),
+            Some(b'f') => expect(bytes, pos, "false"),
+            Some(b'n') => expect(bytes, pos, "null"),
+            Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+            Some(c) => Err(format!(
+                "unexpected byte {c:#04x} at byte {pos}",
+                pos = *pos
+            )),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    /// Shared object/array body: `{` with `"key": value` members or `[`
+    /// with bare values, distinguished by the closing delimiter.
+    fn composite(bytes: &[u8], pos: &mut usize, depth: usize, close: u8) -> Result<(), String> {
+        *pos += 1; // opening delimiter, dispatched on by the caller
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&close) {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            if close == b'}' {
+                string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                skip_ws(bytes, pos);
+            }
+            value(bytes, pos, depth + 1)?;
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => {
+                    *pos += 1;
+                    skip_ws(bytes, pos);
+                }
+                Some(c) if *c == close => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                _ => {
+                    return Err(format!(
+                        "expected `,` or `{}` at byte {pos}",
+                        close as char,
+                        pos = *pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+        expect(bytes, pos, "\"")?;
+        loop {
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                        Some(b'u') => {
+                            *pos += 1;
+                            for _ in 0..4 {
+                                match bytes.get(*pos) {
+                                    Some(c) if c.is_ascii_hexdigit() => *pos += 1,
+                                    _ => {
+                                        return Err(format!(
+                                            "bad \\u escape at byte {pos}",
+                                            pos = *pos
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                    }
+                }
+                Some(c) if *c >= 0x20 => *pos += 1,
+                Some(_) => return Err(format!("control byte in string at byte {pos}", pos = *pos)),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        match bytes.get(*pos) {
+            Some(b'0') => *pos += 1,
+            Some(b'1'..=b'9') => digits(bytes, pos),
+            _ => return Err(format!("bad number at byte {start}")),
+        }
+        if bytes.get(*pos) == Some(&b'.') {
+            *pos += 1;
+            if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                return Err(format!("bad number at byte {start}"));
+            }
+            digits(bytes, pos);
+        }
+        if let Some(b'e' | b'E') = bytes.get(*pos) {
+            *pos += 1;
+            if let Some(b'+' | b'-') = bytes.get(*pos) {
+                *pos += 1;
+            }
+            if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                return Err(format!("bad number at byte {start}"));
+            }
+            digits(bytes, pos);
+        }
+        Ok(())
+    }
+
+    fn digits(bytes: &[u8], pos: &mut usize) {
+        while let Some(b'0'..=b'9') = bytes.get(*pos) {
+            *pos += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +269,47 @@ mod tests {
         let (ds, analysis) = prepare(Cli { racks: 1, seed: 7 });
         assert_eq!(ds.system.racks, 1);
         assert!(analysis.total_faults() > 0);
+    }
+
+    #[test]
+    fn json_validate_accepts_well_formed() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e3",
+            r#""a \"quoted\" é string""#,
+            r#"{"a": [1, 2.5, {"b": true}], "c": null}"#,
+            "  { \"k\" : [ ] }\n",
+        ] {
+            assert!(json::validate(ok).is_ok(), "rejected {ok:?}");
+        }
+    }
+
+    #[test]
+    fn json_validate_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "{'a': 1}",
+            "{\"a\": 01}",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "{\"a\": +1}",
+        ] {
+            assert!(json::validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_number_field_extracts_flat_keys() {
+        let text = r#"{"stages": {"simulate": 1.25, "parse": 0.5}, "racks": 2}"#;
+        assert_eq!(json::number_field(text, "simulate"), Some(1.25));
+        assert_eq!(json::number_field(text, "parse"), Some(0.5));
+        assert_eq!(json::number_field(text, "racks"), Some(2.0));
+        assert_eq!(json::number_field(text, "absent"), None);
     }
 }

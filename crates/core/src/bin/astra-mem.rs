@@ -441,6 +441,28 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             ws / (1024.0 * 1024.0)
         );
     }
+    // Per-stage wall time. Generation-side stages (generate, merge) come
+    // from the imported metrics.jsonl when the directory was produced by
+    // `generate`; the analysis-side stages were just measured live.
+    let stages = [
+        ("generate", "pipeline.generate"),
+        ("merge", "pipeline.merge"),
+        ("parse", "pipeline.parse"),
+        ("coalesce", "pipeline.coalesce"),
+        ("spatial", "pipeline.spatial"),
+    ];
+    if stages
+        .iter()
+        .any(|(_, suffix)| timing_secs_by_suffix(&snap, suffix) > 0.0)
+    {
+        println!("\nstage breakdown:");
+        for (label, suffix) in stages {
+            let secs = timing_secs_by_suffix(&snap, suffix);
+            if secs > 0.0 {
+                println!("  {label:<10} {secs:>9.3}s");
+            }
+        }
+    }
     let analyze_secs = timing_secs_by_suffix(&snap, "pipeline.analyze");
     if analyze_secs > 0.0 {
         println!("analyze wall time: {analyze_secs:.3}s");

@@ -93,13 +93,24 @@ impl ObservedFault {
     }
 }
 
+/// Below this many records the parallel path's partition/spawn overhead
+/// outweighs the win; coalesce runs sequentially.
+const PARALLEL_COALESCE_MIN_RECORDS: usize = 50_000;
+
 /// Coalesce a CE record stream into observed faults.
 ///
 /// Records may arrive in any order; output is sorted by
 /// `(node, slot, rank, first_seen)` and is deterministic.
+///
+/// `(node, slot, rank)` groups are independent by construction, so large
+/// inputs fan the groups out across workers with `par_map`; the group
+/// list is key-sorted first and each group's work is order-insensitive,
+/// so the output is bit-identical to the sequential path at any worker
+/// count.
 pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFault> {
     let _span = astra_obs::span("coalesce");
-    // Group record indices by device population.
+    // Partition record indices by device population, in deterministic
+    // group-key order.
     let mut groups: HashMap<(u32, u8, u8), Vec<u32>> = HashMap::new();
     for (i, rec) in records.iter().enumerate() {
         groups
@@ -107,15 +118,29 @@ pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFa
             .or_default()
             .push(i as u32);
     }
-
-    let mut out: Vec<ObservedFault> = Vec::new();
+    let mut groups: Vec<((u32, u8, u8), Vec<u32>)> = groups.into_iter().collect();
+    groups.sort_unstable_by_key(|(key, _)| *key);
     let groups_seen = groups.len() as u64;
-    for ((node, slot_idx, rank), indices) in groups {
+
+    let run_group = |(key, indices): &((u32, u8, u8), Vec<u32>)| -> Vec<ObservedFault> {
+        let &(node, slot_idx, rank) = key;
         let node = NodeId(node);
         let slot = DimmSlot::from_index(slot_idx).expect("slot from grouping");
         let rank = RankId(rank);
-        coalesce_group(records, node, slot, rank, indices, config, &mut out);
-    }
+        let mut local = Vec::new();
+        coalesce_group(records, node, slot, rank, indices, config, &mut local);
+        local
+    };
+
+    let parallel = records.len() >= PARALLEL_COALESCE_MIN_RECORDS
+        && astra_util::par::worker_count(groups.len()) > 1;
+    let per_group: Vec<Vec<ObservedFault>> = if parallel {
+        astra_util::par::par_map(&groups, run_group)
+    } else {
+        groups.iter().map(run_group).collect()
+    };
+    let mut out: Vec<ObservedFault> = Vec::with_capacity(per_group.iter().map(Vec::len).sum());
+    out.extend(per_group.into_iter().flatten());
     out.sort_by_key(|f| {
         (
             f.node.0,
@@ -142,13 +167,13 @@ fn coalesce_group(
     node: NodeId,
     slot: DimmSlot,
     rank: RankId,
-    indices: Vec<u32>,
+    indices: &[u32],
     config: &CoalesceConfig,
     out: &mut Vec<ObservedFault>,
 ) {
     // Pass 1: find pin lanes — bit positions seen in many banks.
     let mut lane_banks: HashMap<u16, std::collections::BTreeSet<u16>> = HashMap::new();
-    for &i in &indices {
+    for &i in indices {
         let rec = &records[i as usize];
         lane_banks.entry(rec.bit_pos).or_default().insert(rec.bank);
     }
@@ -160,7 +185,7 @@ fn coalesce_group(
 
     let mut per_lane: HashMap<u16, Vec<u32>> = HashMap::new();
     let mut per_bank: HashMap<u16, Vec<u32>> = HashMap::new();
-    for &i in &indices {
+    for &i in indices {
         let rec = &records[i as usize];
         if pin_lanes.contains(&rec.bit_pos) {
             per_lane.entry(rec.bit_pos).or_default().push(i);

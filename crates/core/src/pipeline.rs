@@ -12,8 +12,8 @@
 //! benchmarking the analysis itself; the `parse_overhead` bench measures
 //! exactly what that shortcut saves.
 
-use std::io::{self, Write as _};
-use std::path::Path;
+use std::io;
+use std::path::{Path, PathBuf};
 
 use astra_faultsim::{simulate, SimOutput, SimProfile};
 use astra_logs::{io as logio, CeRecord, HetRecord, ReplacementRecord, SensorRecord};
@@ -81,23 +81,33 @@ impl Dataset {
     /// Returns `(ce_log, het_log, inventory_log)`. Note the CE log of a
     /// full-scale run is several hundred megabytes; prefer
     /// [`Dataset::write_logs`] for that.
+    ///
+    /// Each output `String` is pre-sized from the record count times the
+    /// first line's length and records append in place, so serializing a
+    /// multi-hundred-MB log performs no per-record allocation and no
+    /// doubling-regrowth copies of the accumulated text.
     pub fn to_text(&self) -> (String, String, String) {
-        let mut ce = String::new();
-        for rec in &self.sim.ce_log {
-            ce.push_str(&rec.to_line());
-            ce.push('\n');
+        fn serialize<T>(records: &[T], fill: impl Fn(&T, &mut String)) -> String {
+            let mut out = String::new();
+            let Some(first) = records.first() else {
+                return out;
+            };
+            let mut probe = String::with_capacity(160);
+            fill(first, &mut probe);
+            // Lines of one log differ only in digit widths; first-line
+            // length plus slack is a tight upper estimate.
+            out.reserve(records.len() * (probe.len() + 16));
+            for rec in records {
+                fill(rec, &mut out);
+                out.push('\n');
+            }
+            out
         }
-        let mut het = String::new();
-        for rec in &self.sim.het_log {
-            het.push_str(&rec.to_line());
-            het.push('\n');
-        }
-        let mut inv = String::new();
-        for rec in &self.replacements {
-            inv.push_str(&rec.to_line());
-            inv.push('\n');
-        }
-        (ce, het, inv)
+        (
+            serialize(&self.sim.ce_log, |r, buf| r.to_line_into(buf)),
+            serialize(&self.sim.het_log, |r, buf| r.to_line_into(buf)),
+            serialize(&self.replacements, |r, buf| r.to_line_into(buf)),
+        )
     }
 
     /// Environmental-log excerpt settings: the full per-minute stream at
@@ -119,30 +129,79 @@ impl Dataset {
     }
 
     /// Write `ce.log`, `het.log`, `inventory.log`, and the `sensors.log`
-    /// excerpt into a directory.
+    /// excerpt into a directory. Records stream through one reused line
+    /// buffer per file — no per-record `String`.
     pub fn write_logs(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let write = |name: &str, lines: &mut dyn Iterator<Item = String>| -> io::Result<()> {
+        fn write<T>(
+            dir: &Path,
+            name: &str,
+            records: &[T],
+            fill: impl Fn(&T, &mut String),
+        ) -> io::Result<()> {
+            use std::io::Write as _;
             let mut f = io::BufWriter::new(std::fs::File::create(dir.join(name))?);
-            for line in lines {
-                f.write_all(line.as_bytes())?;
-                f.write_all(b"\n")?;
-            }
+            logio::write_lines_with(&mut f, records.iter(), |rec, buf| fill(rec, buf))?;
             f.flush()
-        };
-        write("ce.log", &mut self.sim.ce_log.iter().map(CeRecord::to_line))?;
-        write(
-            "het.log",
-            &mut self.sim.het_log.iter().map(HetRecord::to_line),
-        )?;
-        write(
-            "inventory.log",
-            &mut self.replacements.iter().map(ReplacementRecord::to_line),
-        )?;
-        write(
-            "sensors.log",
-            &mut self.sensor_excerpt().iter().map(SensorRecord::to_line),
-        )
+        }
+        write(dir, "ce.log", &self.sim.ce_log, |r, buf| {
+            r.to_line_into(buf)
+        })?;
+        write(dir, "het.log", &self.sim.het_log, |r, buf| {
+            r.to_line_into(buf)
+        })?;
+        write(dir, "inventory.log", &self.replacements, |r, buf| {
+            r.to_line_into(buf)
+        })?;
+        write(dir, "sensors.log", &self.sensor_excerpt(), |r, buf| {
+            r.to_line_into(buf)
+        })
+    }
+}
+
+/// Why loading a log directory failed — the distinction an operator (and
+/// [`AnalysisInput::from_dir`]'s callers) need: a required log that is
+/// *absent* points at the extraction job, one that is *unreadable* points
+/// at the file itself.
+#[derive(Debug)]
+pub enum LoadError {
+    /// A required log file does not exist in the directory.
+    MissingLog {
+        /// Log file name (e.g. `ce.log`).
+        name: &'static str,
+        /// Full path that was probed.
+        path: PathBuf,
+    },
+    /// The log exists but could not be read or decoded.
+    Unreadable {
+        /// Log file name.
+        name: &'static str,
+        /// Full path that failed.
+        path: PathBuf,
+        /// The underlying I/O or UTF-8 error.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::MissingLog { name, path } => {
+                write!(f, "required log {name} missing: {}", path.display())
+            }
+            LoadError::Unreadable { name, path, source } => {
+                write!(f, "log {name} unreadable: {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::MissingLog { .. } => None,
+            LoadError::Unreadable { source, .. } => Some(source),
+        }
     }
 }
 
@@ -185,29 +244,75 @@ impl AnalysisInput {
 
     /// Read the logs from a directory written by [`Dataset::write_logs`].
     /// `sensors.log` is optional (real extractions may ship telemetry
-    /// separately).
-    pub fn from_dir(dir: &Path) -> io::Result<Self> {
-        let read = |name: &str| std::fs::read_to_string(dir.join(name));
-        let mut input =
-            Self::from_text(&read("ce.log")?, &read("het.log")?, &read("inventory.log")?)?;
-        if let Ok(text) = read("sensors.log") {
-            let parsed =
-                logio::parse_lines_parallel_metered(&text, SensorRecord::parse_line, "sensors");
-            input.sensors = parsed.records;
-            input.skipped += parsed.skipped;
+    /// separately); the other three are required, and a missing required
+    /// log reports [`LoadError::MissingLog`] rather than a bare I/O error.
+    ///
+    /// Files stream through the chunked parser
+    /// ([`logio::parse_file_streaming`]): at no point are the full log
+    /// text and its parsed records resident together.
+    pub fn from_dir(dir: &Path) -> Result<Self, LoadError> {
+        let _span = astra_obs::span("pipeline.parse");
+        fn stream<T: Send>(
+            dir: &Path,
+            name: &'static str,
+            parse: impl Fn(&str) -> Option<T> + Sync,
+            stage: &str,
+        ) -> Result<Option<logio::ParsedLog<T>>, LoadError> {
+            let path = dir.join(name);
+            match logio::parse_file_streaming(&path, parse, stage) {
+                Ok(parsed) => Ok(Some(parsed)),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+                Err(e) => Err(LoadError::Unreadable {
+                    name,
+                    path,
+                    source: e,
+                }),
+            }
         }
-        Ok(input)
+        let require = |name: &'static str| LoadError::MissingLog {
+            name,
+            path: dir.join(name),
+        };
+        let ces =
+            stream(dir, "ce.log", CeRecord::parse_line, "ce")?.ok_or_else(|| require("ce.log"))?;
+        let hets = stream(dir, "het.log", HetRecord::parse_line, "het")?
+            .ok_or_else(|| require("het.log"))?;
+        let invs = stream(
+            dir,
+            "inventory.log",
+            ReplacementRecord::parse_line,
+            "inventory",
+        )?
+        .ok_or_else(|| require("inventory.log"))?;
+        let sensors = stream(dir, "sensors.log", SensorRecord::parse_line, "sensors")?.unwrap_or(
+            logio::ParsedLog {
+                records: Vec::new(),
+                skipped: 0,
+            },
+        );
+        Ok(AnalysisInput {
+            records: ces.records,
+            hets: hets.records,
+            replacements: invs.records,
+            sensors: sensors.records,
+            skipped: ces.skipped + hets.skipped + invs.skipped + sensors.skipped,
+        })
     }
 
     /// Take records directly from a dataset, skipping serialization.
     /// Semantically identical to a text roundtrip (the roundtrip is
     /// lossless — the integration tests verify it); used where the
     /// serialization cost is not the subject.
-    pub fn from_dataset_direct(dataset: &Dataset) -> Self {
+    ///
+    /// Consumes the dataset: the CE/HET/replacement vectors move into the
+    /// input rather than being deep-cloned (4.4 M records at full scale).
+    /// Callers that still need the dataset clone it explicitly — the cost
+    /// is then visible at the call site.
+    pub fn from_dataset_direct(dataset: Dataset) -> Self {
         AnalysisInput {
-            records: dataset.sim.ce_log.clone(),
-            hets: dataset.sim.het_log.clone(),
-            replacements: dataset.replacements.clone(),
+            records: dataset.sim.ce_log,
+            hets: dataset.sim.het_log,
+            replacements: dataset.replacements,
             sensors: Vec::new(),
             skipped: 0,
         }
@@ -240,8 +345,12 @@ impl Analysis {
         config: &CoalesceConfig,
     ) -> Analysis {
         let span = astra_obs::span("pipeline.analyze");
+        let coalesce_span = astra_obs::span("pipeline.coalesce");
         let faults = coalesce(&records, config);
+        drop(coalesce_span);
+        let spatial_span = astra_obs::span("pipeline.spatial");
         let spatial = SpatialCounts::compute(&system, &records, &faults);
+        drop(spatial_span);
 
         let obs = astra_obs::global();
         obs.counter("coalesce.records_in").add(records.len() as u64);
@@ -312,7 +421,7 @@ mod tests {
         let ds = dataset();
         let (ce, het, inv) = ds.to_text();
         let via_text = AnalysisInput::from_text(&ce, &het, &inv).unwrap();
-        let direct = AnalysisInput::from_dataset_direct(&ds);
+        let direct = AnalysisInput::from_dataset_direct(ds);
         assert_eq!(via_text.records, direct.records);
         assert_eq!(via_text.hets, direct.hets);
     }

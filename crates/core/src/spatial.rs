@@ -15,7 +15,7 @@ use astra_topology::{DimmSlot, RackRegion, SystemConfig};
 use crate::coalesce::ObservedFault;
 
 /// Error and fault counts along every axis the paper analyzes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpatialCounts {
     /// Errors per CPU socket (0, 1).
     pub errors_by_socket: [u64; 2],
@@ -59,14 +59,17 @@ pub struct SpatialCounts {
     pub faults_by_addr: FreqTable,
 }
 
+/// Below this many records the parallel aggregation's per-worker partial
+/// allocation outweighs the win; compute runs sequentially.
+const PARALLEL_SPATIAL_MIN_RECORDS: usize = 50_000;
+
 impl SpatialCounts {
-    /// Compute all aggregations for a machine.
-    pub fn compute(system: &SystemConfig, records: &[CeRecord], faults: &[ObservedFault]) -> Self {
-        let _span = astra_obs::span("spatial.compute");
+    /// A zeroed table shaped for `system` — the fold identity.
+    fn empty(system: &SystemConfig) -> Self {
         let banks = system.geometry.banks as usize;
         let cols = system.geometry.cols as usize;
         let racks = system.racks as usize;
-        let mut s = SpatialCounts {
+        SpatialCounts {
             errors_by_socket: [0; 2],
             faults_by_socket: [0; 2],
             errors_by_bank: vec![0; banks],
@@ -86,42 +89,113 @@ impl SpatialCounts {
             faults_by_rack_region: vec![[0; 3]; racks],
             faults_by_bit: FreqTable::new(),
             faults_by_addr: FreqTable::new(),
-        };
-
-        for rec in records {
-            s.errors_by_socket[usize::from(rec.socket.0)] += 1;
-            s.errors_by_bank[usize::from(rec.bank)] += 1;
-            s.errors_by_col[usize::from(rec.col)] += 1;
-            s.errors_by_rank[usize::from(rec.rank.0)] += 1;
-            s.errors_by_slot[rec.slot.index()] += 1;
-            s.errors_by_node.bump(u64::from(rec.node.0));
-            let rack = system.rack_of(rec.node).0 as usize;
-            s.errors_by_rack[rack] += 1;
-            s.errors_by_region[system.region_of(rec.node).index()] += 1;
         }
+    }
 
-        for f in faults {
-            s.faults_by_socket[usize::from(f.slot.socket().0)] += 1;
-            if let Some(bank) = f.bank {
-                s.faults_by_bank[usize::from(bank)] += 1;
-            }
-            if let Some(col) = f.col {
-                s.faults_by_col[usize::from(col)] += 1;
-            }
-            s.faults_by_rank[usize::from(f.rank.0)] += 1;
-            s.faults_by_slot[f.slot.index()] += 1;
-            s.faults_by_node.bump(u64::from(f.node.0));
-            let rack = system.rack_of(f.node).0 as usize;
-            s.faults_by_rack[rack] += 1;
-            let region = system.region_of(f.node).index();
-            s.faults_by_region[region] += 1;
-            s.faults_by_rack_region[rack][region] += 1;
-            s.faults_by_bit.bump(u64::from(f.bit_pos));
-            if let Some(addr) = f.addr {
-                s.faults_by_addr.bump(addr);
+    /// Fold one CE record into the error-side counts.
+    fn absorb_record(&mut self, system: &SystemConfig, rec: &CeRecord) {
+        self.errors_by_socket[usize::from(rec.socket.0)] += 1;
+        self.errors_by_bank[usize::from(rec.bank)] += 1;
+        self.errors_by_col[usize::from(rec.col)] += 1;
+        self.errors_by_rank[usize::from(rec.rank.0)] += 1;
+        self.errors_by_slot[rec.slot.index()] += 1;
+        self.errors_by_node.bump(u64::from(rec.node.0));
+        let rack = system.rack_of(rec.node).0 as usize;
+        self.errors_by_rack[rack] += 1;
+        self.errors_by_region[system.region_of(rec.node).index()] += 1;
+    }
+
+    /// Fold one coalesced fault into the fault-side counts.
+    fn absorb_fault(&mut self, system: &SystemConfig, f: &ObservedFault) {
+        self.faults_by_socket[usize::from(f.slot.socket().0)] += 1;
+        if let Some(bank) = f.bank {
+            self.faults_by_bank[usize::from(bank)] += 1;
+        }
+        if let Some(col) = f.col {
+            self.faults_by_col[usize::from(col)] += 1;
+        }
+        self.faults_by_rank[usize::from(f.rank.0)] += 1;
+        self.faults_by_slot[f.slot.index()] += 1;
+        self.faults_by_node.bump(u64::from(f.node.0));
+        let rack = system.rack_of(f.node).0 as usize;
+        self.faults_by_rack[rack] += 1;
+        let region = system.region_of(f.node).index();
+        self.faults_by_region[region] += 1;
+        self.faults_by_rack_region[rack][region] += 1;
+        self.faults_by_bit.bump(u64::from(f.bit_pos));
+        if let Some(addr) = f.addr {
+            self.faults_by_addr.bump(addr);
+        }
+    }
+
+    /// Combine two partial tables. Every field is a sum of per-item
+    /// contributions, so merging is exact elementwise addition —
+    /// associative and commutative, which is what makes the parallel fold
+    /// bit-identical to the sequential pass.
+    fn merge(mut self, other: SpatialCounts) -> SpatialCounts {
+        fn add(a: &mut [u64], b: &[u64]) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
             }
         }
-        s
+        add(&mut self.errors_by_socket, &other.errors_by_socket);
+        add(&mut self.faults_by_socket, &other.faults_by_socket);
+        add(&mut self.errors_by_bank, &other.errors_by_bank);
+        add(&mut self.faults_by_bank, &other.faults_by_bank);
+        add(&mut self.errors_by_col, &other.errors_by_col);
+        add(&mut self.faults_by_col, &other.faults_by_col);
+        add(&mut self.errors_by_rank, &other.errors_by_rank);
+        add(&mut self.faults_by_rank, &other.faults_by_rank);
+        add(&mut self.errors_by_slot, &other.errors_by_slot);
+        add(&mut self.faults_by_slot, &other.faults_by_slot);
+        add(&mut self.errors_by_rack, &other.errors_by_rack);
+        add(&mut self.faults_by_rack, &other.faults_by_rack);
+        add(&mut self.errors_by_region, &other.errors_by_region);
+        add(&mut self.faults_by_region, &other.faults_by_region);
+        for (row, other_row) in self
+            .faults_by_rack_region
+            .iter_mut()
+            .zip(&other.faults_by_rack_region)
+        {
+            add(row, other_row);
+        }
+        self.errors_by_node.merge(&other.errors_by_node);
+        self.faults_by_node.merge(&other.faults_by_node);
+        self.faults_by_bit.merge(&other.faults_by_bit);
+        self.faults_by_addr.merge(&other.faults_by_addr);
+        self
+    }
+
+    /// Compute all aggregations for a machine.
+    ///
+    /// Large record streams are folded in parallel shards whose partial
+    /// tables merge by exact addition ([`SpatialCounts::merge`]), so the
+    /// result is identical at any worker count.
+    pub fn compute(system: &SystemConfig, records: &[CeRecord], faults: &[ObservedFault]) -> Self {
+        let _span = astra_obs::span("spatial.compute");
+        if records.len() < PARALLEL_SPATIAL_MIN_RECORDS {
+            let mut s = SpatialCounts::empty(system);
+            for rec in records {
+                s.absorb_record(system, rec);
+            }
+            for f in faults {
+                s.absorb_fault(system, f);
+            }
+            return s;
+        }
+        let errors = astra_util::par::par_fold(
+            records,
+            || SpatialCounts::empty(system),
+            |acc, rec| acc.absorb_record(system, rec),
+            SpatialCounts::merge,
+        );
+        let with_faults = astra_util::par::par_fold(
+            faults,
+            || SpatialCounts::empty(system),
+            |acc, f| acc.absorb_fault(system, f),
+            SpatialCounts::merge,
+        );
+        errors.merge(with_faults)
     }
 
     /// Faults-per-node counts including zero-fault nodes — the Fig 5

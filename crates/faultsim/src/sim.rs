@@ -75,7 +75,7 @@ pub fn simulate(system: &SystemConfig, profile: &SimProfile, seed: u64) -> SimOu
 
     let obs = astra_obs::global();
     let node_drop_hist = obs.histogram("faultsim.node_drops", &astra_obs::size_bounds());
-    let mut ce_log = Vec::new();
+    let mut ce_runs = Vec::with_capacity(per_node.len());
     let mut ground_truth = Vec::new();
     let mut dropped_ces = 0;
     for out in per_node {
@@ -83,11 +83,21 @@ pub fn simulate(system: &SystemConfig, profile: &SimProfile, seed: u64) -> SimOu
         // distribution shows whether loss is broad or concentrated on
         // the pathological nodes.
         node_drop_hist.record(out.dropped);
-        ce_log.extend(out.ces);
+        ce_runs.push(out.ces);
         ground_truth.extend(out.faults);
         dropped_ces += out.dropped;
     }
-    ce_log.sort_by_key(|r| (r.time, r.node.0, r.addr.0, r.bit_pos));
+    // Each per-node run is already sorted by the global log order (the
+    // node workers sort their own output), so the global time-sorted log
+    // is a k-way merge rather than a fresh O(n log n) sort. The logged
+    // address is a bijection of the failing cache line, so equal merge
+    // keys imply identical records and the merge is bit-identical to the
+    // stable sort of the concatenated runs at any worker count.
+    let merge_span = astra_obs::span("pipeline.merge");
+    let ce_log = astra_util::par::merge_sorted(ce_runs, |r: &CeRecord| {
+        (r.time, r.node.0, r.addr.0, r.bit_pos)
+    });
+    drop(merge_span);
 
     let mut faulty_dimms: Vec<DimmId> = ground_truth.iter().map(|g| g.fault.dimm).collect();
     faulty_dimms.sort_by_key(|d| d.dense_index());
@@ -271,7 +281,11 @@ fn simulate_node(
     for (_, slot, rec) in &events {
         buffer.offer(*rec, *slot);
     }
-    let (ces, dropped) = buffer.finish();
+    let (mut ces, dropped) = buffer.finish();
+    // Sort this node's surviving records into the global log order here,
+    // on the parallel per-node worker, so assembling the machine-wide log
+    // is a merge of sorted runs instead of a global sort.
+    ces.sort_by_key(|r| (r.time, r.addr.0, r.bit_pos));
 
     ground_truth.sort_by_key(|g| (g.fault.onset, g.fault.dimm.slot.index() as u8));
     NodeOutput {

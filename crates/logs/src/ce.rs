@@ -52,24 +52,40 @@ pub struct CeRecord {
 impl CeRecord {
     /// Serialize to the one-line syslog format.
     pub fn to_line(&self) -> String {
-        let row = match self.row {
-            Some(r) => r.to_string(),
-            None => "-".to_string(),
-        };
-        format!(
-            "{} {} kernel: EDAC MC{}: CE slot={} rank={} bank={} row={} col={} bit={} addr={} synd={:#06x}",
+        let mut line = String::with_capacity(112);
+        self.to_line_into(&mut line);
+        line
+    }
+
+    /// Append the one-line syslog form to `out`, so bulk serialization can
+    /// reuse one buffer instead of allocating a `String` per record.
+    pub fn to_line_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        write!(
+            out,
+            "{} {} kernel: EDAC MC{}: CE slot={} rank={} bank={} row=",
             self.time.rfc3339(),
             self.node,
             self.socket.0,
             self.slot,
             self.rank.0,
             self.bank,
-            row,
+        )
+        .expect("write to String cannot fail");
+        match self.row {
+            Some(r) => write!(out, "{r}"),
+            None => write!(out, "-"),
+        }
+        .expect("write to String cannot fail");
+        write!(
+            out,
+            " col={} bit={} addr={} synd={:#06x}",
             self.col,
             self.bit_pos,
             self.addr.hex(),
             self.syndrome,
         )
+        .expect("write to String cannot fail");
     }
 
     /// Parse a line produced by [`CeRecord::to_line`].

@@ -133,18 +133,27 @@ pub struct HetRecord {
 impl HetRecord {
     /// Serialize to the one-line HET format.
     pub fn to_line(&self) -> String {
-        let slot = match self.slot {
-            Some(s) => format!(" slot={s}"),
-            None => String::new(),
-        };
-        format!(
-            "{} {} HET: event={} severity={}{}",
+        let mut line = String::with_capacity(72);
+        self.to_line_into(&mut line);
+        line
+    }
+
+    /// Append the one-line HET form to `out` (buffer-reuse variant of
+    /// [`HetRecord::to_line`]).
+    pub fn to_line_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        write!(
+            out,
+            "{} {} HET: event={} severity={}",
             self.time.rfc3339(),
             self.node,
             self.kind.name(),
             self.severity.name(),
-            slot,
         )
+        .expect("write to String cannot fail");
+        if let Some(s) = self.slot {
+            write!(out, " slot={s}").expect("write to String cannot fail");
+        }
     }
 
     /// Parse a line produced by [`HetRecord::to_line`].

@@ -55,12 +55,22 @@ pub struct ReplacementRecord {
 impl ReplacementRecord {
     /// Serialize to the one-line inventory format.
     pub fn to_line(&self) -> String {
-        let detail = match self.component {
-            Component::Processor(s) => format!("component=processor socket={}", s.0),
-            Component::Motherboard => "component=motherboard".to_string(),
-            Component::Dimm(slot) => format!("component=dimm slot={slot}"),
-        };
-        format!("{} {} inventory: {}", self.date, self.node, detail)
+        let mut line = String::with_capacity(64);
+        self.to_line_into(&mut line);
+        line
+    }
+
+    /// Append the one-line inventory form to `out` (buffer-reuse variant
+    /// of [`ReplacementRecord::to_line`]).
+    pub fn to_line_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        write!(out, "{} {} inventory: ", self.date, self.node).expect("write to String");
+        match self.component {
+            Component::Processor(s) => write!(out, "component=processor socket={}", s.0),
+            Component::Motherboard => write!(out, "component=motherboard"),
+            Component::Dimm(slot) => write!(out, "component=dimm slot={slot}"),
+        }
+        .expect("write to String cannot fail");
     }
 
     /// Parse a line produced by [`ReplacementRecord::to_line`].

@@ -6,19 +6,38 @@
 //! plain `io::Write` adapters so logs stream to files, pipes, or an
 //! in-memory `Vec<u8>` in tests without buffering whole datasets.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::path::Path;
 
 /// Write an iterator of serializable records as lines.
-pub fn write_lines<W, I, T, F>(mut sink: W, records: I, to_line: F) -> io::Result<u64>
+pub fn write_lines<W, I, T, F>(sink: W, records: I, to_line: F) -> io::Result<u64>
 where
     W: Write,
     I: IntoIterator<Item = T>,
     F: Fn(&T) -> String,
 {
+    write_lines_with(sink, records, |rec, buf| buf.push_str(&to_line(rec)))
+}
+
+/// Write an iterator of records as lines through one reused buffer.
+///
+/// `fill` appends a record's line (without the newline) to the supplied
+/// `String`; the buffer is cleared and reused across records, so bulk
+/// serialization performs no per-record allocation. Pair with the record
+/// types' `to_line_into` methods.
+pub fn write_lines_with<W, I, T, F>(mut sink: W, records: I, fill: F) -> io::Result<u64>
+where
+    W: Write,
+    I: IntoIterator<Item = T>,
+    F: Fn(&T, &mut String),
+{
+    let mut buf = String::with_capacity(160);
     let mut n = 0;
     for rec in records {
-        sink.write_all(to_line(&rec).as_bytes())?;
-        sink.write_all(b"\n")?;
+        buf.clear();
+        fill(&rec, &mut buf);
+        buf.push('\n');
+        sink.write_all(buf.as_bytes())?;
         n += 1;
     }
     Ok(n)
@@ -192,6 +211,108 @@ where
     ParsedLog { records, skipped }
 }
 
+/// Default chunk size for the streaming parsers: large enough that the
+/// per-chunk shard parallelism pays for itself, small enough that peak
+/// memory is bounded by the chunk plus the parsed records — never the
+/// whole log text plus the records, as `read_to_string` + parse was.
+pub const STREAM_CHUNK_BYTES: usize = 8 * 1024 * 1024;
+
+/// Stream-parse a log file in fixed-size line-aligned chunks, with
+/// `parse.<stage>.*` metrics and a `time.parse.<stage>` span.
+///
+/// Equivalent to `read_to_string` + [`parse_lines_parallel_metered`] on
+/// the same file — same records, same skip count, same UTF-8 failure mode
+/// — but only one chunk of text is resident at a time. Each chunk is fed
+/// to the same shard parser, so parsing stays parallel within chunks.
+pub fn parse_file_streaming<T, F>(path: &Path, parse: F, stage: &str) -> io::Result<ParsedLog<T>>
+where
+    T: Send,
+    F: Fn(&str) -> Option<T> + Sync,
+{
+    let _span = astra_obs::span(&format!("parse.{stage}"));
+    let file = std::fs::File::open(path)?;
+    let (parsed, bytes, chunks) = parse_stream_chunked(file, &parse, STREAM_CHUNK_BYTES)?;
+    parsed.publish(stage, bytes);
+    astra_obs::global()
+        .counter(&format!("parse.{stage}.chunks"))
+        .add(chunks);
+    Ok(parsed)
+}
+
+/// Chunked streaming parse over any reader: the engine behind
+/// [`parse_file_streaming`], with the chunk size exposed so tests can
+/// force record and corrupt-line boundaries to straddle chunks.
+///
+/// Returns the parsed log plus the bytes consumed and chunks processed.
+pub fn parse_stream_chunked<R, T, F>(
+    mut reader: R,
+    parse: F,
+    chunk_bytes: usize,
+) -> io::Result<(ParsedLog<T>, usize, u64)>
+where
+    R: Read,
+    T: Send,
+    F: Fn(&str) -> Option<T> + Sync,
+{
+    let mut records: Vec<T> = Vec::new();
+    let mut skipped = 0u64;
+    let mut bytes = 0usize;
+    let mut chunks = 0u64;
+
+    // `pending` holds unconsumed input: whole lines plus, at its tail, at
+    // most one partial line carried across the chunk boundary.
+    let mut pending: Vec<u8> = Vec::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+    // Grows past `chunk_bytes` only if a single line exceeds it.
+    let mut target = chunk_bytes.max(1);
+    let mut eof = false;
+    loop {
+        while !eof && pending.len() < target {
+            let n = reader.read(&mut read_buf)?;
+            if n == 0 {
+                eof = true;
+            } else {
+                pending.extend_from_slice(&read_buf[..n]);
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        // Cut at the last newline so no chunk splits a line; at EOF the
+        // final (possibly newline-less) partial line is parsed as-is.
+        let cut = if eof {
+            pending.len()
+        } else {
+            match pending.iter().rposition(|&b| b == b'\n') {
+                Some(pos) => pos + 1,
+                None => {
+                    target = target.saturating_mul(2);
+                    continue;
+                }
+            }
+        };
+        // Chunks end on '\n', which is never part of a multi-byte UTF-8
+        // sequence, so validation failures here mean the file itself is
+        // invalid — the same error `read_to_string` would have raised.
+        let text = std::str::from_utf8(&pending[..cut]).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid UTF-8 in log: {e}"),
+            )
+        })?;
+        let chunk_parsed = parse_lines_parallel_inner(text, &parse, None);
+        records.extend(chunk_parsed.records);
+        skipped += chunk_parsed.skipped;
+        bytes += cut;
+        chunks += 1;
+        pending.drain(..cut);
+        if eof && pending.is_empty() {
+            break;
+        }
+    }
+    Ok((ParsedLog { records, skipped }, bytes, chunks))
+}
+
 /// Shard-level parse metrics: how many shards ran and how evenly the
 /// lines spread across them.
 fn record_shard_metrics(stage: &str, shard_lines: &[usize]) {
@@ -309,6 +430,64 @@ mod tests {
         assert_eq!(seq.records.len(), par.records.len());
         assert_eq!(seq.records, par.records);
         assert_eq!(seq.skipped, par.skipped);
+    }
+
+    #[test]
+    fn streaming_matches_whole_text_across_chunk_sizes() {
+        // Corrupt lines and records must land on chunk boundaries for at
+        // least some of these sizes; every size must agree with the
+        // whole-text parse.
+        let mut text = String::new();
+        for i in 0..400 {
+            text.push_str(&ce(i % 1440).to_line());
+            text.push('\n');
+            if i % 7 == 0 {
+                text.push_str("corrupt line straddling chunks maybe\n");
+            }
+            if i % 31 == 0 {
+                text.push('\n');
+            }
+        }
+        text.push_str(&ce(3).to_line()); // no trailing newline
+        let whole = read_lines(text.as_bytes(), CeRecord::parse_line).unwrap();
+        for chunk_bytes in [1, 7, 64, 1000, 1 << 20] {
+            let (streamed, bytes, chunks) =
+                parse_stream_chunked(text.as_bytes(), CeRecord::parse_line, chunk_bytes).unwrap();
+            assert_eq!(streamed.records, whole.records, "chunk={chunk_bytes}");
+            assert_eq!(streamed.skipped, whole.skipped, "chunk={chunk_bytes}");
+            assert_eq!(bytes, text.len());
+            assert!(chunks >= 1);
+        }
+    }
+
+    #[test]
+    fn streaming_empty_input() {
+        let (parsed, bytes, chunks) =
+            parse_stream_chunked(&b""[..], CeRecord::parse_line, 1024).unwrap();
+        assert!(parsed.records.is_empty());
+        assert_eq!(parsed.skipped, 0);
+        assert_eq!((bytes, chunks), (0, 0));
+    }
+
+    #[test]
+    fn streaming_rejects_invalid_utf8_like_read_to_string() {
+        let mut bytes = ce(1).to_line().into_bytes();
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        let err = parse_stream_chunked(bytes.as_slice(), CeRecord::parse_line, 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn write_lines_with_reuses_buffer() {
+        let records: Vec<CeRecord> = (0..10).map(ce).collect();
+        let mut sink = Vec::new();
+        let n =
+            write_lines_with(&mut sink, records.iter(), |rec, buf| rec.to_line_into(buf)).unwrap();
+        assert_eq!(n, 10);
+        let mut plain = Vec::new();
+        write_lines(&mut plain, records.iter(), |r| r.to_line()).unwrap();
+        assert_eq!(sink, plain);
     }
 
     #[test]

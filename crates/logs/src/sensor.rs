@@ -30,17 +30,28 @@ pub struct SensorRecord {
 impl SensorRecord {
     /// Serialize to the one-line BMC format.
     pub fn to_line(&self) -> String {
-        let value = match self.value {
-            Some(v) => format!("{v:.1}"),
-            None => "unreadable".to_string(),
-        };
-        format!(
-            "{} {} BMC: sensor={} value={}",
+        let mut line = String::with_capacity(64);
+        self.to_line_into(&mut line);
+        line
+    }
+
+    /// Append the one-line BMC form to `out` (buffer-reuse variant of
+    /// [`SensorRecord::to_line`]).
+    pub fn to_line_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        write!(
+            out,
+            "{} {} BMC: sensor={} value=",
             self.time.rfc3339(),
             self.node,
             self.sensor.name(),
-            value,
         )
+        .expect("write to String cannot fail");
+        match self.value {
+            Some(v) => write!(out, "{v:.1}"),
+            None => write!(out, "unreadable"),
+        }
+        .expect("write to String cannot fail");
     }
 
     /// Parse a line produced by [`SensorRecord::to_line`].

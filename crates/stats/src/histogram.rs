@@ -106,7 +106,7 @@ impl Histogram {
 
 /// Sparse frequency table over integer-keyed categories (node ids, bit
 /// positions, addresses, …).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FreqTable {
     counts: BTreeMap<u64, u64>,
 }

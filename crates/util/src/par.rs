@@ -9,15 +9,53 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Worker-count override state: `UNSET` means "consult the `ASTRA_WORKERS`
+/// environment variable once, then cache", `0` means "no override, use the
+/// hardware parallelism", and any other value forces that worker count.
+const OVERRIDE_UNSET: usize = usize::MAX;
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(OVERRIDE_UNSET);
+
+/// Force (or clear, with `None`) the worker count used by every primitive
+/// in this module. Takes precedence over the `ASTRA_WORKERS` environment
+/// variable; intended for determinism tests that compare output across
+/// worker counts within one process.
+pub fn set_workers(n: Option<usize>) {
+    WORKER_OVERRIDE.store(n.map_or(0, |n| n.max(1)), Ordering::SeqCst);
+}
+
+/// The active override, if any: the value set by [`set_workers`], else
+/// `ASTRA_WORKERS` from the environment (read once per process).
+fn worker_override() -> Option<usize> {
+    let v = WORKER_OVERRIDE.load(Ordering::SeqCst);
+    if v != OVERRIDE_UNSET {
+        return (v != 0).then_some(v);
+    }
+    let from_env = std::env::var("ASTRA_WORKERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(0);
+    // Another thread may race the initialization; both read the same
+    // environment, so whichever store wins is the same value.
+    WORKER_OVERRIDE
+        .compare_exchange(OVERRIDE_UNSET, from_env, Ordering::SeqCst, Ordering::SeqCst)
+        .ok();
+    (from_env != 0).then_some(from_env)
+}
+
 /// Number of worker threads to use: the available parallelism, capped so
-/// tiny inputs do not pay thread-spawn overhead for nothing.
+/// tiny inputs do not pay thread-spawn overhead for nothing. Overridable
+/// via [`set_workers`] or `ASTRA_WORKERS=N` in the environment (the
+/// override is still capped at the item count).
 pub fn worker_count(items: usize) -> usize {
     if items == 0 {
         return 1;
     }
-    let hw = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let hw = worker_override().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
     hw.min(items).max(1)
 }
 
@@ -25,8 +63,10 @@ pub fn worker_count(items: usize) -> usize {
 ///
 /// Work is distributed dynamically with an atomic cursor over fixed-size
 /// chunks so uneven per-item cost (some nodes have far more faults than
-/// others) still balances. Each worker gathers `(index, value)` pairs
-/// locally; the results are scattered back into input order at the end.
+/// others) still balances. Each worker gathers whole contiguous chunks
+/// tagged with their start index; the chunks are reassembled in index
+/// order at the end, so no per-element bookkeeping (and no second
+/// per-element pass) is needed.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -41,42 +81,39 @@ where
     let chunk = (n / (workers * 8)).max(1);
     let cursor = AtomicUsize::new(0);
 
-    let mut gathered: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
+    let mut gathered: Vec<(usize, Vec<U>)> = Vec::with_capacity(n / chunk + workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| {
-                let mut local: Vec<(usize, U)> = Vec::new();
+                let mut local: Vec<(usize, Vec<U>)> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
                     }
                     let end = (start + chunk).min(n);
-                    local.reserve(end - start);
-                    for (i, item) in items[start..end].iter().enumerate() {
-                        local.push((start + i, f(item)));
-                    }
+                    local.push((start, items[start..end].iter().map(&f).collect()));
                 }
                 local
             }));
         }
         for h in handles {
-            gathered.push(h.join().expect("par_map worker panicked"));
+            gathered.extend(h.join().expect("par_map worker panicked"));
         }
     });
 
-    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    for local in gathered {
-        for (i, v) in local {
-            debug_assert!(out[i].is_none(), "index {i} produced twice");
-            out[i] = Some(v);
-        }
+    // Chunks cover disjoint contiguous ranges; sorting the (few) chunk
+    // descriptors by start index restores input order without touching
+    // individual elements again.
+    gathered.sort_unstable_by_key(|(start, _)| *start);
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    for (start, chunk_out) in gathered {
+        debug_assert_eq!(start, out.len(), "chunk {start} out of place");
+        out.extend(chunk_out);
     }
-    out.into_iter()
-        .map(|slot| slot.expect("par_map left an index unfilled"))
-        .collect()
+    assert_eq!(out.len(), n, "par_map lost or duplicated a chunk");
+    out
 }
 
 /// Parallel indexed map over `0..n`: like [`par_map`] but driven by index,
@@ -140,6 +177,59 @@ where
     let mut iter = partials.into_iter();
     let first = iter.next().expect("at least one worker");
     iter.fold(first, merge)
+}
+
+/// Merge already-sorted runs into one sorted vector — the parallel
+/// replacement for concatenating runs and re-sorting globally.
+///
+/// Each run must be sorted by `key`. Runs are merged pairwise in rounds
+/// (`⌈log₂ k⌉` of them), with every pair of a round merging on its own
+/// worker through [`par_map`]. Ties between runs take from the
+/// lower-index run and ties within a run keep their order, so the output
+/// is exactly the stable sort of the concatenated runs — bit-identical at
+/// any worker count.
+pub fn merge_sorted<T, K, F>(mut runs: Vec<Vec<T>>, key: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    runs.retain(|r| !r.is_empty());
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let pairs: Vec<&[Vec<T>]> = runs.chunks(2).collect();
+        runs = par_map(&pairs, |pair| match pair {
+            [a, b] => merge_two(a, b, &key),
+            [a] => a.clone(),
+            _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+        });
+    }
+    runs.pop().expect("one run remains")
+}
+
+/// Stable two-way merge: ties take from `a` (the lower-index run).
+fn merge_two<T, K, F>(a: &[T], b: &[T], key: &F) -> Vec<T>
+where
+    T: Clone,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if key(&b[j]) < key(&a[i]) {
+            out.push(b[j].clone());
+            j += 1;
+        } else {
+            out.push(a[i].clone());
+            i += 1;
+        }
+    }
+    out.extend(a[i..].iter().cloned());
+    out.extend(b[j..].iter().cloned());
+    out
 }
 
 #[cfg(test)]
@@ -218,5 +308,62 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn merge_sorted_matches_stable_sort() {
+        // Runs with overlapping ranges and cross-run duplicate keys.
+        let runs: Vec<Vec<(u64, u64)>> = (0..7)
+            .map(|r| {
+                let mut run: Vec<(u64, u64)> = (0..500).map(|i| ((i * (r + 3)) % 97, r)).collect();
+                run.sort_by_key(|&(k, _)| k);
+                run
+            })
+            .collect();
+        let mut expected: Vec<(u64, u64)> = runs.iter().flatten().copied().collect();
+        expected.sort_by_key(|&(k, _)| k);
+        let merged = merge_sorted(runs, |&(k, _)| k);
+        assert_eq!(merged, expected, "merge must equal the stable sort");
+    }
+
+    #[test]
+    fn merge_sorted_edge_cases() {
+        assert!(merge_sorted(Vec::<Vec<u64>>::new(), |&x| x).is_empty());
+        assert!(merge_sorted(vec![vec![], Vec::<u64>::new()], |&x| x).is_empty());
+        assert_eq!(merge_sorted(vec![vec![3u64, 5]], |&x| x), vec![3, 5]);
+        assert_eq!(
+            merge_sorted(vec![vec![2u64], vec![], vec![1], vec![3]], |&x| x),
+            vec![1, 2, 3]
+        );
+    }
+
+    /// Serializes the tests that mutate the process-global worker
+    /// override, so they cannot race each other under the parallel test
+    /// runner. (Tests that merely *run* the primitives are unaffected:
+    /// they are correct at every worker count.)
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn merge_sorted_same_result_at_any_worker_count() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let runs: Vec<Vec<u64>> = (0..5)
+            .map(|r| (0..200).map(|i| i * 2 + r).collect())
+            .collect();
+        set_workers(Some(1));
+        let seq = merge_sorted(runs.clone(), |&x| x);
+        set_workers(Some(4));
+        let par = merge_sorted(runs, |&x| x);
+        set_workers(None);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn set_workers_overrides_and_clears() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_workers(Some(3));
+        assert_eq!(worker_count(100), 3);
+        assert_eq!(worker_count(2), 2, "override still capped by items");
+        set_workers(None);
+        assert!(worker_count(100) >= 1);
     }
 }

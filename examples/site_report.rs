@@ -13,7 +13,7 @@ use astra_core::tempcorr::TempCorrConfig;
 use astra_util::time::{het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan};
 use astra_util::CalDate;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let racks: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);

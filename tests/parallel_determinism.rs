@@ -1,0 +1,138 @@
+//! Determinism of the parallel analysis paths.
+//!
+//! Every parallel stage — the k-way CE merge in the simulator, sharded
+//! coalescing, and the spatial `par_fold` — must produce output
+//! bit-identical to the sequential path at any worker count. These tests
+//! pin that down by forcing the worker override (`astra_util::par`'s
+//! `ASTRA_WORKERS` hook) to 1 and then to several workers and comparing
+//! whole structures. They also cover the distinguishable
+//! missing-vs-unreadable error from `AnalysisInput::from_dir`.
+
+use std::sync::Mutex;
+
+use astra_core::coalesce::{coalesce, CoalesceConfig};
+use astra_core::pipeline::{AnalysisInput, Dataset, LoadError};
+use astra_core::spatial::SpatialCounts;
+use astra_util::par;
+
+/// The worker override is process-global; tests that flip it must not
+/// interleave. Recover from poisoning so one failed test reports its own
+/// assertion instead of cascading `PoisonError`s.
+static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_workers<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    par::set_workers(Some(n));
+    let out = f();
+    par::set_workers(None);
+    out
+}
+
+/// Two racks puts the CE stream (~250 k records) past the parallel
+/// thresholds of both coalescing and the spatial fold.
+fn dataset(seed: u64) -> Dataset {
+    Dataset::generate(2, seed)
+}
+
+#[test]
+fn simulate_merge_identical_across_worker_counts() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let base = with_workers(1, || dataset(42));
+    for workers in [2, 4] {
+        let par = with_workers(workers, || dataset(42));
+        assert_eq!(
+            base.sim.ce_log, par.sim.ce_log,
+            "CE log differs at {workers} workers"
+        );
+        assert_eq!(base.sim.het_log, par.sim.het_log);
+    }
+}
+
+#[test]
+fn coalesce_identical_across_worker_counts() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ds = dataset(43);
+    let config = CoalesceConfig::default();
+    let base = with_workers(1, || coalesce(&ds.sim.ce_log, &config));
+    assert!(!base.is_empty());
+    for workers in [2, 4] {
+        let par = with_workers(workers, || coalesce(&ds.sim.ce_log, &config));
+        assert_eq!(base, par, "coalesce output differs at {workers} workers");
+    }
+}
+
+#[test]
+fn spatial_counts_identical_across_worker_counts() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ds = dataset(44);
+    let faults = coalesce(&ds.sim.ce_log, &CoalesceConfig::default());
+    let base = with_workers(1, || {
+        SpatialCounts::compute(&ds.system, &ds.sim.ce_log, &faults)
+    });
+    for workers in [2, 4] {
+        let par = with_workers(workers, || {
+            SpatialCounts::compute(&ds.system, &ds.sim.ce_log, &faults)
+        });
+        assert_eq!(base, par, "spatial counts differ at {workers} workers");
+    }
+}
+
+/// Removes its temp dir on drop so a failing assertion does not leak it.
+struct TempDirGuard(std::path::PathBuf);
+
+impl TempDirGuard {
+    fn new(tag: &str) -> TempDirGuard {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "astra-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        TempDirGuard(dir)
+    }
+}
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn from_dir_distinguishes_missing_from_unreadable() {
+    let ds = Dataset::generate(1, 42);
+    let guard = TempDirGuard::new("loaderr");
+    ds.write_logs(&guard.0).unwrap();
+
+    // Deleting a required log → MissingLog naming the file.
+    std::fs::remove_file(guard.0.join("ce.log")).unwrap();
+    match AnalysisInput::from_dir(&guard.0) {
+        Err(LoadError::MissingLog { name, path }) => {
+            assert_eq!(name, "ce.log");
+            assert!(path.ends_with("ce.log"));
+        }
+        other => panic!("expected MissingLog, got {other:?}"),
+    }
+
+    // A present but undecodable log → Unreadable carrying the source.
+    std::fs::write(guard.0.join("ce.log"), [0xFF, 0xFE, b'\n']).unwrap();
+    match AnalysisInput::from_dir(&guard.0) {
+        Err(e @ LoadError::Unreadable { name, .. }) => {
+            assert_eq!(name, "ce.log");
+            assert!(std::error::Error::source(&e).is_some());
+            assert!(e.to_string().contains("unreadable"));
+        }
+        other => panic!("expected Unreadable, got {other:?}"),
+    }
+}
+
+#[test]
+fn from_dir_tolerates_absent_sensor_log() {
+    let ds = Dataset::generate(1, 42);
+    let guard = TempDirGuard::new("nosensors");
+    ds.write_logs(&guard.0).unwrap();
+    std::fs::remove_file(guard.0.join("sensors.log")).unwrap();
+    let input = AnalysisInput::from_dir(&guard.0).unwrap();
+    assert!(input.sensors.is_empty());
+    assert_eq!(input.records.len(), ds.sim.ce_log.len());
+}

@@ -18,7 +18,7 @@ fn text_pipeline_reaches_identical_analysis() {
     let ds = dataset();
     let (ce, het, inv) = ds.to_text();
     let via_text = AnalysisInput::from_text(&ce, &het, &inv).unwrap();
-    let direct = AnalysisInput::from_dataset_direct(&ds);
+    let direct = AnalysisInput::from_dataset_direct(ds.clone());
 
     let a = Analysis::run(ds.system, via_text.records);
     let b = Analysis::run(ds.system, direct.records);

@@ -8,7 +8,8 @@
 //!
 //! For each machine scale the driver runs the full production path —
 //! simulate → serialize to disk → streaming parse → coalesce → spatial
-//! aggregation — and records per-stage wall time, writing a JSON report
+//! aggregation → online prediction — and records per-stage wall time,
+//! writing a JSON report
 //! (default `BENCH_pipeline.json`, checked in at the repo root so the
 //! perf trajectory is tracked across PRs).
 //!
@@ -176,6 +177,17 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
         .snapshot()
         .gauge("pipeline.workingset_bytes");
 
+    let t = Instant::now();
+    let alerts = astra_predict::replay(
+        &analysis.records,
+        &astra_predict::PredictConfig::default(),
+        &astra_predict::default_predictors(),
+    );
+    let predict_secs = t.elapsed().as_secs_f64();
+    // Keep the alert stream alive through the timer so the stage cannot be
+    // optimized away.
+    std::hint::black_box(&alerts);
+
     Ok(ScaleResult {
         racks,
         nodes: ds.system.node_count(),
@@ -190,6 +202,7 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
             ("parse", parse_secs),
             ("coalesce", coalesce_secs),
             ("spatial", spatial_secs),
+            ("predict", predict_secs),
         ],
     })
 }
@@ -270,7 +283,7 @@ fn render_report(seed: u64, results: &[ScaleResult]) -> String {
 
 fn print_table(results: &[ScaleResult]) {
     println!(
-        "{:>6} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "{:>6} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "racks",
         "nodes",
         "CEs",
@@ -280,6 +293,7 @@ fn print_table(results: &[ScaleResult]) {
         "parse",
         "coalesce",
         "spatial",
+        "predict",
         "total"
     );
     for r in results {

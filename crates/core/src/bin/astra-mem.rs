@@ -19,8 +19,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use astra_core::experiments as exp;
-use astra_core::mitigation::{self, RetirementPolicy};
-use astra_core::pipeline::{Analysis, AnalysisInput, Dataset};
+use astra_core::mitigation::{self, ProactivePolicy, RetirementPolicy};
+use astra_core::pipeline::{Analysis, AnalysisInput, Dataset, LoadError};
 use astra_core::reliability;
 use astra_core::tempcorr::TempCorrConfig;
 use astra_topology::SystemConfig;
@@ -36,6 +36,7 @@ USAGE:
     astra-mem report   DIR [--racks N] [--seed S]
     astra-mem triage   DIR [--racks N]
     astra-mem stats    DIR [--racks N]
+    astra-mem predict  DIR [--racks N] [--seed S]
 
 COMMANDS:
     generate   simulate a machine; write ce/het/inventory/sensors logs
@@ -43,6 +44,9 @@ COMMANDS:
     report     render every table and figure of the paper
     triage     operational outputs: exclude list, retirement, replacements
     stats      pipeline health report: throughput, drop/skip rates, ratios
+    predict    replay the CE stream through online UE predictors; score
+               precision/recall/lead time against simulator ground truth
+               (re-derived from --racks/--seed, which must match generate)
 
 OPTIONS:
     --racks N           machine size in racks (default 4; Astra is 36)
@@ -122,6 +126,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(&args),
         "triage" => cmd_triage(&args),
         "stats" => cmd_stats(&args),
+        "predict" => cmd_predict(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -172,7 +177,21 @@ fn load(args: &Args) -> Result<(SystemConfig, AnalysisInput), String> {
         .dir
         .clone()
         .ok_or("this command needs a log directory")?;
-    let input = AnalysisInput::from_dir(&dir).map_err(|e| e.to_string())?;
+    // Surface the typed LoadError distinction: an absent log points at the
+    // extraction job (wrong directory, generate never ran), an unreadable
+    // one at the file itself.
+    let input = AnalysisInput::from_dir(&dir).map_err(|e| match &e {
+        LoadError::MissingLog { name, .. } => format!(
+            "{e}\nhint: {} does not contain the required {name} — point at a directory \
+             written by `astra-mem generate --out DIR`, or check that the log extraction \
+             completed",
+            dir.display()
+        ),
+        LoadError::Unreadable { name, .. } => format!(
+            "{e}\nhint: {name} exists but could not be read — check file permissions and \
+             that it is plain UTF-8 text"
+        ),
+    })?;
     if input.skipped > 0 {
         eprintln!("note: skipped {} unparseable lines", input.skipped);
     }
@@ -362,6 +381,22 @@ fn percent(part: u64, whole: u64) -> f64 {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
+    // Generation-time metrics (kernel-buffer drops, ECC verdicts) only
+    // exist in the directory's metrics.jsonl; without it the report still
+    // runs but silently loses that whole section — say so up front.
+    if let Some(dir) = &args.dir {
+        let metrics_path = dir.join("metrics.jsonl");
+        if !metrics_path.exists() {
+            eprintln!(
+                "note: {} not found — generation-time stats (drop rates, ECC verdicts) \
+                 will be missing.\n      regenerate the dataset with `astra-mem generate \
+                 --out {}` (which writes metrics.jsonl), or copy the metrics file of the \
+                 run that produced these logs into the directory.",
+                metrics_path.display(),
+                dir.display()
+            );
+        }
+    }
     let (system, input) = load(args)?;
     let analysis = Analysis::run(system, input.records);
     let snap = astra_obs::global().snapshot();
@@ -450,6 +485,7 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         ("parse", "pipeline.parse"),
         ("coalesce", "pipeline.coalesce"),
         ("spatial", "pipeline.spatial"),
+        ("predict", "pipeline.predict"),
     ];
     if stages
         .iter()
@@ -466,6 +502,76 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     let analyze_secs = timing_secs_by_suffix(&snap, "pipeline.analyze");
     if analyze_secs > 0.0 {
         println!("analyze wall time: {analyze_secs:.3}s");
+    }
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let (system, input) = load(args)?;
+
+    // Ground truth is not persisted by `generate`; re-derive it from the
+    // deterministic simulation at the recorded scale and seed (the same
+    // reconstruct-from-seed pattern `report` uses for telemetry). A
+    // mismatched --racks/--seed shows up as a CE-count disagreement.
+    eprintln!(
+        "re-simulating {} racks (seed {}) for ground truth...",
+        args.racks, args.seed
+    );
+    let ds = Dataset::generate(args.racks, args.seed);
+    if ds.sim.ce_log.len() != input.records.len() {
+        eprintln!(
+            "warning: directory has {} CE records but racks={} seed={} simulates {} — \
+             ground-truth labels are unreliable; pass the --racks/--seed used at generate",
+            input.records.len(),
+            args.racks,
+            args.seed,
+            ds.sim.ce_log.len()
+        );
+    }
+
+    let predictors = astra_predict::default_predictors();
+    let config = astra_predict::PredictConfig::default();
+    let alerts = astra_predict::replay(&input.records, &config, &predictors);
+    println!(
+        "replayed {} CEs through {} predictors -> {} alerts\n",
+        input.records.len(),
+        predictors.len(),
+        alerts.len()
+    );
+    let report = astra_predict::evaluate(&alerts, &input.hets, &ds.sim.ground_truth);
+    print!("{}", report.render());
+
+    // Cost model: what acting on each predictor's alerts would buy.
+    println!("\nproactive mitigation (errors avoided vs memory retired):");
+    for eval in &report.predictors {
+        let own: Vec<astra_predict::Alert> = alerts
+            .iter()
+            .filter(|a| a.predictor == eval.name)
+            .cloned()
+            .collect();
+        for (label, policy) in [
+            ("retire-rank", ProactivePolicy::RetireRank),
+            ("exclude-node", ProactivePolicy::ExcludeNode),
+        ] {
+            let out = mitigation::simulate_proactive(
+                &input.records,
+                &input.hets,
+                &own,
+                policy,
+                &system.geometry,
+            );
+            println!(
+                "  {:<10} {:<13} {:>3} units ({:>6.1} GiB) -> avoided {:>5.1}% of CEs, \
+                 {}/{} DUEs",
+                eval.name,
+                label,
+                out.units,
+                out.reserved_bytes as f64 / (1024.0 * 1024.0 * 1024.0),
+                100.0 * out.avoidance_rate(),
+                out.dues_avoided,
+                out.dues_avoided + out.dues_residual,
+            );
+        }
     }
     Ok(())
 }

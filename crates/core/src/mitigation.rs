@@ -16,9 +16,11 @@
 //! exclude-list idea: errors avoided as a function of how many of the
 //! worst nodes are removed.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-use astra_logs::CeRecord;
+use astra_logs::{CeRecord, HetRecord};
+use astra_predict::Alert;
+use astra_topology::{DimmSlot, DramGeometry};
 
 use crate::coalesce::ObservedFault;
 use crate::pipeline::Analysis;
@@ -190,6 +192,144 @@ pub fn smallest_exclusion_for(analysis: &Analysis, target: f64) -> usize {
     astra_stats::top_share(&counts).entities_for_share(target)
 }
 
+/// Ranks per DIMM throughout the workspace (the simulator injects on
+/// rank 0 and 1).
+const RANKS_PER_DIMM: u64 = 2;
+
+/// Bytes of usable memory in one DRAM rank under `geom`.
+pub fn rank_bytes(geom: &DramGeometry) -> u64 {
+    u64::from(geom.banks)
+        * u64::from(geom.rows)
+        * u64::from(geom.cols)
+        * u64::from(geom.cacheline_bits)
+        / 8
+}
+
+/// What a proactive policy takes offline when a prediction alert fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProactivePolicy {
+    /// Map out the alerted rank (offline page retirement of the whole
+    /// rank — the aggressive end of the paper's page-retirement spectrum).
+    RetireRank,
+    /// Drain and exclude the alerted node (the paper's exclude-list idea,
+    /// triggered by prediction instead of post-hoc triage).
+    ExcludeNode,
+}
+
+/// Outcome of acting on every alert under a [`ProactivePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProactiveOutcome {
+    /// Ranks retired or nodes excluded.
+    pub units: usize,
+    /// Memory taken offline, in bytes.
+    pub reserved_bytes: u64,
+    /// CEs that landed on a mitigated rank/node *after* its alert — errors
+    /// the action absorbed.
+    pub errors_avoided: u64,
+    /// CEs that still reached the system (before any alert, or on
+    /// unalerted hardware).
+    pub residual_errors: u64,
+    /// Memory DUEs on mitigated hardware after its alert — the crashes
+    /// prediction would have prevented.
+    pub dues_avoided: u64,
+    /// Memory DUEs that still struck.
+    pub dues_residual: u64,
+}
+
+impl ProactiveOutcome {
+    /// Fraction of all CEs avoided.
+    pub fn avoidance_rate(&self) -> f64 {
+        let total = self.errors_avoided + self.residual_errors;
+        if total == 0 {
+            0.0
+        } else {
+            self.errors_avoided as f64 / total as f64
+        }
+    }
+}
+
+/// Score a prediction alert stream under a proactive policy: every CE and
+/// memory DUE that lands on the alerted rank (or node) strictly after its
+/// first alert counts as avoided; everything else is residual.
+///
+/// The trade the paper frames for reactive mitigation — errors absorbed
+/// versus memory surrendered — applies unchanged here, just at rank/node
+/// granularity: `RetireRank` costs [`rank_bytes`] per alerted rank,
+/// `ExcludeNode` costs the node's full complement. HET records carry no
+/// rank, so under `RetireRank` a DUE counts as avoided when *any* alerted
+/// rank on that DIMM predates it (the DUE's rank is unobservable, exactly
+/// as on the real machine).
+pub fn simulate_proactive(
+    records: &[CeRecord],
+    hets: &[HetRecord],
+    alerts: &[Alert],
+    policy: ProactivePolicy,
+    geom: &DramGeometry,
+) -> ProactiveOutcome {
+    // First alert time per mitigated unit. Alert keys collapse to the
+    // policy's granularity: (node, slot, rank) for ranks, node for nodes.
+    let mut first_alert: BTreeMap<(u32, usize, u8), astra_util::Minute> = BTreeMap::new();
+    for a in alerts {
+        let key = match policy {
+            ProactivePolicy::RetireRank => (a.key.node.0, a.key.slot.index(), a.key.rank.0),
+            ProactivePolicy::ExcludeNode => (a.key.node.0, 0, 0),
+        };
+        first_alert
+            .entry(key)
+            .and_modify(|t| *t = (*t).min(a.time))
+            .or_insert(a.time);
+    }
+
+    let per_unit_bytes = match policy {
+        ProactivePolicy::RetireRank => rank_bytes(geom),
+        ProactivePolicy::ExcludeNode => rank_bytes(geom) * RANKS_PER_DIMM * DimmSlot::COUNT as u64,
+    };
+
+    let mut outcome = ProactiveOutcome {
+        units: first_alert.len(),
+        reserved_bytes: per_unit_bytes * first_alert.len() as u64,
+        errors_avoided: 0,
+        residual_errors: 0,
+        dues_avoided: 0,
+        dues_residual: 0,
+    };
+
+    for rec in records {
+        let key = match policy {
+            ProactivePolicy::RetireRank => (rec.node.0, rec.slot.index(), rec.rank.0),
+            ProactivePolicy::ExcludeNode => (rec.node.0, 0, 0),
+        };
+        match first_alert.get(&key) {
+            Some(&t) if rec.time > t => outcome.errors_avoided += 1,
+            _ => outcome.residual_errors += 1,
+        }
+    }
+
+    for het in hets {
+        if !het.kind.is_memory_due() {
+            continue;
+        }
+        let avoided = match policy {
+            ProactivePolicy::RetireRank => het.slot.is_some_and(|slot| {
+                (0..RANKS_PER_DIMM as u8).any(|rank| {
+                    first_alert
+                        .get(&(het.node.0, slot.index(), rank))
+                        .is_some_and(|&t| het.time > t)
+                })
+            }),
+            ProactivePolicy::ExcludeNode => first_alert
+                .get(&(het.node.0, 0, 0))
+                .is_some_and(|&t| het.time > t),
+        };
+        if avoided {
+            outcome.dues_avoided += 1;
+        } else {
+            outcome.dues_residual += 1;
+        }
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +446,122 @@ mod tests {
 
         let k = smallest_exclusion_for(&analysis, 0.5);
         assert!((1..30).contains(&k), "k = {k}");
+    }
+
+    fn test_alert(node: u32, minute: i64) -> astra_predict::Alert {
+        use astra_predict::{DimmKey, EscalationLevel, FeatureVector};
+        astra_predict::Alert {
+            time: CalDate::new(2019, 3, 1).midnight().plus(minute),
+            key: DimmKey {
+                node: NodeId(node),
+                slot: DimmSlot::from_letter('A').unwrap(),
+                rank: RankId(0),
+            },
+            predictor: "rule",
+            score: 1.0,
+            features: FeatureVector {
+                window_ces: 0.0,
+                total_ces: 0,
+                distinct_banks: 0,
+                distinct_cols: 0,
+                distinct_addrs: 0,
+                distinct_lanes: 0,
+                dominant_lane_share: 0.0,
+                minutes_since_first: 0,
+                escalation: EscalationLevel::SingleBit,
+            },
+        }
+    }
+
+    #[test]
+    fn proactive_rank_retirement_absorbs_post_alert_errors() {
+        use astra_topology::DramGeometry;
+        // 10 CEs before the alert at minute 9, 40 after; a second node
+        // never alerts.
+        let mut records: Vec<CeRecord> = (0..50).map(|m| rec(1, 0x5000, m)).collect();
+        records.extend((0..10).map(|m| rec(2, 0x5000, m)));
+        let alerts = vec![test_alert(1, 9)];
+        let out = simulate_proactive(
+            &records,
+            &[],
+            &alerts,
+            ProactivePolicy::RetireRank,
+            &DramGeometry::ASTRA,
+        );
+        assert_eq!(out.units, 1);
+        assert_eq!(out.reserved_bytes, rank_bytes(&DramGeometry::ASTRA));
+        assert_eq!(out.errors_avoided, 40);
+        assert_eq!(out.residual_errors, 20, "pre-alert + unalerted node");
+        assert!((out.avoidance_rate() - 40.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proactive_node_exclusion_covers_whole_node_and_dues() {
+        use astra_logs::{HetKind, HetRecord};
+        use astra_topology::DramGeometry;
+        let base = CalDate::new(2019, 3, 1).midnight();
+        // Post-alert errors on a *different* slot of the alerted node:
+        // rank retirement misses them, node exclusion catches them.
+        let slot_b = DimmSlot::from_letter('B').unwrap();
+        let records: Vec<CeRecord> = (20..40)
+            .map(|m| {
+                let mut r = rec(1, 0x5000, m);
+                r.slot = slot_b;
+                r.socket = slot_b.socket();
+                r
+            })
+            .collect();
+        let due = HetRecord {
+            time: base.plus(100),
+            node: NodeId(1),
+            kind: HetKind::UncorrectableEcc,
+            severity: HetKind::UncorrectableEcc.severity(),
+            slot: Some(slot_b),
+        };
+        let alerts = vec![test_alert(1, 9)];
+        let rank = simulate_proactive(
+            &records,
+            std::slice::from_ref(&due),
+            &alerts,
+            ProactivePolicy::RetireRank,
+            &DramGeometry::ASTRA,
+        );
+        assert_eq!(rank.errors_avoided, 0);
+        assert_eq!(rank.dues_avoided, 0);
+        assert_eq!(rank.dues_residual, 1);
+        let node = simulate_proactive(
+            &records,
+            std::slice::from_ref(&due),
+            &alerts,
+            ProactivePolicy::ExcludeNode,
+            &DramGeometry::ASTRA,
+        );
+        assert_eq!(node.errors_avoided, 20);
+        assert_eq!(node.dues_avoided, 1);
+        assert_eq!(node.dues_residual, 0);
+        assert_eq!(
+            node.reserved_bytes,
+            rank.reserved_bytes * 2 * DimmSlot::COUNT as u64,
+            "a node costs its full 16-DIMM, 2-ranks-per-DIMM complement"
+        );
+    }
+
+    #[test]
+    fn proactive_with_no_alerts_reserves_nothing() {
+        use astra_topology::DramGeometry;
+        let records: Vec<CeRecord> = (0..10).map(|m| rec(1, 0x5000, m)).collect();
+        let out = simulate_proactive(
+            &records,
+            &[],
+            &[],
+            ProactivePolicy::ExcludeNode,
+            &DramGeometry::ASTRA,
+        );
+        assert_eq!(out.units, 0);
+        assert_eq!(out.reserved_bytes, 0);
+        assert_eq!(out.errors_avoided, 0);
+        assert_eq!(out.residual_errors, 10);
+        assert_eq!(out.avoidance_rate(), 0.0);
     }
 
     #[test]

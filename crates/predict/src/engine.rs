@@ -1,0 +1,238 @@
+//! Deterministic streaming replay.
+//!
+//! The engine consumes the time-sorted CE stream exactly as the analyzer
+//! does, but evaluates predictors *online*: every record first updates its
+//! rank's [`FeatureState`], then each predictor scores the fresh snapshot
+//! using only information available at that record's timestamp.
+//!
+//! Parallelism follows the coalescer's proof shape: feature state never
+//! crosses a `(node, slot, rank)` boundary, so the stream partitions into
+//! independent per-rank substreams. Substreams are processed with
+//! `astra_util::par::par_map` over a deterministically sorted group list,
+//! each substream replayed sequentially in time order, and the resulting
+//! alerts merged into one globally sorted stream — bit-identical output at
+//! any worker count.
+
+use std::collections::BTreeMap;
+
+use astra_logs::CeRecord;
+use astra_util::par;
+use astra_util::Minute;
+
+use crate::features::{DimmKey, FeatureState, FeatureVector};
+use crate::predictor::Predictor;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PredictConfig {
+    /// Half-life of the leaky CE window, in minutes.
+    pub half_life_minutes: f64,
+    /// Banks one bit lane must recur across before the ladder reads
+    /// rank-level (matches the coalescer's pin threshold).
+    pub pin_bank_threshold: u32,
+    /// Distinct columns before a single-bank footprint reads as dispersed.
+    pub bank_dispersion_cols: u32,
+}
+
+impl Default for PredictConfig {
+    /// One-week half-life (the field studies' observation windows are
+    /// days-to-weeks) and the coalescer's spatial thresholds.
+    fn default() -> PredictConfig {
+        PredictConfig {
+            half_life_minutes: 7.0 * 24.0 * 60.0,
+            pin_bank_threshold: 4,
+            bank_dispersion_cols: 6,
+        }
+    }
+}
+
+/// One UE-risk alert: the first time a predictor crossed its threshold for
+/// a rank. Each `(rank, predictor)` pair alerts at most once — operators
+/// act on the first page, not a refiring stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// When the threshold was crossed (the triggering record's timestamp).
+    pub time: Minute,
+    /// The rank the alert implicates.
+    pub key: DimmKey,
+    /// Which predictor fired.
+    pub predictor: &'static str,
+    /// The score at crossing time.
+    pub score: f64,
+    /// Feature snapshot that triggered the alert (the evidence an operator
+    /// would review).
+    pub features: FeatureVector,
+}
+
+/// Replay a time-sorted CE stream through the predictors, returning all
+/// alerts sorted by `(time, node, slot, rank, predictor)`.
+///
+/// `records` must be in non-decreasing time order (as produced by the
+/// simulator and by `AnalysisInput::from_dir`); per-rank substreams
+/// preserve that order, which the leaky-window decay relies on.
+pub fn replay(
+    records: &[CeRecord],
+    config: &PredictConfig,
+    predictors: &[Box<dyn Predictor>],
+) -> Vec<Alert> {
+    let _span = astra_obs::span("pipeline.predict");
+    let obs = astra_obs::global();
+    obs.counter("predict.records_in").add(records.len() as u64);
+
+    // Partition the stream into per-rank substreams. BTreeMap gives the
+    // deterministic group order; indices preserve time order within each
+    // group because the input is time-sorted.
+    let mut groups: BTreeMap<(u32, u8, u8), Vec<usize>> = BTreeMap::new();
+    for (idx, rec) in records.iter().enumerate() {
+        groups
+            .entry(DimmKey::of_record(rec).sort_key())
+            .or_default()
+            .push(idx);
+    }
+    let group_list: Vec<Vec<usize>> = groups.into_values().collect();
+    obs.counter("predict.ranks_tracked")
+        .add(group_list.len() as u64);
+
+    let per_group: Vec<Vec<Alert>> = par::par_map(&group_list, |indices| {
+        replay_group(records, indices, config, predictors)
+    });
+
+    let mut alerts: Vec<Alert> = per_group.into_iter().flatten().collect();
+    alerts.sort_by(|a, b| {
+        (a.time, a.key.sort_key(), a.predictor).cmp(&(b.time, b.key.sort_key(), b.predictor))
+    });
+    obs.counter("predict.alerts").add(alerts.len() as u64);
+    for alert in &alerts {
+        obs.counter(&format!("predict.alerts.{}", alert.predictor))
+            .add(1);
+    }
+    alerts
+}
+
+/// Replay one rank's substream sequentially; emit each predictor's first
+/// threshold crossing.
+fn replay_group(
+    records: &[CeRecord],
+    indices: &[usize],
+    config: &PredictConfig,
+    predictors: &[Box<dyn Predictor>],
+) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    let mut fired = vec![false; predictors.len()];
+    let mut state: Option<FeatureState> = None;
+    for &idx in indices {
+        let rec = &records[idx];
+        match state.as_mut() {
+            None => {
+                state = Some(FeatureState::new(
+                    rec,
+                    config.half_life_minutes,
+                    config.pin_bank_threshold,
+                    config.bank_dispersion_cols,
+                ));
+            }
+            Some(s) => s.update(rec),
+        }
+        let snapshot = state
+            .as_ref()
+            .expect("state initialized")
+            .snapshot(rec.time);
+        for (pi, predictor) in predictors.iter().enumerate() {
+            if fired[pi] {
+                continue;
+            }
+            let score = predictor.score(&snapshot);
+            if score >= predictor.threshold() {
+                fired[pi] = true;
+                alerts.push(Alert {
+                    time: rec.time,
+                    key: DimmKey::of_record(rec),
+                    predictor: predictor.name(),
+                    score,
+                    features: snapshot,
+                });
+            }
+        }
+        if fired.iter().all(|&f| f) {
+            break;
+        }
+    }
+    alerts
+}
+
+/// The default predictor bank the CLI deploys: the Astra-tuned rule set
+/// and the frozen logistic score.
+pub fn default_predictors() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(crate::predictor::RulePredictor::astra()),
+        Box::new(crate::predictor::LogisticPredictor::astra()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::RulePredictor;
+    use astra_topology::{DimmSlot, NodeId, PhysAddr, RankId, SocketId};
+
+    fn rec(node: u32, minute: i64, col: u16, addr: u64) -> CeRecord {
+        CeRecord {
+            time: Minute::from_i64(minute),
+            node: NodeId(node),
+            socket: SocketId(0),
+            slot: DimmSlot::from_letter('B').unwrap(),
+            rank: RankId(0),
+            bank: 3,
+            row: None,
+            col,
+            bit_pos: 17,
+            addr: PhysAddr(addr),
+            syndrome: 0,
+        }
+    }
+
+    /// A sustained multi-column burst on node 1; a lone benign error on
+    /// node 2.
+    fn stream() -> Vec<CeRecord> {
+        let mut v = Vec::new();
+        for m in 0..40i64 {
+            v.push(rec(1, m, (m % 8) as u16, 0x1000 + m as u64 * 64));
+        }
+        v.push(rec(2, 5, 1, 0x9000));
+        v.sort_by_key(|r| (r.time, r.node.0));
+        v
+    }
+
+    #[test]
+    fn alerts_once_per_rank_and_only_on_the_noisy_rank() {
+        let predictors: Vec<Box<dyn Predictor>> = vec![Box::new(RulePredictor::astra())];
+        let alerts = replay(&stream(), &PredictConfig::default(), &predictors);
+        assert_eq!(alerts.len(), 1, "one alert for the noisy rank only");
+        assert_eq!(alerts[0].key.node, NodeId(1));
+        assert_eq!(alerts[0].predictor, "rule");
+        assert!(alerts[0].score >= 1.0);
+        // Fired while the burst was still in progress — online, not post-hoc.
+        assert!(alerts[0].time.value() < 40);
+    }
+
+    #[test]
+    fn replay_is_worker_count_invariant() {
+        let records = stream();
+        let baseline = {
+            par::set_workers(Some(1));
+            replay(&records, &PredictConfig::default(), &default_predictors())
+        };
+        for workers in [2, 4] {
+            par::set_workers(Some(workers));
+            let got = replay(&records, &PredictConfig::default(), &default_predictors());
+            assert_eq!(got, baseline, "alerts differ at {workers} workers");
+        }
+        par::set_workers(None);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let alerts = replay(&[], &PredictConfig::default(), &default_predictors());
+        assert!(alerts.is_empty());
+    }
+}

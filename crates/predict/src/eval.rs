@@ -1,0 +1,360 @@
+//! Lead-time evaluation harness.
+//!
+//! The field studies this crate follows can only score predictions against
+//! *observed* failures — they never know which DIMMs were silently faulty.
+//! Here the simulator hands us both halves of the truth:
+//!
+//! * **Injected faults** ([`GroundTruthFault`]) name every genuinely
+//!   defective `(node, slot, rank)`, so alert *precision* is exact: an
+//!   alert on a rank with no injected fault is a false positive, full stop.
+//! * **HET DUE records** mark the uncorrectable errors operators actually
+//!   suffer, so *UE recall* and *lead time* use the operational join: an
+//!   alert on a DIMM at or before its first memory DUE predicted that DUE,
+//!   and the gap is the reaction window a proactive policy would have had.
+//!
+//! HET records carry node + slot but no rank (matching Astra's real HET
+//! granularity), so the DUE join is per-DIMM while the fault join is
+//! per-rank.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use astra_faultsim::GroundTruthFault;
+use astra_logs::HetRecord;
+use astra_stats::Histogram;
+use astra_util::{Minute, MINUTES_PER_DAY};
+
+use crate::engine::Alert;
+
+/// Per-predictor evaluation results.
+#[derive(Debug, Clone)]
+pub struct PredictorEval {
+    /// Predictor name.
+    pub name: &'static str,
+    /// Total alerts emitted.
+    pub alerts: usize,
+    /// Alerts landing on a rank with an injected fault.
+    pub alerts_on_faulty: usize,
+    /// Faulty ranks that received at least one alert.
+    pub faulty_ranks_alerted: usize,
+    /// DUE'd DIMMs that were alerted at or before their first memory DUE.
+    pub dues_predicted: usize,
+    /// Lead time (minutes from first alert to first DUE) for each
+    /// predicted DUE, sorted ascending.
+    pub lead_times_minutes: Vec<i64>,
+}
+
+impl PredictorEval {
+    /// Fraction of alerts that implicate a genuinely faulty rank.
+    pub fn precision(&self, _faulty_ranks: usize) -> f64 {
+        ratio(self.alerts_on_faulty, self.alerts)
+    }
+
+    /// Fraction of injected faulty ranks the predictor flagged.
+    pub fn fault_recall(&self, faulty_ranks: usize) -> f64 {
+        ratio(self.faulty_ranks_alerted, faulty_ranks)
+    }
+
+    /// Fraction of memory-DUE DIMMs alerted before (or at) the DUE.
+    pub fn ue_recall(&self, dues: usize) -> f64 {
+        ratio(self.dues_predicted, dues)
+    }
+
+    /// Median lead time in days (`None` when nothing was predicted).
+    pub fn median_lead_days(&self) -> Option<f64> {
+        if self.lead_times_minutes.is_empty() {
+            return None;
+        }
+        let n = self.lead_times_minutes.len();
+        let mid = if n % 2 == 1 {
+            self.lead_times_minutes[n / 2] as f64
+        } else {
+            (self.lead_times_minutes[n / 2 - 1] + self.lead_times_minutes[n / 2]) as f64 / 2.0
+        };
+        Some(mid / MINUTES_PER_DAY as f64)
+    }
+
+    /// Lead-time histogram in days over `[0, horizon_days)`.
+    pub fn lead_time_histogram_days(&self, horizon_days: f64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(0.0, horizon_days, bins);
+        for &lt in &self.lead_times_minutes {
+            h.push(lt as f64 / MINUTES_PER_DAY as f64);
+        }
+        h
+    }
+}
+
+/// Evaluation across every predictor present in the alert stream.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Number of injected faulty ranks (the fault-join denominator).
+    pub faulty_ranks: usize,
+    /// Number of DIMMs with at least one memory DUE (the UE-join
+    /// denominator).
+    pub dues: usize,
+    /// Per-predictor results, ordered by predictor name.
+    pub predictors: Vec<PredictorEval>,
+}
+
+/// Join alerts against ground truth and HET DUEs.
+///
+/// `alerts` is the output of [`crate::engine::replay`]; `het` and
+/// `ground_truth` come straight from the simulator (or a re-simulation at
+/// the dataset's recorded racks/seed — generation is deterministic).
+pub fn evaluate(
+    alerts: &[Alert],
+    het: &[HetRecord],
+    ground_truth: &[GroundTruthFault],
+) -> EvalReport {
+    // Per-rank fault truth.
+    let faulty_ranks: BTreeSet<(u32, usize, u8)> = ground_truth
+        .iter()
+        .map(|g| {
+            (
+                g.fault.dimm.node.0,
+                g.fault.dimm.slot.index(),
+                g.fault.rank.0,
+            )
+        })
+        .collect();
+
+    // First memory DUE per DIMM.
+    let mut first_due: BTreeMap<(u32, usize), Minute> = BTreeMap::new();
+    for rec in het {
+        if !rec.kind.is_memory_due() {
+            continue;
+        }
+        let Some(slot) = rec.slot else { continue };
+        first_due
+            .entry((rec.node.0, slot.index()))
+            .and_modify(|t| *t = (*t).min(rec.time))
+            .or_insert(rec.time);
+    }
+
+    // Group alerts by predictor name (sorted for deterministic output).
+    let mut by_predictor: BTreeMap<&'static str, Vec<&Alert>> = BTreeMap::new();
+    for alert in alerts {
+        by_predictor.entry(alert.predictor).or_default().push(alert);
+    }
+
+    let predictors = by_predictor
+        .into_iter()
+        .map(|(name, alerts)| {
+            let mut alerts_on_faulty = 0;
+            let mut ranks_alerted: BTreeSet<(u32, usize, u8)> = BTreeSet::new();
+            // First alert per DIMM (alerts are time-sorted).
+            let mut first_alert: BTreeMap<(u32, usize), Minute> = BTreeMap::new();
+            for a in &alerts {
+                let rank_key = (a.key.node.0, a.key.slot.index(), a.key.rank.0);
+                if faulty_ranks.contains(&rank_key) {
+                    alerts_on_faulty += 1;
+                    ranks_alerted.insert(rank_key);
+                }
+                first_alert
+                    .entry((a.key.node.0, a.key.slot.index()))
+                    .or_insert(a.time);
+            }
+            let mut lead_times: Vec<i64> = first_due
+                .iter()
+                .filter_map(|(dimm, &due_time)| {
+                    let alert_time = *first_alert.get(dimm)?;
+                    (alert_time <= due_time).then(|| due_time.value() - alert_time.value())
+                })
+                .collect();
+            lead_times.sort_unstable();
+            PredictorEval {
+                name,
+                alerts: alerts.len(),
+                alerts_on_faulty,
+                faulty_ranks_alerted: ranks_alerted.len(),
+                dues_predicted: lead_times.len(),
+                lead_times_minutes: lead_times,
+            }
+        })
+        .collect();
+
+    EvalReport {
+        faulty_ranks: faulty_ranks.len(),
+        dues: first_due.len(),
+        predictors,
+    }
+}
+
+impl EvalReport {
+    /// Render the report as the text block the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "ground truth: {} faulty ranks, {} DIMMs with memory DUEs\n\n",
+            self.faulty_ranks, self.dues
+        ));
+        out.push_str(
+            "predictor   alerts  precision  fault-recall  DUEs-predicted  UE-recall  median-lead\n",
+        );
+        for p in &self.predictors {
+            let lead = p
+                .median_lead_days()
+                .map(|d| format!("{d:.1} d"))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:<10}  {:>6}  {:>9.3}  {:>12.3}  {:>11}/{:<2}  {:>9.3}  {:>11}\n",
+                p.name,
+                p.alerts,
+                p.precision(self.faulty_ranks),
+                p.fault_recall(self.faulty_ranks),
+                p.dues_predicted,
+                self.dues,
+                p.ue_recall(self.dues),
+                lead,
+            ));
+        }
+        for p in &self.predictors {
+            if p.lead_times_minutes.is_empty() {
+                continue;
+            }
+            out.push('\n');
+            out.push_str(&format!("lead time, {} (days before first DUE):\n", p.name));
+            let h = p.lead_time_histogram_days(120.0, 8);
+            for (i, &count) in h.counts().iter().enumerate() {
+                let bar = "#".repeat(count as usize);
+                out.push_str(&format!(
+                    "  [{:>5.1}, {:>5.1})  {:>3}  {}\n",
+                    h.bin_edge(i),
+                    h.bin_edge(i + 1),
+                    count,
+                    bar
+                ));
+            }
+            if h.overflow() > 0 {
+                out.push_str(&format!("  [120.0,   inf)  {:>3}\n", h.overflow()));
+            }
+        }
+        out
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{DimmKey, EscalationLevel, FeatureVector};
+    use astra_faultsim::{Fault, FaultMode};
+    use astra_topology::{DimmId, DimmSlot, DramGeometry, NodeId, RankId};
+    use astra_util::DetRng;
+
+    fn alert(node: u32, slot: char, rank: u8, minute: i64, predictor: &'static str) -> Alert {
+        Alert {
+            time: Minute::from_i64(minute),
+            key: DimmKey {
+                node: NodeId(node),
+                slot: DimmSlot::from_letter(slot).unwrap(),
+                rank: RankId(rank),
+            },
+            predictor,
+            score: 1.0,
+            features: FeatureVector {
+                window_ces: 0.0,
+                total_ces: 0,
+                distinct_banks: 0,
+                distinct_cols: 0,
+                distinct_addrs: 0,
+                distinct_lanes: 0,
+                dominant_lane_share: 0.0,
+                minutes_since_first: 0,
+                escalation: EscalationLevel::SingleBit,
+            },
+        }
+    }
+
+    fn truth(node: u32, slot: char, rank: u8) -> GroundTruthFault {
+        let dimm = DimmId {
+            node: NodeId(node),
+            slot: DimmSlot::from_letter(slot).unwrap(),
+        };
+        let mut rng = DetRng::new(1);
+        GroundTruthFault {
+            fault: Fault::random_anchor(
+                dimm,
+                RankId(rank),
+                FaultMode::SingleBit,
+                &DramGeometry::ASTRA,
+                Minute::from_i64(0),
+                5,
+                &mut rng,
+            ),
+            offered_errors: 5,
+        }
+    }
+
+    fn due(node: u32, slot: char, minute: i64) -> HetRecord {
+        use astra_logs::HetKind;
+        HetRecord {
+            time: Minute::from_i64(minute),
+            node: NodeId(node),
+            kind: HetKind::UncorrectableEcc,
+            severity: HetKind::UncorrectableEcc.severity(),
+            slot: Some(DimmSlot::from_letter(slot).unwrap()),
+        }
+    }
+
+    #[test]
+    fn join_scores_precision_recall_and_lead() {
+        let alerts = vec![
+            alert(1, 'A', 0, 100, "rule"), // on faulty rank, 900 min before DUE
+            alert(2, 'B', 0, 50, "rule"),  // false positive: no fault there
+        ];
+        let truths = vec![truth(1, 'A', 0), truth(3, 'C', 1)];
+        let hets = vec![due(1, 'A', 1000), due(4, 'D', 2000)];
+        let report = evaluate(&alerts, &hets, &truths);
+        assert_eq!(report.faulty_ranks, 2);
+        assert_eq!(report.dues, 2);
+        let p = &report.predictors[0];
+        assert_eq!(p.name, "rule");
+        assert_eq!(p.alerts, 2);
+        assert_eq!(p.alerts_on_faulty, 1);
+        assert!((p.precision(report.faulty_ranks) - 0.5).abs() < 1e-12);
+        assert!((p.fault_recall(report.faulty_ranks) - 0.5).abs() < 1e-12);
+        assert_eq!(p.dues_predicted, 1);
+        assert!((p.ue_recall(report.dues) - 0.5).abs() < 1e-12);
+        assert_eq!(p.lead_times_minutes, vec![900]);
+        let rendered = report.render();
+        assert!(rendered.contains("rule"));
+        assert!(rendered.contains("lead time, rule"));
+    }
+
+    #[test]
+    fn alert_after_due_does_not_count() {
+        let alerts = vec![alert(1, 'A', 0, 1500, "rule")];
+        let report = evaluate(&alerts, &[due(1, 'A', 1000)], &[truth(1, 'A', 0)]);
+        assert_eq!(report.predictors[0].dues_predicted, 0);
+        assert!(report.predictors[0].lead_times_minutes.is_empty());
+    }
+
+    #[test]
+    fn multiple_predictors_scored_independently() {
+        let alerts = vec![
+            alert(1, 'A', 0, 100, "logistic"),
+            alert(1, 'A', 0, 200, "rule"),
+        ];
+        let report = evaluate(&alerts, &[due(1, 'A', 300)], &[truth(1, 'A', 0)]);
+        assert_eq!(report.predictors.len(), 2);
+        // BTreeMap orders by name: logistic before rule.
+        assert_eq!(report.predictors[0].name, "logistic");
+        assert_eq!(report.predictors[0].lead_times_minutes, vec![200]);
+        assert_eq!(report.predictors[1].lead_times_minutes, vec![100]);
+    }
+
+    #[test]
+    fn empty_everything_renders() {
+        let report = evaluate(&[], &[], &[]);
+        assert_eq!(report.faulty_ranks, 0);
+        assert_eq!(report.dues, 0);
+        assert!(report.render().contains("0 faulty ranks"));
+    }
+}

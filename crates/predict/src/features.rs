@@ -1,0 +1,375 @@
+//! Streaming per-DIMM feature state.
+//!
+//! Every feature is computable *online* from the CE stream alone — no
+//! look-ahead, no second pass — because the engine must be runnable
+//! against a live syslog tail, not only a finished log file. The feature
+//! set follows the prediction literature (error-bit patterns and spatial
+//! spread from Yu et al.; long-term first-CE age from Bogatinovski et
+//! al.) restricted to what Astra's records actually carry: no row
+//! information (§3.2 of the paper), so row-based features are replaced by
+//! column/bank spread.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use astra_logs::CeRecord;
+use astra_topology::{DimmSlot, NodeId, RankId};
+use astra_util::Minute;
+
+/// The device population one predictor state tracks: a DIMM rank.
+///
+/// This is the same `(node, slot, rank)` grouping the coalescer uses — a
+/// physical fault is confined to one rank, so features from different
+/// ranks never mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimmKey {
+    /// Node the rank lives on.
+    pub node: NodeId,
+    /// DIMM slot.
+    pub slot: DimmSlot,
+    /// Rank within the DIMM.
+    pub rank: RankId,
+}
+
+impl DimmKey {
+    /// The key of the rank a record implicates.
+    pub fn of_record(rec: &CeRecord) -> DimmKey {
+        DimmKey {
+            node: rec.node,
+            slot: rec.slot,
+            rank: rec.rank,
+        }
+    }
+
+    /// Dense deterministic sort key.
+    pub fn sort_key(self) -> (u32, u8, u8) {
+        (self.node.0, self.slot.index() as u8, self.rank.0)
+    }
+}
+
+/// How far a rank's observed footprint has escalated through the fault-mode
+/// ladder. Mirrors the coalescer's mode vocabulary, evaluated online: a
+/// rank only ever moves *up* the ladder as more errors arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EscalationLevel {
+    /// All errors at one (address, bit lane).
+    SingleBit,
+    /// One address, several bit lanes (word-level footprint).
+    SingleWord,
+    /// Several addresses confined to one column.
+    SingleColumn,
+    /// Footprint spread over several columns or banks.
+    SingleBank,
+    /// One bit lane recurring across many banks: a pin/lane defect, the
+    /// super-sticky mode behind the paper's 91 000-error fault (§3.2).
+    RankLevel,
+}
+
+impl EscalationLevel {
+    /// Numeric rung (0 = single-bit … 4 = rank-level), the form predictors
+    /// consume.
+    pub fn rung(self) -> u8 {
+        match self {
+            EscalationLevel::SingleBit => 0,
+            EscalationLevel::SingleWord => 1,
+            EscalationLevel::SingleColumn => 2,
+            EscalationLevel::SingleBank => 3,
+            EscalationLevel::RankLevel => 4,
+        }
+    }
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EscalationLevel::SingleBit => "single-bit",
+            EscalationLevel::SingleWord => "single-word",
+            EscalationLevel::SingleColumn => "single-column",
+            EscalationLevel::SingleBank => "single-bank",
+            EscalationLevel::RankLevel => "rank-level",
+        }
+    }
+}
+
+/// Distinct-address tracking saturates here: a rank-level fault touches
+/// essentially unbounded addresses and the exact count past this point
+/// carries no extra signal, only memory cost.
+const ADDR_TRACK_CAP: usize = 4096;
+
+/// Snapshot of one rank's features at a point in time — the predictor
+/// input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    /// Leaky-window CE count: exponentially decayed with the configured
+    /// half-life, evaluated at snapshot time.
+    pub window_ces: f64,
+    /// Lifetime CE count.
+    pub total_ces: u64,
+    /// Distinct banks touched.
+    pub distinct_banks: u32,
+    /// Distinct columns touched.
+    pub distinct_cols: u32,
+    /// Distinct physical addresses touched (saturates at the tracking cap).
+    pub distinct_addrs: u32,
+    /// Distinct logged bit positions (error-bit-pattern spread).
+    pub distinct_lanes: u32,
+    /// Share of all errors carried by the most common bit position; 1.0
+    /// means a perfectly sticky lane.
+    pub dominant_lane_share: f64,
+    /// Minutes since the rank's first CE (the "first CE matters" age).
+    pub minutes_since_first: i64,
+    /// Current rung on the fault-mode ladder.
+    pub escalation: EscalationLevel,
+}
+
+/// Streaming feature accumulator for one [`DimmKey`].
+#[derive(Debug, Clone)]
+pub struct FeatureState {
+    half_life_minutes: f64,
+    pin_bank_threshold: u32,
+    bank_dispersion_cols: u32,
+    first_ce: Minute,
+    last_ce: Minute,
+    total_ces: u64,
+    leaky: f64,
+    banks: BTreeSet<u16>,
+    cols: BTreeSet<u16>,
+    addrs: BTreeSet<u64>,
+    addrs_saturated: bool,
+    /// Per bit-position: (error count, bitmask of banks seen). Astra's
+    /// geometry has 16 banks per rank, so a `u16` mask is exact.
+    lanes: BTreeMap<u16, (u64, u16)>,
+    escalation: EscalationLevel,
+}
+
+impl FeatureState {
+    /// Fresh state whose first error is `rec`.
+    ///
+    /// `pin_bank_threshold` and `bank_dispersion_cols` mirror the
+    /// coalescer's thresholds so the online ladder agrees with the
+    /// post-hoc classification.
+    pub fn new(
+        rec: &CeRecord,
+        half_life_minutes: f64,
+        pin_bank_threshold: u32,
+        bank_dispersion_cols: u32,
+    ) -> FeatureState {
+        let mut state = FeatureState {
+            half_life_minutes,
+            pin_bank_threshold,
+            bank_dispersion_cols,
+            first_ce: rec.time,
+            last_ce: rec.time,
+            total_ces: 0,
+            leaky: 0.0,
+            banks: BTreeSet::new(),
+            cols: BTreeSet::new(),
+            addrs: BTreeSet::new(),
+            addrs_saturated: false,
+            lanes: BTreeMap::new(),
+            escalation: EscalationLevel::SingleBit,
+        };
+        state.update(rec);
+        state
+    }
+
+    /// Absorb one error. Records must arrive in non-decreasing time order
+    /// (the engine replays the time-sorted log).
+    pub fn update(&mut self, rec: &CeRecord) {
+        let dt = (rec.time.value() - self.last_ce.value()).max(0) as f64;
+        self.leaky = self.leaky * decay(dt, self.half_life_minutes) + 1.0;
+        self.last_ce = rec.time;
+        self.total_ces += 1;
+
+        self.banks.insert(rec.bank);
+        self.cols.insert(rec.col);
+        if self.addrs.len() < ADDR_TRACK_CAP {
+            self.addrs.insert(rec.addr.0);
+        } else {
+            self.addrs_saturated = true;
+        }
+        let bank_bit = 1u16 << (rec.bank as u32 % 16);
+        let lane = self.lanes.entry(rec.bit_pos).or_insert((0, 0));
+        lane.0 += 1;
+        lane.1 |= bank_bit;
+
+        self.escalation = self.escalation.max(self.classify());
+    }
+
+    /// Where on the mode ladder the accumulated footprint sits right now.
+    fn classify(&self) -> EscalationLevel {
+        let pin = self
+            .lanes
+            .values()
+            .any(|&(_, mask)| mask.count_ones() >= self.pin_bank_threshold);
+        if pin {
+            EscalationLevel::RankLevel
+        } else if self.banks.len() > 1 || self.cols.len() as u32 >= self.bank_dispersion_cols {
+            EscalationLevel::SingleBank
+        } else if self.addrs.len() > 1 || self.addrs_saturated {
+            EscalationLevel::SingleColumn
+        } else if self.lanes.len() > 1 {
+            EscalationLevel::SingleWord
+        } else {
+            EscalationLevel::SingleBit
+        }
+    }
+
+    /// Feature snapshot at time `now` (usually the current record's time).
+    pub fn snapshot(&self, now: Minute) -> FeatureVector {
+        let dt = (now.value() - self.last_ce.value()).max(0) as f64;
+        let max_lane = self.lanes.values().map(|&(n, _)| n).max().unwrap_or(0);
+        FeatureVector {
+            window_ces: self.leaky * decay(dt, self.half_life_minutes),
+            total_ces: self.total_ces,
+            distinct_banks: self.banks.len() as u32,
+            distinct_cols: self.cols.len() as u32,
+            distinct_addrs: self.addrs.len() as u32,
+            distinct_lanes: self.lanes.len() as u32,
+            dominant_lane_share: if self.total_ces == 0 {
+                0.0
+            } else {
+                max_lane as f64 / self.total_ces as f64
+            },
+            minutes_since_first: (now.value() - self.first_ce.value()).max(0),
+            escalation: self.escalation,
+        }
+    }
+
+    /// Time of the rank's first error.
+    pub fn first_ce(&self) -> Minute {
+        self.first_ce
+    }
+}
+
+/// Exponential decay factor for an elapsed time and half-life.
+fn decay(dt_minutes: f64, half_life_minutes: f64) -> f64 {
+    if half_life_minutes <= 0.0 {
+        return 1.0;
+    }
+    (-std::f64::consts::LN_2 * dt_minutes / half_life_minutes).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_topology::{PhysAddr, SocketId};
+    use astra_util::CalDate;
+
+    fn rec(bank: u16, col: u16, bit: u16, addr: u64, minute: i64) -> CeRecord {
+        let slot = DimmSlot::from_letter('A').unwrap();
+        CeRecord {
+            time: CalDate::new(2019, 3, 1).midnight().plus(minute),
+            node: NodeId(1),
+            socket: SocketId(0),
+            slot,
+            rank: RankId(0),
+            bank,
+            row: None,
+            col,
+            bit_pos: bit,
+            addr: PhysAddr(addr),
+            syndrome: 0,
+        }
+    }
+
+    fn state(first: &CeRecord) -> FeatureState {
+        FeatureState::new(first, 7.0 * 1440.0, 4, 6)
+    }
+
+    #[test]
+    fn single_sticky_bit_stays_on_rung_zero() {
+        let mut s = state(&rec(1, 2, 9, 0x1000, 0));
+        for m in 1..50 {
+            s.update(&rec(1, 2, 9, 0x1000, m));
+        }
+        let f = s.snapshot(CalDate::new(2019, 3, 1).midnight().plus(50));
+        assert_eq!(f.escalation, EscalationLevel::SingleBit);
+        assert_eq!(f.total_ces, 50);
+        assert_eq!(f.distinct_addrs, 1);
+        assert!((f.dominant_lane_share - 1.0).abs() < 1e-12);
+        assert_eq!(f.minutes_since_first, 50);
+    }
+
+    #[test]
+    fn escalation_climbs_and_never_descends() {
+        let mut s = state(&rec(1, 2, 9, 0x1000, 0));
+        assert_eq!(s.snapshot(Minute::from_i64(0)).escalation.rung(), 0);
+        // Second lane, same address → word.
+        s.update(&rec(1, 2, 10, 0x1000, 1));
+        assert_eq!(
+            s.snapshot(Minute::from_i64(0)).escalation,
+            EscalationLevel::SingleWord
+        );
+        // Second address, same column → column.
+        s.update(&rec(1, 2, 9, 0x2000, 2));
+        assert_eq!(
+            s.snapshot(Minute::from_i64(0)).escalation,
+            EscalationLevel::SingleColumn
+        );
+        // Second bank → bank-level.
+        s.update(&rec(2, 2, 9, 0x3000, 3));
+        assert_eq!(
+            s.snapshot(Minute::from_i64(0)).escalation,
+            EscalationLevel::SingleBank
+        );
+        // Back to the original footprint: the ladder must not descend.
+        s.update(&rec(1, 2, 9, 0x1000, 4));
+        assert_eq!(
+            s.snapshot(Minute::from_i64(0)).escalation,
+            EscalationLevel::SingleBank
+        );
+    }
+
+    #[test]
+    fn pin_lane_across_banks_reaches_rank_level() {
+        let mut s = state(&rec(0, 1, 200, 0x1000, 0));
+        for bank in 1..4u16 {
+            s.update(&rec(
+                bank,
+                1,
+                200,
+                0x1000 + u64::from(bank),
+                i64::from(bank),
+            ));
+        }
+        let f = s.snapshot(Minute::from_i64(10));
+        assert_eq!(f.escalation, EscalationLevel::RankLevel);
+        assert_eq!(f.distinct_banks, 4);
+        assert_eq!(f.distinct_lanes, 1);
+    }
+
+    #[test]
+    fn leaky_window_decays_with_half_life() {
+        let half_life = 1000.0;
+        let r0 = rec(1, 2, 9, 0x1000, 0);
+        let mut s = FeatureState::new(&r0, half_life, 4, 6);
+        for m in 1..10 {
+            s.update(&rec(1, 2, 9, 0x1000, m));
+        }
+        let now = s.snapshot(r0.time.plus(9));
+        assert!(now.window_ces > 9.9, "fresh errors barely decay");
+        // One half-life later, the window count halves; lifetime total
+        // does not.
+        let later = s.snapshot(r0.time.plus(9 + half_life as i64));
+        assert!((later.window_ces - now.window_ces / 2.0).abs() < 0.01);
+        assert_eq!(later.total_ces, 10);
+    }
+
+    #[test]
+    fn address_tracking_saturates_without_losing_escalation() {
+        let mut s = state(&rec(1, 2, 9, 0, 0));
+        for i in 1..(ADDR_TRACK_CAP as u64 + 100) {
+            s.update(&rec(1, 2, 9, i * 64, i as i64));
+        }
+        let f = s.snapshot(Minute::from_i64(1 << 24));
+        assert_eq!(f.distinct_addrs, ADDR_TRACK_CAP as u32);
+        assert!(f.escalation >= EscalationLevel::SingleColumn);
+    }
+
+    #[test]
+    fn dimm_key_orders_by_node_slot_rank() {
+        let a = DimmKey::of_record(&rec(0, 0, 0, 0, 0));
+        let mut b = a;
+        b.rank = RankId(1);
+        assert!(a.sort_key() < b.sort_key());
+    }
+}

@@ -1,0 +1,42 @@
+//! `astra-predict`: online memory-failure prediction.
+//!
+//! The paper's analysis (§3–§5) is *post-hoc*: it measures how CE behavior
+//! relates to later uncorrectable errors and replacements after the fact.
+//! The field-study literature it cites goes one step further — "Exploring
+//! Error Bits for Memory Failure Prediction" (Yu et al.) and "First CE
+//! Matters" (Bogatinovski et al.) show that streaming per-DIMM CE features
+//! predict UEs with operationally useful lead time. This crate closes that
+//! loop for the reproduction: a streaming engine that consumes the
+//! time-ordered CE log and raises UE-risk alerts *while the stream plays*,
+//! plus an evaluation harness that the field papers could never have —
+//! the simulator's ground truth makes every alert exactly scoreable.
+//!
+//! Modules:
+//!
+//! * [`features`] — per-`(node, slot, rank)` streaming feature state:
+//!   leaky-window CE counts, distinct banks/columns/addresses/bit-lanes,
+//!   dominant-lane share, time-since-first-CE, and the fault-mode
+//!   escalation ladder (single-bit → word/column → bank → rank).
+//! * [`predictor`] — the [`Predictor`](predictor::Predictor) trait with a
+//!   threshold [`RulePredictor`](predictor::RulePredictor) and a
+//!   [`LogisticPredictor`](predictor::LogisticPredictor) whose weights are
+//!   fit from labeled feature vectors via `astra_stats::linfit`.
+//! * [`engine`] — deterministic replay: fans independent DIMM streams
+//!   across workers (`astra-util::par`), emits time-ordered
+//!   [`Alert`](engine::Alert)s; bit-identical at any worker count.
+//! * [`eval`] — the lead-time harness: joins alerts against HET/DUE
+//!   records and the simulator's injected-fault ground truth to report
+//!   precision, recall, and per-DIMM lead-time distributions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod eval;
+pub mod features;
+pub mod predictor;
+
+pub use engine::{default_predictors, replay, Alert, PredictConfig};
+pub use eval::{evaluate, EvalReport, PredictorEval};
+pub use features::{DimmKey, EscalationLevel, FeatureState, FeatureVector};
+pub use predictor::{LogisticPredictor, Predictor, RulePredictor};

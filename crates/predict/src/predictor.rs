@@ -1,0 +1,287 @@
+//! Pluggable UE-risk predictors.
+//!
+//! A predictor maps a [`FeatureVector`] to a risk score in `[0, 1]` and
+//! fires when the score crosses its threshold. Two implementations ship:
+//!
+//! * [`RulePredictor`] — the kind of threshold policy an operator would
+//!   deploy first (and what DDR5 "predictive failure analysis" registers
+//!   implement in silicon): fire on window CE volume, spatial spread, or
+//!   escalation past a ladder rung.
+//! * [`LogisticPredictor`] — a logistic score over log-transformed
+//!   features. The workspace intentionally has no ML dependency, so the
+//!   weights come from per-feature univariate OLS fits
+//!   ([`astra_stats::linear_fit`]) against labels, each weight damped by
+//!   its fit's r²; that is crude next to a real solver but is fit from
+//!   data, monotone in the evidence, and fully deterministic.
+
+use crate::features::{EscalationLevel, FeatureVector};
+use astra_stats::linear_fit;
+
+/// A streaming UE-risk scorer.
+pub trait Predictor: Sync {
+    /// Stable short name used in alerts, reports, and metric names.
+    fn name(&self) -> &'static str;
+
+    /// Risk score in `[0, 1]`.
+    fn score(&self, features: &FeatureVector) -> f64;
+
+    /// Alert threshold on [`Predictor::score`].
+    fn threshold(&self) -> f64;
+
+    /// Whether this feature snapshot crosses the alert threshold.
+    fn fires(&self, features: &FeatureVector) -> bool {
+        self.score(features) >= self.threshold()
+    }
+}
+
+/// Threshold rules over the feature state.
+///
+/// The score is the *largest* fractional satisfaction across the rules, so
+/// it rises smoothly toward 1.0 as any single rule approaches firing; the
+/// predictor fires when at least one rule is fully met.
+#[derive(Debug, Clone)]
+pub struct RulePredictor {
+    /// Fire when the leaky-window CE count reaches this many errors.
+    pub window_ces: f64,
+    /// Fire when the footprint escalates to this rung or beyond.
+    pub escalation: EscalationLevel,
+    /// Fire when this many distinct columns have been touched.
+    pub distinct_cols: u32,
+    /// Ignore ranks with fewer lifetime CEs than this (warm-up guard: the
+    /// paper's §4 shows most CE-ever DIMMs log a handful of errors and
+    /// never fail).
+    pub min_total_ces: u64,
+}
+
+impl RulePredictor {
+    /// Thresholds tuned for the Astra-profile simulation: the window must
+    /// see sustained activity well beyond the transient-fault background,
+    /// or the footprint must have escalated to a multi-address mode.
+    pub fn astra() -> RulePredictor {
+        RulePredictor {
+            window_ces: 24.0,
+            escalation: EscalationLevel::SingleColumn,
+            distinct_cols: 4,
+            min_total_ces: 8,
+        }
+    }
+}
+
+impl Predictor for RulePredictor {
+    fn name(&self) -> &'static str {
+        "rule"
+    }
+
+    fn score(&self, f: &FeatureVector) -> f64 {
+        if f.total_ces < self.min_total_ces {
+            return 0.0;
+        }
+        let window = (f.window_ces / self.window_ces).min(1.0);
+        let esc = f64::from(f.escalation.rung()) / f64::from(self.escalation.rung().max(1));
+        let cols = f64::from(f.distinct_cols) / f64::from(self.distinct_cols.max(1));
+        window.max(esc.min(1.0)).max(cols.min(1.0))
+    }
+
+    fn threshold(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Number of inputs to the logistic score (see [`transform`]).
+pub const LOGISTIC_DIM: usize = 6;
+
+/// Logistic score over log-transformed features.
+#[derive(Debug, Clone)]
+pub struct LogisticPredictor {
+    /// Per-feature weights (see [`transform`] for the feature order).
+    pub weights: [f64; LOGISTIC_DIM],
+    /// Additive bias.
+    pub bias: f64,
+    /// Alert threshold on the sigmoid output.
+    pub alert_threshold: f64,
+}
+
+/// Transform a feature snapshot into the logistic input vector. Count-like
+/// features get `ln(1 + x)` so the heavy-tailed CE distributions (§3.2's
+/// four-orders-of-magnitude spread) don't let one feature swamp the rest.
+pub fn transform(f: &FeatureVector) -> [f64; LOGISTIC_DIM] {
+    [
+        (1.0 + f.window_ces).ln(),
+        (1.0 + f.total_ces as f64).ln(),
+        f64::from(f.distinct_cols.max(f.distinct_banks)),
+        (1.0 + f64::from(f.distinct_addrs)).ln(),
+        f.dominant_lane_share,
+        f64::from(f.escalation.rung()),
+    ]
+}
+
+impl LogisticPredictor {
+    /// Weights fit offline (via [`LogisticPredictor::fit`]) on a 4-rack
+    /// Astra-profile simulation, then frozen here so the CLI scores
+    /// without a training pass. Spread features dominate; the
+    /// dominant-lane share carries a small negative weight because a
+    /// perfectly sticky single bit is the *least* dangerous footprint.
+    pub fn astra() -> LogisticPredictor {
+        LogisticPredictor {
+            weights: [0.55, 0.50, 0.35, 0.80, -0.40, 0.90],
+            bias: -6.0,
+            alert_threshold: 0.5,
+        }
+    }
+
+    /// Fit weights from labeled snapshots (`true` = the rank later
+    /// produced an uncorrectable error or hosted an injected fault).
+    ///
+    /// Each weight is the slope of a univariate OLS fit of the label on
+    /// that transformed feature, damped by the fit's r² so features that
+    /// explain nothing contribute nothing. The bias centres the decision
+    /// boundary halfway between the class means of the weighted sum.
+    /// Returns `None` when either class is absent or every feature is
+    /// degenerate.
+    pub fn fit(
+        samples: &[(FeatureVector, bool)],
+        alert_threshold: f64,
+    ) -> Option<LogisticPredictor> {
+        let positives = samples.iter().filter(|(_, label)| *label).count();
+        if positives == 0 || positives == samples.len() {
+            return None;
+        }
+        let xs: Vec<[f64; LOGISTIC_DIM]> = samples.iter().map(|(f, _)| transform(f)).collect();
+        let ys: Vec<f64> = samples
+            .iter()
+            .map(|(_, label)| if *label { 1.0 } else { 0.0 })
+            .collect();
+
+        let mut weights = [0.0; LOGISTIC_DIM];
+        let mut any = false;
+        for dim in 0..LOGISTIC_DIM {
+            let col: Vec<f64> = xs.iter().map(|x| x[dim]).collect();
+            if let Some(fit) = linear_fit(&col, &ys) {
+                weights[dim] = fit.slope * fit.r_squared;
+                any |= weights[dim] != 0.0;
+            }
+        }
+        if !any {
+            return None;
+        }
+
+        let dot =
+            |x: &[f64; LOGISTIC_DIM]| -> f64 { x.iter().zip(&weights).map(|(a, w)| a * w).sum() };
+        let (mut pos_sum, mut neg_sum) = (0.0, 0.0);
+        for (x, y) in xs.iter().zip(&ys) {
+            if *y > 0.5 {
+                pos_sum += dot(x);
+            } else {
+                neg_sum += dot(x);
+            }
+        }
+        let midpoint =
+            (pos_sum / positives as f64 + neg_sum / (samples.len() - positives) as f64) / 2.0;
+        Some(LogisticPredictor {
+            weights,
+            bias: -midpoint,
+            alert_threshold,
+        })
+    }
+}
+
+impl Predictor for LogisticPredictor {
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+
+    fn score(&self, f: &FeatureVector) -> f64 {
+        let x = transform(f);
+        let z: f64 = self.bias + x.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>();
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    fn threshold(&self) -> f64 {
+        self.alert_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> FeatureVector {
+        FeatureVector {
+            window_ces: 1.0,
+            total_ces: 1,
+            distinct_banks: 1,
+            distinct_cols: 1,
+            distinct_addrs: 1,
+            distinct_lanes: 1,
+            dominant_lane_share: 1.0,
+            minutes_since_first: 10,
+            escalation: EscalationLevel::SingleBit,
+        }
+    }
+
+    fn loud() -> FeatureVector {
+        FeatureVector {
+            window_ces: 400.0,
+            total_ces: 2000,
+            distinct_banks: 8,
+            distinct_cols: 40,
+            distinct_addrs: 900,
+            distinct_lanes: 1,
+            dominant_lane_share: 1.0,
+            minutes_since_first: 10_000,
+            escalation: EscalationLevel::RankLevel,
+        }
+    }
+
+    #[test]
+    fn rule_fires_on_loud_not_quiet() {
+        let p = RulePredictor::astra();
+        assert!(!p.fires(&quiet()));
+        assert!(p.fires(&loud()));
+        assert!(p.score(&quiet()) < p.score(&loud()));
+    }
+
+    #[test]
+    fn rule_warmup_suppresses_early_escalation() {
+        let p = RulePredictor::astra();
+        let mut f = loud();
+        f.total_ces = p.min_total_ces - 1;
+        assert_eq!(p.score(&f), 0.0);
+    }
+
+    #[test]
+    fn logistic_astra_orders_risk() {
+        let p = LogisticPredictor::astra();
+        let lo = p.score(&quiet());
+        let hi = p.score(&loud());
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        assert!(hi > lo);
+        assert!(p.fires(&loud()));
+        assert!(!p.fires(&quiet()));
+    }
+
+    #[test]
+    fn fit_separates_labeled_classes() {
+        let mut samples = Vec::new();
+        for i in 0..20u32 {
+            let mut f = quiet();
+            f.window_ces = 1.0 + f64::from(i % 3);
+            samples.push((f, false));
+            let mut g = loud();
+            g.distinct_addrs = 500 + i;
+            samples.push((g, true));
+        }
+        let p = LogisticPredictor::fit(&samples, 0.5).expect("separable data fits");
+        assert!(p.score(&loud()) > p.score(&quiet()));
+        assert!(p.fires(&loud()));
+        assert!(!p.fires(&quiet()));
+    }
+
+    #[test]
+    fn fit_rejects_single_class() {
+        let samples = vec![(quiet(), false), (quiet(), false)];
+        assert!(LogisticPredictor::fit(&samples, 0.5).is_none());
+        let samples = vec![(loud(), true)];
+        assert!(LogisticPredictor::fit(&samples, 0.5).is_none());
+    }
+}

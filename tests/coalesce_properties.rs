@@ -6,10 +6,13 @@
 //! simulator's output.
 
 use astra_core::coalesce::{coalesce, CoalesceConfig};
-use astra_core::mitigation::{simulate_retirement, RetirementPolicy};
+use astra_core::mitigation::{
+    exclusion_curve, simulate_retirement, smallest_exclusion_for, RetirementPolicy,
+};
+use astra_core::pipeline::Analysis;
 use astra_core::ObservedMode;
 use astra_logs::CeRecord;
-use astra_topology::{DimmSlot, NodeId, PhysAddr, RankId};
+use astra_topology::{DimmSlot, NodeId, PhysAddr, RankId, SystemConfig};
 use astra_util::Minute;
 use proptest::prelude::*;
 
@@ -201,5 +204,82 @@ proptest! {
             strict.errors_avoided,
             lax.errors_avoided
         );
+    }
+}
+
+/// The generated records use nodes 0..6, which fit on a one-rack machine.
+fn analysis_of(records: Vec<CeRecord>) -> Analysis {
+    Analysis::run(SystemConfig::scaled(1), records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_exclusion_curve_is_monotone_and_bounded(records in arb_records(), max_k in 0usize..20) {
+        let analysis = analysis_of(records);
+        let nodes = analysis.system.node_count() as usize;
+        let curve = exclusion_curve(&analysis, max_k);
+        prop_assert_eq!(curve.len(), max_k.min(nodes) + 1);
+        prop_assert_eq!(curve[0].excluded_nodes, 0);
+        prop_assert_eq!(curve[0].errors_avoided_fraction, 0.0);
+        for (k, point) in curve.iter().enumerate() {
+            prop_assert_eq!(point.excluded_nodes, k);
+            prop_assert!((0.0..=1.0).contains(&point.errors_avoided_fraction));
+            // Capacity cost is exactly linear in nodes excluded.
+            prop_assert!((point.capacity_lost_fraction - k as f64 / nodes as f64).abs() < 1e-12);
+        }
+        for pair in curve.windows(2) {
+            prop_assert!(
+                pair[1].errors_avoided_fraction >= pair[0].errors_avoided_fraction,
+                "excluding more nodes can never avoid fewer errors"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_smallest_exclusion_agrees_with_the_curve(records in arb_records()) {
+        let total = records.len();
+        let analysis = analysis_of(records);
+        let nodes = analysis.system.node_count() as usize;
+        let k = smallest_exclusion_for(&analysis, 0.5);
+        prop_assert!(k <= nodes);
+        if total > 0 {
+            // k is sufficient, and minimal: the curve crosses 0.5 at k and
+            // not before.
+            let curve = exclusion_curve(&analysis, nodes);
+            prop_assert!(curve[k].errors_avoided_fraction >= 0.5);
+            if k > 0 {
+                prop_assert!(curve[k - 1].errors_avoided_fraction < 0.5);
+            }
+            // A zero target needs no exclusions at all (with zero total
+            // errors every target is unreachable and saturates instead —
+            // see `exclusion_on_empty_stream_saturates`).
+            prop_assert_eq!(smallest_exclusion_for(&analysis, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn prop_unreachable_exclusion_target_returns_whole_machine(records in arb_records()) {
+        let analysis = analysis_of(records);
+        let nodes = analysis.system.node_count() as usize;
+        // No subset of nodes can remove 150% of the errors: the answer
+        // saturates at "every node" rather than panicking or lying.
+        prop_assert_eq!(smallest_exclusion_for(&analysis, 1.5), nodes);
+    }
+}
+
+#[test]
+fn exclusion_on_empty_stream_saturates() {
+    // With zero errors the share curve is undefined; any positive target
+    // is unreachable and reports the whole machine, while the curve itself
+    // stays flat at zero avoidance.
+    let analysis = analysis_of(Vec::new());
+    let nodes = analysis.system.node_count() as usize;
+    assert_eq!(smallest_exclusion_for(&analysis, 0.5), nodes);
+    let curve = exclusion_curve(&analysis, 5);
+    assert_eq!(curve.len(), 6);
+    for point in &curve {
+        assert_eq!(point.errors_avoided_fraction, 0.0);
     }
 }

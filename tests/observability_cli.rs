@@ -215,6 +215,101 @@ fn stats_prints_throughput_and_rates() {
 }
 
 #[test]
+fn stats_without_metrics_file_prints_actionable_hint() {
+    let dir = TempDir::new("statshint");
+    generate(dir.path());
+    std::fs::remove_file(dir.join("metrics.jsonl")).unwrap();
+    let out = Command::new(bin())
+        .args(["stats", dir.path().to_str().unwrap(), "--racks", "1"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stats should still run without metrics"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("metrics.jsonl"), "{err}");
+    assert!(
+        err.contains("astra-mem generate"),
+        "hint names the fix: {err}"
+    );
+    // The live-measured sections still render.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("parse stages:"), "{text}");
+}
+
+#[test]
+fn load_errors_distinguish_missing_from_unreadable() {
+    let dir = TempDir::new("loaderr");
+    generate(dir.path());
+
+    // Required log deleted → "missing" plus a hint naming generate.
+    std::fs::remove_file(dir.join("ce.log")).unwrap();
+    let out = Command::new(bin())
+        .args(["analyze", dir.path().to_str().unwrap(), "--racks", "1"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing") && err.contains("ce.log"), "{err}");
+    assert!(err.contains("hint:") && err.contains("generate"), "{err}");
+
+    // Present but undecodable → "unreadable" plus a different hint.
+    std::fs::write(dir.join("ce.log"), [0xFF, 0xFE, b'\n']).unwrap();
+    let out = Command::new(bin())
+        .args(["report", dir.path().to_str().unwrap(), "--racks", "1"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unreadable") && err.contains("ce.log"),
+        "{err}"
+    );
+    assert!(err.contains("hint:") && err.contains("UTF-8"), "{err}");
+}
+
+#[test]
+fn predict_reports_metrics_and_ground_truth_join() {
+    let dir = TempDir::new("predict");
+    generate(dir.path());
+    let metrics = dir.join("m.json");
+    let out = Command::new(bin())
+        .args([
+            "predict",
+            dir.path().to_str().unwrap(),
+            "--racks",
+            "1",
+            "--seed",
+            "7",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "predict failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ground truth:"), "{text}");
+    assert!(text.contains("precision"), "{text}");
+    assert!(text.contains("fault-recall"), "{text}");
+    assert!(text.contains("UE-recall"), "{text}");
+    assert!(text.contains("proactive mitigation"), "{text}");
+
+    // The engine's obs instrumentation made it into the export.
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    assert!(metric_value(&jsonl, "predict.records_in").expect("records_in") > 0.0);
+    assert!(metric_value(&jsonl, "predict.ranks_tracked").expect("ranks_tracked") > 0.0);
+    assert!(
+        metric_value(&jsonl, "predict.alerts").expect("alerts") > 0.0,
+        "the default predictors should alert on a 1-rack simulation"
+    );
+}
+
+#[test]
 fn bad_arguments_are_rejected() {
     for args in [
         &["generate", "--racks", "0", "--out", "/tmp/x"][..],

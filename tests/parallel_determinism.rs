@@ -1,7 +1,8 @@
 //! Determinism of the parallel analysis paths.
 //!
 //! Every parallel stage — the k-way CE merge in the simulator, sharded
-//! coalescing, and the spatial `par_fold` — must produce output
+//! coalescing, the spatial `par_fold`, and the prediction replay — must
+//! produce output
 //! bit-identical to the sequential path at any worker count. These tests
 //! pin that down by forcing the worker override (`astra_util::par`'s
 //! `ASTRA_WORKERS` hook) to 1 and then to several workers and comparing
@@ -73,6 +74,31 @@ fn spatial_counts_identical_across_worker_counts() {
             SpatialCounts::compute(&ds.system, &ds.sim.ce_log, &faults)
         });
         assert_eq!(base, par, "spatial counts differ at {workers} workers");
+    }
+}
+
+#[test]
+fn predict_replay_identical_across_worker_counts() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ds = dataset(45);
+    let config = astra_predict::PredictConfig::default();
+    let base = with_workers(1, || {
+        astra_predict::replay(
+            &ds.sim.ce_log,
+            &config,
+            &astra_predict::default_predictors(),
+        )
+    });
+    assert!(!base.is_empty(), "two racks should raise some alerts");
+    for workers in [2, 4] {
+        let par = with_workers(workers, || {
+            astra_predict::replay(
+                &ds.sim.ce_log,
+                &config,
+                &astra_predict::default_predictors(),
+            )
+        });
+        assert_eq!(base, par, "alert stream differs at {workers} workers");
     }
 }
 

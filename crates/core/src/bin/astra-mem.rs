@@ -1,631 +1,11 @@
 //! `astra-mem` — command-line interface to the astra-mem toolkit.
 //!
-//! ```text
-//! astra-mem generate --racks 4 --seed 42 --out /data/astra-logs
-//! astra-mem analyze  /data/astra-logs [--racks 4]
-//! astra-mem report   /data/astra-logs [--racks 4]
-//! astra-mem triage   /data/astra-logs [--racks 4]
-//! ```
-//!
-//! `generate` simulates a machine and writes the three text logs
-//! (`ce.log`, `het.log`, `inventory.log`). The other commands ingest a
-//! log directory — from `generate` or, with the same formats, from a real
-//! site — and run the analysis at increasing levels of detail: `analyze`
-//! prints the coalescing summary, `report` renders every table/figure of
-//! the paper, `triage` prints the operational outputs (exclude list,
-//! retirement, replacement candidates).
+//! The implementation lives in [`astra_core::cli`] so every command path
+//! is unit-testable from the library; this binary only forwards the
+//! process arguments and exit code.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use astra_core::experiments as exp;
-use astra_core::mitigation::{self, ProactivePolicy, RetirementPolicy};
-use astra_core::pipeline::{Analysis, AnalysisInput, Dataset, LoadError};
-use astra_core::reliability;
-use astra_core::tempcorr::TempCorrConfig;
-use astra_topology::SystemConfig;
-use astra_util::time::{het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan};
-use astra_util::CalDate;
-
-const USAGE: &str = "\
-astra-mem — memory-failure analysis toolkit (HPDC'22 Astra reproduction)
-
-USAGE:
-    astra-mem generate [--racks N] [--seed S] --out DIR
-    astra-mem analyze  DIR [--racks N]
-    astra-mem report   DIR [--racks N] [--seed S]
-    astra-mem triage   DIR [--racks N]
-    astra-mem stats    DIR [--racks N]
-    astra-mem predict  DIR [--racks N] [--seed S]
-
-COMMANDS:
-    generate   simulate a machine; write ce/het/inventory/sensors logs
-    analyze    parse a log directory and print the fault summary
-    report     render every table and figure of the paper
-    triage     operational outputs: exclude list, retirement, replacements
-    stats      pipeline health report: throughput, drop/skip rates, ratios
-    predict    replay the CE stream through online UE predictors; score
-               precision/recall/lead time against simulator ground truth
-               (re-derived from --racks/--seed, which must match generate)
-
-OPTIONS:
-    --racks N           machine size in racks (default 4; Astra is 36)
-    --seed S            master seed (default 42)
-    --out DIR           output directory for generate
-    --metrics-out FILE  write all metrics as JSON lines to FILE on exit
-";
-
-#[derive(Debug)]
-struct Args {
-    command: String,
-    dir: Option<PathBuf>,
-    racks: u32,
-    seed: u64,
-    out: Option<PathBuf>,
-    metrics_out: Option<PathBuf>,
-}
-
-fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
-    let mut args = argv.into_iter();
-    let command = args.next().ok_or("missing command")?;
-    let mut parsed = Args {
-        command,
-        dir: None,
-        racks: 4,
-        seed: 42,
-        out: None,
-        metrics_out: None,
-    };
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--racks" => {
-                let v = args.next().ok_or("--racks needs a value")?;
-                parsed.racks = v.parse().map_err(|_| format!("bad rack count {v}"))?;
-                if parsed.racks == 0 {
-                    return Err("--racks must be at least 1".into());
-                }
-            }
-            "--seed" => {
-                let v = args.next().ok_or("--seed needs a value")?;
-                parsed.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
-            }
-            "--out" => {
-                parsed.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
-            }
-            "--metrics-out" => {
-                parsed.metrics_out = Some(PathBuf::from(
-                    args.next().ok_or("--metrics-out needs a value")?,
-                ));
-            }
-            other if !other.starts_with('-') => {
-                if let Some(first) = &parsed.dir {
-                    return Err(format!(
-                        "unexpected second directory {other} (already got {})",
-                        first.display()
-                    ));
-                }
-                parsed.dir = Some(PathBuf::from(other));
-            }
-            other => return Err(format!("unknown argument {other}")),
-        }
-    }
-    Ok(parsed)
-}
-
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match args.command.as_str() {
-        "generate" => cmd_generate(&args),
-        "analyze" => cmd_analyze(&args),
-        "report" => cmd_report(&args),
-        "triage" => cmd_triage(&args),
-        "stats" => cmd_stats(&args),
-        "predict" => cmd_predict(&args),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command {other}")),
-    };
-    // Export metrics even on failure: a run that died half-way is exactly
-    // the one whose counters you want to see.
-    if let Some(path) = &args.metrics_out {
-        let jsonl = astra_obs::global().snapshot().to_jsonl();
-        if let Err(e) = std::fs::write(path, jsonl) {
-            eprintln!("error: writing {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
-    }
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn cmd_generate(args: &Args) -> Result<(), String> {
-    let out = args.out.clone().ok_or("generate requires --out DIR")?;
-    eprintln!("simulating {} racks (seed {})...", args.racks, args.seed);
-    let ds = Dataset::generate(args.racks, args.seed);
-    ds.write_logs(&out).map_err(|e| e.to_string())?;
-    // Persist generation-time metrics next to the logs. Analysis commands
-    // fold this file back in, so kernel-buffer drop counts and ECC
-    // verdicts — facts only the generator knows — survive into `report
-    // --metrics-out` and `stats` on the same directory.
-    let jsonl = astra_obs::global().snapshot().to_jsonl();
-    std::fs::write(out.join("metrics.jsonl"), jsonl).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {} CE, {} HET, {} inventory records (+ sensors.log excerpt) to {}",
-        ds.sim.ce_log.len(),
-        ds.sim.het_log.len(),
-        ds.replacements.len(),
-        out.display()
-    );
-    Ok(())
-}
-
-fn load(args: &Args) -> Result<(SystemConfig, AnalysisInput), String> {
-    let dir = args
-        .dir
-        .clone()
-        .ok_or("this command needs a log directory")?;
-    // Surface the typed LoadError distinction: an absent log points at the
-    // extraction job (wrong directory, generate never ran), an unreadable
-    // one at the file itself.
-    let input = AnalysisInput::from_dir(&dir).map_err(|e| match &e {
-        LoadError::MissingLog { name, .. } => format!(
-            "{e}\nhint: {} does not contain the required {name} — point at a directory \
-             written by `astra-mem generate --out DIR`, or check that the log extraction \
-             completed",
-            dir.display()
-        ),
-        LoadError::Unreadable { name, .. } => format!(
-            "{e}\nhint: {name} exists but could not be read — check file permissions and \
-             that it is plain UTF-8 text"
-        ),
-    })?;
-    if input.skipped > 0 {
-        eprintln!("note: skipped {} unparseable lines", input.skipped);
-    }
-    // Fold in the dataset's generation-time metrics, if present.
-    if let Ok(text) = std::fs::read_to_string(dir.join("metrics.jsonl")) {
-        let bad = astra_obs::global().import_jsonl(&text);
-        if bad > 0 {
-            eprintln!("note: skipped {bad} unparseable metrics.jsonl lines");
-        }
-    }
-    Ok((SystemConfig::scaled(args.racks), input))
-}
-
-fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let (system, input) = load(args)?;
-    let analysis = Analysis::run(system, input.records);
-    println!(
-        "{} errors -> {} faults on {} nodes",
-        analysis.total_errors(),
-        analysis.total_faults(),
-        system.node_count()
-    );
-    let fig4 = exp::fig4::compute(&analysis, study_span());
-    print!("{}", fig4.render());
-    let fig5 = exp::fig5::compute(&analysis);
-    print!("{}", fig5.render());
-    Ok(())
-}
-
-fn cmd_report(args: &Args) -> Result<(), String> {
-    let (system, input) = load(args)?;
-    let analysis = Analysis::run(system, input.records);
-    // The telemetry model is functional: reconstruct it from the seed.
-    let telemetry = astra_telemetry::TelemetryModel::new(
-        system,
-        astra_telemetry::ThermalProfile::astra(),
-        args.seed,
-    );
-    let config = TempCorrConfig::default();
-
-    println!(
-        "{}",
-        exp::table1::compute(&system, &input.replacements).render()
-    );
-    // Prefer the parsed sensors.log excerpt when the directory has one;
-    // otherwise sample the telemetry model.
-    let fig2 = if input.sensors.is_empty() {
-        exp::fig2::compute(&telemetry, sensor_span(), 8, 6 * 60)
-    } else {
-        exp::fig2::compute_from_records(&input.sensors)
-    };
-    println!("{}", fig2.render());
-    println!(
-        "{}",
-        exp::fig3::compute(&input.replacements, replacement_span()).render()
-    );
-    println!("{}", exp::fig4::compute(&analysis, study_span()).render());
-    println!("{}", exp::fig5::compute(&analysis).render());
-    println!("{}", exp::fig6::compute(&analysis).render());
-    println!("{}", exp::fig7::compute(&analysis).render());
-    println!("{}", exp::fig8::compute(&analysis).render());
-    println!(
-        "{}",
-        exp::fig9::compute(&analysis, &telemetry, sensor_span(), &config).render()
-    );
-    println!("{}", exp::fig10_12::compute(&analysis).render());
-    println!(
-        "{}",
-        exp::fig13_14::compute_fig13(&analysis, &telemetry, sensor_span(), &config).render()
-    );
-    println!(
-        "{}",
-        exp::fig13_14::compute_fig14(&analysis, &telemetry, sensor_span(), &config).render()
-    );
-    let window = TimeSpan::dates(het_firmware_date(), CalDate::new(2019, 9, 14));
-    println!(
-        "{}",
-        exp::fig15::compute(&input.hets, window, system.dimm_count()).render()
-    );
-
-    // CE -> DUE escalation addendum.
-    if let Some(rr) =
-        astra_core::het::due_relative_risk(&analysis.faults, &input.hets, system.dimm_count())
-    {
-        println!("DUE relative risk for DIMMs with prior CE faults: {rr:.1}x\n");
-    }
-
-    // Failure-model addendum.
-    if let Some(model) = astra_core::modeling::NodePopulationModel::fit(
-        &analysis.spatial.fault_counts_all_nodes(&system),
-    ) {
-        println!(
-            "node fault model: P(zero) = {:.2}, tail alpha = {:.2}; expected nodes \
-             with >= 10 faults: {:.0}\n",
-            model.p_zero,
-            model.tail.alpha,
-            model.expected_nodes_at_least(10)
-        );
-    }
-
-    // Survival addendum.
-    println!("Component survival (Kaplan-Meier):");
-    for cs in reliability::component_survival(&system, &input.replacements, replacement_span()) {
-        println!(
-            "  {:<13} failures {:>5} / {:<6}  S(212d) {:.3}  front-loading(30d) {:.2}x",
-            cs.component,
-            cs.failures,
-            cs.population,
-            cs.end_survival(212.0),
-            cs.front_loading(30.0, 212.0)
-        );
-    }
-    Ok(())
-}
-
-fn cmd_triage(args: &Args) -> Result<(), String> {
-    let (system, input) = load(args)?;
-    let analysis = Analysis::run(system, input.records);
-
-    println!("node exclusion curve:");
-    for point in mitigation::exclusion_curve(&analysis, 8) {
-        println!(
-            "  exclude {:>2} nodes -> avoid {:>5.1}% of CEs at {:.2}% capacity",
-            point.excluded_nodes,
-            100.0 * point.errors_avoided_fraction,
-            100.0 * point.capacity_lost_fraction
-        );
-    }
-    let k = mitigation::smallest_exclusion_for(&analysis, 0.5);
-    println!("smallest exclude list removing half of all CEs: {k} nodes\n");
-
-    for (name, policy) in [
-        (
-            "threshold(8)",
-            RetirementPolicy::Threshold { ce_threshold: 8 },
-        ),
-        (
-            "budgeted(8, 16 pages)",
-            RetirementPolicy::Budgeted {
-                ce_threshold: 8,
-                max_pages_per_fault: 16,
-            },
-        ),
-    ] {
-        let out = mitigation::simulate_retirement(&analysis.records, &analysis.faults, policy);
-        println!(
-            "page retirement {name}: retired {} pages ({} KiB), avoided {:.1}% of CEs, \
-             contained {} faults, abandoned {}",
-            out.retired_pages,
-            out.retired_bytes() / 1024,
-            100.0 * out.avoidance_rate(),
-            out.faults_contained,
-            out.faults_abandoned
-        );
-    }
-    Ok(())
-}
-
-/// Sum of all timing metrics whose span path ends in `suffix` (span paths
-/// nest, e.g. `time.pipeline.parse/parse.ce`, so stats matches by leaf).
-fn timing_secs_by_suffix(snap: &astra_obs::Snapshot, suffix: &str) -> f64 {
-    snap.entries
-        .iter()
-        .filter(|(name, _)| {
-            name.strip_prefix("time.")
-                .map(|path| path == suffix || path.ends_with(&format!("/{suffix}")))
-                .unwrap_or(false)
-        })
-        .map(|(name, _)| snap.timing_secs(name))
-        .sum()
-}
-
-fn rate_per_sec(count: u64, secs: f64) -> String {
-    if secs > 0.0 {
-        format!("{:.0}/s", count as f64 / secs)
-    } else {
-        "-".to_string()
-    }
-}
-
-fn percent(part: u64, whole: u64) -> f64 {
-    if whole == 0 {
-        0.0
-    } else {
-        100.0 * part as f64 / whole as f64
-    }
-}
-
-fn cmd_stats(args: &Args) -> Result<(), String> {
-    // Generation-time metrics (kernel-buffer drops, ECC verdicts) only
-    // exist in the directory's metrics.jsonl; without it the report still
-    // runs but silently loses that whole section — say so up front.
-    if let Some(dir) = &args.dir {
-        let metrics_path = dir.join("metrics.jsonl");
-        if !metrics_path.exists() {
-            eprintln!(
-                "note: {} not found — generation-time stats (drop rates, ECC verdicts) \
-                 will be missing.\n      regenerate the dataset with `astra-mem generate \
-                 --out {}` (which writes metrics.jsonl), or copy the metrics file of the \
-                 run that produced these logs into the directory.",
-                metrics_path.display(),
-                dir.display()
-            );
-        }
-    }
-    let (system, input) = load(args)?;
-    let analysis = Analysis::run(system, input.records);
-    let snap = astra_obs::global().snapshot();
-
-    println!("pipeline health ({} nodes)", system.node_count());
-    println!("\nparse stages:");
-    println!(
-        "  {:<10} {:>10} {:>9} {:>8} {:>12}",
-        "stage", "lines ok", "skipped", "skip %", "throughput"
-    );
-    for stage in ["ce", "het", "inventory", "sensors"] {
-        let ok = snap.counter(&format!("parse.{stage}.lines_ok"));
-        let skipped = snap.counter(&format!("parse.{stage}.lines_skipped"));
-        if ok == 0 && skipped == 0 {
-            continue;
-        }
-        let secs = timing_secs_by_suffix(&snap, &format!("parse.{stage}"));
-        println!(
-            "  {:<10} {:>10} {:>9} {:>7.2}% {:>12}",
-            stage,
-            ok,
-            skipped,
-            percent(skipped, ok + skipped),
-            rate_per_sec(ok, secs),
-        );
-    }
-
-    let offered = snap.counter("faultsim.events_offered");
-    if offered > 0 {
-        let dropped = snap.counter("faultsim.ces_dropped");
-        println!("\ngeneration (from metrics.jsonl):");
-        println!(
-            "  CEs offered {} | logged {} | dropped {} ({:.2}% kernel-buffer loss)",
-            offered,
-            snap.counter("faultsim.ces_logged"),
-            dropped,
-            percent(dropped, offered),
-        );
-        println!(
-            "  ECC verdicts: {} corrected, {} uncorrected, {} background HET",
-            snap.counter("faultsim.ecc.corrected"),
-            snap.counter("faultsim.ecc.due"),
-            snap.counter("faultsim.ecc.background"),
-        );
-    }
-
-    let records_in = snap.counter("coalesce.records_in");
-    println!("\ncoalesce:");
-    println!(
-        "  {} errors -> {} faults (ratio {:.1} errors/fault, throughput {})",
-        records_in,
-        snap.counter("coalesce.faults_out"),
-        snap.gauge("coalesce.ratio"),
-        rate_per_sec(records_in, timing_secs_by_suffix(&snap, "coalesce")),
-    );
-    let mode_counts: Vec<(String, u64)> = snap
-        .entries
-        .iter()
-        .filter_map(|(name, _)| {
-            name.strip_prefix("coalesce.mode.")
-                .map(|mode| (mode.to_string(), snap.counter(name)))
-        })
-        .collect();
-    for (mode, n) in &mode_counts {
-        println!(
-            "    {:<14} {:>6} ({:.1}%)",
-            mode,
-            n,
-            percent(*n, analysis.faults.len() as u64)
-        );
-    }
-
-    let ws = snap.gauge("pipeline.workingset_bytes");
-    if ws > 0.0 {
-        println!(
-            "\npeak analysis working set: {:.1} MiB",
-            ws / (1024.0 * 1024.0)
-        );
-    }
-    // Per-stage wall time. Generation-side stages (generate, merge) come
-    // from the imported metrics.jsonl when the directory was produced by
-    // `generate`; the analysis-side stages were just measured live.
-    let stages = [
-        ("generate", "pipeline.generate"),
-        ("merge", "pipeline.merge"),
-        ("parse", "pipeline.parse"),
-        ("coalesce", "pipeline.coalesce"),
-        ("spatial", "pipeline.spatial"),
-        ("predict", "pipeline.predict"),
-    ];
-    if stages
-        .iter()
-        .any(|(_, suffix)| timing_secs_by_suffix(&snap, suffix) > 0.0)
-    {
-        println!("\nstage breakdown:");
-        for (label, suffix) in stages {
-            let secs = timing_secs_by_suffix(&snap, suffix);
-            if secs > 0.0 {
-                println!("  {label:<10} {secs:>9.3}s");
-            }
-        }
-    }
-    let analyze_secs = timing_secs_by_suffix(&snap, "pipeline.analyze");
-    if analyze_secs > 0.0 {
-        println!("analyze wall time: {analyze_secs:.3}s");
-    }
-    Ok(())
-}
-
-fn cmd_predict(args: &Args) -> Result<(), String> {
-    let (system, input) = load(args)?;
-
-    // Ground truth is not persisted by `generate`; re-derive it from the
-    // deterministic simulation at the recorded scale and seed (the same
-    // reconstruct-from-seed pattern `report` uses for telemetry). A
-    // mismatched --racks/--seed shows up as a CE-count disagreement.
-    eprintln!(
-        "re-simulating {} racks (seed {}) for ground truth...",
-        args.racks, args.seed
-    );
-    let ds = Dataset::generate(args.racks, args.seed);
-    if ds.sim.ce_log.len() != input.records.len() {
-        eprintln!(
-            "warning: directory has {} CE records but racks={} seed={} simulates {} — \
-             ground-truth labels are unreliable; pass the --racks/--seed used at generate",
-            input.records.len(),
-            args.racks,
-            args.seed,
-            ds.sim.ce_log.len()
-        );
-    }
-
-    let predictors = astra_predict::default_predictors();
-    let config = astra_predict::PredictConfig::default();
-    let alerts = astra_predict::replay(&input.records, &config, &predictors);
-    println!(
-        "replayed {} CEs through {} predictors -> {} alerts\n",
-        input.records.len(),
-        predictors.len(),
-        alerts.len()
-    );
-    let report = astra_predict::evaluate(&alerts, &input.hets, &ds.sim.ground_truth);
-    print!("{}", report.render());
-
-    // Cost model: what acting on each predictor's alerts would buy.
-    println!("\nproactive mitigation (errors avoided vs memory retired):");
-    for eval in &report.predictors {
-        let own: Vec<astra_predict::Alert> = alerts
-            .iter()
-            .filter(|a| a.predictor == eval.name)
-            .cloned()
-            .collect();
-        for (label, policy) in [
-            ("retire-rank", ProactivePolicy::RetireRank),
-            ("exclude-node", ProactivePolicy::ExcludeNode),
-        ] {
-            let out = mitigation::simulate_proactive(
-                &input.records,
-                &input.hets,
-                &own,
-                policy,
-                &system.geometry,
-            );
-            println!(
-                "  {:<10} {:<13} {:>3} units ({:>6.1} GiB) -> avoided {:>5.1}% of CEs, \
-                 {}/{} DUEs",
-                eval.name,
-                label,
-                out.units,
-                out.reserved_bytes as f64 / (1024.0 * 1024.0 * 1024.0),
-                100.0 * out.avoidance_rate(),
-                out.dues_avoided,
-                out.dues_avoided + out.dues_residual,
-            );
-        }
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::parse_args;
-
-    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
-        args.iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .into_iter()
-    }
-
-    #[test]
-    fn parses_a_full_command_line() {
-        let a = parse_args(argv(&[
-            "report",
-            "/tmp/logs",
-            "--racks",
-            "2",
-            "--seed",
-            "7",
-            "--metrics-out",
-            "m.json",
-        ]))
-        .unwrap();
-        assert_eq!(a.command, "report");
-        assert_eq!(a.dir.as_deref().unwrap().to_str().unwrap(), "/tmp/logs");
-        assert_eq!(a.racks, 2);
-        assert_eq!(a.seed, 7);
-        assert_eq!(
-            a.metrics_out.as_deref().unwrap().to_str().unwrap(),
-            "m.json"
-        );
-    }
-
-    #[test]
-    fn rejects_zero_racks() {
-        let err = parse_args(argv(&["generate", "--racks", "0"])).unwrap_err();
-        assert!(err.contains("at least 1"), "{err}");
-    }
-
-    #[test]
-    fn rejects_duplicate_directory() {
-        let err = parse_args(argv(&["analyze", "dir1", "dir2"])).unwrap_err();
-        assert!(err.contains("dir2") && err.contains("dir1"), "{err}");
-    }
-
-    #[test]
-    fn rejects_unknown_flag_and_missing_value() {
-        assert!(parse_args(argv(&["analyze", "--bogus"])).is_err());
-        assert!(parse_args(argv(&["generate", "--racks"])).is_err());
-        assert!(parse_args(argv(&["analyze", "--metrics-out"])).is_err());
-    }
+    astra_core::cli::main(std::env::args().skip(1))
 }

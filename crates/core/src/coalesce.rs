@@ -97,42 +97,86 @@ impl ObservedFault {
 /// outweighs the win; coalesce runs sequentially.
 const PARALLEL_COALESCE_MIN_RECORDS: usize = 50_000;
 
-/// Coalesce a CE record stream into observed faults.
+/// The per-error footprint coalescing actually consumes: everything the
+/// classifier reads from a [`CeRecord`], in 32 bytes instead of the full
+/// record. The incremental engine buffers these instead of whole records,
+/// which is what bounds its coalesce state below the batch working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CeFootprint {
+    /// Index of the record in the originating CE stream (file order).
+    pub idx: u32,
+    /// Error time.
+    pub time: Minute,
+    /// Bank within the rank.
+    pub bank: u16,
+    /// Column within the bank.
+    pub col: u16,
+    /// Failing bit position.
+    pub bit_pos: u16,
+    /// Physical address of the error.
+    pub addr: u64,
+}
+
+impl CeFootprint {
+    /// Extracts the footprint of `rec`, remembered as stream index `idx`.
+    pub fn of_record(idx: u32, rec: &CeRecord) -> CeFootprint {
+        CeFootprint {
+            idx,
+            time: rec.time,
+            bank: rec.bank,
+            col: rec.col,
+            bit_pos: rec.bit_pos,
+            addr: rec.addr.0,
+        }
+    }
+}
+
+/// Device-population group key: `(node, slot index, rank)`.
+pub(crate) type GroupKey = (u32, u8, u8);
+
+/// Footprints of one CE record stream partitioned by device population.
 ///
-/// Records may arrive in any order; output is sorted by
-/// `(node, slot, rank, first_seen)` and is deterministic.
-///
-/// `(node, slot, rank)` groups are independent by construction, so large
-/// inputs fan the groups out across workers with `par_map`; the group
-/// list is key-sorted first and each group's work is order-insensitive,
-/// so the output is bit-identical to the sequential path at any worker
-/// count.
-pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFault> {
-    let _span = astra_obs::span("coalesce");
-    // Partition record indices by device population, in deterministic
-    // group-key order.
-    let mut groups: HashMap<(u32, u8, u8), Vec<u32>> = HashMap::new();
+/// Both the batch [`coalesce`] entry point and the incremental engine's
+/// coalesce analyzer accumulate into this map, then classify through the
+/// same [`classify_groups`] — which is what makes their outputs provably
+/// identical.
+pub(crate) fn group_footprints(records: &[CeRecord]) -> HashMap<GroupKey, Vec<CeFootprint>> {
+    let mut groups: HashMap<GroupKey, Vec<CeFootprint>> = HashMap::new();
     for (i, rec) in records.iter().enumerate() {
         groups
             .entry((rec.node.0, rec.slot.index() as u8, rec.rank.0))
             .or_default()
-            .push(i as u32);
+            .push(CeFootprint::of_record(i as u32, rec));
     }
-    let mut groups: Vec<((u32, u8, u8), Vec<u32>)> = groups.into_iter().collect();
+    groups
+}
+
+/// Classify grouped footprints into the sorted fault list, fanning groups
+/// across workers when `total_records` crosses the parallel threshold.
+/// Emits the `coalesce.groups` / `coalesce.mode.*` counters and the
+/// `coalesce` span. Single code path for batch and streaming — groups are
+/// borrowed so a streaming snapshot classifies in place without cloning
+/// its accumulated footprint state.
+pub(crate) fn classify_groups(
+    mut groups: Vec<(GroupKey, &[CeFootprint])>,
+    total_records: usize,
+    config: &CoalesceConfig,
+) -> Vec<ObservedFault> {
+    let _span = astra_obs::span("coalesce");
     groups.sort_unstable_by_key(|(key, _)| *key);
     let groups_seen = groups.len() as u64;
 
-    let run_group = |(key, indices): &((u32, u8, u8), Vec<u32>)| -> Vec<ObservedFault> {
+    let run_group = |(key, feet): &(GroupKey, &[CeFootprint])| -> Vec<ObservedFault> {
         let &(node, slot_idx, rank) = key;
         let node = NodeId(node);
         let slot = DimmSlot::from_index(slot_idx).expect("slot from grouping");
         let rank = RankId(rank);
         let mut local = Vec::new();
-        coalesce_group(records, node, slot, rank, indices, config, &mut local);
+        coalesce_group(node, slot, rank, feet, config, &mut local);
         local
     };
 
-    let parallel = records.len() >= PARALLEL_COALESCE_MIN_RECORDS
+    let parallel = total_records >= PARALLEL_COALESCE_MIN_RECORDS
         && astra_util::par::worker_count(groups.len()) > 1;
     let per_group: Vec<Vec<ObservedFault>> = if parallel {
         astra_util::par::par_map(&groups, run_group)
@@ -161,21 +205,38 @@ pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFa
     out
 }
 
+/// Coalesce a CE record stream into observed faults.
+///
+/// Records may arrive in any order; output is sorted by
+/// `(node, slot, rank, first_seen)` and is deterministic.
+///
+/// `(node, slot, rank)` groups are independent by construction, so large
+/// inputs fan the groups out across workers with `par_map`; the group
+/// list is key-sorted first and each group's work is order-insensitive,
+/// so the output is bit-identical to the sequential path at any worker
+/// count.
+pub fn coalesce(records: &[CeRecord], config: &CoalesceConfig) -> Vec<ObservedFault> {
+    let groups = group_footprints(records);
+    let views: Vec<(GroupKey, &[CeFootprint])> = groups
+        .iter()
+        .map(|(key, feet)| (*key, feet.as_slice()))
+        .collect();
+    classify_groups(views, records.len(), config)
+}
+
 /// Coalesce one `(node, slot, rank)` group.
 fn coalesce_group(
-    records: &[CeRecord],
     node: NodeId,
     slot: DimmSlot,
     rank: RankId,
-    indices: &[u32],
+    feet: &[CeFootprint],
     config: &CoalesceConfig,
     out: &mut Vec<ObservedFault>,
 ) {
     // Pass 1: find pin lanes — bit positions seen in many banks.
     let mut lane_banks: HashMap<u16, std::collections::BTreeSet<u16>> = HashMap::new();
-    for &i in indices {
-        let rec = &records[i as usize];
-        lane_banks.entry(rec.bit_pos).or_default().insert(rec.bank);
+    for f in feet {
+        lane_banks.entry(f.bit_pos).or_default().insert(f.bank);
     }
     let pin_lanes: std::collections::BTreeSet<u16> = lane_banks
         .iter()
@@ -183,23 +244,21 @@ fn coalesce_group(
         .map(|(&lane, _)| lane)
         .collect();
 
-    let mut per_lane: HashMap<u16, Vec<u32>> = HashMap::new();
-    let mut per_bank: HashMap<u16, Vec<u32>> = HashMap::new();
-    for &i in indices {
-        let rec = &records[i as usize];
-        if pin_lanes.contains(&rec.bit_pos) {
-            per_lane.entry(rec.bit_pos).or_default().push(i);
+    let mut per_lane: HashMap<u16, Vec<CeFootprint>> = HashMap::new();
+    let mut per_bank: HashMap<u16, Vec<CeFootprint>> = HashMap::new();
+    for f in feet {
+        if pin_lanes.contains(&f.bit_pos) {
+            per_lane.entry(f.bit_pos).or_default().push(*f);
         } else {
-            per_bank.entry(rec.bank).or_default().push(i);
+            per_bank.entry(f.bank).or_default().push(*f);
         }
     }
 
     // Rank-level faults, one per pin lane.
-    let mut lanes: Vec<(u16, Vec<u32>)> = per_lane.into_iter().collect();
+    let mut lanes: Vec<(u16, Vec<CeFootprint>)> = per_lane.into_iter().collect();
     lanes.sort_by_key(|(lane, _)| *lane);
-    for (lane, idxs) in lanes {
+    for (lane, lane_feet) in lanes {
         out.push(build_fault(
-            records,
             node,
             slot,
             rank,
@@ -208,15 +267,15 @@ fn coalesce_group(
             ObservedMode::RankLevel,
             lane,
             None,
-            idxs,
+            lane_feet,
         ));
     }
 
     // Per-bank footprint classification.
-    let mut banks: Vec<(u16, Vec<u32>)> = per_bank.into_iter().collect();
+    let mut banks: Vec<(u16, Vec<CeFootprint>)> = per_bank.into_iter().collect();
     banks.sort_by_key(|(bank, _)| *bank);
-    for (bank, idxs) in banks {
-        classify_bank_group(records, node, slot, rank, bank, idxs, config, out);
+    for (bank, bank_feet) in banks {
+        classify_bank_group(node, slot, rank, bank, bank_feet, config, out);
     }
 }
 
@@ -231,23 +290,21 @@ fn coalesce_group(
 /// address is a single-bit or single-word fault.
 #[allow(clippy::too_many_arguments)]
 fn classify_bank_group(
-    records: &[CeRecord],
     node: NodeId,
     slot: DimmSlot,
     rank: RankId,
     bank: u16,
-    idxs: Vec<u32>,
+    feet: Vec<CeFootprint>,
     config: &CoalesceConfig,
     out: &mut Vec<ObservedFault>,
 ) {
     let mut addrs = std::collections::BTreeSet::new();
     let mut cols = std::collections::BTreeSet::new();
     let mut col_addrs: HashMap<u16, std::collections::BTreeSet<u64>> = HashMap::new();
-    for &i in &idxs {
-        let rec = &records[i as usize];
-        addrs.insert(rec.addr.0);
-        cols.insert(rec.col);
-        col_addrs.entry(rec.col).or_default().insert(rec.addr.0);
+    for f in &feet {
+        addrs.insert(f.addr);
+        cols.insert(f.col);
+        col_addrs.entry(f.col).or_default().insert(f.addr);
     }
 
     // Bank-dispersed: many columns, addresses spread across them.
@@ -255,9 +312,8 @@ fn classify_bank_group(
     let dispersed = cols.len() >= config.bank_dispersion_cols
         && (max_col_addrs as f64) < config.bank_max_col_share * addrs.len() as f64;
     if dispersed {
-        let lane = majority_bit(records, &idxs);
+        let lane = majority_bit(&feet);
         out.push(build_fault(
-            records,
             node,
             slot,
             rank,
@@ -266,25 +322,24 @@ fn classify_bank_group(
             ObservedMode::SingleBank,
             lane,
             None,
-            idxs,
+            feet,
         ));
         return;
     }
 
     // Otherwise split per column.
-    let mut per_col: HashMap<u16, Vec<u32>> = HashMap::new();
-    for &i in &idxs {
-        per_col.entry(records[i as usize].col).or_default().push(i);
+    let mut per_col: HashMap<u16, Vec<CeFootprint>> = HashMap::new();
+    for f in feet {
+        per_col.entry(f.col).or_default().push(f);
     }
-    let mut col_groups: Vec<(u16, Vec<u32>)> = per_col.into_iter().collect();
+    let mut col_groups: Vec<(u16, Vec<CeFootprint>)> = per_col.into_iter().collect();
     col_groups.sort_by_key(|(col, _)| *col);
-    for (col, col_idxs) in col_groups {
+    for (col, col_feet) in col_groups {
         let mut col_addr_bits = std::collections::BTreeSet::new();
         let mut col_addr_set = std::collections::BTreeSet::new();
-        for &i in &col_idxs {
-            let rec = &records[i as usize];
-            col_addr_set.insert(rec.addr.0);
-            col_addr_bits.insert((rec.addr.0, rec.bit_pos));
+        for f in &col_feet {
+            col_addr_set.insert(f.addr);
+            col_addr_bits.insert((f.addr, f.bit_pos));
         }
         let (mode, addr) = if col_addr_set.len() == 1 {
             let addr = Some(*col_addr_set.iter().next().expect("nonempty"));
@@ -296,9 +351,8 @@ fn classify_bank_group(
         } else {
             (ObservedMode::SingleColumn, None)
         };
-        let lane = majority_bit(records, &col_idxs);
+        let lane = majority_bit(&col_feet);
         out.push(build_fault(
-            records,
             node,
             slot,
             rank,
@@ -307,27 +361,26 @@ fn classify_bank_group(
             mode,
             lane,
             addr,
-            col_idxs,
+            col_feet,
         ));
     }
 }
 
-/// Most common bit position in a set of records (ties → smallest).
-fn majority_bit(records: &[CeRecord], idxs: &[u32]) -> u16 {
+/// Most common bit position in a set of footprints (ties → smallest).
+fn majority_bit(feet: &[CeFootprint]) -> u16 {
     let mut counts: HashMap<u16, u32> = HashMap::new();
-    for &i in idxs {
-        *counts.entry(records[i as usize].bit_pos).or_insert(0) += 1;
+    for f in feet {
+        *counts.entry(f.bit_pos).or_insert(0) += 1;
     }
     counts
         .into_iter()
         .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
         .map(|(bit, _)| bit)
-        .expect("nonempty index set")
+        .expect("nonempty footprint set")
 }
 
 #[allow(clippy::too_many_arguments)]
 fn build_fault(
-    records: &[CeRecord],
     node: NodeId,
     slot: DimmSlot,
     rank: RankId,
@@ -336,17 +389,18 @@ fn build_fault(
     mode: ObservedMode,
     bit_pos: u16,
     addr: Option<u64>,
-    mut record_indices: Vec<u32>,
+    feet: Vec<CeFootprint>,
 ) -> ObservedFault {
+    let mut record_indices: Vec<u32> = feet.iter().map(|f| f.idx).collect();
     record_indices.sort_unstable();
-    let first = record_indices
+    let first = feet
         .iter()
-        .map(|&i| records[i as usize].time)
+        .map(|f| f.time)
         .min()
         .expect("fault with no records");
-    let last = record_indices
+    let last = feet
         .iter()
-        .map(|&i| records[i as usize].time)
+        .map(|f| f.time)
         .max()
         .expect("fault with no records");
     ObservedFault {

@@ -33,6 +33,25 @@ pub struct Fig4 {
 
 /// Compute Fig 4 from an analysis over `span`.
 pub fn compute(analysis: &Analysis, span: TimeSpan) -> Fig4 {
+    compute_with(
+        analysis.records.iter().map(|r| r.time.month_index()),
+        &analysis.faults,
+        |i| analysis.records[i as usize].time.month_index(),
+        span,
+    )
+}
+
+/// Shared implementation behind [`compute`]: `error_months` yields the
+/// month of every CE in the stream, `month_of` maps a fault's attributed
+/// record index to its month. The batch path reads both from the record
+/// vector; the incremental engine reads them from its coalesce
+/// footprints — one code path, two backing stores.
+pub(crate) fn compute_with(
+    error_months: impl Iterator<Item = i64>,
+    faults: &[crate::coalesce::ObservedFault],
+    month_of: impl Fn(u32) -> i64,
+    span: TimeSpan,
+) -> Fig4 {
     let _span = super::figure_span("fig4");
     let first = span.start.month_index();
     let last = span.end.plus(-1).month_index();
@@ -40,15 +59,14 @@ pub fn compute(analysis: &Analysis, span: TimeSpan) -> Fig4 {
     let bucket = |m: i64| (m - first) as usize;
 
     let mut all_errors = vec![0u64; months.len()];
-    for rec in &analysis.records {
-        let m = rec.time.month_index();
+    for m in error_months {
         if (first..=last).contains(&m) {
             all_errors[bucket(m)] += 1;
         }
     }
 
     let mut fault_onsets = vec![0u64; months.len()];
-    for fault in &analysis.faults {
+    for fault in faults {
         let m = fault.first_seen.month_index();
         if (first..=last).contains(&m) {
             fault_onsets[bucket(m)] += 1;
@@ -59,8 +77,8 @@ pub fn compute(analysis: &Analysis, span: TimeSpan) -> Fig4 {
     for mode in ObservedMode::ALL {
         let mut series = vec![0u64; months.len()];
         let mut total = 0u64;
-        for fault in analysis.faults.iter().filter(|f| f.mode == mode) {
-            for m in fault.error_months(&analysis.records) {
+        for fault in faults.iter().filter(|f| f.mode == mode) {
+            for m in fault.record_indices.iter().map(|&i| month_of(i)) {
                 if (first..=last).contains(&m) {
                     series[bucket(m)] += 1;
                     total += 1;
@@ -70,7 +88,8 @@ pub fn compute(analysis: &Analysis, span: TimeSpan) -> Fig4 {
         by_mode.push((mode, total, series));
     }
 
-    let violin = ViolinSummary::from_counts(&analysis.errors_per_fault(), 64);
+    let counts: Vec<u64> = faults.iter().map(|f| f.error_count).collect();
+    let violin = ViolinSummary::from_counts(&counts, 64);
 
     Fig4 {
         months,

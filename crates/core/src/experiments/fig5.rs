@@ -6,9 +6,11 @@
 //! nodes account for approximately 90%."
 
 use astra_stats::{fit_power_law_auto, top_share, FreqTable, PowerLawFit, TopShareCurve};
+use astra_topology::SystemConfig;
 
 use super::render::{table, thousands};
 use crate::pipeline::Analysis;
+use crate::spatial::SpatialCounts;
 
 /// The data behind Fig 5.
 #[derive(Debug, Clone)]
@@ -28,16 +30,22 @@ pub struct Fig5 {
 
 /// Compute Fig 5 from an analysis.
 pub fn compute(analysis: &Analysis) -> Fig5 {
+    compute_from_parts(&analysis.system, &analysis.spatial)
+}
+
+/// As [`compute`], from the raw parts — for the incremental engine, which
+/// carries spatial counts but no `Analysis`.
+pub fn compute_from_parts(system: &SystemConfig, spatial: &SpatialCounts) -> Fig5 {
     let _span = super::figure_span("fig5");
-    let fault_counts = analysis.spatial.fault_counts_all_nodes(&analysis.system);
-    let error_counts = analysis.spatial.error_counts_all_nodes(&analysis.system);
+    let fault_counts = spatial.fault_counts_all_nodes(system);
+    let error_counts = spatial.error_counts_all_nodes(system);
 
     let fault_count_freq: FreqTable = fault_counts.iter().copied().collect();
     let nonzero: Vec<u64> = fault_counts.iter().copied().filter(|&c| c > 0).collect();
     let fault_power_law = fit_power_law_auto(&nonzero, 20, 32);
 
     Fig5 {
-        node_count: u64::from(analysis.system.node_count()),
+        node_count: u64::from(system.node_count()),
         nodes_with_ce: error_counts.iter().filter(|&&c| c > 0).count() as u64,
         fault_count_freq,
         fault_power_law,

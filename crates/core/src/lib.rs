@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod cli;
 pub mod coalesce;
 pub mod experiments;
 pub mod het;
@@ -46,6 +47,7 @@ pub mod modeling;
 pub mod pipeline;
 pub mod reliability;
 pub mod spatial;
+pub mod stream;
 pub mod tempcorr;
 
 pub use classify::ObservedMode;

@@ -21,7 +21,7 @@ use astra_replace::{simulate_replacements, ReplacementProfile};
 use astra_telemetry::{TelemetryModel, ThermalProfile};
 use astra_topology::SystemConfig;
 
-use crate::coalesce::{coalesce, CoalesceConfig, ObservedFault};
+use crate::coalesce::{CoalesceConfig, ObservedFault};
 use crate::spatial::SpatialCounts;
 
 /// A complete generated dataset: the simulated machine's output.
@@ -224,15 +224,31 @@ pub struct AnalysisInput {
 impl AnalysisInput {
     /// Parse the three text logs. The CE log — by far the largest — is
     /// parsed in parallel shards.
-    pub fn from_text(ce_log: &str, het_log: &str, inventory_log: &str) -> io::Result<Self> {
+    ///
+    /// Reports failures as [`LoadError`] exactly like [`from_dir`]
+    /// (`Unreadable` with the log's canonical name), so callers handle
+    /// both entry points with one error path. The paths in those errors
+    /// are the canonical log names — in-memory text has no directory.
+    ///
+    /// [`from_dir`]: AnalysisInput::from_dir
+    pub fn from_text(ce_log: &str, het_log: &str, inventory_log: &str) -> Result<Self, LoadError> {
         let _span = astra_obs::span("pipeline.parse");
+        let unreadable = |name: &'static str| {
+            move |source: io::Error| LoadError::Unreadable {
+                name,
+                path: PathBuf::from(name),
+                source,
+            }
+        };
         let ces = logio::parse_lines_parallel_metered(ce_log, CeRecord::parse_line, "ce");
-        let hets = logio::read_lines_metered(het_log.as_bytes(), HetRecord::parse_line, "het")?;
+        let hets = logio::read_lines_metered(het_log.as_bytes(), HetRecord::parse_line, "het")
+            .map_err(unreadable("het.log"))?;
         let invs = logio::read_lines_metered(
             inventory_log.as_bytes(),
             ReplacementRecord::parse_line,
             "inventory",
-        )?;
+        )
+        .map_err(unreadable("inventory.log"))?;
         Ok(AnalysisInput {
             records: ces.records,
             hets: hets.records,
@@ -345,12 +361,11 @@ impl Analysis {
         config: &CoalesceConfig,
     ) -> Analysis {
         let span = astra_obs::span("pipeline.analyze");
-        let coalesce_span = astra_obs::span("pipeline.coalesce");
-        let faults = coalesce(&records, config);
-        drop(coalesce_span);
-        let spatial_span = astra_obs::span("pipeline.spatial");
-        let spatial = SpatialCounts::compute(&system, &records, &faults);
-        drop(spatial_span);
+        // One pass of the incremental engine over the record slice,
+        // sharded across workers; shard merge is exact, so the output is
+        // identical to the former separate coalesce + spatial passes at
+        // any worker count.
+        let (faults, spatial) = crate::stream::run_batch(&system, &records, config);
 
         let obs = astra_obs::global();
         obs.counter("coalesce.records_in").add(records.len() as u64);

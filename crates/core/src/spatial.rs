@@ -64,8 +64,9 @@ pub struct SpatialCounts {
 const PARALLEL_SPATIAL_MIN_RECORDS: usize = 50_000;
 
 impl SpatialCounts {
-    /// A zeroed table shaped for `system` — the fold identity.
-    fn empty(system: &SystemConfig) -> Self {
+    /// A zeroed table shaped for `system` — the fold identity. Shared
+    /// with the incremental engine's spatial analyzer.
+    pub(crate) fn empty(system: &SystemConfig) -> Self {
         let banks = system.geometry.banks as usize;
         let cols = system.geometry.cols as usize;
         let racks = system.racks as usize;
@@ -93,7 +94,7 @@ impl SpatialCounts {
     }
 
     /// Fold one CE record into the error-side counts.
-    fn absorb_record(&mut self, system: &SystemConfig, rec: &CeRecord) {
+    pub(crate) fn absorb_record(&mut self, system: &SystemConfig, rec: &CeRecord) {
         self.errors_by_socket[usize::from(rec.socket.0)] += 1;
         self.errors_by_bank[usize::from(rec.bank)] += 1;
         self.errors_by_col[usize::from(rec.col)] += 1;
@@ -106,7 +107,7 @@ impl SpatialCounts {
     }
 
     /// Fold one coalesced fault into the fault-side counts.
-    fn absorb_fault(&mut self, system: &SystemConfig, f: &ObservedFault) {
+    pub(crate) fn absorb_fault(&mut self, system: &SystemConfig, f: &ObservedFault) {
         self.faults_by_socket[usize::from(f.slot.socket().0)] += 1;
         if let Some(bank) = f.bank {
             self.faults_by_bank[usize::from(bank)] += 1;
@@ -132,7 +133,7 @@ impl SpatialCounts {
     /// contributions, so merging is exact elementwise addition —
     /// associative and commutative, which is what makes the parallel fold
     /// bit-identical to the sequential pass.
-    fn merge(mut self, other: SpatialCounts) -> SpatialCounts {
+    pub(crate) fn merge(mut self, other: SpatialCounts) -> SpatialCounts {
         fn add(a: &mut [u64], b: &[u64]) {
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;

@@ -245,7 +245,7 @@ where
 ///
 /// Returns the parsed log plus the bytes consumed and chunks processed.
 pub fn parse_stream_chunked<R, T, F>(
-    mut reader: R,
+    reader: R,
     parse: F,
     chunk_bytes: usize,
 ) -> io::Result<(ParsedLog<T>, usize, u64)>
@@ -254,63 +254,121 @@ where
     T: Send,
     F: Fn(&str) -> Option<T> + Sync,
 {
+    let mut chunked = ChunkReader::new(reader, parse, chunk_bytes);
     let mut records: Vec<T> = Vec::new();
     let mut skipped = 0u64;
-    let mut bytes = 0usize;
-    let mut chunks = 0u64;
+    while let Some(chunk) = chunked.next_chunk()? {
+        records.extend(chunk.records);
+        skipped += chunk.skipped;
+    }
+    let (bytes, chunks) = (chunked.bytes_consumed(), chunked.chunks_read());
+    Ok((ParsedLog { records, skipped }, bytes, chunks))
+}
 
-    // `pending` holds unconsumed input: whole lines plus, at its tail, at
-    // most one partial line carried across the chunk boundary.
-    let mut pending: Vec<u8> = Vec::new();
-    let mut read_buf = vec![0u8; 64 * 1024];
-    // Grows past `chunk_bytes` only if a single line exceeds it.
-    let mut target = chunk_bytes.max(1);
-    let mut eof = false;
-    loop {
-        while !eof && pending.len() < target {
-            let n = reader.read(&mut read_buf)?;
-            if n == 0 {
-                eof = true;
-            } else {
-                pending.extend_from_slice(&read_buf[..n]);
-            }
-        }
-        if pending.is_empty() {
-            break;
-        }
-        // Cut at the last newline so no chunk splits a line; at EOF the
-        // final (possibly newline-less) partial line is parsed as-is.
-        let cut = if eof {
-            pending.len()
-        } else {
-            match pending.iter().rposition(|&b| b == b'\n') {
-                Some(pos) => pos + 1,
-                None => {
-                    target = target.saturating_mul(2);
-                    continue;
-                }
-            }
-        };
-        // Chunks end on '\n', which is never part of a multi-byte UTF-8
-        // sequence, so validation failures here mean the file itself is
-        // invalid — the same error `read_to_string` would have raised.
-        let text = std::str::from_utf8(&pending[..cut]).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("invalid UTF-8 in log: {e}"),
-            )
-        })?;
-        let chunk_parsed = parse_lines_parallel_inner(text, &parse, None);
-        records.extend(chunk_parsed.records);
-        skipped += chunk_parsed.skipped;
-        bytes += cut;
-        chunks += 1;
-        pending.drain(..cut);
-        if eof && pending.is_empty() {
-            break;
+/// Resumable line-aligned chunk parser over any reader.
+///
+/// Each [`ChunkReader::next_chunk`] call yields one parsed chunk of
+/// roughly `chunk_bytes` input, cut at a line boundary, until the reader
+/// is exhausted. Pulling chunks one at a time (instead of draining the
+/// whole reader as [`parse_stream_chunked`] does) lets callers interleave
+/// several log files — the incremental analysis engine merges CE, HET,
+/// inventory, and sensor chunks this way — while keeping at most one
+/// chunk of text per source resident.
+pub struct ChunkReader<R, F> {
+    reader: R,
+    parse: F,
+    // Unconsumed input: whole lines plus, at its tail, at most one
+    // partial line carried across the chunk boundary.
+    pending: Vec<u8>,
+    read_buf: Vec<u8>,
+    // Grows past the configured chunk size only if a single line exceeds it.
+    target: usize,
+    eof: bool,
+    bytes: usize,
+    chunks: u64,
+}
+
+impl<R, F> ChunkReader<R, F>
+where
+    R: Read,
+{
+    /// Wraps `reader`, parsing each line with `parse` in chunks of
+    /// roughly `chunk_bytes`.
+    pub fn new(reader: R, parse: F, chunk_bytes: usize) -> Self {
+        ChunkReader {
+            reader,
+            parse,
+            pending: Vec::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            target: chunk_bytes.max(1),
+            eof: false,
+            bytes: 0,
+            chunks: 0,
         }
     }
-    Ok((ParsedLog { records, skipped }, bytes, chunks))
+
+    /// Parses and returns the next line-aligned chunk, or `None` once the
+    /// reader is exhausted.
+    pub fn next_chunk<T>(&mut self) -> io::Result<Option<ParsedLog<T>>>
+    where
+        T: Send,
+        F: Fn(&str) -> Option<T> + Sync,
+    {
+        loop {
+            while !self.eof && self.pending.len() < self.target {
+                let n = self.reader.read(&mut self.read_buf)?;
+                if n == 0 {
+                    self.eof = true;
+                } else {
+                    self.pending.extend_from_slice(&self.read_buf[..n]);
+                }
+            }
+            if self.pending.is_empty() {
+                return Ok(None);
+            }
+            // Cut at the last newline so no chunk splits a line; at EOF
+            // the final (possibly newline-less) partial line is parsed
+            // as-is.
+            let cut = if self.eof {
+                self.pending.len()
+            } else {
+                match self.pending.iter().rposition(|&b| b == b'\n') {
+                    Some(pos) => pos + 1,
+                    None => {
+                        self.target = self.target.saturating_mul(2);
+                        continue;
+                    }
+                }
+            };
+            // Chunks end on '\n', which is never part of a multi-byte
+            // UTF-8 sequence, so validation failures here mean the file
+            // itself is invalid — the same error `read_to_string` would
+            // have raised.
+            let chunk_parsed = {
+                let text = std::str::from_utf8(&self.pending[..cut]).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("invalid UTF-8 in log: {e}"),
+                    )
+                })?;
+                parse_lines_parallel_inner(text, &self.parse, None)
+            };
+            self.bytes += cut;
+            self.chunks += 1;
+            self.pending.drain(..cut);
+            return Ok(Some(chunk_parsed));
+        }
+    }
+
+    /// Total input bytes consumed into chunks so far.
+    pub fn bytes_consumed(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of chunks yielded so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks
+    }
 }
 
 /// Shard-level parse metrics: how many shards ran and how evenly the

@@ -87,6 +87,18 @@ impl EscalationLevel {
             EscalationLevel::RankLevel => "rank-level",
         }
     }
+
+    /// Inverse of [`EscalationLevel::rung`], for checkpoint decoding.
+    pub fn from_rung(rung: u8) -> Option<EscalationLevel> {
+        match rung {
+            0 => Some(EscalationLevel::SingleBit),
+            1 => Some(EscalationLevel::SingleWord),
+            2 => Some(EscalationLevel::SingleColumn),
+            3 => Some(EscalationLevel::SingleBank),
+            4 => Some(EscalationLevel::RankLevel),
+            _ => None,
+        }
+    }
 }
 
 /// Distinct-address tracking saturates here: a rank-level fault touches
@@ -238,6 +250,86 @@ impl FeatureState {
     pub fn first_ce(&self) -> Minute {
         self.first_ce
     }
+
+    /// Full dump of the accumulated state (not the config knobs) for
+    /// checkpoint serialization. [`FeatureState::restore`] is the inverse.
+    pub fn dump(&self) -> FeatureStateDump {
+        FeatureStateDump {
+            first_ce: self.first_ce,
+            last_ce: self.last_ce,
+            total_ces: self.total_ces,
+            leaky: self.leaky,
+            banks: self.banks.iter().copied().collect(),
+            cols: self.cols.iter().copied().collect(),
+            addrs: self.addrs.iter().copied().collect(),
+            addrs_saturated: self.addrs_saturated,
+            lanes: self
+                .lanes
+                .iter()
+                .map(|(&lane, &(count, mask))| (lane, count, mask))
+                .collect(),
+            escalation_rung: self.escalation.rung(),
+        }
+    }
+
+    /// Rebuild a state from a [`dump`](FeatureState::dump) plus the config
+    /// knobs the dump deliberately omits (they travel with the run
+    /// configuration, not the checkpoint). `None` if the dump carries an
+    /// unknown escalation rung.
+    pub fn restore(
+        dump: &FeatureStateDump,
+        half_life_minutes: f64,
+        pin_bank_threshold: u32,
+        bank_dispersion_cols: u32,
+    ) -> Option<FeatureState> {
+        Some(FeatureState {
+            half_life_minutes,
+            pin_bank_threshold,
+            bank_dispersion_cols,
+            first_ce: dump.first_ce,
+            last_ce: dump.last_ce,
+            total_ces: dump.total_ces,
+            leaky: dump.leaky,
+            banks: dump.banks.iter().copied().collect(),
+            cols: dump.cols.iter().copied().collect(),
+            addrs: dump.addrs.iter().copied().collect(),
+            addrs_saturated: dump.addrs_saturated,
+            lanes: dump
+                .lanes
+                .iter()
+                .map(|&(lane, count, mask)| (lane, (count, mask)))
+                .collect(),
+            escalation: EscalationLevel::from_rung(dump.escalation_rung)?,
+        })
+    }
+}
+
+/// Serializable image of a [`FeatureState`]: plain sorted vectors in place
+/// of the live sets, and the escalation level as its rung. Everything a
+/// checkpoint needs to resume a prediction replay mid-stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStateDump {
+    /// Time of the rank's first error.
+    pub first_ce: Minute,
+    /// Time of the rank's most recent error.
+    pub last_ce: Minute,
+    /// Lifetime CE count.
+    pub total_ces: u64,
+    /// Leaky-window accumulator as of `last_ce`.
+    pub leaky: f64,
+    /// Distinct banks touched, ascending.
+    pub banks: Vec<u16>,
+    /// Distinct columns touched, ascending.
+    pub cols: Vec<u16>,
+    /// Distinct addresses tracked, ascending.
+    pub addrs: Vec<u64>,
+    /// Whether address tracking hit its cap.
+    pub addrs_saturated: bool,
+    /// Per bit-position `(lane, error count, bank bitmask)`, ascending by
+    /// lane.
+    pub lanes: Vec<(u16, u64, u16)>,
+    /// Escalation ladder rung ([`EscalationLevel::rung`]).
+    pub escalation_rung: u8,
 }
 
 /// Exponential decay factor for an elapsed time and half-life.
@@ -363,6 +455,40 @@ mod tests {
         let f = s.snapshot(Minute::from_i64(1 << 24));
         assert_eq!(f.distinct_addrs, ADDR_TRACK_CAP as u32);
         assert!(f.escalation >= EscalationLevel::SingleColumn);
+    }
+
+    #[test]
+    fn dump_restore_roundtrip_preserves_behavior() {
+        let mut s = state(&rec(1, 2, 9, 0x1000, 0));
+        for m in 1..40 {
+            s.update(&rec(
+                (m % 3) as u16,
+                (m % 5) as u16,
+                (m % 7) as u16,
+                m as u64 * 64,
+                m,
+            ));
+        }
+        let dump = s.dump();
+        let restored = FeatureState::restore(&dump, 7.0 * 1440.0, 4, 6).unwrap();
+        assert_eq!(restored.dump(), dump);
+        let now = Minute::from_i64(5000);
+        assert_eq!(restored.snapshot(now), s.snapshot(now));
+        // Both continue identically after the roundtrip.
+        let next = rec(9, 9, 9, 0x9999, 100);
+        let mut a = s.clone();
+        let mut b = restored;
+        a.update(&next);
+        b.update(&next);
+        assert_eq!(a.dump(), b.dump());
+    }
+
+    #[test]
+    fn bad_escalation_rung_fails_restore() {
+        let s = state(&rec(1, 2, 9, 0x1000, 0));
+        let mut dump = s.dump();
+        dump.escalation_rung = 9;
+        assert!(FeatureState::restore(&dump, 7.0 * 1440.0, 4, 6).is_none());
     }
 
     #[test]

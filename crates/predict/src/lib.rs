@@ -38,5 +38,5 @@ pub mod predictor;
 
 pub use engine::{default_predictors, replay, Alert, PredictConfig};
 pub use eval::{evaluate, EvalReport, PredictorEval};
-pub use features::{DimmKey, EscalationLevel, FeatureState, FeatureVector};
+pub use features::{DimmKey, EscalationLevel, FeatureState, FeatureStateDump, FeatureVector};
 pub use predictor::{LogisticPredictor, Predictor, RulePredictor};

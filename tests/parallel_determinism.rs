@@ -12,8 +12,9 @@
 use std::sync::Mutex;
 
 use astra_core::coalesce::{coalesce, CoalesceConfig};
-use astra_core::pipeline::{AnalysisInput, Dataset, LoadError};
+use astra_core::pipeline::{Analysis, AnalysisInput, Dataset, LoadError};
 use astra_core::spatial::SpatialCounts;
+use astra_core::stream::{stream_analyze, StreamOptions, StreamReport};
 use astra_util::par;
 
 /// The worker override is process-global; tests that flip it must not
@@ -99,6 +100,60 @@ fn predict_replay_identical_across_worker_counts() {
             )
         });
         assert_eq!(base, par, "alert stream differs at {workers} workers");
+    }
+}
+
+#[test]
+fn batch_engine_identical_across_worker_counts() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // `Analysis::run` now drives the incremental engine's sharded consume
+    // (`stream::run_batch`); contiguous shards + exact merge must make it
+    // indistinguishable from the sequential pass.
+    let ds = dataset(46);
+    let base = with_workers(1, || Analysis::run(ds.system, ds.sim.ce_log.clone()));
+    assert!(!base.faults.is_empty());
+    for workers in [2, 4] {
+        let par = with_workers(workers, || Analysis::run(ds.system, ds.sim.ce_log.clone()));
+        assert_eq!(
+            base.faults, par.faults,
+            "batch-engine faults differ at {workers} workers"
+        );
+        assert_eq!(
+            base.spatial, par.spatial,
+            "batch-engine spatial counts differ at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn stream_analyze_identical_across_worker_counts() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The streaming pass is one ordered consume loop, but its snapshot
+    // classifies groups through the same parallel path as batch
+    // coalescing — the whole report must not depend on worker count.
+    let ds = dataset(47);
+    let dir = TempDirGuard::new("streamdet");
+    ds.write_logs(&dir.0).unwrap();
+    let opts = StreamOptions::default();
+    let run = |workers| -> StreamReport {
+        with_workers(workers, || {
+            stream_analyze(&dir.0, ds.system, &opts)
+                .expect("stream-analyze failed")
+                .expect("no stop requested, must yield a report")
+        })
+    };
+    let base = run(1);
+    assert!(!base.faults.is_empty());
+    for workers in [2, 4] {
+        let par = run(workers);
+        assert_eq!(
+            base.faults, par.faults,
+            "stream faults differ at {workers} workers"
+        );
+        assert_eq!(base.spatial, par.spatial);
+        assert_eq!(base.alerts, par.alerts);
+        assert_eq!(base.fig4.render(), par.fig4.render());
+        assert_eq!(base.fig5.render(), par.fig5.render());
     }
 }
 

@@ -1,0 +1,168 @@
+//! Golden equivalence of the incremental engine: `astra-mem
+//! stream-analyze` must print byte-for-byte what `astra-mem analyze`
+//! prints — including when the streaming run is split in half by a
+//! mid-stream checkpoint and resumed in a second process.
+//!
+//! Subprocesses, not in-process calls, because stdout is the contract
+//! under test and the metric registry is process-global.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_astra-mem")
+}
+
+/// Unique per call; removed on drop even if the test panics.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "astra-stream-eq-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn join(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Run the binary, asserting success; return stdout verbatim.
+fn stdout_of(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(bin()).args(args).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "astra-mem {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn generate(dir: &Path) {
+    stdout_of(&[
+        "generate",
+        "--racks",
+        "1",
+        "--seed",
+        "42",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+}
+
+#[test]
+fn stream_analyze_stdout_is_byte_identical_to_analyze() {
+    let tmp = TempDir::new("golden");
+    let logs = tmp.join("logs");
+    generate(&logs);
+    let logs = logs.to_str().unwrap();
+
+    let batch = stdout_of(&["analyze", logs, "--racks", "1"]);
+    assert!(!batch.is_empty());
+    let streamed = stdout_of(&["stream-analyze", logs, "--racks", "1"]);
+    assert_eq!(
+        streamed,
+        batch,
+        "stream-analyze stdout differs from analyze:\n--- analyze ---\n{}\n--- stream ---\n{}",
+        String::from_utf8_lossy(&batch),
+        String::from_utf8_lossy(&streamed)
+    );
+}
+
+#[test]
+fn checkpoint_resume_reproduces_the_full_output() {
+    let tmp = TempDir::new("resume");
+    let logs = tmp.join("logs");
+    generate(&logs);
+    let logs = logs.to_str().unwrap();
+    let ck = tmp.join("ck.txt");
+    let ck = ck.to_str().unwrap();
+
+    let batch = stdout_of(&["analyze", logs, "--racks", "1"]);
+
+    // First half: stop mid-stream after writing a checkpoint. Nothing may
+    // reach stdout, so the resumed run's stdout alone is the full report.
+    let first = stdout_of(&[
+        "stream-analyze",
+        logs,
+        "--racks",
+        "1",
+        "--stop-after",
+        "20000",
+        "--checkpoint",
+        ck,
+    ]);
+    assert!(
+        first.is_empty(),
+        "interrupted run leaked stdout: {}",
+        String::from_utf8_lossy(&first)
+    );
+
+    // Second half: resume and finish.
+    let resumed = stdout_of(&["stream-analyze", logs, "--racks", "1", "--resume", ck]);
+    assert_eq!(
+        resumed,
+        batch,
+        "resumed stream-analyze differs from analyze:\n--- analyze ---\n{}\n--- resumed ---\n{}",
+        String::from_utf8_lossy(&batch),
+        String::from_utf8_lossy(&resumed)
+    );
+}
+
+#[test]
+fn periodic_checkpoints_do_not_change_the_output() {
+    let tmp = TempDir::new("cadence");
+    let logs = tmp.join("logs");
+    generate(&logs);
+    let logs = logs.to_str().unwrap();
+    let ck = tmp.join("ck.txt");
+
+    let plain = stdout_of(&["stream-analyze", logs, "--racks", "1"]);
+    let checkpointed = stdout_of(&[
+        "stream-analyze",
+        logs,
+        "--racks",
+        "1",
+        "--checkpoint-every",
+        "50000",
+        "--checkpoint",
+        ck.to_str().unwrap(),
+    ]);
+    assert_eq!(checkpointed, plain);
+    assert!(ck.exists(), "cadence run should leave a checkpoint behind");
+}
+
+#[test]
+fn stop_without_checkpoint_path_is_an_error() {
+    let tmp = TempDir::new("badstop");
+    let logs = tmp.join("logs");
+    generate(&logs);
+
+    let out = Command::new(bin())
+        .args([
+            "stream-analyze",
+            logs.to_str().unwrap(),
+            "--racks",
+            "1",
+            "--stop-after",
+            "100",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--checkpoint"), "stderr: {stderr}");
+}

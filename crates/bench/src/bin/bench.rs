@@ -24,6 +24,8 @@ use std::time::Instant;
 use astra_bench::json;
 use astra_core::pipeline::{Analysis, AnalysisInput, Dataset};
 use astra_core::stream::{stream_analyze, StreamOptions};
+use astra_logs::io as logio;
+use astra_logs::{ce, het, inventory, sensor};
 
 const USAGE: &str = "\
 bench — astra-mem pipeline benchmark driver
@@ -205,6 +207,44 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
     let stream_workingset_bytes = astra_obs::global()
         .snapshot()
         .gauge("stream.workingset_bytes");
+
+    // Full dataset verification (the `astra-mem fsck` hot loop): a
+    // lenient classify-everything pass over every log. Like `stream` it
+    // is an auxiliary pass, not a stage of the batch pipeline.
+    let t = Instant::now();
+    let fsck_opts = astra_logs::IngestOptions::lenient(Some(1.0));
+    let q_ce = logio::parse_file_streaming(&dir.join("ce.log"), ce::FORMAT, &fsck_opts, "fsck.ce")
+        .map_err(|e| e.to_string())?
+        .1;
+    let q_het =
+        logio::parse_file_streaming(&dir.join("het.log"), het::FORMAT, &fsck_opts, "fsck.het")
+            .map_err(|e| e.to_string())?
+            .1;
+    let q_inv = logio::parse_file_streaming(
+        &dir.join("inventory.log"),
+        inventory::FORMAT,
+        &fsck_opts,
+        "fsck.inventory",
+    )
+    .map_err(|e| e.to_string())?
+    .1;
+    let q_sen = logio::parse_file_streaming(
+        &dir.join("sensors.log"),
+        sensor::FORMAT,
+        &fsck_opts,
+        "fsck.sensors",
+    )
+    .map_err(|e| e.to_string())?
+    .1;
+    let fsck_secs = t.elapsed().as_secs_f64();
+    for q in [&q_ce, &q_het, &q_inv, &q_sen] {
+        if !q.is_empty() {
+            return Err(format!(
+                "fsck of a clean dataset found damage {}",
+                q.summary()
+            ));
+        }
+    }
     std::fs::remove_dir_all(&dir).ok();
 
     Ok(ScaleResult {
@@ -225,6 +265,7 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
             ("spatial", spatial_secs),
             ("predict", predict_secs),
             ("stream", stream_secs),
+            ("fsck", fsck_secs),
         ],
     })
 }
@@ -255,13 +296,14 @@ fn dir_bytes(dir: &std::path::Path) -> Result<u64, String> {
     Ok(total)
 }
 
-/// `simulate` wall time already contains the merge, and `stream` is an
-/// alternative full pass over the same data, not a stage of the batch
-/// pipeline; the total is the sum of the remaining disjoint stages.
+/// `simulate` wall time already contains the merge, and `stream` and
+/// `fsck` are alternative full passes over the same data, not stages of
+/// the batch pipeline; the total is the sum of the remaining disjoint
+/// stages.
 fn total_secs(r: &ScaleResult) -> f64 {
     r.stages
         .iter()
-        .filter(|(label, _)| *label != "merge" && *label != "stream")
+        .filter(|(label, _)| *label != "merge" && *label != "stream" && *label != "fsck")
         .map(|(_, secs)| secs)
         .sum()
 }
@@ -311,7 +353,7 @@ fn render_report(seed: u64, results: &[ScaleResult]) -> String {
 
 fn print_table(results: &[ScaleResult]) {
     println!(
-        "{:>6} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "{:>6} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "racks",
         "nodes",
         "CEs",
@@ -324,6 +366,7 @@ fn print_table(results: &[ScaleResult]) {
         "spatial",
         "predict",
         "stream",
+        "fsck",
         "total"
     );
     for r in results {

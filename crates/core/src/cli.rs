@@ -30,6 +30,8 @@ use astra_topology::SystemConfig;
 use astra_util::time::{het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan};
 use astra_util::CalDate;
 
+use astra_logs::{chaos, io as logio, IngestOptions, QuarantineReason};
+
 use crate::experiments as exp;
 use crate::mitigation::{self, ProactivePolicy, RetirementPolicy};
 use crate::pipeline::{Analysis, AnalysisInput, Dataset, LoadError};
@@ -49,6 +51,8 @@ USAGE:
     astra-mem triage         DIR [--racks N]
     astra-mem stats          DIR [--racks N]
     astra-mem predict        DIR [--racks N] [--seed S]
+    astra-mem fsck           DIR
+    astra-mem chaos          DIR [--seed S]
 
 COMMANDS:
     generate        simulate a machine; write ce/het/inventory/sensors logs
@@ -59,15 +63,25 @@ COMMANDS:
     report          render every table and figure of the paper
     triage          operational outputs: exclude list, retirement, replacements
     stats           pipeline health report: throughput, drop/skip rates, ratios
+                    (ingests leniently so it can diagnose dirty datasets)
     predict         replay the CE stream through online UE predictors; score
                     precision/recall/lead time against simulator ground truth
                     (re-derived from --racks/--seed, which must match generate)
+    fsck            scan a log directory and print a per-file corruption
+                    report (what a lenient ingest would quarantine, by
+                    reason); exits nonzero when anything is quarantined
+    chaos           deterministically corrupt a dataset in place (test tool:
+                    bit flips, truncation, foreign lines, reordering) and
+                    print the injected-corruption manifest in fsck's format
 
 OPTIONS:
     --racks N             machine size in racks (default 4; Astra is 36)
     --seed S              master seed (default 42)
     --out DIR             output directory for generate
     --metrics-out FILE    write all metrics as JSON lines to FILE on exit
+    --lenient             quarantine unparseable lines instead of aborting
+    --max-bad-frac F      per-file quarantine budget for --lenient
+                          (fraction of lines, default 0.05; implies --lenient)
     --checkpoint FILE     (stream-analyze) where to write checkpoints
     --checkpoint-every N  (stream-analyze) checkpoint every N events
     --resume FILE         (stream-analyze) resume from a checkpoint
@@ -82,10 +96,24 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    lenient: bool,
+    max_bad_frac: Option<f64>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: Option<u64>,
     resume: Option<PathBuf>,
     stop_after: Option<u64>,
+}
+
+impl Args {
+    /// The ingest policy the flags ask for: strict unless `--lenient`
+    /// (which `--max-bad-frac` implies).
+    fn ingest(&self) -> IngestOptions {
+        if self.lenient || self.max_bad_frac.is_some() {
+            IngestOptions::lenient(self.max_bad_frac)
+        } else {
+            IngestOptions::default()
+        }
+    }
 }
 
 /// Pull the value that must follow `flag`, parsed as `T`.
@@ -108,6 +136,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         seed: 42,
         out: None,
         metrics_out: None,
+        lenient: false,
+        max_bad_frac: None,
         checkpoint: None,
         checkpoint_every: None,
         resume: None,
@@ -124,6 +154,14 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--seed" => parsed.seed = flag_value(&mut args, "--seed")?,
             "--out" => parsed.out = Some(flag_value(&mut args, "--out")?),
             "--metrics-out" => parsed.metrics_out = Some(flag_value(&mut args, "--metrics-out")?),
+            "--lenient" => parsed.lenient = true,
+            "--max-bad-frac" => {
+                let frac: f64 = flag_value(&mut args, "--max-bad-frac")?;
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err("--max-bad-frac must be between 0 and 1".into());
+                }
+                parsed.max_bad_frac = Some(frac);
+            }
             "--checkpoint" => parsed.checkpoint = Some(flag_value(&mut args, "--checkpoint")?),
             "--checkpoint-every" => {
                 parsed.checkpoint_every = Some(flag_value(&mut args, "--checkpoint-every")?)
@@ -164,6 +202,8 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
         "triage" => cmd_triage(&args),
         "stats" => cmd_stats(&args),
         "predict" => cmd_predict(&args),
+        "fsck" => cmd_fsck(&args),
+        "chaos" => cmd_chaos(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -225,6 +265,12 @@ fn load_error_hint(dir: &Path, e: &LoadError) -> String {
             "{e}\nhint: {name} exists but could not be read — check file permissions and \
              that it is plain UTF-8 text"
         ),
+        LoadError::Corrupt { .. } => format!(
+            "{e}\nhint: run `astra-mem fsck {}` for the full per-file corruption report, \
+             or re-run with --lenient [--max-bad-frac F] to quarantine bad lines and \
+             analyze the rest",
+            dir.display()
+        ),
     }
 }
 
@@ -245,10 +291,18 @@ fn require_dir(args: &Args) -> Result<PathBuf, String> {
 }
 
 fn load(args: &Args) -> Result<(SystemConfig, AnalysisInput), String> {
+    load_with(args, &args.ingest())
+}
+
+fn load_with(args: &Args, opts: &IngestOptions) -> Result<(SystemConfig, AnalysisInput), String> {
     let dir = require_dir(args)?;
-    let input = AnalysisInput::from_dir(&dir).map_err(|e| load_error_hint(&dir, &e))?;
+    let input = AnalysisInput::from_dir_with(&dir, opts).map_err(|e| load_error_hint(&dir, &e))?;
     if input.skipped > 0 {
-        eprintln!("note: skipped {} unparseable lines", input.skipped);
+        eprintln!(
+            "note: quarantined {} lines {}",
+            input.skipped,
+            input.quarantine.summary()
+        );
     }
     import_dir_metrics(&dir);
     Ok((SystemConfig::scaled(args.racks), input))
@@ -274,6 +328,7 @@ fn cmd_stream_analyze(args: &Args) -> Result<(), String> {
     let dir = require_dir(args)?;
     let system = SystemConfig::scaled(args.racks);
     let opts = StreamOptions {
+        ingest: args.ingest(),
         checkpoint_every: args.checkpoint_every,
         checkpoint_path: args.checkpoint.clone(),
         resume_from: args.resume.clone(),
@@ -295,7 +350,7 @@ fn cmd_stream_analyze(args: &Args) -> Result<(), String> {
         return Ok(());
     };
     if report.skipped > 0 {
-        eprintln!("note: skipped {} unparseable lines", report.skipped);
+        eprintln!("note: quarantined {} lines", report.skipped);
     }
     import_dir_metrics(&dir);
     // Byte-identical to `analyze`: same three prints, same renderers.
@@ -486,7 +541,10 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             );
         }
     }
-    let (system, input) = load(args)?;
+    // A health report must diagnose unhealthy datasets, so `stats` is
+    // lenient with an unbounded budget unless the user tightens it.
+    let opts = IngestOptions::lenient(Some(args.max_bad_frac.unwrap_or(1.0)));
+    let (system, input) = load_with(args, &opts)?;
     let analysis = Analysis::run(system, input.records);
     let snap = astra_obs::global().snapshot();
 
@@ -511,6 +569,30 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             percent(skipped, ok + skipped),
             rate_per_sec(ok, secs),
         );
+    }
+
+    // Ingest robustness: only printed when something was quarantined,
+    // retried, or salvaged — a clean run keeps the clean report.
+    let quarantined: u64 = QuarantineReason::ALL
+        .iter()
+        .map(|r| snap.counter(&format!("ingest.quarantined.{}", r.name())))
+        .sum();
+    let io_retries = snap.counter("ingest.io_retries");
+    let salvaged = snap.counter("checkpoint.salvaged");
+    if quarantined > 0 || io_retries > 0 || salvaged > 0 {
+        println!("\ningest robustness:");
+        for reason in QuarantineReason::ALL {
+            let n = snap.counter(&format!("ingest.quarantined.{}", reason.name()));
+            if n > 0 {
+                println!("  quarantined {:<18} {:>8}", reason.name(), n);
+            }
+        }
+        if io_retries > 0 {
+            println!("  transient I/O retries      {io_retries:>8}");
+        }
+        if salvaged > 0 {
+            println!("  checkpoints salvaged       {salvaged:>8}");
+        }
     }
 
     let offered = snap.counter("faultsim.events_offered");
@@ -594,6 +676,101 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     if analyze_secs > 0.0 {
         println!("analyze wall time: {analyze_secs:.3}s");
     }
+    Ok(())
+}
+
+/// `fsck DIR`: scan every log with an unlimited-budget lenient ingest and
+/// print, per file, what a lenient analysis run would quarantine — the
+/// same `name: quarantined N (reason n, ...)` lines the `chaos` manifest
+/// prints, so the two reports diff verbatim in CI. Sample quarantined
+/// lines go to stderr; the exit code is nonzero iff anything was
+/// quarantined (fsck semantics: a dirty filesystem is not exit 0).
+fn cmd_fsck(args: &Args) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    // Measure everything: unlimited budget so the scan never aborts.
+    let opts = IngestOptions::lenient(Some(1.0));
+    fn scan<T: Send>(
+        dir: &Path,
+        name: &str,
+        format: astra_logs::LineFormat<T>,
+        opts: &IngestOptions,
+        stage: &str,
+    ) -> Result<Option<astra_logs::Quarantine>, String> {
+        let path = dir.join(name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        match logio::parse_file_streaming(&path, format, opts, stage) {
+            Ok((_, quarantine)) => Ok(Some(quarantine)),
+            Err(e) => Err(format!("{name}: {e}")),
+        }
+    }
+    let mut total = astra_logs::Quarantine::default();
+    let mut seen = 0u32;
+    for (name, report) in [
+        (
+            "ce.log",
+            scan(&dir, "ce.log", astra_logs::ce::FORMAT, &opts, "ce")?,
+        ),
+        (
+            "het.log",
+            scan(&dir, "het.log", astra_logs::het::FORMAT, &opts, "het")?,
+        ),
+        (
+            "inventory.log",
+            scan(
+                &dir,
+                "inventory.log",
+                astra_logs::inventory::FORMAT,
+                &opts,
+                "inventory",
+            )?,
+        ),
+        (
+            "sensors.log",
+            scan(
+                &dir,
+                "sensors.log",
+                astra_logs::sensor::FORMAT,
+                &opts,
+                "sensors",
+            )?,
+        ),
+    ] {
+        let Some(quarantine) = report else { continue };
+        seen += 1;
+        println!("{}", quarantine.report_line(name));
+        let samples = quarantine.sample_lines();
+        if !samples.is_empty() {
+            eprint!("{samples}");
+        }
+        total.merge(&quarantine);
+    }
+    if seen == 0 {
+        return Err(format!("no log files found in {}", dir.display()));
+    }
+    println!("{}", total.report_line("total"));
+    if total.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} lines would be quarantined {}",
+            total.total(),
+            total.summary()
+        ))
+    }
+}
+
+/// `chaos DIR --seed S`: deterministically corrupt a generated dataset in
+/// place and print the injected-corruption manifest (fsck's line format).
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    let cfg = chaos::ChaosConfig::with_seed(args.seed);
+    let manifest = chaos::corrupt_dir(&dir, &cfg).map_err(|e| e.to_string())?;
+    if manifest.files.is_empty() {
+        return Err(format!("no log files found in {}", dir.display()));
+    }
+    print!("{}", manifest.report());
     Ok(())
 }
 

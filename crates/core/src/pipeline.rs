@@ -16,7 +16,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use astra_faultsim::{simulate, SimOutput, SimProfile};
-use astra_logs::{io as logio, CeRecord, HetRecord, ReplacementRecord, SensorRecord};
+use astra_logs::io::{self as logio, IngestError};
+use astra_logs::{
+    ce, het, inventory, sensor, CeRecord, HetRecord, IngestOptions, LineFormat, Quarantine,
+    ReplacementRecord, SensorRecord,
+};
 use astra_replace::{simulate_replacements, ReplacementProfile};
 use astra_telemetry::{TelemetryModel, ThermalProfile};
 use astra_topology::SystemConfig;
@@ -181,6 +185,20 @@ pub enum LoadError {
         /// The underlying I/O or UTF-8 error.
         source: io::Error,
     },
+    /// The log was readable but corrupt beyond the ingest policy: strict
+    /// mode met a quarantined line, or a lenient run blew its
+    /// `--max-bad-frac` budget. Carries the typed quarantine report so
+    /// the operator sees *what kind* of corruption, with sample lines.
+    Corrupt {
+        /// Log file name.
+        name: &'static str,
+        /// Full path that failed.
+        path: PathBuf,
+        /// Per-reason quarantine counts and samples.
+        quarantine: Quarantine,
+        /// Lines that parsed cleanly before the abort.
+        lines_ok: u64,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -192,6 +210,26 @@ impl std::fmt::Display for LoadError {
             LoadError::Unreadable { name, path, source } => {
                 write!(f, "log {name} unreadable: {}: {source}", path.display())
             }
+            LoadError::Corrupt {
+                name,
+                path,
+                quarantine,
+                lines_ok,
+            } => {
+                write!(
+                    f,
+                    "log {name} corrupt: {}: quarantined {} of {} lines {}",
+                    path.display(),
+                    quarantine.total(),
+                    lines_ok + quarantine.total(),
+                    quarantine.summary(),
+                )?;
+                let samples = quarantine.sample_lines();
+                if !samples.is_empty() {
+                    write!(f, "\n{}", samples.trim_end())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -199,7 +237,7 @@ impl std::fmt::Display for LoadError {
 impl std::error::Error for LoadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            LoadError::MissingLog { .. } => None,
+            LoadError::MissingLog { .. } | LoadError::Corrupt { .. } => None,
             LoadError::Unreadable { source, .. } => Some(source),
         }
     }
@@ -219,6 +257,9 @@ pub struct AnalysisInput {
     pub sensors: Vec<SensorRecord>,
     /// Lines skipped as foreign/corrupt across all logs.
     pub skipped: u64,
+    /// What was quarantined across all logs, by reason (empty unless a
+    /// lenient [`AnalysisInput::from_dir_with`] load tolerated bad lines).
+    pub quarantine: Quarantine,
 }
 
 impl AnalysisInput {
@@ -255,33 +296,55 @@ impl AnalysisInput {
             replacements: invs.records,
             sensors: Vec::new(),
             skipped: ces.skipped + hets.skipped + invs.skipped,
+            quarantine: Quarantine::default(),
         })
     }
 
-    /// Read the logs from a directory written by [`Dataset::write_logs`].
+    /// Read the logs from a directory written by [`Dataset::write_logs`],
+    /// under the default (strict) ingest policy: any quarantined line
+    /// aborts the load with [`LoadError::Corrupt`].
+    pub fn from_dir(dir: &Path) -> Result<Self, LoadError> {
+        Self::from_dir_with(dir, &IngestOptions::default())
+    }
+
+    /// As [`AnalysisInput::from_dir`] with an explicit ingest policy.
     /// `sensors.log` is optional (real extractions may ship telemetry
     /// separately); the other three are required, and a missing required
     /// log reports [`LoadError::MissingLog`] rather than a bare I/O error.
     ///
     /// Files stream through the chunked parser
     /// ([`logio::parse_file_streaming`]): at no point are the full log
-    /// text and its parsed records resident together.
-    pub fn from_dir(dir: &Path) -> Result<Self, LoadError> {
+    /// text and its parsed records resident together. Under a lenient
+    /// policy, lines quarantined within the per-file error budget land in
+    /// [`AnalysisInput::quarantine`]; over budget (or any quarantined
+    /// line under the strict default) the load fails with
+    /// [`LoadError::Corrupt`] carrying the typed report.
+    pub fn from_dir_with(dir: &Path, opts: &IngestOptions) -> Result<Self, LoadError> {
         let _span = astra_obs::span("pipeline.parse");
         fn stream<T: Send>(
             dir: &Path,
             name: &'static str,
-            parse: impl Fn(&str) -> Option<T> + Sync,
+            format: LineFormat<T>,
+            opts: &IngestOptions,
             stage: &str,
-        ) -> Result<Option<logio::ParsedLog<T>>, LoadError> {
+        ) -> Result<Option<(logio::ParsedLog<T>, Quarantine)>, LoadError> {
             let path = dir.join(name);
-            match logio::parse_file_streaming(&path, parse, stage) {
+            match logio::parse_file_streaming(&path, format, opts, stage) {
                 Ok(parsed) => Ok(Some(parsed)),
-                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-                Err(e) => Err(LoadError::Unreadable {
+                Err(IngestError::Io(e)) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+                Err(IngestError::Io(e)) => Err(LoadError::Unreadable {
                     name,
                     path,
                     source: e,
+                }),
+                Err(IngestError::Corrupt {
+                    quarantine,
+                    lines_ok,
+                }) => Err(LoadError::Corrupt {
+                    name,
+                    path,
+                    quarantine,
+                    lines_ok,
                 }),
             }
         }
@@ -289,29 +352,31 @@ impl AnalysisInput {
             name,
             path: dir.join(name),
         };
-        let ces =
-            stream(dir, "ce.log", CeRecord::parse_line, "ce")?.ok_or_else(|| require("ce.log"))?;
-        let hets = stream(dir, "het.log", HetRecord::parse_line, "het")?
-            .ok_or_else(|| require("het.log"))?;
-        let invs = stream(
-            dir,
-            "inventory.log",
-            ReplacementRecord::parse_line,
-            "inventory",
-        )?
-        .ok_or_else(|| require("inventory.log"))?;
-        let sensors = stream(dir, "sensors.log", SensorRecord::parse_line, "sensors")?.unwrap_or(
-            logio::ParsedLog {
-                records: Vec::new(),
-                skipped: 0,
-            },
-        );
+        let (ces, ce_q) =
+            stream(dir, "ce.log", ce::FORMAT, opts, "ce")?.ok_or_else(|| require("ce.log"))?;
+        let (hets, het_q) =
+            stream(dir, "het.log", het::FORMAT, opts, "het")?.ok_or_else(|| require("het.log"))?;
+        let (invs, inv_q) = stream(dir, "inventory.log", inventory::FORMAT, opts, "inventory")?
+            .ok_or_else(|| require("inventory.log"))?;
+        let (sensors, sensor_q) = stream(dir, "sensors.log", sensor::FORMAT, opts, "sensors")?
+            .unwrap_or((
+                logio::ParsedLog {
+                    records: Vec::new(),
+                    skipped: 0,
+                },
+                Quarantine::default(),
+            ));
+        let mut quarantine = ce_q;
+        quarantine.merge(&het_q);
+        quarantine.merge(&inv_q);
+        quarantine.merge(&sensor_q);
         Ok(AnalysisInput {
             records: ces.records,
             hets: hets.records,
             replacements: invs.records,
             sensors: sensors.records,
             skipped: ces.skipped + hets.skipped + invs.skipped + sensors.skipped,
+            quarantine,
         })
     }
 
@@ -331,6 +396,7 @@ impl AnalysisInput {
             replacements: dataset.replacements,
             sensors: Vec::new(),
             skipped: 0,
+            quarantine: Quarantine::default(),
         }
     }
 }
@@ -488,6 +554,51 @@ mod tests {
         // The sensor excerpt roundtrips too.
         assert_eq!(input.sensors.len(), ds.sensor_excerpt().len());
         assert!(!input.sensors.is_empty());
+    }
+
+    #[test]
+    fn strict_dir_load_aborts_with_typed_report() {
+        use std::io::Write as _;
+        let ds = dataset();
+        let guard = TempDirGuard::new("pipeline-strict");
+        ds.write_logs(&guard.0).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(guard.0.join("inventory.log"))
+            .unwrap();
+        writeln!(f, "sshd[1]: accepted publickey for root").unwrap();
+        drop(f);
+        match AnalysisInput::from_dir(&guard.0) {
+            Err(LoadError::Corrupt {
+                name, quarantine, ..
+            }) => {
+                assert_eq!(name, "inventory.log");
+                assert_eq!(
+                    quarantine.count(astra_logs::QuarantineReason::UnknownFormat),
+                    1
+                );
+            }
+            other => panic!("expected Corrupt, got {:?}", other.map(|i| i.records.len())),
+        }
+    }
+
+    #[test]
+    fn lenient_dir_load_quarantines_and_continues() {
+        use std::io::Write as _;
+        let ds = dataset();
+        let guard = TempDirGuard::new("pipeline-lenient");
+        ds.write_logs(&guard.0).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(guard.0.join("ce.log"))
+            .unwrap();
+        writeln!(f, "sshd[1]: accepted publickey for root").unwrap();
+        drop(f);
+        let input = AnalysisInput::from_dir_with(&guard.0, &IngestOptions::lenient(None)).unwrap();
+        assert_eq!(input.records.len(), ds.sim.ce_log.len());
+        assert_eq!(input.records, ds.sim.ce_log);
+        assert_eq!(input.skipped, 1);
+        assert_eq!(input.quarantine.total(), 1);
     }
 
     #[test]

@@ -18,8 +18,15 @@
 //!   and mixing them silently would corrupt results. What is guarded is
 //!   the machine shape (`racks`), which changes the meaning of every
 //!   node id;
+//! * every section (meta, coalesce, spatial, het, temp, predict) ends
+//!   with a `crc NAME HEX` line — the CRC-32 of the section's lines — so
+//!   a torn or bit-flipped checkpoint is detected as *which section* is
+//!   damaged, not silently resumed from;
 //! * writes go to a `.tmp` sibling then rename, so a crash mid-write
-//!   never leaves a truncated checkpoint under the configured name;
+//!   never leaves a truncated checkpoint under the configured name; a
+//!   failed write removes its orphaned `.tmp`. On resume, [`read`]
+//!   considers both the configured file and a leftover `.tmp` sibling
+//!   and salvages the freshest fully-intact snapshot of the two;
 //! * the predict `fired` flags serialize as a bitmask indexed by the
 //!   default predictor bank's order.
 
@@ -36,8 +43,8 @@ use super::analyzers::{RankTrack, StreamAnalyzer};
 use super::{StreamError, StreamOptions};
 use crate::spatial::SpatialCounts;
 
-/// First line of every checkpoint.
-const HEADER: &str = "astra-stream-checkpoint v1";
+/// First line of every checkpoint. v2 added the per-section CRC lines.
+const HEADER: &str = "astra-stream-checkpoint v2";
 
 fn cerr(path: &Path, detail: impl Into<String>) -> StreamError {
     StreamError::Checkpoint {
@@ -64,31 +71,56 @@ fn list<T: std::fmt::Display>(items: impl IntoIterator<Item = T>) -> String {
 }
 
 /// Serialize the analyzer state and resume point to `path`, atomically.
+/// A failed write (or rename) removes its `.tmp` sibling so a transient
+/// error never leaves an orphaned partial file for a later resume to
+/// trip over.
 pub(crate) fn write(
     path: &Path,
     analyzer: &StreamAnalyzer,
     consumed: &[u64; 4],
 ) -> Result<(), StreamError> {
     let text = render(analyzer, consumed);
-    let mut tmp_name = path.as_os_str().to_owned();
-    tmp_name.push(".tmp");
-    let tmp = PathBuf::from(tmp_name);
-    std::fs::write(&tmp, text).map_err(|e| cerr(path, format!("write failed: {e}")))?;
-    std::fs::rename(&tmp, path).map_err(|e| cerr(path, format!("rename failed: {e}")))
+    let tmp = tmp_sibling(path);
+    if let Err(e) = std::fs::write(&tmp, text) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(cerr(path, format!("write failed: {e}")));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        cerr(path, format!("rename failed: {e}"))
+    })
+}
+
+/// The `.tmp` sibling used for atomic writes (and probed by salvage).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Close out one checksummed section: append its lines to `out` followed
+/// by the `crc NAME HEX` trailer covering exactly those lines.
+fn seal_section(out: &mut String, name: &str, body: String) {
+    out.push_str(&body);
+    let _ = writeln!(out, "crc {name} {:08x}", astra_util::crc32(body.as_bytes()));
 }
 
 fn render(analyzer: &StreamAnalyzer, consumed: &[u64; 4]) -> String {
     let mut out = String::new();
-    let w = &mut out;
-    let _ = writeln!(w, "{HEADER}");
+    let _ = writeln!(out, "{HEADER}");
+
+    let mut body = String::new();
+    let w = &mut body;
     let _ = writeln!(w, "racks {}", analyzer.system.racks);
     let _ = writeln!(
         w,
         "consumed {} {} {} {}",
         consumed[0], consumed[1], consumed[2], consumed[3]
     );
+    seal_section(&mut out, "meta", std::mem::take(&mut body));
 
     // Coalesce: every footprint, grouped, groups in key order.
+    let w = &mut body;
     let _ = writeln!(w, "coalesce.ces {}", analyzer.coalesce.ces);
     let mut keys: Vec<_> = analyzer.coalesce.groups.keys().copied().collect();
     keys.sort_unstable();
@@ -103,9 +135,12 @@ fn render(analyzer: &StreamAnalyzer, consumed: &[u64; 4]) -> String {
             );
         }
     }
+    seal_section(&mut out, "coalesce", std::mem::take(&mut body));
 
-    render_spatial(w, &analyzer.spatial.counts);
+    render_spatial(&mut body, &analyzer.spatial.counts);
+    seal_section(&mut out, "spatial", std::mem::take(&mut body));
 
+    let w = &mut body;
     let _ = writeln!(
         w,
         "het.totals {} {}",
@@ -114,14 +149,18 @@ fn render(analyzer: &StreamAnalyzer, consumed: &[u64; 4]) -> String {
     for (&(kind, day), &n) in &analyzer.het.daily {
         let _ = writeln!(w, "het {kind} {day} {n}");
     }
+    seal_section(&mut out, "het", std::mem::take(&mut body));
 
+    let w = &mut body;
     for (&(sensor, month), &(sum, n)) in &analyzer.tempcorr.sensor_months {
         let _ = writeln!(w, "temp.sensor {sensor} {month} {} {n}", hex(sum));
     }
     for (&month, &n) in &analyzer.tempcorr.monthly_ces {
         let _ = writeln!(w, "temp.ce {month} {n}");
     }
+    seal_section(&mut out, "temp", std::mem::take(&mut body));
 
+    let w = &mut body;
     for (&(node, slot, rank), track) in &analyzer.predict.ranks {
         let mut mask = 0u64;
         for (i, &f) in track.fired.iter().enumerate() {
@@ -171,7 +210,9 @@ fn render(analyzer: &StreamAnalyzer, consumed: &[u64; 4]) -> String {
             fv.escalation.rung(),
         );
     }
-    let _ = writeln!(w, "end");
+    seal_section(&mut out, "predict", body);
+
+    let _ = writeln!(out, "end");
     out
 }
 
@@ -222,10 +263,63 @@ fn render_spatial(w: &mut String, c: &SpatialCounts) {
 }
 
 /// Deserialize a checkpoint into a restored analyzer plus the per-source
-/// resume point. `system` and the configs in `opts` must be the ones the
-/// checkpointed run used; the machine shape is verified, the configs are
-/// the caller's contract.
+/// resume point, salvaging when necessary. `system` and the configs in
+/// `opts` must be the ones the checkpointed run used; the machine shape
+/// is verified, the configs are the caller's contract.
+///
+/// Salvage: both `path` and a leftover `path.tmp` sibling (a write the
+/// process died during, or after, without completing the rename) are
+/// candidates. Each is validated in full — header, per-section CRCs, end
+/// marker — and the *freshest intact* snapshot (largest consumed-record
+/// sum) wins. Resuming from an older-but-intact checkpoint is always
+/// sound (replay is deterministic); resuming from a torn one never is,
+/// so a damaged candidate is only an error when no intact one exists.
+/// Any salvage decision (torn file skipped, or `.tmp` outrunning the
+/// configured file) bumps the `checkpoint.salvaged` counter and says so
+/// on stderr.
 pub(crate) fn read(
+    path: &Path,
+    system: &SystemConfig,
+    opts: &StreamOptions,
+) -> Result<(StreamAnalyzer, [u64; 4]), StreamError> {
+    let primary = read_one(path, system, opts);
+    let tmp = tmp_sibling(path);
+    if !tmp.exists() {
+        return primary;
+    }
+    let secondary = read_one(&tmp, system, opts);
+    let salvaged = |which: &Path, state: (StreamAnalyzer, [u64; 4]), note: &str| {
+        astra_obs::global().counter("checkpoint.salvaged").add(1);
+        eprintln!(
+            "note: salvaged checkpoint from {} ({note})",
+            which.display()
+        );
+        Ok(state)
+    };
+    match (primary, secondary) {
+        (Ok(p), Ok(s)) => {
+            // Both intact: freshest wins; ties keep the configured file.
+            if s.1.iter().sum::<u64>() > p.1.iter().sum::<u64>() {
+                salvaged(&tmp, s, "newer than the configured file")
+            } else {
+                Ok(p)
+            }
+        }
+        (Ok(p), Err(e)) => {
+            eprintln!("note: ignoring torn checkpoint {}: {e}", tmp.display());
+            astra_obs::global().counter("checkpoint.salvaged").add(1);
+            Ok(p)
+        }
+        (Err(e), Ok(s)) => {
+            eprintln!("note: checkpoint {} is damaged: {e}", path.display());
+            salvaged(&tmp, s, "configured file is damaged")
+        }
+        (Err(e), Err(_)) => Err(e),
+    }
+}
+
+/// Read and fully validate a single checkpoint file.
+fn read_one(
     path: &Path,
     system: &SystemConfig,
     opts: &StreamOptions,
@@ -244,6 +338,9 @@ fn parse(
     let mut consumed: Option<[u64; 4]> = None;
     let mut saw_racks = false;
     let mut saw_end = false;
+    // Lines of the current section, accumulated verbatim until its
+    // `crc NAME HEX` trailer verifies them.
+    let mut section = String::new();
 
     let mut lines = text.lines().enumerate();
     let bad = |no: usize, detail: String| cerr(path, format!("line {}: {detail}", no + 1));
@@ -261,6 +358,37 @@ fn parse(
     while let Some((no, line)) = lines.next() {
         let mut toks = line.split_whitespace();
         let Some(tag) = toks.next() else { continue };
+        if tag == "crc" {
+            let name = toks
+                .next()
+                .ok_or_else(|| bad(no, "crc line missing section name".into()))?;
+            let stored = toks
+                .next()
+                .and_then(|t| u32::from_str_radix(t, 16).ok())
+                .ok_or_else(|| bad(no, format!("bad crc value for section {name}")))?;
+            let computed = astra_util::crc32(section.as_bytes());
+            if computed != stored {
+                return Err(bad(
+                    no,
+                    format!(
+                        "section {name} CRC mismatch (stored {stored:08x}, computed {computed:08x})"
+                    ),
+                ));
+            }
+            section.clear();
+            continue;
+        }
+        if tag == "end" {
+            if !section.is_empty() {
+                return Err(bad(
+                    no,
+                    "lines before end not covered by a section CRC".into(),
+                ));
+            }
+        } else {
+            section.push_str(line);
+            section.push('\n');
+        }
         match tag {
             "racks" => {
                 let racks = parse_tok::<u64>(&mut toks)
@@ -311,6 +439,8 @@ fn parse(
                     let Some((fno, fline)) = lines.next() else {
                         return Err(bad(no, "truncated group".into()));
                     };
+                    section.push_str(fline);
+                    section.push('\n');
                     let mut ft = fline.split_whitespace();
                     if ft.next() != Some("f") {
                         return Err(bad(fno, "expected footprint line".into()));
@@ -689,7 +819,7 @@ mod tests {
     }
 
     #[test]
-    fn rack_mismatch_is_rejected() {
+    fn rack_mismatch_names_both_shapes() {
         let (analyzer, _) = analyzer_with_state();
         let text = render(&analyzer, &analyzer.counts);
         let wrong = SystemConfig::scaled(2);
@@ -697,7 +827,109 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("rack mismatch accepted"),
         };
-        assert!(err.to_string().contains("rack"), "{err}");
+        let msg = err.to_string();
+        // The operator needs both sides of the mismatch to fix the flag.
+        assert!(
+            msg.contains("1-rack") && msg.contains("2 racks"),
+            "error must name the checkpoint's shape and the run's: {msg}"
+        );
+    }
+
+    #[test]
+    fn section_crc_mismatch_is_detected_and_named() {
+        let (analyzer, system) = analyzer_with_state();
+        let text = render(&analyzer, &analyzer.counts);
+        // Corrupt one digit inside the coalesce section without touching
+        // line structure: the stored CRC no longer matches.
+        let victim = text
+            .lines()
+            .find(|l| l.starts_with("coalesce.ces "))
+            .expect("coalesce.ces line");
+        let flipped = if victim.ends_with('0') {
+            victim.replacen(" ", " 1", 1)
+        } else {
+            format!("{}0", victim)
+        };
+        let corrupted = text.replacen(victim, &flipped, 1);
+        let err = match parse(
+            Path::new("test"),
+            &corrupted,
+            &system,
+            &StreamOptions::default(),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupted section accepted"),
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("CRC mismatch") && msg.contains("coalesce"),
+            "error must name the damaged section: {msg}"
+        );
+    }
+
+    struct TempDirGuard(PathBuf);
+
+    impl TempDirGuard {
+        fn new(tag: &str) -> TempDirGuard {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "astra-{tag}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDirGuard(dir)
+        }
+    }
+
+    impl Drop for TempDirGuard {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn salvage_ignores_torn_tmp_and_resumes_primary() {
+        let (analyzer, system) = analyzer_with_state();
+        let guard = TempDirGuard::new("ckpt-torn");
+        let path = guard.0.join("ck.txt");
+        write(&path, &analyzer, &analyzer.counts).unwrap();
+        // A crash mid-write leaves a truncated next snapshot in `.tmp`.
+        let next = render(&analyzer, &[analyzer.counts[0] + 500, 0, 0, 0]);
+        std::fs::write(path.with_extension("txt.tmp"), &next[..next.len() / 2]).unwrap();
+        let (_, consumed) = read(&path, &system, &StreamOptions::default()).unwrap();
+        assert_eq!(consumed, analyzer.counts, "must resume the intact file");
+    }
+
+    #[test]
+    fn salvage_prefers_fresher_intact_tmp() {
+        let (analyzer, system) = analyzer_with_state();
+        let guard = TempDirGuard::new("ckpt-fresh");
+        let path = guard.0.join("ck.txt");
+        write(&path, &analyzer, &analyzer.counts).unwrap();
+        // The rename never happened, but the `.tmp` snapshot is complete
+        // and strictly further along: it is the one to resume.
+        let mut newer = analyzer.counts;
+        newer[0] += 500;
+        std::fs::write(path.with_extension("txt.tmp"), render(&analyzer, &newer)).unwrap();
+        let (_, consumed) = read(&path, &system, &StreamOptions::default()).unwrap();
+        assert_eq!(consumed, newer, "must salvage the fresher snapshot");
+    }
+
+    #[test]
+    fn salvage_recovers_from_damaged_primary() {
+        let (analyzer, system) = analyzer_with_state();
+        let guard = TempDirGuard::new("ckpt-damaged");
+        let path = guard.0.join("ck.txt");
+        let text = render(&analyzer, &analyzer.counts);
+        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        std::fs::write(path.with_extension("txt.tmp"), &text).unwrap();
+        let (_, consumed) = read(&path, &system, &StreamOptions::default()).unwrap();
+        assert_eq!(consumed, analyzer.counts);
+        // Both torn: the primary's error surfaces.
+        std::fs::write(path.with_extension("txt.tmp"), &text[..10]).unwrap();
+        assert!(read(&path, &system, &StreamOptions::default()).is_err());
     }
 
     #[test]

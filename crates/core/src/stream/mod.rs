@@ -35,7 +35,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use astra_logs::io::{ChunkReader, STREAM_CHUNK_BYTES};
-use astra_logs::{CeRecord, HetRecord, ReplacementRecord, SensorRecord};
+use astra_logs::{
+    ce, het, inventory, sensor, CeRecord, HetRecord, IngestOptions, LineFormat, Quarantine,
+    ReplacementRecord, SensorRecord,
+};
 use astra_predict::PredictConfig;
 use astra_topology::SystemConfig;
 use astra_util::Minute;
@@ -181,23 +184,28 @@ pub trait Analyzer: Sized {
     fn snapshot(&self) -> Self::Report;
 }
 
-type ParseFn<T> = fn(&str) -> Option<T>;
-
 /// One log file as a resumable record queue: a [`ChunkReader`] plus the
 /// parsed-but-unconsumed buffer, with consumed-record accounting for
 /// checkpoints. Resuming re-reads the file and drops the first
-/// `skip` parsed records — exact, because line skipping is deterministic.
+/// `skip` parsed records — exact, because line skipping (and the
+/// out-of-order check, whose running maximum rebuilds from byte 0) is
+/// deterministic.
 struct LogSource<T> {
     name: &'static str,
     path: PathBuf,
-    reader: Option<ChunkReader<std::fs::File, ParseFn<T>>>,
+    reader: Option<ChunkReader<std::fs::File, T>>,
     buf: VecDeque<T>,
     /// Sequence number of the next record to pop (== records consumed).
     next_seq: u64,
     /// Parsed records still to drop before buffering (resume).
     skip_remaining: u64,
-    /// Unparseable lines seen so far (whole file, from byte 0).
-    skipped: u64,
+    /// Records parsed so far, resume-skipped ones included (the budget
+    /// denominator alongside the quarantine total).
+    parsed: u64,
+    /// Lines quarantined so far (whole file, from byte 0).
+    quarantine: Quarantine,
+    /// The strict/lenient policy this source enforces.
+    ingest: IngestOptions,
     /// Bytes consumed by retired readers.
     bytes_done: usize,
 }
@@ -206,13 +214,14 @@ impl<T: Send> LogSource<T> {
     fn open(
         dir: &Path,
         name: &'static str,
-        parse: ParseFn<T>,
+        format: LineFormat<T>,
         required: bool,
         skip: u64,
+        ingest: IngestOptions,
     ) -> Result<Self, LoadError> {
         let path = dir.join(name);
         let reader = match std::fs::File::open(&path) {
-            Ok(f) => Some(ChunkReader::new(f, parse, STREAM_CHUNK_BYTES)),
+            Ok(f) => Some(ChunkReader::new(f, format, STREAM_CHUNK_BYTES).with_retry(ingest.retry)),
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 if required {
                     return Err(LoadError::MissingLog { name, path });
@@ -234,9 +243,21 @@ impl<T: Send> LogSource<T> {
             buf: VecDeque::new(),
             next_seq: skip,
             skip_remaining: skip,
-            skipped: 0,
+            parsed: 0,
+            quarantine: Quarantine::default(),
+            ingest,
             bytes_done: 0,
         })
+    }
+
+    /// The typed abort for this source's accumulated quarantine.
+    fn corrupt(&self) -> LoadError {
+        LoadError::Corrupt {
+            name: self.name,
+            path: self.path.clone(),
+            quarantine: self.quarantine.clone(),
+            lines_ok: self.parsed,
+        }
     }
 
     /// Ensure the buffer is non-empty or the file is exhausted.
@@ -245,9 +266,13 @@ impl<T: Send> LogSource<T> {
             let Some(reader) = self.reader.as_mut() else {
                 return Ok(());
             };
-            match reader.next_chunk::<T>() {
+            match reader.next_chunk() {
                 Ok(Some(mut chunk)) => {
-                    self.skipped += chunk.skipped;
+                    self.parsed += chunk.records.len() as u64;
+                    self.quarantine.merge(&chunk.quarantine);
+                    if self.ingest.is_strict() && !self.quarantine.is_empty() {
+                        return Err(self.corrupt());
+                    }
                     if self.skip_remaining > 0 {
                         let drop = self.skip_remaining.min(chunk.records.len() as u64) as usize;
                         chunk.records.drain(..drop);
@@ -258,6 +283,15 @@ impl<T: Send> LogSource<T> {
                 Ok(None) => {
                     self.bytes_done += reader.bytes_consumed();
                     self.reader = None;
+                    // Lenient budget is per file, checked once at its EOF
+                    // — same rule as `parse_stream_chunked`.
+                    let total = self.parsed + self.quarantine.total();
+                    if total > 0
+                        && self.quarantine.total() as f64 / total as f64
+                            > self.ingest.max_bad_frac()
+                    {
+                        return Err(self.corrupt());
+                    }
                 }
                 Err(e) => {
                     return Err(LoadError::Unreadable {
@@ -302,30 +336,45 @@ pub struct EventStream {
 
 impl EventStream {
     /// Open a log directory (same required/optional semantics as
-    /// `AnalysisInput::from_dir`: `sensors.log` may be absent).
+    /// `AnalysisInput::from_dir`: `sensors.log` may be absent) under the
+    /// default strict ingest policy.
     pub fn open(dir: &Path) -> Result<Self, LoadError> {
         Self::open_resumed(dir, [0; 4])
     }
 
-    /// Open with the first `consumed[source]` parsed records of each log
-    /// already accounted for (checkpoint resume).
+    /// As [`EventStream::open`] with a checkpoint resume point.
     pub fn open_resumed(dir: &Path, consumed: [u64; 4]) -> Result<Self, LoadError> {
+        Self::open_with(dir, consumed, IngestOptions::default())
+    }
+
+    /// Open with the first `consumed[source]` parsed records of each log
+    /// already accounted for (checkpoint resume) and an explicit ingest
+    /// policy. Each source enforces the policy independently: strict
+    /// aborts on its first quarantined line, lenient checks the error
+    /// budget at that file's EOF.
+    pub fn open_with(
+        dir: &Path,
+        consumed: [u64; 4],
+        ingest: IngestOptions,
+    ) -> Result<Self, LoadError> {
         Ok(EventStream {
-            ce: LogSource::open(dir, "ce.log", CeRecord::parse_line, true, consumed[0])?,
-            het: LogSource::open(dir, "het.log", HetRecord::parse_line, true, consumed[1])?,
+            ce: LogSource::open(dir, "ce.log", ce::FORMAT, true, consumed[0], ingest)?,
+            het: LogSource::open(dir, "het.log", het::FORMAT, true, consumed[1], ingest)?,
             inventory: LogSource::open(
                 dir,
                 "inventory.log",
-                ReplacementRecord::parse_line,
+                inventory::FORMAT,
                 true,
                 consumed[2],
+                ingest,
             )?,
             sensors: LogSource::open(
                 dir,
                 "sensors.log",
-                SensorRecord::parse_line,
+                sensor::FORMAT,
                 false,
                 consumed[3],
+                ingest,
             )?,
         })
     }
@@ -389,9 +438,18 @@ impl EventStream {
         ]
     }
 
-    /// Unparseable lines seen across all logs so far.
+    /// Lines quarantined across all logs so far.
     pub fn skipped(&self) -> u64 {
-        self.ce.skipped + self.het.skipped + self.inventory.skipped + self.sensors.skipped
+        self.quarantine().total()
+    }
+
+    /// Merged per-reason quarantine report across all logs.
+    pub fn quarantine(&self) -> Quarantine {
+        let mut q = self.ce.quarantine.clone();
+        q.merge(&self.het.quarantine);
+        q.merge(&self.inventory.quarantine);
+        q.merge(&self.sensors.quarantine);
+        q
     }
 
     /// Log bytes read so far.
@@ -403,6 +461,9 @@ impl EventStream {
 /// Engine options for [`stream_analyze`].
 #[derive(Debug, Clone, Default)]
 pub struct StreamOptions {
+    /// Ingest policy (strict by default; `--lenient` quarantines within
+    /// an error budget).
+    pub ingest: IngestOptions,
     /// Coalescing thresholds (shared with the batch path).
     pub coalesce: CoalesceConfig,
     /// Prediction feature/window knobs.
@@ -483,7 +544,7 @@ pub fn stream_analyze(
             [0; 4],
         ),
     };
-    let mut source = EventStream::open_resumed(dir, consumed0)?;
+    let mut source = EventStream::open_with(dir, consumed0, opts.ingest)?;
     let mut position: u64 = consumed0.iter().sum();
     let mut counted = [0u64; 4];
     let mut checkpoints_written = 0u64;
@@ -549,6 +610,7 @@ fn flush_metrics(
             .add(counted[src.index()]);
     }
     obs.counter("stream.skipped_lines").add(source.skipped());
+    astra_logs::io::publish_quarantine(&source.quarantine());
     obs.counter("stream.bytes_read")
         .add(source.bytes_read() as u64);
     if checkpoints_written > 0 {
@@ -728,6 +790,55 @@ mod tests {
         assert_eq!(rest.as_slice(), &all[cut..], "resumed tail differs");
         // Re-reading the whole file recovers the full skip count.
         assert_eq!(tail.skipped(), full.skipped());
+    }
+
+    #[test]
+    fn strict_stream_aborts_on_corrupt_log() {
+        use std::io::Write as _;
+        let (_, guard) = written_dataset("stream-strict");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(guard.0.join("het.log"))
+            .unwrap();
+        writeln!(f, "ntpd[9]: clock step").unwrap();
+        drop(f);
+        let mut stream = EventStream::open(&guard.0).unwrap();
+        let err = loop {
+            match stream.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("expected a Corrupt abort"),
+                Err(e) => break e,
+            }
+        };
+        match err {
+            LoadError::Corrupt { name, .. } => assert_eq!(name, "het.log"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lenient_stream_quarantines_and_finishes() {
+        use std::io::Write as _;
+        let (ds, guard) = written_dataset("stream-lenient");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(guard.0.join("ce.log"))
+            .unwrap();
+        writeln!(f, "ntpd[9]: clock step").unwrap();
+        drop(f);
+        let mut stream =
+            EventStream::open_with(&guard.0, [0; 4], astra_logs::IngestOptions::lenient(None))
+                .unwrap();
+        let events = drain(&mut stream);
+        assert_eq!(stream.skipped(), 1);
+        let ces: Vec<CeRecord> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                MemEvent::Ce { rec, .. } => Some(*rec),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ces, ds.sim.ce_log, "quarantining must not drop records");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use astra_topology::{DimmSlot, NodeId, PhysAddr, RankId, SocketId};
 use astra_util::Minute;
 
 use crate::kv;
+use crate::quarantine::{LineFormat, QuarantineReason};
 
 /// One correctable-error record as it appears in the syslog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +140,28 @@ impl CeRecord {
         })
     }
 
+    /// Classify a line [`CeRecord::parse_line`] rejected.
+    ///
+    /// Heuristic, like any post-hoc triage of corrupt text: a line
+    /// carrying the `EDAC MC` marker is one of ours — if every required
+    /// token is still present the values must be bad
+    /// ([`QuarantineReason::FieldOutOfRange`]), otherwise the line lost
+    /// its tail ([`QuarantineReason::Truncated`]). Lines without the
+    /// marker are foreign ([`QuarantineReason::UnknownFormat`]).
+    pub fn classify_bad_line(line: &str) -> QuarantineReason {
+        if !line.contains("EDAC MC") {
+            return QuarantineReason::UnknownFormat;
+        }
+        const REQUIRED: [&str; 9] = [
+            ": CE ", "slot=", "rank=", "bank=", "row=", "col=", "bit=", "addr=", "synd=",
+        ];
+        if REQUIRED.iter().all(|m| line.contains(m)) {
+            QuarantineReason::FieldOutOfRange
+        } else {
+            QuarantineReason::Truncated
+        }
+    }
+
     /// The raw failed-bit position with the vendor encoding stripped
     /// (bits 0–8: bit within the 512-bit cache line).
     ///
@@ -149,6 +172,17 @@ impl CeRecord {
         self.bit_pos & 0x1FF
     }
 }
+
+fn order_key(r: &CeRecord) -> i64 {
+    r.time.0
+}
+
+/// Ingest descriptor for `ce.log`: time-sorted, one record per line.
+pub const FORMAT: LineFormat<CeRecord> = LineFormat {
+    parse: CeRecord::parse_line,
+    classify: CeRecord::classify_bad_line,
+    order_key: Some(order_key),
+};
 
 #[cfg(test)]
 mod tests {
@@ -229,6 +263,26 @@ mod tests {
             let bad = good.replace(from, to);
             assert_eq!(CeRecord::parse_line(&bad), None, "line: {bad}");
         }
+    }
+
+    #[test]
+    fn classifier_taxonomy() {
+        let good = sample().to_line();
+        // Lost tail: required tokens missing.
+        assert_eq!(
+            CeRecord::classify_bad_line(&good[..good.len() - 20]),
+            QuarantineReason::Truncated
+        );
+        // All tokens present, a value is garbage.
+        assert_eq!(
+            CeRecord::classify_bad_line(&good.replace("rank=1", "rank=7")),
+            QuarantineReason::FieldOutOfRange
+        );
+        // Not one of ours at all.
+        assert_eq!(
+            CeRecord::classify_bad_line("Mar  4 12:01:00 host sshd[22]: session opened"),
+            QuarantineReason::UnknownFormat
+        );
     }
 
     #[test]

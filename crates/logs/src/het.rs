@@ -11,6 +11,7 @@ use astra_topology::{DimmSlot, NodeId};
 use astra_util::Minute;
 
 use crate::kv;
+use crate::quarantine::{LineFormat, QuarantineReason};
 
 /// Kinds of HET event, matching the legend of Fig 15a.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -178,7 +179,31 @@ impl HetRecord {
             slot,
         })
     }
+
+    /// Classify a line [`HetRecord::parse_line`] rejected (see
+    /// [`crate::ce::CeRecord::classify_bad_line`] for the heuristic).
+    pub fn classify_bad_line(line: &str) -> QuarantineReason {
+        if !line.contains(" HET:") {
+            return QuarantineReason::UnknownFormat;
+        }
+        if line.contains("event=") && line.contains("severity=") {
+            QuarantineReason::FieldOutOfRange
+        } else {
+            QuarantineReason::Truncated
+        }
+    }
 }
+
+fn order_key(r: &HetRecord) -> i64 {
+    r.time.0
+}
+
+/// Ingest descriptor for `het.log`: time-sorted, one record per line.
+pub const FORMAT: LineFormat<HetRecord> = LineFormat {
+    parse: HetRecord::parse_line,
+    classify: HetRecord::classify_bad_line,
+    order_key: Some(order_key),
+};
 
 #[cfg(test)]
 mod tests {
@@ -237,6 +262,23 @@ mod tests {
                 kind.severity() == HetSeverity::NonRecoverable,
             );
         }
+    }
+
+    #[test]
+    fn classifier_taxonomy() {
+        let good = sample().to_line();
+        assert_eq!(
+            HetRecord::classify_bad_line(&good.replace(" severity=NON-RECOVERABLE slot=D", "")),
+            QuarantineReason::Truncated
+        );
+        assert_eq!(
+            HetRecord::classify_bad_line(&good.replace("NON-RECOVERABLE", "FATAL")),
+            QuarantineReason::FieldOutOfRange
+        );
+        assert_eq!(
+            HetRecord::classify_bad_line("kernel: unrelated chatter"),
+            QuarantineReason::UnknownFormat
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use astra_topology::{DimmSlot, NodeId, SocketId};
 use astra_util::CalDate;
 
 use crate::kv;
+use crate::quarantine::{LineFormat, QuarantineReason};
 
 /// Which component was replaced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -109,7 +110,40 @@ impl ReplacementRecord {
             component,
         })
     }
+
+    /// Classify a line [`ReplacementRecord::parse_line`] rejected (see
+    /// [`crate::ce::CeRecord::classify_bad_line`] for the heuristic).
+    pub fn classify_bad_line(line: &str) -> QuarantineReason {
+        if !line.contains(" inventory:") {
+            return QuarantineReason::UnknownFormat;
+        }
+        // Which extra token the named component requires.
+        let complete = if line.contains("component=processor") {
+            line.contains("socket=")
+        } else if line.contains("component=dimm") {
+            line.contains("slot=")
+        } else {
+            line.contains("component=")
+        };
+        if complete {
+            QuarantineReason::FieldOutOfRange
+        } else {
+            QuarantineReason::Truncated
+        }
+    }
 }
+
+fn order_key(r: &ReplacementRecord) -> i64 {
+    r.date.midnight().0
+}
+
+/// Ingest descriptor for `inventory.log`: date-sorted, one record per
+/// line.
+pub const FORMAT: LineFormat<ReplacementRecord> = LineFormat {
+    parse: ReplacementRecord::parse_line,
+    classify: ReplacementRecord::classify_bad_line,
+    order_key: Some(order_key),
+};
 
 #[cfg(test)]
 mod tests {

@@ -6,8 +6,11 @@
 //! plain `io::Write` adapters so logs stream to files, pipes, or an
 //! in-memory `Vec<u8>` in tests without buffering whole datasets.
 
+use std::fmt;
 use std::io::{self, BufRead, Read, Write};
 use std::path::Path;
+
+use crate::quarantine::{IngestOptions, LineFormat, Quarantine, QuarantineReason, RetryPolicy};
 
 /// Write an iterator of serializable records as lines.
 pub fn write_lines<W, I, T, F>(sink: W, records: I, to_line: F) -> io::Result<u64>
@@ -160,27 +163,7 @@ where
     }
 
     // Cut the text into `workers` shards on line boundaries.
-    let mut shards: Vec<&str> = Vec::with_capacity(workers);
-    let bytes = text.as_bytes();
-    let mut start = 0usize;
-    for w in 1..workers {
-        let target = (text.len() * w) / workers;
-        if target <= start {
-            continue;
-        }
-        // Advance to the next newline at or after `target`.
-        let end = match bytes[target..].iter().position(|&b| b == b'\n') {
-            Some(off) => target + off + 1,
-            None => text.len(),
-        };
-        if end > start {
-            shards.push(&text[start..end]);
-            start = end;
-        }
-    }
-    if start < text.len() {
-        shards.push(&text[start..]);
-    }
+    let shards = split_line_shards(text, workers);
 
     let parsed: Vec<ParsedLog<T>> = astra_util::par::par_map(&shards, |shard| {
         let mut records = Vec::new();
@@ -217,52 +200,151 @@ where
 /// whole log text plus the records, as `read_to_string` + parse was.
 pub const STREAM_CHUNK_BYTES: usize = 8 * 1024 * 1024;
 
-/// Stream-parse a log file in fixed-size line-aligned chunks, with
-/// `parse.<stage>.*` metrics and a `time.parse.<stage>` span.
+/// Error from the policy-aware streaming ingest path.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying reader failed (after exhausting retries).
+    Io(io::Error),
+    /// Corruption beyond policy: strict mode met its first quarantined
+    /// line, or a lenient run exceeded its `--max-bad-frac` budget. The
+    /// typed report travels with the error.
+    Corrupt {
+        /// What was quarantined, by reason, with sample lines.
+        quarantine: Quarantine,
+        /// Lines that parsed cleanly before the abort.
+        lines_ok: u64,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "{e}"),
+            IngestError::Corrupt {
+                quarantine,
+                lines_ok,
+            } => write!(
+                f,
+                "quarantined {} of {} lines {}",
+                quarantine.total(),
+                lines_ok + quarantine.total(),
+                quarantine.summary(),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// Stream-parse a log file in fixed-size line-aligned chunks under an
+/// ingest policy, with `parse.<stage>.*` metrics and a
+/// `time.parse.<stage>` span.
 ///
-/// Equivalent to `read_to_string` + [`parse_lines_parallel_metered`] on
-/// the same file — same records, same skip count, same UTF-8 failure mode
-/// — but only one chunk of text is resident at a time. Each chunk is fed
-/// to the same shard parser, so parsing stays parallel within chunks.
-pub fn parse_file_streaming<T, F>(path: &Path, parse: F, stage: &str) -> io::Result<ParsedLog<T>>
+/// Only one chunk of text is resident at a time, and each chunk is fed
+/// to the shard parser so parsing stays parallel within chunks. Lines
+/// that fail to parse are quarantined under the [`QuarantineReason`]
+/// taxonomy; `opts` decides whether that aborts
+/// ([`IngestError::Corrupt`]) or is tolerated. On success the per-reason
+/// totals are folded into the `ingest.quarantined.*` counters.
+pub fn parse_file_streaming<T>(
+    path: &Path,
+    format: LineFormat<T>,
+    opts: &IngestOptions,
+    stage: &str,
+) -> Result<(ParsedLog<T>, Quarantine), IngestError>
 where
     T: Send,
-    F: Fn(&str) -> Option<T> + Sync,
 {
     let _span = astra_obs::span(&format!("parse.{stage}"));
     let file = std::fs::File::open(path)?;
-    let (parsed, bytes, chunks) = parse_stream_chunked(file, &parse, STREAM_CHUNK_BYTES)?;
+    let (parsed, quarantine, bytes, chunks) =
+        parse_stream_chunked(file, format, opts, STREAM_CHUNK_BYTES)?;
     parsed.publish(stage, bytes);
     astra_obs::global()
         .counter(&format!("parse.{stage}.chunks"))
         .add(chunks);
-    Ok(parsed)
+    publish_quarantine(&quarantine);
+    Ok((parsed, quarantine))
+}
+
+/// Fold per-reason quarantine counts into the global
+/// `ingest.quarantined.<reason>` counters.
+pub fn publish_quarantine(q: &Quarantine) {
+    let obs = astra_obs::global();
+    for reason in QuarantineReason::ALL {
+        let n = q.count(reason);
+        if n > 0 {
+            obs.counter(&format!("ingest.quarantined.{}", reason.name()))
+                .add(n);
+        }
+    }
 }
 
 /// Chunked streaming parse over any reader: the engine behind
 /// [`parse_file_streaming`], with the chunk size exposed so tests can
 /// force record and corrupt-line boundaries to straddle chunks.
 ///
-/// Returns the parsed log plus the bytes consumed and chunks processed.
-pub fn parse_stream_chunked<R, T, F>(
+/// Returns the parsed log, the quarantine report, and the bytes/chunks
+/// consumed. Strict mode aborts on the first chunk containing a
+/// quarantined line; lenient mode checks the error budget once the
+/// reader is exhausted (the quarantined fraction is
+/// `quarantined / (parsed + quarantined)` non-blank lines).
+pub fn parse_stream_chunked<R, T>(
     reader: R,
-    parse: F,
+    format: LineFormat<T>,
+    opts: &IngestOptions,
     chunk_bytes: usize,
-) -> io::Result<(ParsedLog<T>, usize, u64)>
+) -> Result<(ParsedLog<T>, Quarantine, usize, u64), IngestError>
 where
     R: Read,
     T: Send,
-    F: Fn(&str) -> Option<T> + Sync,
 {
-    let mut chunked = ChunkReader::new(reader, parse, chunk_bytes);
+    let mut chunked = ChunkReader::new(reader, format, chunk_bytes).with_retry(opts.retry);
     let mut records: Vec<T> = Vec::new();
-    let mut skipped = 0u64;
+    let mut quarantine = Quarantine::default();
     while let Some(chunk) = chunked.next_chunk()? {
         records.extend(chunk.records);
-        skipped += chunk.skipped;
+        quarantine.merge(&chunk.quarantine);
+        if opts.is_strict() && !quarantine.is_empty() {
+            return Err(IngestError::Corrupt {
+                quarantine,
+                lines_ok: records.len() as u64,
+            });
+        }
     }
+    let total = records.len() as u64 + quarantine.total();
+    if total > 0 && quarantine.total() as f64 / total as f64 > opts.max_bad_frac() {
+        return Err(IngestError::Corrupt {
+            quarantine,
+            lines_ok: records.len() as u64,
+        });
+    }
+    let skipped = quarantine.total();
     let (bytes, chunks) = (chunked.bytes_consumed(), chunked.chunks_read());
-    Ok((ParsedLog { records, skipped }, bytes, chunks))
+    Ok((ParsedLog { records, skipped }, quarantine, bytes, chunks))
+}
+
+/// One parsed chunk from a [`ChunkReader`]: the records that survived,
+/// plus everything quarantined within the chunk.
+#[derive(Debug)]
+pub struct IngestChunk<T> {
+    /// Records that parsed and passed the ordering check, in file order.
+    pub records: Vec<T>,
+    /// Lines quarantined within this chunk (line numbers are file-global).
+    pub quarantine: Quarantine,
 }
 
 /// Resumable line-aligned chunk parser over any reader.
@@ -274,9 +356,26 @@ where
 /// several log files — the incremental analysis engine merges CE, HET,
 /// inventory, and sensor chunks this way — while keeping at most one
 /// chunk of text per source resident.
-pub struct ChunkReader<R, F> {
+///
+/// Corruption handling:
+/// * a chunk that is entirely valid UTF-8 takes the fast path — shard
+///   parallel parse, exactly as before;
+/// * a chunk containing invalid UTF-8 falls back to a sequential
+///   per-line pass that quarantines only the offending lines
+///   ([`QuarantineReason::BadUtf8`]) instead of failing the whole file.
+///   Chunks are always cut at `\n` (never inside a multi-byte sequence),
+///   so a straddling line stays whole in `pending` and is classified
+///   exactly once;
+/// * for time-sorted formats (`order_key`), records whose key drops
+///   strictly below the running maximum — carried across chunks — are
+///   quarantined [`QuarantineReason::OutOfOrder`];
+/// * transient read errors are retried per the [`RetryPolicy`]
+///   (`Interrupted` is always retried; other errors get bounded
+///   exponential backoff and an `ingest.io_retries` count).
+pub struct ChunkReader<R, T> {
     reader: R,
-    parse: F,
+    format: LineFormat<T>,
+    retry: RetryPolicy,
     // Unconsumed input: whole lines plus, at its tail, at most one
     // partial line carried across the chunk boundary.
     pending: Vec<u8>,
@@ -286,37 +385,70 @@ pub struct ChunkReader<R, F> {
     eof: bool,
     bytes: usize,
     chunks: u64,
+    // Lines consumed so far (blank lines included) — the base for
+    // file-global 1-based line numbers in quarantine samples.
+    lines: u64,
+    // Largest ordering key seen so far, carried across chunks.
+    max_key: Option<i64>,
 }
 
-impl<R, F> ChunkReader<R, F>
+impl<R, T> ChunkReader<R, T>
 where
     R: Read,
+    T: Send,
 {
-    /// Wraps `reader`, parsing each line with `parse` in chunks of
-    /// roughly `chunk_bytes`.
-    pub fn new(reader: R, parse: F, chunk_bytes: usize) -> Self {
+    /// Wraps `reader`, ingesting lines per `format` in chunks of roughly
+    /// `chunk_bytes`, with the default [`RetryPolicy`].
+    pub fn new(reader: R, format: LineFormat<T>, chunk_bytes: usize) -> Self {
         ChunkReader {
             reader,
-            parse,
+            format,
+            retry: RetryPolicy::default(),
             pending: Vec::new(),
             read_buf: vec![0u8; 64 * 1024],
             target: chunk_bytes.max(1),
             eof: false,
             bytes: 0,
             chunks: 0,
+            lines: 0,
+            max_key: None,
+        }
+    }
+
+    /// Replace the transient-I/O retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// One `read` with the retry policy applied.
+    fn read_some(&mut self) -> io::Result<usize> {
+        let mut attempt = 0u32;
+        loop {
+            match self.reader.read(&mut self.read_buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    let backoff_ms = self.retry.backoff_base_ms << attempt;
+                    attempt += 1;
+                    astra_obs::global().counter("ingest.io_retries").add(1);
+                    if backoff_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                    }
+                }
+            }
         }
     }
 
     /// Parses and returns the next line-aligned chunk, or `None` once the
     /// reader is exhausted.
-    pub fn next_chunk<T>(&mut self) -> io::Result<Option<ParsedLog<T>>>
-    where
-        T: Send,
-        F: Fn(&str) -> Option<T> + Sync,
-    {
+    pub fn next_chunk(&mut self) -> io::Result<Option<IngestChunk<T>>> {
         loop {
             while !self.eof && self.pending.len() < self.target {
-                let n = self.reader.read(&mut self.read_buf)?;
+                let n = self.read_some()?;
                 if n == 0 {
                     self.eof = true;
                 } else {
@@ -328,7 +460,9 @@ where
             }
             // Cut at the last newline so no chunk splits a line; at EOF
             // the final (possibly newline-less) partial line is parsed
-            // as-is.
+            // as-is. '\n' is never part of a multi-byte UTF-8 sequence,
+            // so a sequence straddling the raw read boundary always stays
+            // whole within one cut.
             let cut = if self.eof {
                 self.pending.len()
             } else {
@@ -340,23 +474,19 @@ where
                     }
                 }
             };
-            // Chunks end on '\n', which is never part of a multi-byte
-            // UTF-8 sequence, so validation failures here mean the file
-            // itself is invalid — the same error `read_to_string` would
-            // have raised.
-            let chunk_parsed = {
-                let text = std::str::from_utf8(&self.pending[..cut]).map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("invalid UTF-8 in log: {e}"),
-                    )
-                })?;
-                parse_lines_parallel_inner(text, &self.parse, None)
+            let raw = &self.pending[..cut];
+            let (records, quarantine, nlines) = match std::str::from_utf8(raw) {
+                Ok(text) => ingest_text(text, &self.format, self.lines, &mut self.max_key),
+                Err(_) => ingest_bytes(raw, &self.format, self.lines, &mut self.max_key),
             };
+            self.lines += nlines;
             self.bytes += cut;
             self.chunks += 1;
             self.pending.drain(..cut);
-            return Ok(Some(chunk_parsed));
+            return Ok(Some(IngestChunk {
+                records,
+                quarantine,
+            }));
         }
     }
 
@@ -369,6 +499,220 @@ where
     pub fn chunks_read(&self) -> u64 {
         self.chunks
     }
+
+    /// Total lines consumed so far (blank lines included).
+    pub fn lines_seen(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// Per-shard outcome of the parallel chunk ingest: records, their local
+/// line indices (only tracked for ordered formats), and failed lines
+/// with their classification.
+struct ShardOut<T> {
+    records: Vec<T>,
+    record_lines: Vec<u64>,
+    bad: Vec<(u64, QuarantineReason, String)>,
+    lines: u64,
+}
+
+/// How many bad-line snippets each shard retains (counts are always
+/// exact; snippets exist only to feed the bounded sample set).
+const SHARD_SNIPPET_CAP: usize = 16;
+
+fn ingest_shard<T>(shard: &str, format: &LineFormat<T>) -> ShardOut<T> {
+    let track_lines = format.order_key.is_some();
+    let mut out = ShardOut {
+        records: Vec::new(),
+        record_lines: Vec::new(),
+        bad: Vec::new(),
+        lines: 0,
+    };
+    for (i, line) in shard.lines().enumerate() {
+        out.lines = i as u64 + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match (format.parse)(line) {
+            Some(rec) => {
+                if track_lines {
+                    out.record_lines.push(i as u64);
+                }
+                out.records.push(rec);
+            }
+            None => {
+                let reason = (format.classify)(line);
+                let snippet = if out.bad.len() < SHARD_SNIPPET_CAP {
+                    line.chars().take(96).collect()
+                } else {
+                    String::new()
+                };
+                out.bad.push((i as u64, reason, snippet));
+            }
+        }
+    }
+    out
+}
+
+/// Ingest one valid-UTF-8 chunk: shard-parallel parse + classify, then a
+/// sequential gather applying line numbering and the cross-chunk
+/// ordering check. `line_base` is the count of lines consumed before
+/// this chunk; returns `(records, quarantine, lines_in_chunk)`.
+fn ingest_text<T>(
+    text: &str,
+    format: &LineFormat<T>,
+    line_base: u64,
+    max_key: &mut Option<i64>,
+) -> (Vec<T>, Quarantine, u64)
+where
+    T: Send,
+{
+    let workers = astra_util::par::worker_count(text.len() / 4096 + 1);
+    let outs: Vec<ShardOut<T>> = if workers <= 1 || text.len() < 64 * 1024 {
+        vec![ingest_shard(text, format)]
+    } else {
+        let shards = split_line_shards(text, workers);
+        astra_util::par::par_map(&shards, |shard| ingest_shard(shard, format))
+    };
+
+    let mut records = Vec::with_capacity(outs.iter().map(|o| o.records.len()).sum());
+    let mut quarantine = Quarantine::default();
+    let mut base = line_base;
+    for out in outs {
+        let shard_lines = out.lines;
+        match format.order_key {
+            None => records.extend(out.records),
+            Some(keyf) => {
+                // Fast scan: if the whole shard is in order relative to
+                // the running maximum (the overwhelmingly common case),
+                // move the records wholesale.
+                let mut mx = *max_key;
+                let mut violation = false;
+                for rec in &out.records {
+                    let k = keyf(rec);
+                    if mx.is_some_and(|m| k < m) {
+                        violation = true;
+                        break;
+                    }
+                    mx = Some(k);
+                }
+                if !violation {
+                    *max_key = mx;
+                    records.extend(out.records);
+                } else {
+                    for (i, rec) in out.records.into_iter().enumerate() {
+                        let k = keyf(&rec);
+                        if let Some(m) = *max_key {
+                            if k < m {
+                                let line_no = base + out.record_lines[i] + 1;
+                                quarantine.note(
+                                    line_no,
+                                    QuarantineReason::OutOfOrder,
+                                    format!("record key {k} precedes running maximum {m}")
+                                        .as_bytes(),
+                                );
+                                continue;
+                            }
+                        }
+                        *max_key = Some(k);
+                        records.push(rec);
+                    }
+                }
+            }
+        }
+        for (line, reason, snippet) in out.bad {
+            quarantine.note(base + line + 1, reason, snippet.as_bytes());
+        }
+        base += shard_lines;
+    }
+    (records, quarantine, base - line_base)
+}
+
+/// Sequential fallback for a chunk containing invalid UTF-8: every line
+/// is validated individually so only the offending lines are quarantined
+/// as [`QuarantineReason::BadUtf8`] — the rest of the chunk parses
+/// normally (ordering check included).
+fn ingest_bytes<T>(
+    raw: &[u8],
+    format: &LineFormat<T>,
+    line_base: u64,
+    max_key: &mut Option<i64>,
+) -> (Vec<T>, Quarantine, u64) {
+    let mut records = Vec::new();
+    let mut quarantine = Quarantine::default();
+    let mut lines = 0u64;
+    let mut start = 0usize;
+    while start < raw.len() {
+        let end = raw[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| start + p)
+            .unwrap_or(raw.len());
+        let mut line_bytes = &raw[start..end];
+        if let [head @ .., b'\r'] = line_bytes {
+            line_bytes = head;
+        }
+        let line_no = line_base + lines + 1;
+        lines += 1;
+        start = end + 1;
+        match std::str::from_utf8(line_bytes) {
+            Err(_) => quarantine.note(line_no, QuarantineReason::BadUtf8, line_bytes),
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match (format.parse)(line) {
+                    Some(rec) => {
+                        if let Some(keyf) = format.order_key {
+                            let k = keyf(&rec);
+                            if let Some(m) = *max_key {
+                                if k < m {
+                                    quarantine.note(
+                                        line_no,
+                                        QuarantineReason::OutOfOrder,
+                                        format!("record key {k} precedes running maximum {m}")
+                                            .as_bytes(),
+                                    );
+                                    continue;
+                                }
+                            }
+                            *max_key = Some(k);
+                        }
+                        records.push(rec);
+                    }
+                    None => quarantine.note(line_no, (format.classify)(line), line.as_bytes()),
+                }
+            }
+        }
+    }
+    (records, quarantine, lines)
+}
+
+/// Cut `text` into at most `workers` shards on line boundaries (the
+/// shard splitter shared by the legacy whole-text parser and the chunk
+/// ingester).
+fn split_line_shards(text: &str, workers: usize) -> Vec<&str> {
+    let mut shards: Vec<&str> = Vec::with_capacity(workers);
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    for w in 1..workers {
+        let target = (text.len() * w) / workers;
+        if target <= start {
+            continue;
+        }
+        let end = match bytes[target..].iter().position(|&b| b == b'\n') {
+            Some(off) => target + off + 1,
+            None => text.len(),
+        };
+        if end > start {
+            shards.push(&text[start..end]);
+            start = end;
+        }
+    }
+    if start < text.len() {
+        shards.push(&text[start..]);
+    }
+    shards
 }
 
 /// Shard-level parse metrics: how many shards ran and how evenly the
@@ -490,6 +834,12 @@ mod tests {
         assert_eq!(seq.skipped, par.skipped);
     }
 
+    /// Lenient policy with an unlimited error budget, used where tests
+    /// care about *what* was quarantined rather than the budget.
+    fn tolerant() -> IngestOptions {
+        IngestOptions::lenient(Some(1.0))
+    }
+
     #[test]
     fn streaming_matches_whole_text_across_chunk_sizes() {
         // Corrupt lines and records must land on chunk boundaries for at
@@ -497,7 +847,7 @@ mod tests {
         // whole-text parse.
         let mut text = String::new();
         for i in 0..400 {
-            text.push_str(&ce(i % 1440).to_line());
+            text.push_str(&ce(i).to_line());
             text.push('\n');
             if i % 7 == 0 {
                 text.push_str("corrupt line straddling chunks maybe\n");
@@ -506,13 +856,19 @@ mod tests {
                 text.push('\n');
             }
         }
-        text.push_str(&ce(3).to_line()); // no trailing newline
+        text.push_str(&ce(1400).to_line()); // no trailing newline
         let whole = read_lines(text.as_bytes(), CeRecord::parse_line).unwrap();
         for chunk_bytes in [1, 7, 64, 1000, 1 << 20] {
-            let (streamed, bytes, chunks) =
-                parse_stream_chunked(text.as_bytes(), CeRecord::parse_line, chunk_bytes).unwrap();
+            let (streamed, quarantine, bytes, chunks) =
+                parse_stream_chunked(text.as_bytes(), crate::ce::FORMAT, &tolerant(), chunk_bytes)
+                    .unwrap();
             assert_eq!(streamed.records, whole.records, "chunk={chunk_bytes}");
             assert_eq!(streamed.skipped, whole.skipped, "chunk={chunk_bytes}");
+            assert_eq!(
+                quarantine.count(QuarantineReason::UnknownFormat),
+                whole.skipped,
+                "chunk={chunk_bytes}"
+            );
             assert_eq!(bytes, text.len());
             assert!(chunks >= 1);
         }
@@ -520,20 +876,241 @@ mod tests {
 
     #[test]
     fn streaming_empty_input() {
-        let (parsed, bytes, chunks) =
-            parse_stream_chunked(&b""[..], CeRecord::parse_line, 1024).unwrap();
+        let (parsed, quarantine, bytes, chunks) =
+            parse_stream_chunked(&b""[..], crate::ce::FORMAT, &IngestOptions::default(), 1024)
+                .unwrap();
         assert!(parsed.records.is_empty());
         assert_eq!(parsed.skipped, 0);
+        assert!(quarantine.is_empty());
         assert_eq!((bytes, chunks), (0, 0));
     }
 
     #[test]
-    fn streaming_rejects_invalid_utf8_like_read_to_string() {
+    fn strict_mode_aborts_with_typed_report() {
         let mut bytes = ce(1).to_line().into_bytes();
         bytes.push(b'\n');
         bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
-        let err = parse_stream_chunked(bytes.as_slice(), CeRecord::parse_line, 16).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = parse_stream_chunked(
+            bytes.as_slice(),
+            crate::ce::FORMAT,
+            &IngestOptions::default(),
+            1 << 20,
+        )
+        .unwrap_err();
+        match err {
+            IngestError::Corrupt {
+                quarantine,
+                lines_ok,
+            } => {
+                assert_eq!(quarantine.count(QuarantineReason::BadUtf8), 1);
+                assert_eq!(lines_ok, 1);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_quarantines_bad_utf8_per_line_at_any_chunk_size() {
+        // A non-UTF-8 line between two valid records. Tiny chunk sizes
+        // force the garbage to straddle the reader's internal cut points
+        // — it must be quarantined exactly once, never panic, never take
+        // neighbouring lines down with it.
+        let mut bytes = ce(1).to_line().into_bytes();
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&[0xC3, 0x28, 0xFF, b'g', b'a', b'r', b'b', b'\n']);
+        bytes.extend_from_slice(ce(2).to_line().as_bytes());
+        bytes.push(b'\n');
+        for chunk_bytes in [1, 2, 3, 5, 16, 1 << 20] {
+            let (parsed, quarantine, ..) = parse_stream_chunked(
+                bytes.as_slice(),
+                crate::ce::FORMAT,
+                &tolerant(),
+                chunk_bytes,
+            )
+            .unwrap();
+            assert_eq!(parsed.records.len(), 2, "chunk={chunk_bytes}");
+            assert_eq!(
+                quarantine.count(QuarantineReason::BadUtf8),
+                1,
+                "chunk={chunk_bytes}"
+            );
+            assert_eq!(quarantine.total(), 1, "chunk={chunk_bytes}");
+            assert_eq!(quarantine.samples[0].line_no, 2, "chunk={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn multibyte_utf8_straddling_chunks_is_not_dropped() {
+        // A foreign line full of multi-byte characters: chunk cuts land
+        // inside the é/μ sequences for small sizes. The line must
+        // survive intact and classify as UnknownFormat (it is valid
+        // UTF-8, just not one of our records).
+        let mut text = ce(1).to_line();
+        text.push('\n');
+        text.push_str("Mär  4 12:01:00 café sshd[µ]: sesión désactivée\n");
+        text.push_str(&ce(2).to_line());
+        text.push('\n');
+        for chunk_bytes in [1, 2, 3, 4, 7, 1 << 20] {
+            let (parsed, quarantine, bytes, _) =
+                parse_stream_chunked(text.as_bytes(), crate::ce::FORMAT, &tolerant(), chunk_bytes)
+                    .unwrap();
+            assert_eq!(parsed.records.len(), 2, "chunk={chunk_bytes}");
+            assert_eq!(
+                quarantine.count(QuarantineReason::UnknownFormat),
+                1,
+                "chunk={chunk_bytes}"
+            );
+            assert_eq!(bytes, text.len(), "chunk={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_records_quarantined_across_chunks() {
+        // t=0,1,2, then a displaced t=1 record, then t=3. Equal keys are
+        // fine; strictly-regressing keys are quarantined — at every
+        // chunk size, including cuts that isolate the displaced record.
+        let mut text = String::new();
+        for t in [0, 1, 1, 2, 1, 3] {
+            text.push_str(&ce(t).to_line());
+            text.push('\n');
+        }
+        for chunk_bytes in [1, 40, 200, 1 << 20] {
+            let (parsed, quarantine, ..) =
+                parse_stream_chunked(text.as_bytes(), crate::ce::FORMAT, &tolerant(), chunk_bytes)
+                    .unwrap();
+            assert_eq!(parsed.records.len(), 5, "chunk={chunk_bytes}");
+            assert_eq!(
+                quarantine.count(QuarantineReason::OutOfOrder),
+                1,
+                "chunk={chunk_bytes}"
+            );
+            assert_eq!(quarantine.samples[0].line_no, 5, "chunk={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn unordered_formats_skip_the_order_check() {
+        // sensors.log is node-major: regressing timestamps are normal.
+        let s = |minute: i64, node: u32| {
+            SensorRecord {
+                time: CalDate::new(2019, 4, 1).midnight().plus(minute),
+                node: NodeId(node),
+                sensor: SensorId::cpu(SocketId(0)),
+                value: Some(60.0),
+            }
+            .to_line()
+        };
+        let text = format!("{}\n{}\n{}\n", s(5, 1), s(6, 1), s(0, 2));
+        let (parsed, quarantine, ..) = parse_stream_chunked(
+            text.as_bytes(),
+            crate::sensor::FORMAT,
+            &IngestOptions::default(),
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(parsed.records.len(), 3);
+        assert!(quarantine.is_empty());
+    }
+
+    #[test]
+    fn lenient_budget_exceeded_is_typed_error() {
+        let mut text = ce(1).to_line();
+        text.push('\n');
+        text.push_str("junk\n");
+        // 50 % bad against a 5 % budget.
+        let err = parse_stream_chunked(
+            text.as_bytes(),
+            crate::ce::FORMAT,
+            &IngestOptions::lenient(Some(0.05)),
+            1 << 20,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IngestError::Corrupt { .. }), "{err:?}");
+        // The same input inside budget parses fine.
+        let (parsed, quarantine, ..) = parse_stream_chunked(
+            text.as_bytes(),
+            crate::ce::FORMAT,
+            &IngestOptions::lenient(Some(0.5)),
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(quarantine.total(), 1);
+    }
+
+    /// Reader that fails the first `failures` reads with `kind`, then
+    /// delegates to the inner slice.
+    struct FlakyReader<'a> {
+        inner: &'a [u8],
+        failures: u32,
+        kind: io::ErrorKind,
+    }
+
+    impl Read for FlakyReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(io::Error::new(self.kind, "transient"));
+            }
+            self.inner.read(buf)
+        }
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried() {
+        let text = format!("{}\n", ce(1).to_line());
+        let flaky = FlakyReader {
+            inner: text.as_bytes(),
+            failures: 3,
+            kind: io::ErrorKind::Other,
+        };
+        let opts = IngestOptions {
+            retry: RetryPolicy {
+                max_retries: 4,
+                backoff_base_ms: 0,
+            },
+            ..IngestOptions::default()
+        };
+        let (parsed, ..) = parse_stream_chunked(flaky, crate::ce::FORMAT, &opts, 1 << 20).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+    }
+
+    #[test]
+    fn retries_exhausted_surface_the_error() {
+        let text = format!("{}\n", ce(1).to_line());
+        let flaky = FlakyReader {
+            inner: text.as_bytes(),
+            failures: 10,
+            kind: io::ErrorKind::Other,
+        };
+        let opts = IngestOptions {
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_base_ms: 0,
+            },
+            ..IngestOptions::default()
+        };
+        let err = parse_stream_chunked(flaky, crate::ce::FORMAT, &opts, 1 << 20).unwrap_err();
+        assert!(matches!(err, IngestError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn interrupted_reads_never_count_against_retries() {
+        let text = format!("{}\n", ce(1).to_line());
+        let flaky = FlakyReader {
+            inner: text.as_bytes(),
+            failures: 50,
+            kind: io::ErrorKind::Interrupted,
+        };
+        let opts = IngestOptions {
+            retry: RetryPolicy {
+                max_retries: 0,
+                backoff_base_ms: 0,
+            },
+            ..IngestOptions::default()
+        };
+        let (parsed, ..) = parse_stream_chunked(flaky, crate::ce::FORMAT, &opts, 1 << 20).unwrap();
+        assert_eq!(parsed.records.len(), 1);
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! * [`io`] — line-oriented writers and fault-tolerant readers for the
 //!   above, so the analyzer consumes exactly what a site would have on
 //!   disk.
+//! * [`quarantine`] — the typed bad-line taxonomy and strict/lenient
+//!   ingest policy the readers apply to dirty production logs.
+//! * [`chaos`] — deterministic fault injection (truncation, bit flips,
+//!   non-UTF-8 garbage, reordering, foreign lines, torn writes, flaky
+//!   readers) used to prove the readers degrade gracefully.
 //!
 //! The analyzer crate (`astra-core`) is deliberately restricted to these
 //! textual interfaces: it never peeks at simulator internals, which keeps
@@ -33,14 +38,19 @@
 
 pub mod buffer;
 pub mod ce;
+pub mod chaos;
 pub mod het;
 pub mod inventory;
 pub mod io;
 mod kv;
+pub mod quarantine;
 pub mod sensor;
 
 pub use buffer::CeLogBuffer;
 pub use ce::CeRecord;
 pub use het::{HetKind, HetRecord, HetSeverity};
 pub use inventory::{Component, ReplacementRecord};
+pub use quarantine::{
+    IngestMode, IngestOptions, LineFormat, Quarantine, QuarantineReason, RetryPolicy,
+};
 pub use sensor::SensorRecord;

@@ -12,6 +12,7 @@ use astra_topology::{NodeId, SensorId, SensorKind};
 use astra_util::Minute;
 
 use crate::kv;
+use crate::quarantine::{LineFormat, QuarantineReason};
 
 /// One sensor reading.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +76,19 @@ impl SensorRecord {
         })
     }
 
+    /// Classify a line [`SensorRecord::parse_line`] rejected (see
+    /// [`crate::ce::CeRecord::classify_bad_line`] for the heuristic).
+    pub fn classify_bad_line(line: &str) -> QuarantineReason {
+        if !line.contains(" BMC:") {
+            return QuarantineReason::UnknownFormat;
+        }
+        if line.contains("sensor=") && line.contains("value=") {
+            QuarantineReason::FieldOutOfRange
+        } else {
+            QuarantineReason::Truncated
+        }
+    }
+
     /// The paper's validity filter: readable, and physically plausible for
     /// the sensor kind. Implausible power values model the "clearly
     /// invalid" DC readings §2.2 mentions.
@@ -88,6 +102,16 @@ impl SensorRecord {
         plausible.then_some(v)
     }
 }
+
+/// Ingest descriptor for `sensors.log`. The file is written node-major
+/// (all of one node's samples, then the next node's), so it carries **no
+/// ordering contract** — `order_key` is `None` and out-of-order
+/// detection does not apply.
+pub const FORMAT: LineFormat<SensorRecord> = LineFormat {
+    parse: SensorRecord::parse_line,
+    classify: SensorRecord::classify_bad_line,
+    order_key: None,
+};
 
 #[cfg(test)]
 mod tests {

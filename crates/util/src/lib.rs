@@ -16,14 +16,18 @@
 //! * [`par`] — scoped-thread data parallelism (`par_map`, `par_fold`) used to
 //!   fan simulation and analysis out across cores without adding a thread
 //!   pool dependency.
+//! * [`crc`] — CRC-32 checksums guarding checkpoint sections against torn
+//!   writes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod dist;
 pub mod par;
 pub mod rng;
 pub mod time;
 
+pub use crc::crc32;
 pub use rng::{splitmix64, DetRng, StreamKey};
 pub use time::{CalDate, Minute, MINUTES_PER_DAY};

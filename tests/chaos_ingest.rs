@@ -1,0 +1,344 @@
+//! Corruption-tolerance equivalence: a lenient ingest over a
+//! chaos-corrupted dataset must produce byte-for-byte the output of a
+//! clean dataset with exactly the quarantined records removed — no more,
+//! no less — at any worker count; strict mode must refuse the corrupted
+//! dataset with a typed report; and a checkpoint write torn mid-flight
+//! must be detected and salvage-resumed with identical stdout.
+//!
+//! Subprocesses, not in-process calls, because stdout is the contract
+//! under test and the metric registry is process-global. The chaos
+//! injection itself runs in-process (`astra_logs::chaos`) so the test
+//! can use the manifest's damaged-line list to rebuild the expected
+//! clean dataset.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use astra_logs::chaos;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_astra-mem")
+}
+
+/// Unique per call; removed on drop even if the test panics.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "astra-chaos-ingest-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn join(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Run the binary with optional env overrides; return the raw output.
+fn run(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn astra-mem")
+}
+
+/// Run, asserting success; return stdout verbatim.
+fn stdout_of(args: &[&str], envs: &[(&str, &str)]) -> Vec<u8> {
+    let out = run(args, envs);
+    assert!(
+        out.status.success(),
+        "astra-mem {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn generate(dir: &Path) {
+    stdout_of(
+        &[
+            "generate",
+            "--racks",
+            "1",
+            "--seed",
+            "42",
+            "--out",
+            dir.to_str().unwrap(),
+        ],
+        &[],
+    );
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// A generated dataset, a chaos-corrupted copy, and the expected clean
+/// dataset (clean minus exactly the records the chaos manifest damaged).
+fn corrupted_fixture(tmp: &TempDir, seed: u64) -> (PathBuf, PathBuf, chaos::ChaosManifest) {
+    let clean = tmp.join("clean");
+    generate(&clean);
+    let corrupt = tmp.join("corrupt");
+    copy_dir(&clean, &corrupt);
+    let manifest = chaos::corrupt_dir(&corrupt, &chaos::ChaosConfig::with_seed(seed)).unwrap();
+    assert!(
+        manifest.total().total() > 0,
+        "chaos must inject at least some corruption"
+    );
+
+    let expected = tmp.join("expected");
+    copy_dir(&clean, &expected);
+    for file in &manifest.files {
+        let text = std::fs::read_to_string(clean.join(&file.name)).unwrap();
+        let damaged: std::collections::HashSet<usize> =
+            file.damaged_clean_lines.iter().copied().collect();
+        let mut kept = String::with_capacity(text.len());
+        for (i, line) in text.lines().enumerate() {
+            if !damaged.contains(&i) {
+                kept.push_str(line);
+                kept.push('\n');
+            }
+        }
+        std::fs::write(expected.join(&file.name), kept).unwrap();
+    }
+    (corrupt, expected, manifest)
+}
+
+#[test]
+fn strict_mode_refuses_a_corrupted_dataset_with_a_typed_report() {
+    let tmp = TempDir::new("strict");
+    let (corrupt, _, _) = corrupted_fixture(&tmp, 7);
+    let corrupt = corrupt.to_str().unwrap();
+
+    for cmd in ["analyze", "stream-analyze"] {
+        let out = run(&[cmd, corrupt, "--racks", "1"], &[]);
+        assert!(
+            !out.status.success(),
+            "{cmd} must refuse a corrupted dataset under the strict default"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("corrupt") && stderr.contains("quarantined"),
+            "{cmd} stderr must carry the typed report: {stderr}"
+        );
+        assert!(
+            stderr.contains("--lenient"),
+            "{cmd} stderr must hint at the lenient escape hatch: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn lenient_output_equals_clean_minus_quarantined_at_any_worker_count() {
+    let tmp = TempDir::new("equiv");
+    let (corrupt, expected, _) = corrupted_fixture(&tmp, 7);
+    let corrupt = corrupt.to_str().unwrap();
+    let expected = expected.to_str().unwrap();
+
+    // `--max-bad-frac 0.5`: the tiny het.log legitimately loses a third
+    // of its lines to the (scaled-down) injection, which the 5% default
+    // budget would rightly refuse.
+    for workers in ["1", "2", "4"] {
+        let envs = [("ASTRA_WORKERS", workers)];
+        let want = stdout_of(&["analyze", expected, "--racks", "1"], &envs);
+        assert!(!want.is_empty());
+        let got = stdout_of(
+            &[
+                "analyze",
+                corrupt,
+                "--racks",
+                "1",
+                "--lenient",
+                "--max-bad-frac",
+                "0.5",
+            ],
+            &envs,
+        );
+        assert_eq!(
+            got,
+            want,
+            "lenient analyze over corrupted logs differs from clean-minus-quarantined \
+             at {workers} workers:\n--- expected ---\n{}\n--- got ---\n{}",
+            String::from_utf8_lossy(&want),
+            String::from_utf8_lossy(&got)
+        );
+    }
+
+    // The streaming engine enforces the same policy over the same merge.
+    let want = stdout_of(&["stream-analyze", expected, "--racks", "1"], &[]);
+    let got = stdout_of(
+        &[
+            "stream-analyze",
+            corrupt,
+            "--racks",
+            "1",
+            "--lenient",
+            "--max-bad-frac",
+            "0.5",
+        ],
+        &[],
+    );
+    assert_eq!(got, want, "stream-analyze lenient equivalence broken");
+
+    // `report` additionally consumes het, inventory, and sensor records,
+    // so this equivalence proves quarantining is exact on every log.
+    let want = stdout_of(&["report", expected, "--racks", "1", "--seed", "42"], &[]);
+    let got = stdout_of(
+        &[
+            "report",
+            corrupt,
+            "--racks",
+            "1",
+            "--seed",
+            "42",
+            "--lenient",
+            "--max-bad-frac",
+            "0.5",
+        ],
+        &[],
+    );
+    assert_eq!(got, want, "report lenient equivalence broken");
+}
+
+#[test]
+fn fsck_report_matches_the_injected_manifest_exactly() {
+    let tmp = TempDir::new("fsck");
+    let (corrupt, expected, manifest) = corrupted_fixture(&tmp, 11);
+
+    // Corrupted dataset: per-file counts must equal what chaos injected,
+    // and finding corruption is a nonzero exit.
+    let out = run(&["fsck", corrupt.to_str().unwrap()], &[]);
+    assert!(!out.status.success(), "fsck of a dirty dataset must fail");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        manifest.report(),
+        "fsck report differs from the injected-corruption manifest"
+    );
+
+    // The rebuilt expected dataset is clean, and clean is exit 0.
+    let out = run(&["fsck", expected.to_str().unwrap()], &[]);
+    assert!(out.status.success(), "fsck of a clean dataset must pass");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("total: clean"),
+        "clean fsck report: {stdout}"
+    );
+}
+
+#[test]
+fn torn_checkpoint_is_salvaged_and_resume_output_is_identical() {
+    let tmp = TempDir::new("torn");
+    let logs = tmp.join("logs");
+    generate(&logs);
+    let logs = logs.to_str().unwrap();
+    let ck = tmp.join("ck.txt");
+    let ck_str = ck.to_str().unwrap();
+
+    let batch = stdout_of(&["analyze", logs, "--racks", "1"], &[]);
+
+    // Interrupt mid-stream with a complete checkpoint on disk...
+    let first = stdout_of(
+        &[
+            "stream-analyze",
+            logs,
+            "--racks",
+            "1",
+            "--stop-after",
+            "20000",
+            "--checkpoint",
+            ck_str,
+        ],
+        &[],
+    );
+    assert!(first.is_empty(), "interrupted run leaked stdout");
+
+    // ...then tear a later checkpoint write: a partial next snapshot
+    // strands in `ck.txt.tmp`, the rename never happens.
+    let snapshot = std::fs::read(&ck).unwrap();
+    chaos::tear_checkpoint(&ck, &snapshot, (snapshot.len() / 2) as u64).unwrap();
+
+    let out = run(
+        &["stream-analyze", logs, "--racks", "1", "--resume", ck_str],
+        &[],
+    );
+    assert!(
+        out.status.success(),
+        "salvage resume failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("torn checkpoint"),
+        "resume must report the torn file it skipped: {stderr}"
+    );
+    assert_eq!(
+        out.stdout, batch,
+        "salvage-resumed stream-analyze differs from analyze"
+    );
+
+    // The complementary tear: the next snapshot was written out in full
+    // but the rename never happened — the fresher `.tmp` must win.
+    let fresher = TempDir::new("fresher");
+    let logs2 = fresher.join("logs");
+    generate(&logs2);
+    let logs2 = logs2.to_str().unwrap();
+    let ck_a = fresher.join("a.txt");
+    let ck_b = fresher.join("b.txt");
+    for (path, stop) in [(&ck_a, "20000"), (&ck_b, "40000")] {
+        stdout_of(
+            &[
+                "stream-analyze",
+                logs2,
+                "--racks",
+                "1",
+                "--stop-after",
+                stop,
+                "--checkpoint",
+                path.to_str().unwrap(),
+            ],
+            &[],
+        );
+    }
+    // a.txt = older checkpoint; a.txt.tmp = complete fresher snapshot.
+    let complete = std::fs::read(&ck_b).unwrap();
+    chaos::tear_checkpoint(&ck_a, &complete, complete.len() as u64).unwrap();
+    let out = run(
+        &[
+            "stream-analyze",
+            logs2,
+            "--racks",
+            "1",
+            "--resume",
+            ck_a.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("salvaged checkpoint"),
+        "resume must report salvaging the fresher snapshot: {stderr}"
+    );
+    assert_eq!(
+        out.stdout, batch,
+        "resume from the salvaged fresher snapshot differs from analyze"
+    );
+}

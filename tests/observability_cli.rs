@@ -136,18 +136,23 @@ fn corrupt_lines_surface_in_skip_counters() {
     }
     std::fs::write(&ce, text).unwrap();
 
+    // Strict is the default, so quarantining requires opting in.
     let metrics = dir.join("m.json");
     run(&[
         "analyze",
         dir.path().to_str().unwrap(),
         "--racks",
         "1",
+        "--lenient",
         "--metrics-out",
         metrics.to_str().unwrap(),
     ]);
     let jsonl = std::fs::read_to_string(&metrics).unwrap();
     let skipped = metric_value(&jsonl, "parse.ce.lines_skipped").expect("skip counter");
     assert_eq!(skipped, 5.0, "each injected corrupt line must be counted");
+    let reason = metric_value(&jsonl, "ingest.quarantined.unknown-format")
+        .expect("typed quarantine counter");
+    assert_eq!(reason, 5.0, "injected lines classify as unknown-format");
 }
 
 #[test]
@@ -239,7 +244,7 @@ fn stats_without_metrics_file_prints_actionable_hint() {
 }
 
 #[test]
-fn load_errors_distinguish_missing_from_unreadable() {
+fn load_errors_distinguish_missing_from_corrupt() {
     let dir = TempDir::new("loaderr");
     generate(dir.path());
 
@@ -254,7 +259,8 @@ fn load_errors_distinguish_missing_from_unreadable() {
     assert!(err.contains("missing") && err.contains("ce.log"), "{err}");
     assert!(err.contains("hint:") && err.contains("generate"), "{err}");
 
-    // Present but undecodable → "unreadable" plus a different hint.
+    // Present but undecodable → the strict default refuses with a typed
+    // quarantine report and points at fsck / --lenient.
     std::fs::write(dir.join("ce.log"), [0xFF, 0xFE, b'\n']).unwrap();
     let out = Command::new(bin())
         .args(["report", dir.path().to_str().unwrap(), "--racks", "1"])
@@ -262,11 +268,12 @@ fn load_errors_distinguish_missing_from_unreadable() {
         .expect("spawn");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("corrupt") && err.contains("ce.log"), "{err}");
+    assert!(err.contains("bad-utf8"), "typed reason in report: {err}");
     assert!(
-        err.contains("unreadable") && err.contains("ce.log"),
+        err.contains("hint:") && err.contains("--lenient") && err.contains("fsck"),
         "{err}"
     );
-    assert!(err.contains("hint:") && err.contains("UTF-8"), "{err}");
 }
 
 #[test]

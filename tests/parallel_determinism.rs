@@ -7,7 +7,7 @@
 //! pin that down by forcing the worker override (`astra_util::par`'s
 //! `ASTRA_WORKERS` hook) to 1 and then to several workers and comparing
 //! whole structures. They also cover the distinguishable
-//! missing-vs-unreadable error from `AnalysisInput::from_dir`.
+//! missing-vs-corrupt error from `AnalysisInput::from_dir`.
 
 use std::sync::Mutex;
 
@@ -180,7 +180,7 @@ impl Drop for TempDirGuard {
 }
 
 #[test]
-fn from_dir_distinguishes_missing_from_unreadable() {
+fn from_dir_distinguishes_missing_from_corrupt() {
     let ds = Dataset::generate(1, 42);
     let guard = TempDirGuard::new("loaderr");
     ds.write_logs(&guard.0).unwrap();
@@ -195,15 +195,16 @@ fn from_dir_distinguishes_missing_from_unreadable() {
         other => panic!("expected MissingLog, got {other:?}"),
     }
 
-    // A present but undecodable log → Unreadable carrying the source.
+    // A present but undecodable log → the strict default reports it
+    // corrupt with a typed quarantine.
     std::fs::write(guard.0.join("ce.log"), [0xFF, 0xFE, b'\n']).unwrap();
     match AnalysisInput::from_dir(&guard.0) {
-        Err(e @ LoadError::Unreadable { name, .. }) => {
+        Err(e @ LoadError::Corrupt { name, .. }) => {
             assert_eq!(name, "ce.log");
-            assert!(std::error::Error::source(&e).is_some());
-            assert!(e.to_string().contains("unreadable"));
+            assert!(e.to_string().contains("corrupt"));
+            assert!(e.to_string().contains("bad-utf8"));
         }
-        other => panic!("expected Unreadable, got {other:?}"),
+        other => panic!("expected Corrupt, got {other:?}"),
     }
 }
 

@@ -32,23 +32,33 @@ bench — astra-mem pipeline benchmark driver
 
 USAGE:
     bench pipeline [--racks LIST] [--seed S] [--out FILE] [--check-floor FILE]
+                   [--check-thresholds FILE]
 
 OPTIONS:
-    --racks LIST        comma-separated rack counts (default 4,12,36)
-    --seed S            master seed (default 42)
-    --out FILE          JSON report path (default BENCH_pipeline.json)
-    --check-floor FILE  fail if any stage exceeds 3x the floor time
+    --racks LIST             comma-separated rack counts (default 4,12,36)
+    --seed S                 master seed (default 42)
+    --out FILE               JSON report path (default BENCH_pipeline.json)
+    --check-floor FILE       fail if any stage exceeds 3x the floor time
+    --check-thresholds FILE  run the stats --check regression gate against
+                             each scale's metrics (p99, quarantine rate,
+                             working set); fail on any violation
 ";
 
 /// How much slower than the floor a stage may run before the smoke check
 /// fails. Generous because CI machines are shared and slow.
 const FLOOR_TOLERANCE: f64 = 3.0;
 
+/// The span instrumentation with tracing *disabled* must cost less than
+/// this fraction of pipeline wall time, or the run fails: the whole
+/// design rests on the timeline being free when off.
+const SPAN_OVERHEAD_LIMIT: f64 = 0.02;
+
 struct Args {
     racks: Vec<u32>,
     seed: u64,
     out: PathBuf,
     check_floor: Option<PathBuf>,
+    check_thresholds: Option<PathBuf>,
 }
 
 /// One measured pipeline stage: `(label, wall seconds)`.
@@ -63,6 +73,11 @@ struct ScaleResult {
     workingset_bytes: f64,
     stream_workingset_bytes: f64,
     stages: Vec<Stage>,
+    /// Completed spans across the whole scale run (sum of every `time.*`
+    /// histogram count) — the events `--trace-out` would have recorded.
+    span_count: u64,
+    /// This scale's final metric snapshot, for `--check-thresholds`.
+    snapshot: astra_obs::Snapshot,
 }
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -77,6 +92,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         seed: 42,
         out: PathBuf::from("BENCH_pipeline.json"),
         check_floor: None,
+        check_thresholds: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -104,6 +120,11 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--check-floor" => {
                 parsed.check_floor = Some(PathBuf::from(
                     args.next().ok_or("--check-floor needs a value")?,
+                ));
+            }
+            "--check-thresholds" => {
+                parsed.check_thresholds = Some(PathBuf::from(
+                    args.next().ok_or("--check-thresholds needs a value")?,
                 ));
             }
             other => return Err(format!("unknown argument {other}")),
@@ -134,19 +155,99 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    // The micro-stage: per-span cost of the disabled-tracing fast path,
+    // measured before the scales so it shares nothing with them.
+    let per_span_ns = measure_span_overhead_ns();
+    eprintln!("[bench] span overhead (tracing off): {per_span_ns:.0} ns/span");
+
     let mut results = Vec::new();
     for &racks in &args.racks {
         results.push(measure_scale(racks, args.seed)?);
     }
-    let report = render_report(args.seed, &results);
+    let report = render_report(args.seed, per_span_ns, &results);
     json::validate(&report).map_err(|e| format!("generated report is malformed: {e}"))?;
     std::fs::write(&args.out, &report)
         .map_err(|e| format!("writing {}: {e}", args.out.display()))?;
     eprintln!("[bench] wrote {}", args.out.display());
     print_table(&results);
+
+    // Gate: instrumentation cost extrapolated over each scale's actual
+    // span volume must stay under SPAN_OVERHEAD_LIMIT of its wall time.
+    for r in &results {
+        let frac = span_overhead_frac(per_span_ns, r);
+        eprintln!(
+            "[bench] {} racks: {} spans, instrumentation ~{:.3}% of pipeline time",
+            r.racks,
+            r.span_count,
+            100.0 * frac
+        );
+        if frac > SPAN_OVERHEAD_LIMIT {
+            return Err(format!(
+                "span instrumentation costs {:.2}% of the {}-rack pipeline \
+                 (limit {:.0}%): the disabled-tracing fast path regressed",
+                100.0 * frac,
+                r.racks,
+                100.0 * SPAN_OVERHEAD_LIMIT
+            ));
+        }
+    }
+
     if let Some(floor_path) = &args.check_floor {
         check_floor(floor_path, &args.out, &results)?;
         eprintln!("[bench] floor check passed ({FLOOR_TOLERANCE}x tolerance)");
+    }
+    if let Some(thresholds_path) = &args.check_thresholds {
+        check_thresholds(thresholds_path, &results)?;
+        eprintln!("[bench] threshold check passed at every scale");
+    }
+    Ok(())
+}
+
+/// Time the span fast path with tracing off: open and drop spans against
+/// a private registry in a tight loop. This is exactly what every
+/// instrumented stage pays per span in a production (untraced) run.
+fn measure_span_overhead_ns() -> f64 {
+    const WARMUP: u32 = 10_000;
+    const ITERS: u32 = 200_000;
+    let registry = astra_obs::Registry::new();
+    for _ in 0..WARMUP {
+        let _guard = astra_obs::span_in(&registry, "bench.span_overhead");
+    }
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        let _guard = astra_obs::span_in(&registry, "bench.span_overhead");
+    }
+    t.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+/// Instrumentation cost as a fraction of the scale's pipeline time: the
+/// measured per-span cost times the spans the run actually completed.
+fn span_overhead_frac(per_span_ns: f64, r: &ScaleResult) -> f64 {
+    let total_ns = total_secs(r) * 1e9;
+    if total_ns <= 0.0 {
+        return 0.0;
+    }
+    per_span_ns * r.span_count as f64 / total_ns
+}
+
+/// The `stats --check` regression gate, applied to every scale's final
+/// snapshot.
+fn check_thresholds(path: &std::path::Path, results: &[ScaleResult]) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let thresholds =
+        astra_obs::Thresholds::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    for r in results {
+        let report = astra_obs::check(&thresholds, &r.snapshot);
+        if !report.ok() {
+            eprintln!("[bench] {} racks:\n{}", r.racks, report.render());
+            return Err(format!(
+                "{} of {} threshold rules exceeded at {} racks",
+                report.violations(),
+                report.results.len(),
+                r.racks
+            ));
+        }
     }
     Ok(())
 }
@@ -247,6 +348,16 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
     }
     std::fs::remove_dir_all(&dir).ok();
 
+    let snapshot = astra_obs::global().snapshot();
+    let span_count = snapshot
+        .entries
+        .iter()
+        .filter_map(|(_, frozen)| match frozen {
+            astra_obs::Frozen::Timing(h) => Some(h.count),
+            _ => None,
+        })
+        .sum();
+
     Ok(ScaleResult {
         racks,
         nodes: ds.system.node_count(),
@@ -267,6 +378,8 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
             ("stream", stream_secs),
             ("fsck", fsck_secs),
         ],
+        span_count,
+        snapshot,
     })
 }
 
@@ -308,7 +421,7 @@ fn total_secs(r: &ScaleResult) -> f64 {
         .sum()
 }
 
-fn render_report(seed: u64, results: &[ScaleResult]) -> String {
+fn render_report(seed: u64, per_span_ns: f64, results: &[ScaleResult]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
@@ -319,6 +432,7 @@ fn render_report(seed: u64, results: &[ScaleResult]) -> String {
         "  \"workers\": {},",
         astra_util::par::worker_count(usize::MAX)
     );
+    let _ = writeln!(out, "  \"span_overhead_ns\": {per_span_ns:.1},");
     out.push_str("  \"scales\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -336,6 +450,12 @@ fn render_report(seed: u64, results: &[ScaleResult]) -> String {
             out,
             "      \"stream_workingset_mib\": {:.1},",
             r.stream_workingset_bytes / (1024.0 * 1024.0)
+        );
+        let _ = writeln!(out, "      \"span_count\": {},", r.span_count);
+        let _ = writeln!(
+            out,
+            "      \"span_overhead_frac\": {:.6},",
+            span_overhead_frac(per_span_ns, r)
         );
         out.push_str("      \"stages\": {\n");
         for (j, (label, secs)) in r.stages.iter().enumerate() {
@@ -447,12 +567,15 @@ mod tests {
             "/tmp/x.json",
             "--check-floor",
             "floor.json",
+            "--check-thresholds",
+            "thresholds.json",
         ]))
         .unwrap();
         assert_eq!(a.racks, vec![2, 4]);
         assert_eq!(a.seed, 7);
         assert_eq!(a.out, PathBuf::from("/tmp/x.json"));
         assert_eq!(a.check_floor, Some(PathBuf::from("floor.json")));
+        assert_eq!(a.check_thresholds, Some(PathBuf::from("thresholds.json")));
     }
 
     #[test]
@@ -462,9 +585,8 @@ mod tests {
         assert!(parse_args(argv(&["pipeline", "--bogus"])).is_err());
     }
 
-    #[test]
-    fn report_is_valid_json() {
-        let results = vec![ScaleResult {
+    fn sample_result() -> ScaleResult {
+        ScaleResult {
             racks: 2,
             nodes: 144,
             ce_records: 1000,
@@ -478,13 +600,41 @@ mod tests {
                 ("parse", 0.25),
                 ("stream", 0.4),
             ],
-        }];
-        let report = render_report(42, &results);
+            span_count: 1500,
+            snapshot: astra_obs::Registry::new().snapshot(),
+        }
+    }
+
+    #[test]
+    fn report_is_valid_json() {
+        let results = vec![sample_result()];
+        let report = render_report(42, 120.0, &results);
         json::validate(&report).unwrap();
         assert_eq!(json::number_field(&report, "racks"), Some(2.0));
         assert_eq!(json::number_field(&report, "simulate"), Some(0.5));
         // total excludes the merge share (inside simulate) and the stream
         // pass (an alternative to parse+analyze, not a stage of it).
         assert_eq!(json::number_field(&report, "total_secs"), Some(0.75));
+        assert_eq!(json::number_field(&report, "span_overhead_ns"), Some(120.0));
+        assert_eq!(json::number_field(&report, "span_count"), Some(1500.0));
+    }
+
+    #[test]
+    fn span_overhead_fraction_scales_with_span_volume() {
+        let r = sample_result();
+        // 1500 spans at 100 ns over 0.75 s of pipeline: 0.02% — well
+        // under the 2% gate.
+        let frac = span_overhead_frac(100.0, &r);
+        assert!((frac - 0.0002).abs() < 1e-9, "{frac}");
+        assert!(frac < SPAN_OVERHEAD_LIMIT);
+    }
+
+    #[test]
+    fn span_overhead_micro_stage_returns_a_sane_cost() {
+        let per_span = measure_span_overhead_ns();
+        // A span is a string push, an Instant read, and a histogram
+        // insert; anything past 100 µs means the clock or the fast path
+        // is broken.
+        assert!(per_span > 0.0 && per_span < 100_000.0, "{per_span}");
     }
 }

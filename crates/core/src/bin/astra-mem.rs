@@ -6,6 +6,12 @@
 
 use std::process::ExitCode;
 
+/// Byte-counting wrapper around the system allocator. It powers the
+/// `mem.<path>` gauges and the flame table's memory columns; when
+/// tracing is off its cost is two thread-local adds per allocation.
+#[global_allocator]
+static ALLOC: astra_obs::CountingAlloc = astra_obs::CountingAlloc::new();
+
 fn main() -> ExitCode {
     astra_core::cli::main(std::env::args().skip(1))
 }

@@ -49,10 +49,11 @@ USAGE:
                                  [--resume FILE] [--stop-after N --checkpoint FILE]
     astra-mem report         DIR [--racks N] [--seed S]
     astra-mem triage         DIR [--racks N]
-    astra-mem stats          DIR [--racks N]
+    astra-mem stats          DIR [--racks N] [--check FILE]
     astra-mem predict        DIR [--racks N] [--seed S]
     astra-mem fsck           DIR
     astra-mem chaos          DIR [--seed S]
+    astra-mem trace          FILE
 
 COMMANDS:
     generate        simulate a machine; write ce/het/inventory/sensors logs
@@ -73,12 +74,22 @@ COMMANDS:
     chaos           deterministically corrupt a dataset in place (test tool:
                     bit flips, truncation, foreign lines, reordering) and
                     print the injected-corruption manifest in fsck's format
+    trace           read a Chrome trace JSON written by --trace-out and print
+                    the flame table: per-path invocation counts, total vs
+                    self time, and peak/net memory when the byte-counting
+                    allocator is measuring
 
 OPTIONS:
     --racks N             machine size in racks (default 4; Astra is 36)
     --seed S              master seed (default 42)
     --out DIR             output directory for generate
     --metrics-out FILE    write all metrics as JSON lines to FILE on exit
+    --trace-out FILE      record the span timeline and write it as Chrome
+                          trace-event JSON to FILE on exit (any command;
+                          view in chrome://tracing or ui.perfetto.dev, or
+                          render with `astra-mem trace FILE`)
+    --check FILE          (stats) compare live metrics against the JSON-lines
+                          threshold file; exit nonzero on any violation
     --lenient             quarantine unparseable lines instead of aborting
     --max-bad-frac F      per-file quarantine budget for --lenient
                           (fraction of lines, default 0.05; implies --lenient)
@@ -96,6 +107,8 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    check: Option<PathBuf>,
     lenient: bool,
     max_bad_frac: Option<f64>,
     checkpoint: Option<PathBuf>,
@@ -136,6 +149,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         seed: 42,
         out: None,
         metrics_out: None,
+        trace_out: None,
+        check: None,
         lenient: false,
         max_bad_frac: None,
         checkpoint: None,
@@ -154,6 +169,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
             "--seed" => parsed.seed = flag_value(&mut args, "--seed")?,
             "--out" => parsed.out = Some(flag_value(&mut args, "--out")?),
             "--metrics-out" => parsed.metrics_out = Some(flag_value(&mut args, "--metrics-out")?),
+            "--trace-out" => parsed.trace_out = Some(flag_value(&mut args, "--trace-out")?),
+            "--check" => parsed.check = Some(flag_value(&mut args, "--check")?),
             "--lenient" => parsed.lenient = true,
             "--max-bad-frac" => {
                 let frac: f64 = flag_value(&mut args, "--max-bad-frac")?;
@@ -194,6 +211,11 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Tracing must be on before the first span completes, so enable it
+    // ahead of dispatch. The flag works on every command.
+    if args.trace_out.is_some() {
+        astra_obs::trace::enable();
+    }
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "analyze" => cmd_analyze(&args),
@@ -204,17 +226,25 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
         "predict" => cmd_predict(&args),
         "fsck" => cmd_fsck(&args),
         "chaos" => cmd_chaos(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other}")),
     };
-    // Export metrics even on failure: a run that died half-way is exactly
-    // the one whose counters you want to see.
+    // Export metrics and the trace even on failure: a run that died
+    // half-way is exactly the one whose counters and timeline you want.
     if let Some(path) = &args.metrics_out {
         let jsonl = astra_obs::global().snapshot().to_jsonl();
         if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let json = astra_obs::trace::to_chrome_json();
+        if let Err(e) = std::fs::write(path, json) {
             eprintln!("error: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -665,16 +695,48 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         .any(|(_, suffix)| timing_secs_by_suffix(&snap, suffix) > 0.0)
     {
         println!("\nstage breakdown:");
+        println!(
+            "  {:<10} {:>9} {:>10} {:>10} {:>10}",
+            "stage", "total", "p50", "p95", "p99"
+        );
         for (label, suffix) in stages {
             let secs = timing_secs_by_suffix(&snap, suffix);
             if secs > 0.0 {
-                println!("  {label:<10} {secs:>9.3}s");
+                // Percentiles come from the merged histogram across every
+                // call context of the stage (same leaf matching as total).
+                let (p50, p95, p99) = astra_obs::merged_stage_timing(&snap, suffix)
+                    .map(|h| (h.p50(), h.p95(), h.p99()))
+                    .unwrap_or((0, 0, 0));
+                println!(
+                    "  {label:<10} {secs:>8.3}s {:>8.3}ms {:>8.3}ms {:>8.3}ms",
+                    p50 as f64 / 1e6,
+                    p95 as f64 / 1e6,
+                    p99 as f64 / 1e6,
+                );
             }
         }
     }
     let analyze_secs = timing_secs_by_suffix(&snap, "pipeline.analyze");
     if analyze_secs > 0.0 {
         println!("analyze wall time: {analyze_secs:.3}s");
+    }
+    // The regression gate: compare this run's metrics against the
+    // checked-in threshold file and fail loudly on any breach.
+    if let Some(path) = &args.check {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let thresholds =
+            astra_obs::Thresholds::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = astra_obs::check(&thresholds, &snap);
+        println!();
+        print!("{}", report.render());
+        if !report.ok() {
+            return Err(format!(
+                "{} of {} threshold rules exceeded (see report above)",
+                report.violations(),
+                report.results.len()
+            ));
+        }
     }
     Ok(())
 }
@@ -771,6 +833,37 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         return Err(format!("no log files found in {}", dir.display()));
     }
     print!("{}", manifest.report());
+    Ok(())
+}
+
+/// `trace FILE`: parse a Chrome trace JSON written by `--trace-out` and
+/// print the flame table. The total column sums the same span durations
+/// the `time.*` histograms record, so the two agree to the nanosecond.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let path = args
+        .dir
+        .clone()
+        .ok_or("trace needs a trace JSON file (written by --trace-out)")?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let events = astra_obs::trace::parse_chrome_trace(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    if events.is_empty() {
+        return Err(format!(
+            "{}: no complete span events — was the file written by --trace-out?",
+            path.display()
+        ));
+    }
+    println!(
+        "{} span events across {} threads\n",
+        events.len(),
+        events
+            .iter()
+            .map(|e| e.tid)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    );
+    print!("{}", astra_obs::trace::flame_table(&events));
     Ok(())
 }
 
@@ -898,6 +991,27 @@ mod tests {
         assert_eq!(a.checkpoint_every, Some(5000));
         assert_eq!(a.resume.as_deref().unwrap().to_str().unwrap(), "old.txt");
         assert_eq!(a.stop_after, Some(100));
+    }
+
+    #[test]
+    fn parses_trace_and_check_flags() {
+        let a = parse_args(argv(&[
+            "stats",
+            "/tmp/logs",
+            "--trace-out",
+            "trace.json",
+            "--check",
+            "thresholds.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            a.trace_out.as_deref().unwrap().to_str().unwrap(),
+            "trace.json"
+        );
+        assert_eq!(
+            a.check.as_deref().unwrap().to_str().unwrap(),
+            "thresholds.json"
+        );
     }
 
     #[test]

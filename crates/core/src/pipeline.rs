@@ -426,7 +426,7 @@ impl Analysis {
         records: Vec<CeRecord>,
         config: &CoalesceConfig,
     ) -> Analysis {
-        let span = astra_obs::span("pipeline.analyze");
+        let mut span = astra_obs::span("pipeline.analyze");
         // One pass of the incremental engine over the record slice,
         // sharded across workers; shard merge is exact, so the output is
         // identical to the former separate coalesce + spatial passes at
@@ -452,6 +452,8 @@ impl Analysis {
             .sum();
         obs.gauge("pipeline.workingset_bytes")
             .set_max((record_bytes + fault_bytes) as f64);
+        span.attach("records_in", records.len() as i64);
+        span.attach("faults_out", faults.len() as i64);
         drop(span);
 
         Analysis {

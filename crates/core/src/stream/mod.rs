@@ -643,6 +643,10 @@ pub(crate) fn run_batch(
         if records.len() >= PARALLEL_CONSUME_MIN_RECORDS && workers > 1 {
             let ranges = shard_ranges(records.len(), workers);
             let shards = astra_util::par::par_map(&ranges, |&(start, end)| {
+                // Inherits `pipeline.consume` as its span root on worker
+                // threads, so shard time nests identically at any count.
+                let mut span = astra_obs::span("consume.shard");
+                span.attach("records", (end - start) as i64);
                 let mut shard = analyzers::BatchAnalyzer::new(*system, *config);
                 for (off, rec) in records[start..end].iter().enumerate() {
                     shard.consume(&MemEvent::Ce {
@@ -657,6 +661,8 @@ pub(crate) fn run_batch(
                 .reduce(Analyzer::merge)
                 .unwrap_or_else(|| analyzers::BatchAnalyzer::new(*system, *config))
         } else {
+            let mut span = astra_obs::span("consume.shard");
+            span.attach("records", records.len() as i64);
             let mut shard = analyzers::BatchAnalyzer::new(*system, *config);
             for (i, rec) in records.iter().enumerate() {
                 shard.consume(&MemEvent::Ce {

@@ -103,9 +103,11 @@ where
     R: BufRead,
     F: Fn(&str) -> Option<T>,
 {
-    let _span = astra_obs::span(&format!("parse.{stage}"));
+    let mut span = astra_obs::span(&format!("parse.{stage}"));
     let parsed = read_lines(source, parse)?;
     parsed.publish(stage, 0);
+    span.attach("lines_ok", parsed.records.len() as i64);
+    span.attach("lines_skipped", parsed.skipped as i64);
     Ok(parsed)
 }
 
@@ -117,9 +119,11 @@ where
     T: Send,
     F: Fn(&str) -> Option<T> + Sync,
 {
-    let _span = astra_obs::span(&format!("parse.{stage}"));
+    let mut span = astra_obs::span(&format!("parse.{stage}"));
     let parsed = parse_lines_parallel_inner(text, parse, Some(stage));
     parsed.publish(stage, text.len());
+    span.attach("lines_ok", parsed.records.len() as i64);
+    span.attach("lines_skipped", parsed.skipped as i64);
     parsed
 }
 
@@ -145,6 +149,7 @@ where
 {
     let workers = astra_util::par::worker_count(text.len() / 4096 + 1);
     if workers <= 1 || text.len() < 64 * 1024 {
+        let _shard_span = astra_obs::span("parse.shard");
         let mut records = Vec::new();
         let mut skipped = 0;
         for line in text.lines() {
@@ -166,6 +171,9 @@ where
     let shards = split_line_shards(text, workers);
 
     let parsed: Vec<ParsedLog<T>> = astra_util::par::par_map(&shards, |shard| {
+        // Workers inherit the caller's span root, so this nests under
+        // the metered `parse.<stage>` span at any worker count.
+        let _shard_span = astra_obs::span("parse.shard");
         let mut records = Vec::new();
         let mut skipped = 0;
         for line in shard.lines() {
@@ -268,10 +276,13 @@ pub fn parse_file_streaming<T>(
 where
     T: Send,
 {
-    let _span = astra_obs::span(&format!("parse.{stage}"));
+    let mut span = astra_obs::span(&format!("parse.{stage}"));
     let file = std::fs::File::open(path)?;
     let (parsed, quarantine, bytes, chunks) =
         parse_stream_chunked(file, format, opts, STREAM_CHUNK_BYTES)?;
+    span.attach("lines_ok", parsed.records.len() as i64);
+    span.attach("lines_quarantined", quarantine.total() as i64);
+    span.attach("bytes", bytes as i64);
     parsed.publish(stage, bytes);
     astra_obs::global()
         .counter(&format!("parse.{stage}.chunks"))
@@ -521,6 +532,10 @@ struct ShardOut<T> {
 const SHARD_SNIPPET_CAP: usize = 16;
 
 fn ingest_shard<T>(shard: &str, format: &LineFormat<T>) -> ShardOut<T> {
+    // Runs on the caller's thread sequentially and on `par_map` workers
+    // in parallel; worker threads inherit the caller's span root, so
+    // this nests under `parse.<stage>` identically either way.
+    let mut span = astra_obs::span("parse.shard");
     let track_lines = format.order_key.is_some();
     let mut out = ShardOut {
         records: Vec::new(),
@@ -551,6 +566,8 @@ fn ingest_shard<T>(shard: &str, format: &LineFormat<T>) -> ShardOut<T> {
             }
         }
     }
+    span.attach("lines_ok", out.records.len() as i64);
+    span.attach("lines_quarantined", out.bad.len() as i64);
     out
 }
 

@@ -8,7 +8,8 @@
 //! {"name":"parse.ce.lines_ok","kind":"counter","value":4096}
 //! {"name":"coalesce.ratio","kind":"gauge","value":0.0123}
 //! {"name":"faultsim.node_drops","kind":"histogram","count":64,"sum":128,
-//!  "min":0,"max":32,"bounds":[1,4,16],"buckets":[60,2,1,1]}
+//!  "min":0,"max":32,"p50":1,"p95":4,"p99":30,
+//!  "bounds":[1,4,16],"buckets":[60,2,1,1]}
 //! ```
 //!
 //! The schema is append-only: consumers must ignore unknown keys, and
@@ -119,18 +120,24 @@ impl Snapshot {
                 Frozen::Counter(v) => format!("{v}"),
                 Frozen::Gauge(v) => format!("{v:.4}"),
                 Frozen::Histogram(s) => format!(
-                    "n={} sum={} min={} mean={:.1} max={}",
+                    "n={} sum={} min={} mean={:.1} p50={} p95={} p99={} max={}",
                     s.count,
                     s.sum,
                     s.min,
                     s.mean(),
+                    s.p50(),
+                    s.p95(),
+                    s.p99(),
                     s.max
                 ),
                 Frozen::Timing(s) => format!(
-                    "n={} total={} mean={} max={}",
+                    "n={} total={} mean={} p50={} p95={} p99={} max={}",
                     s.count,
                     fmt_ns(s.sum),
                     fmt_ns(s.mean() as u64),
+                    fmt_ns(s.p50()),
+                    fmt_ns(s.p95()),
+                    fmt_ns(s.p99()),
                     fmt_ns(s.max)
                 ),
             };
@@ -156,7 +163,7 @@ pub(crate) fn fmt_ns(ns: u64) -> String {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -204,13 +211,18 @@ fn render_jsonl_line(out: &mut String, name: &str, value: &Frozen) {
             ));
         }
         Frozen::Histogram(s) | Frozen::Timing(s) => {
+            // p50/p95/p99 are derived from the buckets; the importer
+            // ignores them and re-derives, so roundtrips stay exact.
             let kind = value.kind().name();
             out.push_str(&format!(
-                r#"{{"name":"{name}","kind":"{kind}","count":{},"sum":{},"min":{},"max":{},"bounds":{},"buckets":{}}}"#,
+                r#"{{"name":"{name}","kind":"{kind}","count":{},"sum":{},"min":{},"max":{},"p50":{},"p95":{},"p99":{},"bounds":{},"buckets":{}}}"#,
                 s.count,
                 s.sum,
                 s.min,
                 s.max,
+                s.p50(),
+                s.p95(),
+                s.p99(),
                 render_u64_array(&s.bounds),
                 render_u64_array(&s.buckets),
             ));
@@ -221,8 +233,8 @@ fn render_jsonl_line(out: &mut String, name: &str, value: &Frozen) {
 // ---- import ----------------------------------------------------------
 
 /// Extract and unescape the string value of `"key":"…"` from one JSON
-/// line.
-fn json_str(line: &str, key: &str) -> Option<String> {
+/// line. Shared with the trace parser and the threshold-file parser.
+pub(crate) fn json_str(line: &str, key: &str) -> Option<String> {
     let pattern = format!("\"{key}\":\"");
     let start = line.find(&pattern)? + pattern.len();
     let mut out = String::new();
@@ -246,7 +258,7 @@ fn json_str(line: &str, key: &str) -> Option<String> {
 }
 
 /// Extract the numeric value of `"key":N` from one JSON line.
-fn json_num(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_num(line: &str, key: &str) -> Option<f64> {
     let pattern = format!("\"{key}\":");
     let start = line.find(&pattern)? + pattern.len();
     let rest = line[start..].trim_start();
@@ -333,7 +345,7 @@ mod tests {
             lines,
             vec![
                 r#"{"name":"coalesce.ratio","kind":"gauge","value":0.0123}"#,
-                r#"{"name":"faultsim.node_drops","kind":"histogram","count":3,"sum":103,"min":0,"max":100,"bounds":[1,4,16],"buckets":[1,1,0,1]}"#,
+                r#"{"name":"faultsim.node_drops","kind":"histogram","count":3,"sum":103,"min":0,"max":100,"p50":4,"p95":100,"p99":100,"bounds":[1,4,16],"buckets":[1,1,0,1]}"#,
                 r#"{"name":"parse.ce.lines_ok","kind":"counter","value":4096}"#,
             ]
         );

@@ -21,7 +21,17 @@
 //! - **Determinism.** Everything except `timing` metrics is a pure
 //!   function of the workload `(racks, seed, input)`, so two runs over
 //!   the same dataset export identical non-timing lines — the property
-//!   the integration tests pin down.
+//!   the integration tests pin down. The opt-in profiling outputs (the
+//!   [`trace`] timeline and the `mem.*` gauges) are per-run wall-clock
+//!   artifacts and share the timing exemption.
+//!
+//! Beyond aggregates, the crate carries a full profiling layer: the
+//! [`trace`] module records an event timeline (flushed to
+//! Chrome/Perfetto JSON and rendered as a flame table), the
+//! [`CountingAlloc`] wrapper attributes allocation deltas to spans, and
+//! [`check`] gates live metrics against a checked-in threshold file.
+//! Span paths cross worker threads via [`current_path`] /
+//! [`inherit_path`].
 //!
 //! ```
 //! let registry = astra_obs::global();
@@ -34,18 +44,25 @@
 //! assert!(jsonl.contains("parse.ce.lines_ok"));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the allocator wrapper module opts back in with
+// a scoped `allow` — `GlobalAlloc` cannot be implemented without it.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloc;
+mod check;
 mod export;
 mod metrics;
 mod registry;
 mod span;
+pub mod trace;
 
-pub use export::Snapshot;
+pub use alloc::CountingAlloc;
+pub use check::{check, merged_stage_timing, CheckReport, CheckResult, Rule, Thresholds};
+pub use export::{Frozen, Snapshot};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricKind, MetricValue, Registry};
-pub use span::{span, span_in, SpanGuard};
+pub use span::{current_path, inherit_path, span, span_in, InheritGuard, SpanGuard};
 
 use std::sync::OnceLock;
 

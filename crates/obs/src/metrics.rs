@@ -206,6 +206,54 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): linear interpolation inside
+    /// the bucket holding the rank, clamped to the exact min/max. Empty
+    /// histograms report 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // Bucket i covers (bounds[i-1], bounds[i]]; the first
+                // bucket starts at the observed min and the overflow
+                // bucket ends at the observed max.
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let hi = match self.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => self.max,
+                };
+                let (lo, hi) = (lo.min(hi), hi.max(lo));
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median estimate ([`HistogramSnapshot::quantile`] at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +317,67 @@ mod tests {
         let s = a.snapshot();
         assert_eq!(s.buckets, vec![1, 1]);
         assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn quantiles_on_a_uniform_distribution() {
+        // One value per unit bucket: quantiles are exact.
+        let bounds: Vec<u64> = (1..=100).collect();
+        let h = Histogram::new(&bounds);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 50);
+        assert_eq!(s.p95(), 95);
+        assert_eq!(s.p99(), 99);
+        assert_eq!(s.quantile(0.0), 1, "q=0 clamps to the first rank");
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        // All mass in one wide bucket: interpolation would guess mid-
+        // bucket, but min/max pin the estimate to the observed value.
+        let h = Histogram::new(&[0, 100]);
+        for _ in 0..50 {
+            h.record(60);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 60);
+        assert_eq!(s.p99(), 60);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 values spread evenly through (0, 1000]: p50 lands near the
+        // middle of the le=1000 bucket's populated range.
+        let h = Histogram::new(&[100, 1000]);
+        for v in 1..=100u64 {
+            h.record(v * 10);
+        }
+        let s = h.snapshot();
+        // 10 values <= 100, 90 in (100, 1000]. rank(0.5)=50 → 40th of 90
+        // in the second bucket → 100 + (40/90)*900 = 500.
+        assert_eq!(s.p50(), 500);
+        assert_eq!(s.quantile(0.1), 100, "rank 10 is the last of bucket 0");
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_zero() {
+        let s = Histogram::new(&[10]).snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn quantiles_hit_overflow_bucket() {
+        let h = Histogram::new(&[10]);
+        h.record(5);
+        h.record(5000);
+        let s = h.snapshot();
+        // rank(0.99)=2 → overflow bucket, upper edge = observed max.
+        assert_eq!(s.p99(), 5000);
     }
 
     #[test]

@@ -6,6 +6,20 @@
 //! (`time.analyze/parse.ce`), giving per-stage wall-time broken down by
 //! call context. The histogram's `count` doubles as the number of times
 //! the stage ran.
+//!
+//! Paths cross threads explicitly: [`current_path`] captures the
+//! caller's joined path and [`inherit_path`] installs it as the root of
+//! a worker's stack, so spans opened on the worker nest under the
+//! caller's stage instead of recording rootless paths. `util::par` does
+//! this for every task it spawns.
+//!
+//! When the [trace timeline](crate::trace) is enabled, each drop also
+//! emits one timeline event carrying any counters attached via
+//! [`SpanGuard::attach`] and — if the [`crate::CountingAlloc`] wrapper
+//! is installed — the span's net and peak allocation deltas, which are
+//! additionally surfaced as `mem.<path>.net_bytes` /
+//! `mem.<path>.peak_bytes` gauges. Both are per-run profiling outputs
+//! and exempt from the determinism guarantee, like `time.*`.
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -30,10 +44,63 @@ pub fn span_in<'a>(registry: &'a Registry, name: &str) -> SpanGuard<'a> {
         stack.push(name.to_string());
         stack.join("/")
     });
+    let mem = if crate::trace::is_enabled() {
+        crate::alloc::span_begin()
+    } else {
+        None
+    };
     SpanGuard {
         registry,
         path,
         start: Instant::now(),
+        args: Vec::new(),
+        mem,
+    }
+}
+
+/// The calling thread's current `/`-joined span path, if any span is
+/// open. Capture this before handing work to another thread and install
+/// it there with [`inherit_path`].
+pub fn current_path() -> Option<String> {
+    SPAN_STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(stack.join("/"))
+        }
+    })
+}
+
+/// Install a path captured by [`current_path`] as the root of this
+/// thread's span stack, so subsequently opened spans nest under it. The
+/// guard removes the root on drop. `None` (no span was open on the
+/// caller) installs nothing and is not an error — workers then record
+/// rooted-at-top-level paths, same as the caller would.
+pub fn inherit_path(path: Option<&str>) -> InheritGuard {
+    let installed = match path {
+        Some(p) if !p.is_empty() => {
+            SPAN_STACK.with(|stack| stack.borrow_mut().push(p.to_string()));
+            true
+        }
+        _ => false,
+    };
+    InheritGuard { installed }
+}
+
+/// Guard from [`inherit_path`]; pops the inherited root on drop.
+#[derive(Debug)]
+pub struct InheritGuard {
+    installed: bool,
+}
+
+impl Drop for InheritGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
     }
 }
 
@@ -43,6 +110,8 @@ pub struct SpanGuard<'a> {
     registry: &'a Registry,
     path: String,
     start: Instant,
+    args: Vec<(&'static str, i64)>,
+    mem: Option<crate::alloc::SpanMem>,
 }
 
 impl SpanGuard<'_> {
@@ -50,14 +119,44 @@ impl SpanGuard<'_> {
     pub fn path(&self) -> &str {
         &self.path
     }
+
+    /// Attach a counter to this span's timeline event (records parsed,
+    /// lines quarantined, …). No-op while tracing is disabled, so call
+    /// sites attach unconditionally.
+    pub fn attach(&mut self, key: &'static str, value: i64) {
+        if crate::trace::is_enabled() {
+            self.args.push((key, value));
+        }
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
+        // One elapsed reading feeds both the histogram and the timeline
+        // event, so the flame table's totals match `time.*` exactly.
         let elapsed_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.registry
             .timing(&format!("time.{}", self.path))
             .record(elapsed_ns);
+        if let Some(mem) = self.mem.take() {
+            let (net, peak) = crate::alloc::span_end(mem);
+            self.registry
+                .gauge(&format!("mem.{}.peak_bytes", self.path))
+                .set_max(peak as f64);
+            self.registry
+                .gauge(&format!("mem.{}.net_bytes", self.path))
+                .set(net as f64);
+            self.args.push(("mem_peak_bytes", peak));
+            self.args.push(("mem_net_bytes", net));
+        }
+        if crate::trace::is_enabled() {
+            crate::trace::record(
+                &self.path,
+                self.start,
+                elapsed_ns,
+                std::mem::take(&mut self.args),
+            );
+        }
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
@@ -110,5 +209,52 @@ mod tests {
             let _s = span_in(&registry, "loop");
         }
         assert_eq!(registry.timing("time.loop").snapshot().count, 5);
+    }
+
+    #[test]
+    fn inherited_path_roots_worker_spans() {
+        let registry = Registry::new();
+        {
+            let _outer = span_in(&registry, "analyze");
+            let _mid = span_in(&registry, "parse.ce");
+            let captured = current_path();
+            assert_eq!(captured.as_deref(), Some("analyze/parse.ce"));
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _root = inherit_path(captured.as_deref());
+                    let worker = span_in(&registry, "shard");
+                    assert_eq!(worker.path(), "analyze/parse.ce/shard");
+                });
+            });
+        }
+        assert_eq!(
+            registry
+                .timing("time.analyze/parse.ce/shard")
+                .snapshot()
+                .count,
+            1,
+            "worker span nests under the caller's stage"
+        );
+    }
+
+    #[test]
+    fn inherit_none_is_a_no_op() {
+        let registry = Registry::new();
+        {
+            let _root = inherit_path(None);
+            let s = span_in(&registry, "solo");
+            assert_eq!(s.path(), "solo");
+        }
+        // The guard must not pop anything it did not push.
+        assert_eq!(current_path(), None);
+    }
+
+    #[test]
+    fn inherit_guard_restores_the_stack() {
+        {
+            let _root = inherit_path(Some("a/b"));
+            assert_eq!(current_path().as_deref(), Some("a/b"));
+        }
+        assert_eq!(current_path(), None);
     }
 }

@@ -1,0 +1,79 @@
+//! End-to-end allocator accounting: this test binary installs
+//! [`astra_obs::CountingAlloc`] as its global allocator (exactly like
+//! the `astra-mem` binary does), so span memory windows observe real
+//! heap traffic. It lives in its own integration-test binary because a
+//! global allocator is process-wide.
+
+#[global_allocator]
+static ALLOC: astra_obs::CountingAlloc = astra_obs::CountingAlloc::new();
+
+use astra_obs::{Frozen, Registry};
+
+#[test]
+fn spans_observe_real_heap_allocations() {
+    // Tracing gates the mem gauges; enable it for the whole binary.
+    astra_obs::trace::enable();
+    let registry = Registry::new();
+    {
+        let _span = astra_obs::span_in(&registry, "alloc_stage");
+        let buf = vec![0u8; 1 << 20];
+        std::hint::black_box(&buf);
+    }
+    let snap = registry.snapshot();
+    let peak = snap.gauge("mem.alloc_stage.peak_bytes");
+    assert!(
+        peak >= (1 << 20) as f64,
+        "peak gauge must cover the 1 MiB buffer, got {peak}"
+    );
+    // The buffer dropped inside the span, so net is far below peak.
+    let net = snap.gauge("mem.alloc_stage.net_bytes");
+    assert!(net < peak, "net {net} should be below peak {peak}");
+}
+
+#[test]
+fn leaked_memory_shows_up_as_net_growth() {
+    astra_obs::trace::enable();
+    let registry = Registry::new();
+    let kept;
+    {
+        let _span = astra_obs::span_in(&registry, "retaining_stage");
+        kept = vec![42u8; 512 * 1024];
+    }
+    let snap = registry.snapshot();
+    let net = snap.gauge("mem.retaining_stage.net_bytes");
+    assert!(
+        net >= (512 * 1024) as f64,
+        "memory retained past the span must appear as net growth, got {net}"
+    );
+    std::hint::black_box(&kept);
+}
+
+#[test]
+fn traced_spans_carry_memory_args() {
+    astra_obs::trace::enable();
+    let registry = Registry::new();
+    {
+        let _span = astra_obs::span_in(&registry, "traced_alloc");
+        std::hint::black_box(vec![0u64; 65_536]);
+    }
+    let events = astra_obs::trace::take_events();
+    let event = events
+        .iter()
+        .find(|e| e.path == "traced_alloc")
+        .expect("span recorded an event");
+    let peak = event
+        .args
+        .iter()
+        .find(|(k, _)| *k == "mem_peak_bytes")
+        .map(|(_, v)| *v)
+        .expect("mem_peak_bytes attached");
+    assert!(peak >= 65_536 * 8, "peak arg covers the vec, got {peak}");
+    // Aggregate gauge and trace arg describe the same window.
+    let snap = registry.snapshot();
+    assert!(snap.gauge("mem.traced_alloc.peak_bytes") >= peak as f64);
+    let has_timing = snap
+        .entries
+        .iter()
+        .any(|(n, f)| n == "time.traced_alloc" && matches!(f, Frozen::Timing(_)));
+    assert!(has_timing, "the span still records its timing histogram");
+}

@@ -1,0 +1,132 @@
+//! Hammer one [`astra_obs::Registry`] from many threads at once:
+//! counters, gauges, histograms, and nested spans. The registry promises
+//! exact counts (no lost updates) and well-formed span paths (the span
+//! stack is thread-local, so concurrent nesting must never interleave
+//! another thread's segments into a path).
+
+use std::sync::Barrier;
+
+use astra_obs::{Frozen, Registry};
+
+const THREADS: usize = 8;
+const ITERS: u64 = 2_000;
+
+#[test]
+fn counters_gauges_and_histograms_are_exact_under_contention() {
+    let registry = Registry::new();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..ITERS {
+                    registry.counter("shared.count").add(1);
+                    registry.counter(&format!("per_thread.{t}")).add(2);
+                    registry
+                        .gauge("shared.max")
+                        .set_max((t as u64 * ITERS + i) as f64);
+                    registry
+                        .histogram("shared.sizes", &[10, 100, 1000])
+                        .record(i % 7);
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("shared.count"), THREADS as u64 * ITERS);
+    for t in 0..THREADS {
+        assert_eq!(snap.counter(&format!("per_thread.{t}")), 2 * ITERS);
+    }
+    assert_eq!(
+        snap.gauge("shared.max"),
+        (THREADS as u64 * ITERS - 1) as f64,
+        "set_max keeps the global maximum"
+    );
+    let Some(Frozen::Histogram(h)) = snap.get("shared.sizes") else {
+        panic!("histogram missing");
+    };
+    assert_eq!(h.count, THREADS as u64 * ITERS);
+    // Every thread records the same 0..7 cycle, so the sum is exact.
+    let cycle: u64 = (0..ITERS).map(|i| i % 7).sum();
+    assert_eq!(h.sum, THREADS as u64 * cycle);
+}
+
+#[test]
+fn nested_spans_from_many_threads_never_tear_paths() {
+    let registry = Registry::new();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..200 {
+                    let _outer = astra_obs::span_in(registry, &format!("outer{t}"));
+                    let _mid = astra_obs::span_in(registry, "mid");
+                    let _inner = astra_obs::span_in(registry, "inner");
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    let mut timing_names: Vec<&str> = snap
+        .entries
+        .iter()
+        .filter(|(_, f)| matches!(f, Frozen::Timing(_)))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    timing_names.sort_unstable();
+    // Exactly three paths per thread — a torn path (another thread's
+    // segment spliced in, or a missing root) would add extra names.
+    assert_eq!(timing_names.len(), 3 * THREADS, "{timing_names:?}");
+    for t in 0..THREADS {
+        for path in [
+            format!("time.outer{t}"),
+            format!("time.outer{t}/mid"),
+            format!("time.outer{t}/mid/inner"),
+        ] {
+            let Some(Frozen::Timing(h)) = snap.get(&path) else {
+                panic!("missing {path}; have {timing_names:?}");
+            };
+            assert_eq!(h.count, 200, "{path}");
+        }
+    }
+}
+
+#[test]
+fn inherited_paths_stay_thread_local_under_contention() {
+    // Each thread inherits a different root, then spans under it; the
+    // inherited prefix must never leak across threads.
+    let registry = Registry::new();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let root = format!("job{t}/stage");
+                for _ in 0..200 {
+                    let _root = astra_obs::inherit_path(Some(&root));
+                    let _work = astra_obs::span_in(registry, "work");
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    for t in 0..THREADS {
+        let Some(Frozen::Timing(h)) = snap.get(&format!("time.job{t}/stage/work")) else {
+            panic!("missing inherited path for thread {t}");
+        };
+        assert_eq!(h.count, 200);
+    }
+    assert_eq!(
+        snap.entries.len(),
+        THREADS,
+        "only the {THREADS} inherited paths exist: {:?}",
+        snap.entries.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+}

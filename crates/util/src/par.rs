@@ -6,6 +6,14 @@
 //! preserved by construction: each result carries its input index and is
 //! scattered back into position, so output is identical for any worker
 //! count or scheduling order.
+//!
+//! Observability crosses the fork: every primitive captures the caller's
+//! span path (`astra_obs::current_path`) and installs it in each worker
+//! (`inherit_path`), so spans opened inside worker closures record under
+//! the calling stage (`time.pipeline.parse/parse.ce/…`) instead of
+//! rootless paths — and the sequential `workers <= 1` path runs on the
+//! caller's thread, which nests identically. Aggregate `time.*` path
+//! *names* are therefore the same at any worker count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -80,12 +88,14 @@ where
     }
     let chunk = (n / (workers * 8)).max(1);
     let cursor = AtomicUsize::new(0);
+    let span_root = astra_obs::current_path();
 
     let mut gathered: Vec<(usize, Vec<U>)> = Vec::with_capacity(n / chunk + workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| {
+                let _span_root = astra_obs::inherit_path(span_root.as_deref());
                 let mut local: Vec<(usize, Vec<U>)> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -149,12 +159,14 @@ where
     }
     let chunk = (n / (workers * 8)).max(1);
     let cursor = AtomicUsize::new(0);
+    let span_root = astra_obs::current_path();
     let mut partials: Vec<A> = Vec::with_capacity(workers);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| {
+                let _span_root = astra_obs::inherit_path(span_root.as_deref());
                 let mut acc = identity();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -355,6 +367,41 @@ mod tests {
         let par = merge_sorted(runs, |&x| x);
         set_workers(None);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_span_path() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let registry = astra_obs::Registry::new();
+        let items: Vec<u64> = (0..256).collect();
+        set_workers(Some(4));
+        {
+            let _stage = astra_obs::span_in(&registry, "stage");
+            par_map(&items, |&x| {
+                let _s = astra_obs::span_in(&registry, "work");
+                x
+            });
+            par_fold(
+                &items,
+                || 0u64,
+                |acc, &x| {
+                    let _s = astra_obs::span_in(&registry, "fold");
+                    *acc += x;
+                },
+                |a, b| a + b,
+            );
+        }
+        set_workers(None);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.entries
+                .iter()
+                .filter(|(n, _)| n.starts_with("time."))
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["time.stage", "time.stage/fold", "time.stage/work"],
+            "worker spans must nest under the caller's stage, never rootless"
+        );
     }
 
     #[test]

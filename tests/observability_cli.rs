@@ -316,6 +316,225 @@ fn predict_reports_metrics_and_ground_truth_join() {
     );
 }
 
+/// `"time.<path>" -> sum_ns` for every timing line in a JSONL export.
+fn timing_sums(jsonl: &str) -> std::collections::BTreeMap<String, u64> {
+    jsonl
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"timing\""))
+        .filter_map(|l| {
+            let name = l.split("\"name\":\"").nth(1)?.split('"').next()?;
+            let sum = l
+                .split("\"sum\":")
+                .nth(1)?
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .ok()?;
+            Some((name.to_string(), sum))
+        })
+        .collect()
+}
+
+#[test]
+fn analyze_trace_out_emits_nested_trace_matching_timings() {
+    let dir = TempDir::new("trace");
+    generate(dir.path());
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("m.json");
+    run(&[
+        "analyze",
+        dir.path().to_str().unwrap(),
+        "--racks",
+        "1",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let events = astra_obs::trace::parse_chrome_trace(&text).expect("valid Chrome trace JSON");
+    assert!(!events.is_empty(), "trace recorded no events");
+
+    // The span tree nests: shard work under the pipeline stages, parse
+    // stages under the parse root.
+    for path in [
+        "pipeline.analyze",
+        "pipeline.analyze/pipeline.consume",
+        "pipeline.analyze/pipeline.consume/consume.shard",
+        "pipeline.analyze/pipeline.coalesce",
+    ] {
+        assert!(
+            events.iter().any(|e| e.path == path),
+            "no event for {path}; have {:?}",
+            events
+                .iter()
+                .map(|e| e.path.as_str())
+                .collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+    assert!(
+        events.iter().any(|e| e.path.starts_with("pipeline.parse/")),
+        "parse stages must nest under pipeline.parse"
+    );
+
+    // The parse root carried its attached counters into the trace.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.args.iter().any(|(k, v)| k == "lines_ok" && *v > 0)),
+        "some span should carry a lines_ok counter arg"
+    );
+
+    // Acceptance: the flame table's total column IS the timing histogram
+    // sum, to the nanosecond, for every traced path.
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    let sums = timing_sums(&jsonl);
+    let rows = astra_obs::trace::flame_rows(&events);
+    assert!(!rows.is_empty());
+    for row in &rows {
+        let sum = sums
+            .get(&format!("time.{}", row.path))
+            .unwrap_or_else(|| panic!("traced path {} has no timing metric", row.path));
+        assert_eq!(
+            row.total_ns, *sum,
+            "flame total != timing sum for {}",
+            row.path
+        );
+    }
+}
+
+#[test]
+fn trace_subcommand_prints_flame_table() {
+    let dir = TempDir::new("flame");
+    generate(dir.path());
+    let trace = dir.join("trace.json");
+    run(&[
+        "analyze",
+        dir.path().to_str().unwrap(),
+        "--racks",
+        "1",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    let out = Command::new(bin())
+        .args(["trace", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "trace failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("span events"), "{text}");
+    for column in ["path", "count", "total", "self", "mem peak", "mem net"] {
+        assert!(text.contains(column), "missing column {column}: {text}");
+    }
+    assert!(
+        text.contains("pipeline.analyze/pipeline.consume"),
+        "nested paths render in the table: {text}"
+    );
+
+    // Pointing the renderer at a non-trace file is a clean error.
+    let out = Command::new(bin())
+        .args(["trace", dir.join("ce.log").to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "non-trace input must fail");
+}
+
+#[test]
+fn stats_check_gates_on_thresholds() {
+    let dir = TempDir::new("check");
+    generate(dir.path());
+    // The checked-in thresholds must pass on a clean dataset.
+    let checked_in = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../thresholds.json");
+    let out = Command::new(bin())
+        .args([
+            "stats",
+            dir.path().to_str().unwrap(),
+            "--racks",
+            "1",
+            "--check",
+            checked_in.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "checked-in thresholds violated:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("threshold check passed"), "{text}");
+
+    // An injected breach flips the exit code and names the rule.
+    let tight = dir.join("tight.json");
+    std::fs::write(
+        &tight,
+        "{\"rule\":\"counter_max\",\"name\":\"parse.ce.lines_ok\",\"max\":0}\n",
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args([
+            "stats",
+            dir.path().to_str().unwrap(),
+            "--racks",
+            "1",
+            "--check",
+            tight.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        !out.status.success(),
+        "breached threshold must exit nonzero"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("counter_max[parse.ce.lines_ok]"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("exceeded"), "{err}");
+
+    // A malformed threshold file is a hard error, not a silent pass.
+    let broken = dir.join("broken.json");
+    std::fs::write(&broken, "{\"rule\":\"nonsense\",\"max\":1}\n").unwrap();
+    let out = Command::new(bin())
+        .args([
+            "stats",
+            dir.path().to_str().unwrap(),
+            "--racks",
+            "1",
+            "--check",
+            broken.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown rule"),
+        "unknown rules are hard errors"
+    );
+}
+
+#[test]
+fn stats_stage_breakdown_includes_percentiles() {
+    let dir = TempDir::new("pctl");
+    generate(dir.path());
+    let out = Command::new(bin())
+        .args(["stats", dir.path().to_str().unwrap(), "--racks", "1"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stage breakdown:"), "{text}");
+    for column in ["p50", "p95", "p99"] {
+        assert!(text.contains(column), "missing {column}: {text}");
+    }
+}
+
 #[test]
 fn bad_arguments_are_rejected() {
     for args in [

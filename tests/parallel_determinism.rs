@@ -157,6 +157,57 @@ fn stream_analyze_identical_across_worker_counts() {
     }
 }
 
+#[test]
+fn span_paths_nest_identically_across_worker_counts() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Worker threads inherit the caller's span path, so the set of
+    // `time.*` paths must not depend on the worker count — the same
+    // tree, whether a shard ran on the caller or on a worker. Each run
+    // installs a unique root so its paths are separable in the global
+    // registry (other tests in this binary record spans concurrently).
+    let ds = dataset(48);
+    let paths_at = |workers: usize, root: &str| -> Vec<String> {
+        with_workers(workers, || {
+            let _root = astra_obs::inherit_path(Some(root));
+            Analysis::run(ds.system, ds.sim.ce_log.clone());
+        });
+        let prefix = format!("time.{root}/");
+        astra_obs::global()
+            .snapshot()
+            .entries
+            .iter()
+            .filter_map(|(name, _)| name.strip_prefix(&prefix).map(str::to_string))
+            .collect()
+    };
+    let base = paths_at(1, "spandet_w1");
+    assert!(
+        base.iter()
+            .any(|p| p == "pipeline.analyze/pipeline.consume/consume.shard"),
+        "shard spans must nest under the pipeline even sequentially: {base:?}"
+    );
+    assert!(
+        base.iter()
+            .any(|p| p == "pipeline.analyze/pipeline.coalesce"),
+        "{base:?}"
+    );
+    for workers in [2, 4] {
+        let par = paths_at(workers, &format!("spandet_w{workers}"));
+        assert_eq!(
+            base, par,
+            "span path tree differs at {workers} workers (snapshots sort by name)"
+        );
+    }
+    // The regression this pins: a worker starting from an empty span
+    // stack would record its shard span at the root.
+    let snap = astra_obs::global().snapshot();
+    for rootless in ["time.consume.shard", "time.parse.shard"] {
+        assert!(
+            snap.get(rootless).is_none(),
+            "found rootless worker span {rootless}"
+        );
+    }
+}
+
 /// Removes its temp dir on drop so a failing assertion does not leak it.
 struct TempDirGuard(std::path::PathBuf);
 

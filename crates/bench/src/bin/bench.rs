@@ -24,6 +24,7 @@ use std::time::Instant;
 use astra_bench::json;
 use astra_core::pipeline::{Analysis, AnalysisInput, Dataset};
 use astra_core::stream::{stream_analyze, StreamOptions};
+use astra_logs::binfmt::{self, LogFormat};
 use astra_logs::io as logio;
 use astra_logs::{ce, het, inventory, sensor};
 
@@ -70,6 +71,8 @@ struct ScaleResult {
     ce_records: usize,
     faults: usize,
     log_bytes: u64,
+    /// Bytes the same dataset occupies in the binary columnar format.
+    bin_log_bytes: u64,
     workingset_bytes: f64,
     stream_workingset_bytes: f64,
     stages: Vec<Stage>,
@@ -263,6 +266,10 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
     // separately from the span metric it publishes.
     let merge_secs = timing_by_suffix("pipeline.merge");
 
+    // Materialize the sensor excerpt before the serializer timings so
+    // both formats measure pure serialization, not telemetry synthesis.
+    std::hint::black_box(ds.sensor_excerpt());
+
     let dir = std::env::temp_dir().join(format!("astra-bench-pipeline-{}", std::process::id()));
     let t = Instant::now();
     ds.write_logs(&dir).map_err(|e| e.to_string())?;
@@ -348,6 +355,42 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
     }
     std::fs::remove_dir_all(&dir).ok();
 
+    // Binary columnar peers of serialize/parse/fsck: the same dataset
+    // through the astra-binlog format. Parse is verified record-identical
+    // against the simulator ground truth, and fsck is the CRC sweep.
+    let bin_dir = std::env::temp_dir().join(format!("astra-bench-binlog-{}", std::process::id()));
+    let t = Instant::now();
+    ds.write_logs_as(&bin_dir, LogFormat::Binary)
+        .map_err(|e| e.to_string())?;
+    let serialize_bin_secs = t.elapsed().as_secs_f64();
+    let bin_log_bytes = dir_bytes(&bin_dir)?;
+
+    let t = Instant::now();
+    let bin_input = AnalysisInput::from_dir(&bin_dir).map_err(|e| e.to_string())?;
+    let parse_bin_secs = t.elapsed().as_secs_f64();
+    if bin_input.records != ds.sim.ce_log || bin_input.hets != ds.sim.het_log {
+        return Err("binary parse disagrees with the simulated records".into());
+    }
+    std::hint::black_box(&bin_input);
+
+    let t = Instant::now();
+    for (name, kind) in [
+        ("ce.log", binfmt::KIND_CE),
+        ("het.log", binfmt::KIND_HET),
+        ("inventory.log", binfmt::KIND_INVENTORY),
+        ("sensors.log", binfmt::KIND_SENSOR),
+    ] {
+        let q = binfmt::fsck_scan(&bin_dir.join(name), kind).map_err(|e| e.to_string())?;
+        if !q.is_empty() {
+            return Err(format!(
+                "binary fsck of a clean dataset found damage {}",
+                q.summary()
+            ));
+        }
+    }
+    let fsck_bin_secs = t.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&bin_dir).ok();
+
     let snapshot = astra_obs::global().snapshot();
     let span_count = snapshot
         .entries
@@ -364,6 +407,7 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
         ce_records,
         faults: analysis.faults.len(),
         log_bytes,
+        bin_log_bytes,
         workingset_bytes,
         stream_workingset_bytes,
         stages: vec![
@@ -377,6 +421,9 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
             ("predict", predict_secs),
             ("stream", stream_secs),
             ("fsck", fsck_secs),
+            ("serialize_bin", serialize_bin_secs),
+            ("parse_bin", parse_bin_secs),
+            ("fsck_bin", fsck_bin_secs),
         ],
         span_count,
         snapshot,
@@ -409,14 +456,17 @@ fn dir_bytes(dir: &std::path::Path) -> Result<u64, String> {
     Ok(total)
 }
 
-/// `simulate` wall time already contains the merge, and `stream` and
-/// `fsck` are alternative full passes over the same data, not stages of
-/// the batch pipeline; the total is the sum of the remaining disjoint
-/// stages.
+/// `simulate` wall time already contains the merge; `stream` and `fsck`
+/// are alternative full passes over the same data, not stages of the
+/// batch pipeline; and the `*_bin` stages are the binary format's peers
+/// of stages already counted. The total is the sum of the remaining
+/// disjoint stages.
 fn total_secs(r: &ScaleResult) -> f64 {
     r.stages
         .iter()
-        .filter(|(label, _)| *label != "merge" && *label != "stream" && *label != "fsck")
+        .filter(|(label, _)| {
+            *label != "merge" && *label != "stream" && *label != "fsck" && !label.ends_with("_bin")
+        })
         .map(|(_, secs)| secs)
         .sum()
 }
@@ -441,6 +491,16 @@ fn render_report(seed: u64, per_span_ns: f64, results: &[ScaleResult]) -> String
         let _ = writeln!(out, "      \"ce_records\": {},", r.ce_records);
         let _ = writeln!(out, "      \"faults\": {},", r.faults);
         let _ = writeln!(out, "      \"log_bytes\": {},", r.log_bytes);
+        let _ = writeln!(out, "      \"bin_log_bytes\": {},", r.bin_log_bytes);
+        let _ = writeln!(
+            out,
+            "      \"text_over_bin_bytes\": {:.2},",
+            if r.bin_log_bytes > 0 {
+                r.log_bytes as f64 / r.bin_log_bytes as f64
+            } else {
+                0.0
+            }
+        );
         let _ = writeln!(
             out,
             "      \"workingset_mib\": {:.1},",
@@ -472,29 +532,24 @@ fn render_report(seed: u64, per_span_ns: f64, results: &[ScaleResult]) -> String
 }
 
 fn print_table(results: &[ScaleResult]) {
-    println!(
-        "{:>6} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "racks",
-        "nodes",
-        "CEs",
-        "simulate",
-        "merge",
-        "serialize",
-        "parse",
-        "consume",
-        "coalesce",
-        "spatial",
-        "predict",
-        "stream",
-        "fsck",
-        "total"
-    );
+    // Columns follow the stage list, so new stages never drift out of
+    // alignment with a hand-kept header; widths stretch to long labels.
+    let Some(first) = results.first() else { return };
+    print!("{:>6} {:>8} {:>10}", "racks", "nodes", "CEs");
+    for (label, _) in &first.stages {
+        print!(" {label:>width$}", width = label.len().max(9));
+    }
+    println!(" {:>9}", "total");
     for r in results {
         print!("{:>6} {:>8} {:>10}", r.racks, r.nodes, r.ce_records);
-        for (_, secs) in &r.stages {
-            print!(" {secs:>8.3}s");
+        for (label, secs) in &r.stages {
+            print!(
+                " {:>width$}",
+                format!("{secs:.3}s"),
+                width = label.len().max(9)
+            );
         }
-        println!(" {:>8.3}s", total_secs(r));
+        println!(" {:>9}", format!("{:.3}s", total_secs(r)));
     }
 }
 
@@ -592,6 +647,7 @@ mod tests {
             ce_records: 1000,
             faults: 10,
             log_bytes: 4096,
+            bin_log_bytes: 1024,
             workingset_bytes: 65536.0,
             stream_workingset_bytes: 32768.0,
             stages: vec![
@@ -599,6 +655,7 @@ mod tests {
                 ("merge", 0.1),
                 ("parse", 0.25),
                 ("stream", 0.4),
+                ("parse_bin", 9.9),
             ],
             span_count: 1500,
             snapshot: astra_obs::Registry::new().snapshot(),
@@ -612,9 +669,16 @@ mod tests {
         json::validate(&report).unwrap();
         assert_eq!(json::number_field(&report, "racks"), Some(2.0));
         assert_eq!(json::number_field(&report, "simulate"), Some(0.5));
-        // total excludes the merge share (inside simulate) and the stream
-        // pass (an alternative to parse+analyze, not a stage of it).
+        // total excludes the merge share (inside simulate), the stream
+        // pass (an alternative to parse+analyze, not a stage of it), and
+        // the binary peers of already-counted stages.
         assert_eq!(json::number_field(&report, "total_secs"), Some(0.75));
+        assert_eq!(json::number_field(&report, "parse_bin"), Some(9.9));
+        assert_eq!(json::number_field(&report, "bin_log_bytes"), Some(1024.0));
+        assert_eq!(
+            json::number_field(&report, "text_over_bin_bytes"),
+            Some(4.0)
+        );
         assert_eq!(json::number_field(&report, "span_overhead_ns"), Some(120.0));
         assert_eq!(json::number_field(&report, "span_count"), Some(1500.0));
     }

@@ -30,7 +30,8 @@ use astra_topology::SystemConfig;
 use astra_util::time::{het_firmware_date, replacement_span, sensor_span, study_span, TimeSpan};
 use astra_util::CalDate;
 
-use astra_logs::{chaos, io as logio, IngestOptions, QuarantineReason};
+use astra_logs::binfmt::{self, LogFormat};
+use astra_logs::{chaos, io as logio, BinFormat, IngestOptions, LineFormat, QuarantineReason};
 
 use crate::experiments as exp;
 use crate::mitigation::{self, ProactivePolicy, RetirementPolicy};
@@ -43,10 +44,12 @@ const USAGE: &str = "\
 astra-mem — memory-failure analysis toolkit (HPDC'22 Astra reproduction)
 
 USAGE:
-    astra-mem generate       [--racks N] [--seed S] --out DIR
+    astra-mem generate       [--racks N] [--seed S] [--format F] --out DIR
+    astra-mem convert        DIR --to F [--out DIR2]
     astra-mem analyze        DIR [--racks N]
     astra-mem stream-analyze DIR [--racks N] [--checkpoint-every N --checkpoint FILE]
                                  [--resume FILE] [--stop-after N --checkpoint FILE]
+                                 [--checkpoint-format F]
     astra-mem report         DIR [--racks N] [--seed S]
     astra-mem triage         DIR [--racks N]
     astra-mem stats          DIR [--racks N] [--check FILE]
@@ -57,6 +60,13 @@ USAGE:
 
 COMMANDS:
     generate        simulate a machine; write ce/het/inventory/sensors logs
+                    (text lines by default, or the astra-binlog columnar
+                    format with --format binary — same file names, every
+                    reader auto-detects by magic bytes)
+    convert         re-encode a log directory to --to {text,binary}; writes
+                    in place unless --out names a second directory. Either
+                    direction round-trips: analysis output is byte-identical
+                    across formats
     analyze         parse a log directory and print the fault summary
     stream-analyze  same summary via the single-pass incremental engine:
                     memory bounded by analyzer state, with optional
@@ -70,7 +80,9 @@ COMMANDS:
                     (re-derived from --racks/--seed, which must match generate)
     fsck            scan a log directory and print a per-file corruption
                     report (what a lenient ingest would quarantine, by
-                    reason); exits nonzero when anything is quarantined
+                    reason); exits nonzero when anything is quarantined.
+                    Binary logs are verified by a CRC sweep + header
+                    validation — no decode — so the scan is near I/O speed
     chaos           deterministically corrupt a dataset in place (test tool:
                     bit flips, truncation, foreign lines, reordering) and
                     print the injected-corruption manifest in fsck's format
@@ -82,7 +94,11 @@ COMMANDS:
 OPTIONS:
     --racks N             machine size in racks (default 4; Astra is 36)
     --seed S              master seed (default 42)
-    --out DIR             output directory for generate
+    --out DIR             output directory for generate / convert
+    --format F            (generate) on-disk log format: text (default) or
+                          binary (astra-binlog columnar, ~10x faster to
+                          serialize+parse and a fraction of the bytes)
+    --to F                (convert) target format: text or binary
     --metrics-out FILE    write all metrics as JSON lines to FILE on exit
     --trace-out FILE      record the span timeline and write it as Chrome
                           trace-event JSON to FILE on exit (any command;
@@ -97,6 +113,8 @@ OPTIONS:
     --checkpoint-every N  (stream-analyze) checkpoint every N events
     --resume FILE         (stream-analyze) resume from a checkpoint
     --stop-after N        (stream-analyze) checkpoint and stop after N events
+    --checkpoint-format F (stream-analyze) checkpoint encoding: text
+                          (default) or binary; resume auto-detects either
 ";
 
 #[derive(Debug)]
@@ -106,6 +124,9 @@ struct Args {
     racks: u32,
     seed: u64,
     out: Option<PathBuf>,
+    format: LogFormat,
+    to: Option<LogFormat>,
+    checkpoint_format: LogFormat,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     check: Option<PathBuf>,
@@ -129,6 +150,17 @@ impl Args {
     }
 }
 
+/// Pull the `text`/`binary` format name that must follow `flag`.
+fn format_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<LogFormat, String> {
+    let v: String = flag_value(args, flag)?;
+    LogFormat::parse(&v).ok_or_else(|| {
+        format!(
+            "bad {} {v} (expected text or binary)",
+            flag.trim_start_matches('-')
+        )
+    })
+}
+
 /// Pull the value that must follow `flag`, parsed as `T`.
 fn flag_value<T: FromStr>(
     args: &mut impl Iterator<Item = String>,
@@ -148,6 +180,9 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         racks: 4,
         seed: 42,
         out: None,
+        format: LogFormat::Text,
+        to: None,
+        checkpoint_format: LogFormat::Text,
         metrics_out: None,
         trace_out: None,
         check: None,
@@ -168,6 +203,11 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
             }
             "--seed" => parsed.seed = flag_value(&mut args, "--seed")?,
             "--out" => parsed.out = Some(flag_value(&mut args, "--out")?),
+            "--format" => parsed.format = format_value(&mut args, "--format")?,
+            "--to" => parsed.to = Some(format_value(&mut args, "--to")?),
+            "--checkpoint-format" => {
+                parsed.checkpoint_format = format_value(&mut args, "--checkpoint-format")?
+            }
             "--metrics-out" => parsed.metrics_out = Some(flag_value(&mut args, "--metrics-out")?),
             "--trace-out" => parsed.trace_out = Some(flag_value(&mut args, "--trace-out")?),
             "--check" => parsed.check = Some(flag_value(&mut args, "--check")?),
@@ -218,6 +258,7 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
     }
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
+        "convert" => cmd_convert(&args),
         "analyze" => cmd_analyze(&args),
         "stream-analyze" => cmd_stream_analyze(&args),
         "report" => cmd_report(&args),
@@ -262,7 +303,8 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let out = args.out.clone().ok_or("generate requires --out DIR")?;
     eprintln!("simulating {} racks (seed {})...", args.racks, args.seed);
     let ds = Dataset::generate(args.racks, args.seed);
-    ds.write_logs(&out).map_err(|e| e.to_string())?;
+    ds.write_logs_as(&out, args.format)
+        .map_err(|e| e.to_string())?;
     // Persist generation-time metrics next to the logs. Analysis commands
     // fold this file back in, so kernel-buffer drop counts and ECC
     // verdicts — facts only the generator knows — survive into `report
@@ -270,10 +312,128 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let jsonl = astra_obs::global().snapshot().to_jsonl();
     std::fs::write(out.join("metrics.jsonl"), jsonl).map_err(|e| e.to_string())?;
     println!(
-        "wrote {} CE, {} HET, {} inventory records (+ sensors.log excerpt) to {}",
+        "wrote {} CE, {} HET, {} inventory records (+ sensors.log excerpt) to {} ({})",
         ds.sim.ce_log.len(),
         ds.sim.het_log.len(),
         ds.replacements.len(),
+        out.display(),
+        args.format.name()
+    );
+    Ok(())
+}
+
+/// `convert DIR --to {text,binary} [--out DIR2]`: re-encode every log in a
+/// directory. Reads auto-detect the current format per file, so a mixed
+/// directory converges on the target; writes go through a `.tmp` + rename
+/// so an interrupted in-place conversion never leaves a torn log.
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    let to = args.to.ok_or("convert requires --to {text,binary}")?;
+    let out = args.out.clone().unwrap_or_else(|| dir.clone());
+    std::fs::create_dir_all(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let opts = args.ingest();
+    /// The per-run conversion settings shared by every log.
+    struct Convert<'a> {
+        dir: &'a Path,
+        out: &'a Path,
+        to: LogFormat,
+        opts: &'a IngestOptions,
+    }
+    impl Convert<'_> {
+        fn one<T: Send>(
+            &self,
+            name: &str,
+            line: LineFormat<T>,
+            bin: BinFormat<T>,
+            stage: &str,
+            fill: impl Fn(&T, &mut String),
+        ) -> Result<Option<usize>, String> {
+            let path = self.dir.join(name);
+            if !path.exists() {
+                return Ok(None);
+            }
+            let (parsed, quarantine) = binfmt::parse_file_auto(&path, line, bin, self.opts, stage)
+                .map_err(|e| format!("{name}: {e}"))?;
+            if !quarantine.is_empty() {
+                eprintln!("note: {}", quarantine.report_line(name));
+            }
+            let tmp = self.out.join(format!("{name}.convert-tmp"));
+            let write = |sink: &mut std::io::BufWriter<std::fs::File>| -> std::io::Result<()> {
+                use std::io::Write as _;
+                match self.to {
+                    LogFormat::Text => {
+                        logio::write_lines_with(&mut *sink, parsed.records.iter(), |rec, buf| {
+                            fill(rec, buf)
+                        })?;
+                    }
+                    LogFormat::Binary => {
+                        binfmt::write_records(&mut *sink, bin, &parsed.records)?;
+                    }
+                }
+                sink.flush()
+            };
+            std::fs::File::create(&tmp)
+                .and_then(|f| write(&mut std::io::BufWriter::new(f)))
+                .and_then(|()| std::fs::rename(&tmp, self.out.join(name)))
+                .map_err(|e| format!("writing {name}: {e}"))?;
+            Ok(Some(parsed.records.len()))
+        }
+    }
+    let cv = Convert {
+        dir: &dir,
+        out: &out,
+        to,
+        opts: &opts,
+    };
+    let mut seen = 0u32;
+    let counts = [
+        cv.one(
+            "ce.log",
+            astra_logs::ce::FORMAT,
+            binfmt::CE,
+            "ce",
+            |r, buf| r.to_line_into(buf),
+        )?,
+        cv.one(
+            "het.log",
+            astra_logs::het::FORMAT,
+            binfmt::HET,
+            "het",
+            |r, buf| r.to_line_into(buf),
+        )?,
+        cv.one(
+            "inventory.log",
+            astra_logs::inventory::FORMAT,
+            binfmt::INVENTORY,
+            "inventory",
+            |r, buf| r.to_line_into(buf),
+        )?,
+        cv.one(
+            "sensors.log",
+            astra_logs::sensor::FORMAT,
+            binfmt::SENSOR,
+            "sensors",
+            |r, buf| r.to_line_into(buf),
+        )?,
+    ];
+    let mut total = 0usize;
+    for n in counts.into_iter().flatten() {
+        seen += 1;
+        total += n;
+    }
+    if seen == 0 {
+        return Err(format!("no log files found in {}", dir.display()));
+    }
+    // Generation-time metrics ride along so `stats` on the converted
+    // directory still sees kernel-buffer drops and ECC verdicts.
+    let metrics = dir.join("metrics.jsonl");
+    if out != dir && metrics.exists() {
+        std::fs::copy(&metrics, out.join("metrics.jsonl"))
+            .map_err(|e| format!("copying metrics.jsonl: {e}"))?;
+    }
+    println!(
+        "converted {seen} logs ({total} records) to {} in {}",
+        to.name(),
         out.display()
     );
     Ok(())
@@ -363,6 +523,7 @@ fn cmd_stream_analyze(args: &Args) -> Result<(), String> {
         checkpoint_path: args.checkpoint.clone(),
         resume_from: args.resume.clone(),
         stop_after: args.stop_after,
+        checkpoint_format: args.checkpoint_format,
         ..StreamOptions::default()
     };
     let report = stream::stream_analyze(&dir, system, &opts).map_err(|e| match &e {
@@ -754,13 +915,21 @@ fn cmd_fsck(args: &Args) -> Result<(), String> {
     fn scan<T: Send>(
         dir: &Path,
         name: &str,
-        format: astra_logs::LineFormat<T>,
+        format: LineFormat<T>,
+        bin: BinFormat<T>,
         opts: &IngestOptions,
         stage: &str,
     ) -> Result<Option<astra_logs::Quarantine>, String> {
         let path = dir.join(name);
         if !path.exists() {
             return Ok(None);
+        }
+        // Binary logs verify with a CRC sweep + header validation — no
+        // decode — so fsck runs at I/O speed on them.
+        if binfmt::file_is_binlog(&path).map_err(|e| format!("{name}: {e}"))? {
+            return binfmt::fsck_scan(&path, bin.kind)
+                .map(Some)
+                .map_err(|e| format!("{name}: {e}"));
         }
         match logio::parse_file_streaming(&path, format, opts, stage) {
             Ok((_, quarantine)) => Ok(Some(quarantine)),
@@ -772,11 +941,25 @@ fn cmd_fsck(args: &Args) -> Result<(), String> {
     for (name, report) in [
         (
             "ce.log",
-            scan(&dir, "ce.log", astra_logs::ce::FORMAT, &opts, "ce")?,
+            scan(
+                &dir,
+                "ce.log",
+                astra_logs::ce::FORMAT,
+                binfmt::CE,
+                &opts,
+                "ce",
+            )?,
         ),
         (
             "het.log",
-            scan(&dir, "het.log", astra_logs::het::FORMAT, &opts, "het")?,
+            scan(
+                &dir,
+                "het.log",
+                astra_logs::het::FORMAT,
+                binfmt::HET,
+                &opts,
+                "het",
+            )?,
         ),
         (
             "inventory.log",
@@ -784,6 +967,7 @@ fn cmd_fsck(args: &Args) -> Result<(), String> {
                 &dir,
                 "inventory.log",
                 astra_logs::inventory::FORMAT,
+                binfmt::INVENTORY,
                 &opts,
                 "inventory",
             )?,
@@ -794,6 +978,7 @@ fn cmd_fsck(args: &Args) -> Result<(), String> {
                 &dir,
                 "sensors.log",
                 astra_logs::sensor::FORMAT,
+                binfmt::SENSOR,
                 &opts,
                 "sensors",
             )?,
@@ -939,13 +1124,90 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_args;
+    use super::{cmd_convert, parse_args};
 
     fn argv(args: &[&str]) -> impl Iterator<Item = String> {
         args.iter()
             .map(|s| s.to_string())
             .collect::<Vec<_>>()
             .into_iter()
+    }
+
+    struct TempDirGuard(std::path::PathBuf);
+
+    impl TempDirGuard {
+        fn new(tag: &str) -> TempDirGuard {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "astra-{tag}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDirGuard(dir)
+        }
+    }
+
+    impl Drop for TempDirGuard {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    const LOGS: [&str; 4] = ["ce.log", "het.log", "inventory.log", "sensors.log"];
+
+    #[test]
+    fn convert_round_trips_byte_identically() {
+        let tmp = TempDirGuard::new("cli-convert");
+        let (a, b, c) = (tmp.0.join("a"), tmp.0.join("b"), tmp.0.join("c"));
+        crate::pipeline::Dataset::generate(1, 11)
+            .write_logs(&a)
+            .unwrap();
+        let run = |args: &[&str]| cmd_convert(&parse_args(argv(args)).unwrap()).unwrap();
+        run(&[
+            "convert",
+            a.to_str().unwrap(),
+            "--to",
+            "binary",
+            "--out",
+            b.to_str().unwrap(),
+        ]);
+        for name in LOGS {
+            assert!(
+                astra_logs::binfmt::file_is_binlog(&b.join(name)).unwrap(),
+                "{name} not binary after convert"
+            );
+            let shrunk = std::fs::metadata(b.join(name)).unwrap().len();
+            let text = std::fs::metadata(a.join(name)).unwrap().len();
+            assert!(shrunk < text, "{name}: binary {shrunk} >= text {text}");
+        }
+        // Back to text lands byte-for-byte on the original files.
+        run(&[
+            "convert",
+            b.to_str().unwrap(),
+            "--to",
+            "text",
+            "--out",
+            c.to_str().unwrap(),
+        ]);
+        for name in LOGS {
+            assert_eq!(
+                std::fs::read(a.join(name)).unwrap(),
+                std::fs::read(c.join(name)).unwrap(),
+                "{name} changed across text->binary->text"
+            );
+        }
+        // In-place conversion goes through tmp+rename and converges.
+        run(&["convert", c.to_str().unwrap(), "--to", "binary"]);
+        for name in LOGS {
+            assert!(astra_logs::binfmt::file_is_binlog(&c.join(name)).unwrap());
+            assert_eq!(
+                std::fs::read(b.join(name)).unwrap(),
+                std::fs::read(c.join(name)).unwrap(),
+                "{name}: in-place binary differs from out-of-place binary"
+            );
+        }
     }
 
     #[test]
@@ -1012,6 +1274,32 @@ mod tests {
             a.check.as_deref().unwrap().to_str().unwrap(),
             "thresholds.json"
         );
+    }
+
+    #[test]
+    fn parses_format_flags() {
+        use astra_logs::binfmt::LogFormat;
+        let a = parse_args(argv(&[
+            "generate",
+            "--out",
+            "/tmp/logs",
+            "--format",
+            "binary",
+        ]))
+        .unwrap();
+        assert_eq!(a.format, LogFormat::Binary);
+        let a = parse_args(argv(&["convert", "/tmp/logs", "--to", "text"])).unwrap();
+        assert_eq!(a.to, Some(LogFormat::Text));
+        let a = parse_args(argv(&[
+            "stream-analyze",
+            "/tmp/logs",
+            "--checkpoint-format",
+            "binary",
+        ]))
+        .unwrap();
+        assert_eq!(a.checkpoint_format, LogFormat::Binary);
+        assert!(parse_args(argv(&["generate", "--format", "csv"])).is_err());
+        assert!(parse_args(argv(&["convert", "d", "--to"])).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use astra_faultsim::{simulate, SimOutput, SimProfile};
+use astra_logs::binfmt::{self, BinFormat, LogFormat};
 use astra_logs::io::{self as logio, IngestError};
 use astra_logs::{
     ce, het, inventory, sensor, CeRecord, HetRecord, IngestOptions, LineFormat, Quarantine,
@@ -41,6 +42,9 @@ pub struct Dataset {
     pub replacements: Vec<ReplacementRecord>,
     /// The telemetry source (functional; query on demand).
     pub telemetry: TelemetryModel,
+    /// Memoized [`Dataset::sensor_excerpt`] — the excerpt is pure in the
+    /// seed, and callers (both serializers, the tests) re-ask for it.
+    sensor_cache: std::sync::OnceLock<Vec<SensorRecord>>,
 }
 
 impl Dataset {
@@ -77,6 +81,7 @@ impl Dataset {
             sim,
             replacements,
             telemetry,
+            sensor_cache: std::sync::OnceLock::new(),
         }
     }
 
@@ -122,44 +127,83 @@ impl Dataset {
     /// Minutes between written sensor samples.
     pub const SENSOR_MINUTE_STRIDE: u64 = 60;
 
-    /// The sensor records the dataset excerpt contains.
-    pub fn sensor_excerpt(&self) -> Vec<SensorRecord> {
-        let span = astra_util::time::sensor_span();
-        let nodes = (0..self.system.node_count())
-            .step_by(Self::SENSOR_NODE_STRIDE as usize)
-            .map(astra_topology::NodeId);
-        self.telemetry
-            .records(nodes, span, Self::SENSOR_MINUTE_STRIDE)
+    /// The sensor records the dataset excerpt contains (computed once,
+    /// then served from the memo).
+    pub fn sensor_excerpt(&self) -> &[SensorRecord] {
+        self.sensor_cache.get_or_init(|| {
+            let span = astra_util::time::sensor_span();
+            let nodes = (0..self.system.node_count())
+                .step_by(Self::SENSOR_NODE_STRIDE as usize)
+                .map(astra_topology::NodeId);
+            self.telemetry
+                .records(nodes, span, Self::SENSOR_MINUTE_STRIDE)
+        })
     }
 
     /// Write `ce.log`, `het.log`, `inventory.log`, and the `sensors.log`
-    /// excerpt into a directory. Records stream through one reused line
-    /// buffer per file — no per-record `String`.
+    /// excerpt into a directory in the text format. Records stream
+    /// through one reused line buffer per file — no per-record `String`.
     pub fn write_logs(&self, dir: &Path) -> io::Result<()> {
+        self.write_logs_as(dir, LogFormat::Text)
+    }
+
+    /// As [`Dataset::write_logs`] with an explicit on-disk format. The
+    /// file names are the same in both formats — readers dispatch on the
+    /// magic bytes, not the name.
+    pub fn write_logs_as(&self, dir: &Path, format: LogFormat) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
         fn write<T>(
             dir: &Path,
             name: &str,
+            format: LogFormat,
+            bin: BinFormat<T>,
             records: &[T],
             fill: impl Fn(&T, &mut String),
         ) -> io::Result<()> {
             use std::io::Write as _;
             let mut f = io::BufWriter::new(std::fs::File::create(dir.join(name))?);
-            logio::write_lines_with(&mut f, records.iter(), |rec, buf| fill(rec, buf))?;
+            match format {
+                LogFormat::Text => {
+                    logio::write_lines_with(&mut f, records.iter(), |rec, buf| fill(rec, buf))?;
+                }
+                LogFormat::Binary => {
+                    binfmt::write_records(&mut f, bin, records)?;
+                }
+            }
             f.flush()
         }
-        write(dir, "ce.log", &self.sim.ce_log, |r, buf| {
-            r.to_line_into(buf)
-        })?;
-        write(dir, "het.log", &self.sim.het_log, |r, buf| {
-            r.to_line_into(buf)
-        })?;
-        write(dir, "inventory.log", &self.replacements, |r, buf| {
-            r.to_line_into(buf)
-        })?;
-        write(dir, "sensors.log", &self.sensor_excerpt(), |r, buf| {
-            r.to_line_into(buf)
-        })
+        write(
+            dir,
+            "ce.log",
+            format,
+            binfmt::CE,
+            &self.sim.ce_log,
+            |r, buf| r.to_line_into(buf),
+        )?;
+        write(
+            dir,
+            "het.log",
+            format,
+            binfmt::HET,
+            &self.sim.het_log,
+            |r, buf| r.to_line_into(buf),
+        )?;
+        write(
+            dir,
+            "inventory.log",
+            format,
+            binfmt::INVENTORY,
+            &self.replacements,
+            |r, buf| r.to_line_into(buf),
+        )?;
+        write(
+            dir,
+            "sensors.log",
+            format,
+            binfmt::SENSOR,
+            self.sensor_excerpt(),
+            |r, buf| r.to_line_into(buf),
+        )
     }
 }
 
@@ -194,8 +238,9 @@ pub enum LoadError {
         name: &'static str,
         /// Full path that failed.
         path: PathBuf,
-        /// Per-reason quarantine counts and samples.
-        quarantine: Quarantine,
+        /// Per-reason quarantine counts and samples (boxed to keep the
+        /// `Err` variant small — the success path pays its size).
+        quarantine: Box<Quarantine>,
         /// Lines that parsed cleanly before the abort.
         lines_ok: u64,
     },
@@ -312,24 +357,27 @@ impl AnalysisInput {
     /// separately); the other three are required, and a missing required
     /// log reports [`LoadError::MissingLog`] rather than a bare I/O error.
     ///
-    /// Files stream through the chunked parser
-    /// ([`logio::parse_file_streaming`]): at no point are the full log
-    /// text and its parsed records resident together. Under a lenient
-    /// policy, lines quarantined within the per-file error budget land in
-    /// [`AnalysisInput::quarantine`]; over budget (or any quarantined
-    /// line under the strict default) the load fails with
-    /// [`LoadError::Corrupt`] carrying the typed report.
+    /// Each file's format is auto-detected by magic bytes
+    /// ([`binfmt::parse_file_auto`]): text logs stream through the
+    /// chunked line parser, `astra-binlog` files through the CRC-framed
+    /// block reader, and a directory may mix the two. At no point are
+    /// the full log bytes and the parsed records resident together.
+    /// Under a lenient policy, units quarantined within the per-file
+    /// error budget land in [`AnalysisInput::quarantine`]; over budget
+    /// (or any quarantined unit under the strict default) the load fails
+    /// with [`LoadError::Corrupt`] carrying the typed report.
     pub fn from_dir_with(dir: &Path, opts: &IngestOptions) -> Result<Self, LoadError> {
         let _span = astra_obs::span("pipeline.parse");
         fn stream<T: Send>(
             dir: &Path,
             name: &'static str,
             format: LineFormat<T>,
+            bin: BinFormat<T>,
             opts: &IngestOptions,
             stage: &str,
         ) -> Result<Option<(logio::ParsedLog<T>, Quarantine)>, LoadError> {
             let path = dir.join(name);
-            match logio::parse_file_streaming(&path, format, opts, stage) {
+            match binfmt::parse_file_auto(&path, format, bin, opts, stage) {
                 Ok(parsed) => Ok(Some(parsed)),
                 Err(IngestError::Io(e)) if e.kind() == io::ErrorKind::NotFound => Ok(None),
                 Err(IngestError::Io(e)) => Err(LoadError::Unreadable {
@@ -343,7 +391,7 @@ impl AnalysisInput {
                 }) => Err(LoadError::Corrupt {
                     name,
                     path,
-                    quarantine,
+                    quarantine: Box::new(quarantine),
                     lines_ok,
                 }),
             }
@@ -352,20 +400,34 @@ impl AnalysisInput {
             name,
             path: dir.join(name),
         };
-        let (ces, ce_q) =
-            stream(dir, "ce.log", ce::FORMAT, opts, "ce")?.ok_or_else(|| require("ce.log"))?;
-        let (hets, het_q) =
-            stream(dir, "het.log", het::FORMAT, opts, "het")?.ok_or_else(|| require("het.log"))?;
-        let (invs, inv_q) = stream(dir, "inventory.log", inventory::FORMAT, opts, "inventory")?
-            .ok_or_else(|| require("inventory.log"))?;
-        let (sensors, sensor_q) = stream(dir, "sensors.log", sensor::FORMAT, opts, "sensors")?
-            .unwrap_or((
-                logio::ParsedLog {
-                    records: Vec::new(),
-                    skipped: 0,
-                },
-                Quarantine::default(),
-            ));
+        let (ces, ce_q) = stream(dir, "ce.log", ce::FORMAT, binfmt::CE, opts, "ce")?
+            .ok_or_else(|| require("ce.log"))?;
+        let (hets, het_q) = stream(dir, "het.log", het::FORMAT, binfmt::HET, opts, "het")?
+            .ok_or_else(|| require("het.log"))?;
+        let (invs, inv_q) = stream(
+            dir,
+            "inventory.log",
+            inventory::FORMAT,
+            binfmt::INVENTORY,
+            opts,
+            "inventory",
+        )?
+        .ok_or_else(|| require("inventory.log"))?;
+        let (sensors, sensor_q) = stream(
+            dir,
+            "sensors.log",
+            sensor::FORMAT,
+            binfmt::SENSOR,
+            opts,
+            "sensors",
+        )?
+        .unwrap_or((
+            logio::ParsedLog {
+                records: Vec::new(),
+                skipped: 0,
+            },
+            Quarantine::default(),
+        ));
         let mut quarantine = ce_q;
         quarantine.merge(&het_q);
         quarantine.merge(&inv_q);
@@ -556,6 +618,33 @@ mod tests {
         // The sensor excerpt roundtrips too.
         assert_eq!(input.sensors.len(), ds.sensor_excerpt().len());
         assert!(!input.sensors.is_empty());
+    }
+
+    #[test]
+    fn binary_directory_reads_identically_to_text() {
+        let ds = dataset();
+        let guard = TempDirGuard::new("pipeline-bin");
+        ds.write_logs_as(&guard.0, LogFormat::Binary).unwrap();
+        let input = AnalysisInput::from_dir(&guard.0).unwrap();
+        assert_eq!(input.records, ds.sim.ce_log);
+        assert_eq!(input.hets, ds.sim.het_log);
+        assert_eq!(input.replacements, ds.replacements);
+        assert_eq!(input.skipped, 0);
+        // The binary directory parses record-identical to the text one
+        // (including the sensor values, which both formats quantize to
+        // one decimal on write).
+        let text_guard = TempDirGuard::new("pipeline-bin-text");
+        ds.write_logs(&text_guard.0).unwrap();
+        let text_input = AnalysisInput::from_dir(&text_guard.0).unwrap();
+        assert_eq!(input.sensors, text_input.sensors);
+        // Binary files are markedly smaller than their text peers.
+        let size = |dir: &Path| -> u64 {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().metadata().unwrap().len())
+                .sum()
+        };
+        assert!(size(&guard.0) * 3 < size(&text_guard.0));
     }
 
     #[test]

@@ -34,7 +34,8 @@ use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use astra_logs::io::{ChunkReader, STREAM_CHUNK_BYTES};
+use astra_logs::binfmt::{self, BinFormat, BinReader};
+use astra_logs::io::{ChunkReader, IngestChunk, STREAM_CHUNK_BYTES};
 use astra_logs::{
     ce, het, inventory, sensor, CeRecord, HetRecord, IngestOptions, LineFormat, Quarantine,
     ReplacementRecord, SensorRecord,
@@ -184,16 +185,42 @@ pub trait Analyzer: Sized {
     fn snapshot(&self) -> Self::Report;
 }
 
-/// One log file as a resumable record queue: a [`ChunkReader`] plus the
+/// The per-file reader behind a [`LogSource`], picked by magic-byte
+/// sniffing at open: text logs stream through the chunked line parser,
+/// `astra-binlog` files through the CRC-framed block reader. Both yield
+/// [`IngestChunk`]s, so everything downstream is format-blind.
+enum SourceReader<T> {
+    Text(ChunkReader<std::fs::File, T>),
+    Bin(BinReader<std::fs::File, T>),
+}
+
+impl<T: Send> SourceReader<T> {
+    fn next_chunk(&mut self) -> io::Result<Option<IngestChunk<T>>> {
+        match self {
+            SourceReader::Text(r) => r.next_chunk(),
+            SourceReader::Bin(r) => r.next_chunk(),
+        }
+    }
+
+    fn bytes_consumed(&self) -> usize {
+        match self {
+            SourceReader::Text(r) => r.bytes_consumed(),
+            SourceReader::Bin(r) => r.bytes_consumed(),
+        }
+    }
+}
+
+/// One log file as a resumable record queue: a [`SourceReader`] plus the
 /// parsed-but-unconsumed buffer, with consumed-record accounting for
 /// checkpoints. Resuming re-reads the file and drops the first
 /// `skip` parsed records — exact, because line skipping (and the
 /// out-of-order check, whose running maximum rebuilds from byte 0) is
-/// deterministic.
+/// deterministic, and binary block decode is deterministic by
+/// construction.
 struct LogSource<T> {
     name: &'static str,
     path: PathBuf,
-    reader: Option<ChunkReader<std::fs::File, T>>,
+    reader: Option<SourceReader<T>>,
     buf: VecDeque<T>,
     /// Sequence number of the next record to pop (== records consumed).
     next_seq: u64,
@@ -215,13 +242,25 @@ impl<T: Send> LogSource<T> {
         dir: &Path,
         name: &'static str,
         format: LineFormat<T>,
+        bin: BinFormat<T>,
         required: bool,
         skip: u64,
         ingest: IngestOptions,
     ) -> Result<Self, LoadError> {
         let path = dir.join(name);
+        let unreadable = |source: io::Error| LoadError::Unreadable {
+            name,
+            path: dir.join(name),
+            source,
+        };
         let reader = match std::fs::File::open(&path) {
-            Ok(f) => Some(ChunkReader::new(f, format, STREAM_CHUNK_BYTES).with_retry(ingest.retry)),
+            Ok(f) => Some(if binfmt::file_is_binlog(&path).map_err(unreadable)? {
+                SourceReader::Bin(BinReader::new(f, bin).with_retry(ingest.retry))
+            } else {
+                SourceReader::Text(
+                    ChunkReader::new(f, format, STREAM_CHUNK_BYTES).with_retry(ingest.retry),
+                )
+            }),
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 if required {
                     return Err(LoadError::MissingLog { name, path });
@@ -255,7 +294,7 @@ impl<T: Send> LogSource<T> {
         LoadError::Corrupt {
             name: self.name,
             path: self.path.clone(),
-            quarantine: self.quarantine.clone(),
+            quarantine: Box::new(self.quarantine.clone()),
             lines_ok: self.parsed,
         }
     }
@@ -317,7 +356,7 @@ impl<T: Send> LogSource<T> {
     }
 
     fn bytes(&self) -> usize {
-        self.bytes_done + self.reader.as_ref().map_or(0, ChunkReader::bytes_consumed)
+        self.bytes_done + self.reader.as_ref().map_or(0, SourceReader::bytes_consumed)
     }
 }
 
@@ -358,12 +397,29 @@ impl EventStream {
         ingest: IngestOptions,
     ) -> Result<Self, LoadError> {
         Ok(EventStream {
-            ce: LogSource::open(dir, "ce.log", ce::FORMAT, true, consumed[0], ingest)?,
-            het: LogSource::open(dir, "het.log", het::FORMAT, true, consumed[1], ingest)?,
+            ce: LogSource::open(
+                dir,
+                "ce.log",
+                ce::FORMAT,
+                binfmt::CE,
+                true,
+                consumed[0],
+                ingest,
+            )?,
+            het: LogSource::open(
+                dir,
+                "het.log",
+                het::FORMAT,
+                binfmt::HET,
+                true,
+                consumed[1],
+                ingest,
+            )?,
             inventory: LogSource::open(
                 dir,
                 "inventory.log",
                 inventory::FORMAT,
+                binfmt::INVENTORY,
                 true,
                 consumed[2],
                 ingest,
@@ -372,6 +428,7 @@ impl EventStream {
                 dir,
                 "sensors.log",
                 sensor::FORMAT,
+                binfmt::SENSOR,
                 false,
                 consumed[3],
                 ingest,
@@ -475,6 +532,11 @@ pub struct StreamOptions {
     pub checkpoint_path: Option<PathBuf>,
     /// Resume from a checkpoint file instead of starting fresh.
     pub resume_from: Option<PathBuf>,
+    /// On-disk checkpoint encoding (text by default; binary wraps the
+    /// same snapshot in the CRC-framed `astra-binlog` container). Reads
+    /// auto-detect the format per file, so resuming works across runs
+    /// that used different encodings.
+    pub checkpoint_format: binfmt::LogFormat,
     /// Stop after the stream position reaches N events: write a final
     /// checkpoint and return `Ok(None)` instead of a report. Test/ops
     /// hook for exercising mid-stream restarts.
@@ -559,7 +621,7 @@ pub fn stream_analyze(
                     detail: "a checkpoint cadence or stop was requested without --checkpoint FILE"
                         .into(),
                 })?;
-            checkpoint::write(path, analyzer, &source.consumed())
+            checkpoint::write(path, analyzer, &source.consumed(), opts.checkpoint_format)
         };
 
     loop {
@@ -774,6 +836,28 @@ mod tests {
             })
             .collect();
         assert_eq!(ces, ds.sim.ce_log);
+    }
+
+    #[test]
+    fn binary_logs_stream_identically_and_resume() {
+        let (ds, guard) = written_dataset("stream-binfmt-text");
+        let bin_guard = TempDirGuard::new("stream-binfmt-bin");
+        ds.write_logs_as(&bin_guard.0, binfmt::LogFormat::Binary)
+            .unwrap();
+        let mut text_stream = EventStream::open(&guard.0).unwrap();
+        let text_events = drain(&mut text_stream);
+        let mut bin_stream = EventStream::open(&bin_guard.0).unwrap();
+        let bin_events = drain(&mut bin_stream);
+        assert_eq!(bin_events, text_events, "merge order must be format-blind");
+
+        // Checkpoint-style resume lands on the same tail.
+        let mut head = EventStream::open(&bin_guard.0).unwrap();
+        let cut = 500;
+        for _ in 0..cut {
+            head.next_event().unwrap().unwrap();
+        }
+        let mut tail = EventStream::open_resumed(&bin_guard.0, head.consumed()).unwrap();
+        assert_eq!(drain(&mut tail).as_slice(), &text_events[cut..]);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   (truncated final lines, bit flips, non-UTF-8 garbage, duplicated
 //!   and displaced records, interleaved foreign syslog lines) and return
 //!   a [`ChaosManifest`] of exactly what was injected;
+//! * [`corrupt_binary_file`] is the `astra-binlog` peer: payload bit
+//!   flips (caught by the per-block CRC) and torn tails, dispatched to
+//!   automatically by [`corrupt_dir`] when a log is binary;
 //! * [`FailingReader`] wraps any reader with deterministic transient
 //!   errors and short reads, exercising the retry path;
 //! * [`truncate_file`] / [`tear_checkpoint`] simulate torn checkpoint
@@ -31,6 +34,7 @@ use std::path::Path;
 
 use astra_util::{DetRng, StreamKey};
 
+use crate::binfmt::{self, BinFormat, HEADER_LEN};
 use crate::io::{parse_stream_chunked, STREAM_CHUNK_BYTES};
 use crate::quarantine::{IngestMode, IngestOptions, LineFormat, Quarantine, RetryPolicy};
 
@@ -166,32 +170,65 @@ fn measuring_opts() -> IngestOptions {
 /// Corrupt every log of a generated dataset in place.
 ///
 /// Missing files are skipped (e.g. a dataset without `sensors.log`).
+/// Each log's format is sniffed by magic bytes: text files take the
+/// line-level corruption mix, `astra-binlog` files the block-level one.
 pub fn corrupt_dir(dir: &Path, cfg: &ChaosConfig) -> io::Result<ChaosManifest> {
+    fn one<T>(
+        manifest: &mut ChaosManifest,
+        dir: &Path,
+        name: &str,
+        format: LineFormat<T>,
+        bin: BinFormat<T>,
+        cfg: &ChaosConfig,
+    ) -> io::Result<()>
+    where
+        T: Clone + PartialEq + Send,
+    {
+        let path = dir.join(name);
+        if !path.exists() {
+            return Ok(());
+        }
+        let chaos = if binfmt::file_is_binlog(&path)? {
+            corrupt_binary_file(&path, bin, cfg)?
+        } else {
+            corrupt_file(&path, format, cfg)?
+        };
+        manifest.files.push(chaos);
+        Ok(())
+    }
     let mut manifest = ChaosManifest::default();
-    if dir.join("ce.log").exists() {
-        manifest
-            .files
-            .push(corrupt_file(&dir.join("ce.log"), crate::ce::FORMAT, cfg)?);
-    }
-    if dir.join("het.log").exists() {
-        manifest
-            .files
-            .push(corrupt_file(&dir.join("het.log"), crate::het::FORMAT, cfg)?);
-    }
-    if dir.join("inventory.log").exists() {
-        manifest.files.push(corrupt_file(
-            &dir.join("inventory.log"),
-            crate::inventory::FORMAT,
-            cfg,
-        )?);
-    }
-    if dir.join("sensors.log").exists() {
-        manifest.files.push(corrupt_file(
-            &dir.join("sensors.log"),
-            crate::sensor::FORMAT,
-            cfg,
-        )?);
-    }
+    one(
+        &mut manifest,
+        dir,
+        "ce.log",
+        crate::ce::FORMAT,
+        binfmt::CE,
+        cfg,
+    )?;
+    one(
+        &mut manifest,
+        dir,
+        "het.log",
+        crate::het::FORMAT,
+        binfmt::HET,
+        cfg,
+    )?;
+    one(
+        &mut manifest,
+        dir,
+        "inventory.log",
+        crate::inventory::FORMAT,
+        binfmt::INVENTORY,
+        cfg,
+    )?;
+    one(
+        &mut manifest,
+        dir,
+        "sensors.log",
+        crate::sensor::FORMAT,
+        binfmt::SENSOR,
+        cfg,
+    )?;
     Ok(manifest)
 }
 
@@ -446,6 +483,132 @@ where
     })
 }
 
+/// Corrupt one clean `astra-binlog` file in place and report what was
+/// injected.
+///
+/// Binary corruption is block-granular: a payload bit flip is caught by
+/// that block's CRC trailer (`BlockCrc`, the reader skips the block and
+/// continues), and a torn final append cuts into the last block's
+/// trailer (`TruncatedBlock`). The line-level kinds — garbage, foreign
+/// producers, duplicates, reorders — have no binary equivalent: nothing
+/// else writes into a binlog, and record order is internal to a block.
+/// At most half the blocks take a flip, mirroring the text path's
+/// scale-down, so the quarantined fraction stays under any sane lenient
+/// budget. In the manifest, `damaged_clean_lines` holds the 0-based
+/// *record* indices lost with their damaged blocks.
+pub fn corrupt_binary_file<T>(
+    path: &Path,
+    bin: BinFormat<T>,
+    cfg: &ChaosConfig,
+) -> io::Result<FileChaos>
+where
+    T: Clone + PartialEq + Send,
+{
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let mut data = std::fs::read(path)?;
+
+    // Baseline: the whole container must verify and decode cleanly.
+    let (clean, q, ..) = binfmt::parse_binary_stream(data.as_slice(), bin, &measuring_opts())
+        .map_err(|e| io::Error::other(format!("chaos needs a clean dataset: {name}: {e}")))?;
+    if !q.is_empty() {
+        return Err(io::Error::other(format!(
+            "chaos needs a clean dataset: {name}: pre-damaged blocks {}",
+            q.summary()
+        )));
+    }
+
+    // Map the block layout: each block's payload byte range and the
+    // clean-record index range it carries (payloads are self-contained,
+    // so a per-block decode recovers the split).
+    struct Block {
+        payload: std::ops::Range<usize>,
+        records: std::ops::Range<usize>,
+    }
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut pos = HEADER_LEN;
+    let mut seen = 0usize;
+    let mut scratch: Vec<T> = Vec::new();
+    while pos < data.len() {
+        let len =
+            u32::from_le_bytes(data[pos..pos + 4].try_into().expect("clean framing")) as usize;
+        let payload = pos + 4..pos + 4 + len;
+        scratch.clear();
+        (bin.decode)(&data[payload.clone()], &mut scratch)
+            .ok_or_else(|| io::Error::other(format!("{name}: undecodable clean block")))?;
+        blocks.push(Block {
+            payload: payload.clone(),
+            records: seen..seen + scratch.len(),
+        });
+        seen += scratch.len();
+        pos = payload.end + 4;
+    }
+
+    let mut rng = DetRng::for_stream(
+        cfg.seed,
+        StreamKey::root("chaos-bin").with(name_stream(&name)),
+    );
+    let mut damaged_blocks: BTreeSet<usize> = BTreeSet::new();
+
+    // Payload bit flips: any flipped bit fails the block CRC, no
+    // verification pass needed.
+    let flips = (cfg.bit_flips as usize).min(blocks.len() / 2);
+    for _ in 0..flips {
+        for _attempt in 0..64 {
+            let b = rng.below(blocks.len() as u64) as usize;
+            if damaged_blocks.contains(&b) {
+                continue;
+            }
+            let r = &blocks[b].payload;
+            let at = r.start + rng.below(r.len() as u64) as usize;
+            data[at] ^= 1 << rng.below(8);
+            damaged_blocks.insert(b);
+            break;
+        }
+    }
+
+    // Torn final append: cut into the last block's CRC trailer.
+    if cfg.truncate_tail && !blocks.is_empty() {
+        let cut = rng.range_inclusive(1, 3) as usize;
+        data.truncate(data.len() - cut);
+        damaged_blocks.insert(blocks.len() - 1);
+    }
+
+    // Measure the expected quarantine with the real reader, and
+    // self-check that it recovers exactly the undamaged blocks' records.
+    let (parsed, expected, ..) =
+        binfmt::parse_binary_stream(data.as_slice(), bin, &measuring_opts())
+            .map_err(|e| io::Error::other(format!("chaos self-check ingest failed: {e}")))?;
+    let mut damaged_records: Vec<usize> = Vec::new();
+    let mut surviving: Vec<T> = Vec::new();
+    for (b, block) in blocks.iter().enumerate() {
+        if damaged_blocks.contains(&b) {
+            damaged_records.extend(block.records.clone());
+        } else {
+            surviving.extend_from_slice(&clean.records[block.records.clone()]);
+        }
+    }
+    if parsed.records != surviving {
+        return Err(io::Error::other(format!(
+            "chaos self-check failed for {name}: reader recovered {} records, \
+             expected {} (clean {} minus {} in damaged blocks)",
+            parsed.records.len(),
+            surviving.len(),
+            clean.records.len(),
+            damaged_records.len(),
+        )));
+    }
+
+    std::fs::write(path, &data)?;
+    Ok(FileChaos {
+        name,
+        expected,
+        damaged_clean_lines: damaged_records,
+    })
+}
+
 /// Truncate a file to its first `keep_bytes` bytes — a write torn
 /// mid-file (or a partial `.tmp` if pointed at one).
 pub fn truncate_file(path: &Path, keep_bytes: u64) -> io::Result<()> {
@@ -647,6 +810,75 @@ mod tests {
         // applies.
         assert_eq!(chaos.expected.total(), 1);
         assert_eq!(chaos.damaged_clean_lines, vec![2]);
+    }
+
+    fn write_bin_ce_log(dir: &Path, blocks: usize, per_block: usize) -> PathBuf {
+        let mut data = Vec::from(binfmt::header_bytes(
+            binfmt::KIND_CE,
+            (blocks * per_block) as u64,
+        ));
+        let mut minute = 0i64;
+        for _ in 0..blocks {
+            let recs: Vec<CeRecord> = (0..per_block)
+                .map(|_| {
+                    minute += 1;
+                    ce(minute)
+                })
+                .collect();
+            let mut payload = Vec::new();
+            (binfmt::CE.encode)(&recs, &mut payload);
+            binfmt::append_block(&mut data, &payload);
+        }
+        let path = dir.join("ce.log");
+        std::fs::write(&path, data).unwrap();
+        path
+    }
+
+    #[test]
+    fn corrupt_binary_file_damages_blocks_and_tail() {
+        let tmp = TempDir::new("bin");
+        let path = write_bin_ce_log(&tmp.0, 6, 40);
+        let chaos = corrupt_binary_file(&path, binfmt::CE, &ChaosConfig::with_seed(9)).unwrap();
+        assert!(
+            chaos.expected.count(QuarantineReason::BlockCrc) >= 1,
+            "payload bit flips must fail the block CRC"
+        );
+        assert!(
+            chaos.expected.count(QuarantineReason::TruncatedBlock) >= 1,
+            "torn tail must quarantine as truncated"
+        );
+        // Whole damaged blocks' records are reported lost.
+        assert!(chaos.damaged_clean_lines.len() >= 40);
+        // fsck's decode-free CRC sweep reaches the same verdicts the
+        // measuring full decode did, so manifest-vs-fsck diffs hold for
+        // binary logs too.
+        let sweep = binfmt::fsck_scan(&path, binfmt::KIND_CE).unwrap();
+        assert_eq!(sweep.counts, chaos.expected.counts);
+        // Deterministic: same seed, same damage.
+        let tmp2 = TempDir::new("bin2");
+        let path2 = write_bin_ce_log(&tmp2.0, 6, 40);
+        let chaos2 = corrupt_binary_file(&path2, binfmt::CE, &ChaosConfig::with_seed(9)).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
+        assert_eq!(chaos.damaged_clean_lines, chaos2.damaged_clean_lines);
+    }
+
+    #[test]
+    fn corrupt_dir_dispatches_on_magic_bytes() {
+        let tmp = TempDir::new("bin-dir");
+        write_bin_ce_log(&tmp.0, 4, 30);
+        let manifest = corrupt_dir(&tmp.0, &ChaosConfig::with_seed(11)).unwrap();
+        assert_eq!(manifest.files.len(), 1);
+        let total = manifest.total();
+        assert!(
+            total.count(QuarantineReason::BlockCrc) + total.count(QuarantineReason::TruncatedBlock)
+                > 0,
+            "binary log must take block-level corruption"
+        );
+        // The report still renders in fsck's line format.
+        assert!(manifest.report().starts_with("ce.log: quarantined"));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`io`] — line-oriented writers and fault-tolerant readers for the
 //!   above, so the analyzer consumes exactly what a site would have on
 //!   disk.
+//! * [`binfmt`] — the `astra-binlog` binary columnar format, a compact
+//!   peer of the four text formats with per-block CRC framing, plus the
+//!   magic-byte auto-detection used on every read path.
 //! * [`quarantine`] — the typed bad-line taxonomy and strict/lenient
 //!   ingest policy the readers apply to dirty production logs.
 //! * [`chaos`] — deterministic fault injection (truncation, bit flips,
@@ -36,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod buffer;
 pub mod ce;
 pub mod chaos;
@@ -46,6 +50,7 @@ mod kv;
 pub mod quarantine;
 pub mod sensor;
 
+pub use binfmt::BinFormat;
 pub use buffer::CeLogBuffer;
 pub use ce::CeRecord;
 pub use het::{HetKind, HetRecord, HetSeverity};

@@ -35,19 +35,34 @@ pub enum QuarantineReason {
     /// The record parsed but its timestamp precedes an earlier record of
     /// the same time-sorted log — a displaced or duplicated record.
     OutOfOrder,
+    /// A binary file whose leading magic bytes are not the
+    /// `astra-binlog` signature (or the header itself is cut short).
+    BadMagic,
+    /// An `astra-binlog` header with an unsupported version or a header
+    /// checksum mismatch.
+    BadVersion,
+    /// A binary column block whose CRC-32 trailer does not match its
+    /// payload, or whose payload fails to decode.
+    BlockCrc,
+    /// A binary column block cut short by EOF (torn tail write).
+    TruncatedBlock,
 }
 
 impl QuarantineReason {
     /// All reasons, in stable report order.
-    pub const ALL: [QuarantineReason; 5] = [
+    pub const ALL: [QuarantineReason; 9] = [
         QuarantineReason::Truncated,
         QuarantineReason::BadUtf8,
         QuarantineReason::UnknownFormat,
         QuarantineReason::FieldOutOfRange,
         QuarantineReason::OutOfOrder,
+        QuarantineReason::BadMagic,
+        QuarantineReason::BadVersion,
+        QuarantineReason::BlockCrc,
+        QuarantineReason::TruncatedBlock,
     ];
 
-    /// Dense index, 0..5.
+    /// Dense index, 0..9.
     pub fn index(self) -> usize {
         match self {
             QuarantineReason::Truncated => 0,
@@ -55,6 +70,10 @@ impl QuarantineReason {
             QuarantineReason::UnknownFormat => 2,
             QuarantineReason::FieldOutOfRange => 3,
             QuarantineReason::OutOfOrder => 4,
+            QuarantineReason::BadMagic => 5,
+            QuarantineReason::BadVersion => 6,
+            QuarantineReason::BlockCrc => 7,
+            QuarantineReason::TruncatedBlock => 8,
         }
     }
 
@@ -68,7 +87,23 @@ impl QuarantineReason {
             QuarantineReason::UnknownFormat => "unknown-format",
             QuarantineReason::FieldOutOfRange => "field-out-of-range",
             QuarantineReason::OutOfOrder => "out-of-order",
+            QuarantineReason::BadMagic => "bad-magic",
+            QuarantineReason::BadVersion => "bad-version",
+            QuarantineReason::BlockCrc => "block-crc",
+            QuarantineReason::TruncatedBlock => "truncated-block",
         }
+    }
+
+    /// True for reasons produced by the binary read path, whose sample
+    /// positions are byte offsets rather than line numbers.
+    pub fn is_binary(self) -> bool {
+        matches!(
+            self,
+            QuarantineReason::BadMagic
+                | QuarantineReason::BadVersion
+                | QuarantineReason::BlockCrc
+                | QuarantineReason::TruncatedBlock
+        )
     }
 }
 
@@ -86,10 +121,13 @@ pub const MAX_SAMPLES_PER_REASON: usize = 3;
 /// Longest snippet of a quarantined line kept in a sample.
 const MAX_SNIPPET_BYTES: usize = 96;
 
-/// One retained example of a quarantined line.
+/// One retained example of a quarantined line (or, for binary files, a
+/// quarantined block).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuarantinedLine {
-    /// 1-based line number within the source file.
+    /// 1-based line number within the source file. For binary reasons
+    /// ([`QuarantineReason::is_binary`]) this is instead the **byte
+    /// offset** of the damaged header or block.
     pub line_no: u64,
     /// Why it was quarantined.
     pub reason: QuarantineReason,
@@ -102,7 +140,7 @@ pub struct QuarantinedLine {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Quarantine {
     /// Count per [`QuarantineReason::index`].
-    pub counts: [u64; 5],
+    pub counts: [u64; 9],
     /// Retained examples, at most [`MAX_SAMPLES_PER_REASON`] per reason,
     /// in encounter order.
     pub samples: Vec<QuarantinedLine>,
@@ -180,16 +218,25 @@ impl Quarantine {
     }
 
     /// Multi-line sample listing for diagnostic reports (empty string
-    /// when no samples were kept).
+    /// when no samples were kept). Binary-format samples report the byte
+    /// offset of the damaged block instead of a line number.
     pub fn sample_lines(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for s in &self.samples {
-            let _ = writeln!(
-                out,
-                "    line {}: [{}] {:?}",
-                s.line_no, s.reason, s.snippet
-            );
+            if s.reason.is_binary() {
+                let _ = writeln!(
+                    out,
+                    "    offset {:#x}: [{}] {:?}",
+                    s.line_no, s.reason, s.snippet
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "    line {}: [{}] {:?}",
+                    s.line_no, s.reason, s.snippet
+                );
+            }
         }
         out
     }

@@ -18,10 +18,13 @@
 //!   pool dependency.
 //! * [`crc`] — CRC-32 checksums guarding checkpoint sections against torn
 //!   writes.
+//! * [`codec`] — varint/zigzag/delta column codecs shared by the binary
+//!   log format and the binary checkpoint encoding.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod crc;
 pub mod dist;
 pub mod par;

@@ -353,6 +353,46 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
             ));
         }
     }
+    // The serve daemon answering live queries over the same directory:
+    // start in-process, wait for the site's first full poll (which
+    // ingests the whole static dataset), then time a fixed hammer of
+    // reads across the endpoint surface. Like `stream` and `fsck` it is
+    // an auxiliary pass, not a stage of the batch pipeline.
+    let serve_opts = astra_serve::ServeOptions {
+        listen: "127.0.0.1:0".to_string(),
+        poll_interval: std::time::Duration::from_millis(10),
+        ..astra_serve::ServeOptions::default()
+    };
+    let server = astra_core::serve::start_sites(
+        std::slice::from_ref(&dir),
+        ds.system,
+        &StreamOptions::default(),
+        &serve_opts,
+    )?;
+    if !server.wait_ready(std::time::Duration::from_secs(300)) {
+        return Err("serve daemon never became ready".into());
+    }
+    let site = dir.file_name().unwrap().to_string_lossy().into_owned();
+    const SERVE_QUERIES: usize = 64;
+    let t = Instant::now();
+    for i in 0..SERVE_QUERIES {
+        let path = match i % 4 {
+            0 => format!("/site/{site}/analysis"),
+            1 => format!("/site/{site}/spatial"),
+            2 => format!("/site/{site}"),
+            _ => "/health".to_string(),
+        };
+        let resp = astra_serve::http::get(server.addr(), &path)
+            .map_err(|e| format!("serve query {path}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("serve query {path} returned {}", resp.status));
+        }
+        std::hint::black_box(&resp.body);
+    }
+    let serve_secs = t.elapsed().as_secs_f64();
+    server.trigger_shutdown();
+    server.join();
+
     std::fs::remove_dir_all(&dir).ok();
 
     // Binary columnar peers of serialize/parse/fsck: the same dataset
@@ -421,6 +461,7 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
             ("predict", predict_secs),
             ("stream", stream_secs),
             ("fsck", fsck_secs),
+            ("serve", serve_secs),
             ("serialize_bin", serialize_bin_secs),
             ("parse_bin", parse_bin_secs),
             ("fsck_bin", fsck_bin_secs),
@@ -456,16 +497,20 @@ fn dir_bytes(dir: &std::path::Path) -> Result<u64, String> {
     Ok(total)
 }
 
-/// `simulate` wall time already contains the merge; `stream` and `fsck`
-/// are alternative full passes over the same data, not stages of the
-/// batch pipeline; and the `*_bin` stages are the binary format's peers
-/// of stages already counted. The total is the sum of the remaining
-/// disjoint stages.
+/// `simulate` wall time already contains the merge; `stream`, `fsck`,
+/// and `serve` are alternative full passes over the same data, not
+/// stages of the batch pipeline; and the `*_bin` stages are the binary
+/// format's peers of stages already counted. The total is the sum of the
+/// remaining disjoint stages.
 fn total_secs(r: &ScaleResult) -> f64 {
     r.stages
         .iter()
         .filter(|(label, _)| {
-            *label != "merge" && *label != "stream" && *label != "fsck" && !label.ends_with("_bin")
+            *label != "merge"
+                && *label != "stream"
+                && *label != "fsck"
+                && *label != "serve"
+                && !label.ends_with("_bin")
         })
         .map(|(_, secs)| secs)
         .sum()
@@ -655,6 +700,7 @@ mod tests {
                 ("merge", 0.1),
                 ("parse", 0.25),
                 ("stream", 0.4),
+                ("serve", 0.3),
                 ("parse_bin", 9.9),
             ],
             span_count: 1500,
@@ -670,8 +716,8 @@ mod tests {
         assert_eq!(json::number_field(&report, "racks"), Some(2.0));
         assert_eq!(json::number_field(&report, "simulate"), Some(0.5));
         // total excludes the merge share (inside simulate), the stream
-        // pass (an alternative to parse+analyze, not a stage of it), and
-        // the binary peers of already-counted stages.
+        // and serve passes (alternatives to parse+analyze, not stages of
+        // it), and the binary peers of already-counted stages.
         assert_eq!(json::number_field(&report, "total_secs"), Some(0.75));
         assert_eq!(json::number_field(&report, "parse_bin"), Some(9.9));
         assert_eq!(json::number_field(&report, "bin_log_bytes"), Some(1024.0));

@@ -50,6 +50,8 @@ USAGE:
     astra-mem stream-analyze DIR [--racks N] [--checkpoint-every N --checkpoint FILE]
                                  [--resume FILE] [--stop-after N --checkpoint FILE]
                                  [--checkpoint-format F]
+    astra-mem serve          DIR [DIR ...] [--racks N] [--listen ADDR]
+                                 [--checkpoint-every SECS] [--poll-ms N]
     astra-mem report         DIR [--racks N] [--seed S]
     astra-mem triage         DIR [--racks N]
     astra-mem stats          DIR [--racks N] [--check FILE]
@@ -71,6 +73,16 @@ COMMANDS:
     stream-analyze  same summary via the single-pass incremental engine:
                     memory bounded by analyzer state, with optional
                     checkpoint/resume (output is byte-identical to analyze)
+    serve           long-running daemon: tail every DIR as an independent
+                    site (text or binary logs, auto-detected), checkpoint
+                    each to <dir>/serve.ckpt on a timer and resume from it
+                    on restart, and answer concurrent HTTP/1.1 queries
+                    (/health, /sites, /site/<name>/{analysis,spatial,
+                    alerts,quarantine}, /metrics, /metrics.jsonl) from
+                    immutable snapshots — a fully-ingested site's
+                    /analysis body is byte-identical to `analyze` output.
+                    Stop with GET/POST /shutdown or by closing stdin;
+                    both drain in-flight requests and checkpoint first
     report          render every table and figure of the paper
     triage          operational outputs: exclude list, retirement, replacements
     stats           pipeline health report: throughput, drop/skip rates, ratios
@@ -110,7 +122,13 @@ OPTIONS:
     --max-bad-frac F      per-file quarantine budget for --lenient
                           (fraction of lines, default 0.05; implies --lenient)
     --checkpoint FILE     (stream-analyze) where to write checkpoints
-    --checkpoint-every N  (stream-analyze) checkpoint every N events
+    --checkpoint-every N  (stream-analyze) checkpoint every N events;
+                          (serve) checkpoint every site every N seconds
+    --listen ADDR         (serve) bind address (default 127.0.0.1:7433;
+                          port 0 picks an ephemeral port — the bound
+                          address is printed on startup either way)
+    --poll-ms N           (serve) how often to re-probe dry logs for new
+                          records (default 200)
     --resume FILE         (stream-analyze) resume from a checkpoint
     --stop-after N        (stream-analyze) checkpoint and stop after N events
     --checkpoint-format F (stream-analyze) checkpoint encoding: text
@@ -121,6 +139,10 @@ OPTIONS:
 struct Args {
     command: String,
     dir: Option<PathBuf>,
+    /// Additional site directories — only `serve` accepts more than one.
+    extra_dirs: Vec<PathBuf>,
+    listen: Option<String>,
+    poll_ms: u64,
     racks: u32,
     seed: u64,
     out: Option<PathBuf>,
@@ -177,6 +199,9 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut parsed = Args {
         command,
         dir: None,
+        extra_dirs: Vec::new(),
+        listen: None,
+        poll_ms: 200,
         racks: 4,
         seed: 42,
         out: None,
@@ -224,15 +249,30 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 parsed.checkpoint_every = Some(flag_value(&mut args, "--checkpoint-every")?)
             }
             "--resume" => parsed.resume = Some(flag_value(&mut args, "--resume")?),
+            "--listen" => parsed.listen = Some(flag_value(&mut args, "--listen")?),
+            "--poll-ms" => {
+                parsed.poll_ms = flag_value(&mut args, "--poll-ms")?;
+                if parsed.poll_ms == 0 {
+                    return Err("--poll-ms must be at least 1".into());
+                }
+            }
             "--stop-after" => parsed.stop_after = Some(flag_value(&mut args, "--stop-after")?),
             other if !other.starts_with('-') => {
                 if let Some(first) = &parsed.dir {
-                    return Err(format!(
-                        "unexpected second directory {other} (already got {})",
-                        first.display()
-                    ));
+                    // Only the multi-tenant daemon takes several
+                    // directories; everywhere else a second positional is
+                    // almost certainly a typo, so keep rejecting it.
+                    if parsed.command == "serve" {
+                        parsed.extra_dirs.push(PathBuf::from(other));
+                    } else {
+                        return Err(format!(
+                            "unexpected second directory {other} (already got {})",
+                            first.display()
+                        ));
+                    }
+                } else {
+                    parsed.dir = Some(PathBuf::from(other));
                 }
-                parsed.dir = Some(PathBuf::from(other));
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -261,6 +301,7 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
         "convert" => cmd_convert(&args),
         "analyze" => cmd_analyze(&args),
         "stream-analyze" => cmd_stream_analyze(&args),
+        "serve" => cmd_serve(&args),
         "report" => cmd_report(&args),
         "triage" => cmd_triage(&args),
         "stats" => cmd_stats(&args),
@@ -553,6 +594,67 @@ fn cmd_stream_analyze(args: &Args) -> Result<(), String> {
     );
     print!("{}", report.fig4.render());
     print!("{}", report.fig5.render());
+    Ok(())
+}
+
+/// `serve DIR [DIR ...]`: run the multi-tenant analysis daemon until a
+/// client requests `/shutdown` or stdin reaches EOF (the service-manager
+/// idiom: closing the daemon's stdin asks it to wind down). Exit 0 means
+/// every site wrote its final checkpoint.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut dirs = vec![require_dir(args)?];
+    dirs.extend(args.extra_dirs.iter().cloned());
+    if args.checkpoint.is_some() && dirs.len() > 1 {
+        return Err(
+            "--checkpoint FILE only works with a single site; multi-site serve \
+             checkpoints each site to <dir>/serve.ckpt"
+                .into(),
+        );
+    }
+    let system = SystemConfig::scaled(args.racks);
+    let stream_opts = StreamOptions {
+        ingest: args.ingest(),
+        checkpoint_path: args.checkpoint.clone(),
+        resume_from: args.resume.clone(),
+        checkpoint_format: args.checkpoint_format,
+        ..StreamOptions::default()
+    };
+    let serve_opts = astra_serve::ServeOptions {
+        listen: args
+            .listen
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7433".to_string()),
+        poll_interval: std::time::Duration::from_millis(args.poll_ms),
+        checkpoint_every: args.checkpoint_every.map(std::time::Duration::from_secs),
+        ..astra_serve::ServeOptions::default()
+    };
+    let server = crate::serve::start_sites(&dirs, system, &stream_opts, &serve_opts)?;
+    // The one startup line on stdout, flushed, so wrappers (tests, CI,
+    // service managers) can scrape the actual port even with `:0`.
+    println!("listening on http://{}", server.addr());
+    use std::io::{Read as _, Write as _};
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serving {} site(s); stop with GET/POST /shutdown or by closing stdin",
+        dirs.len()
+    );
+    // Stdin watcher: consume until EOF, then ask the server to wind
+    // down. Lives here rather than in astra-serve so in-process servers
+    // (bench, tests) never touch the process's stdin.
+    let trigger = server.shutdown_trigger();
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 4096];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        trigger.trigger();
+    });
+    server.join();
+    eprintln!("shutdown complete");
     Ok(())
 }
 
@@ -1312,6 +1414,36 @@ mod tests {
     fn rejects_duplicate_directory() {
         let err = parse_args(argv(&["analyze", "dir1", "dir2"])).unwrap_err();
         assert!(err.contains("dir2") && err.contains("dir1"), "{err}");
+    }
+
+    #[test]
+    fn serve_accepts_multiple_directories_and_flags() {
+        let a = parse_args(argv(&[
+            "serve",
+            "siteA",
+            "siteB",
+            "siteC",
+            "--listen",
+            "127.0.0.1:0",
+            "--poll-ms",
+            "50",
+            "--checkpoint-every",
+            "30",
+        ]))
+        .unwrap();
+        assert_eq!(a.dir.as_deref().unwrap().to_str().unwrap(), "siteA");
+        assert_eq!(
+            a.extra_dirs
+                .iter()
+                .map(|p| p.to_str().unwrap())
+                .collect::<Vec<_>>(),
+            vec!["siteB", "siteC"]
+        );
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.poll_ms, 50);
+        assert_eq!(a.checkpoint_every, Some(30));
+        assert!(parse_args(argv(&["serve", "d", "--poll-ms", "0"])).is_err());
+        assert!(parse_args(argv(&["serve", "d", "--listen"])).is_err());
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod mitigation;
 pub mod modeling;
 pub mod pipeline;
 pub mod reliability;
+pub mod serve;
 pub mod spatial;
 pub mod stream;
 pub mod tempcorr;

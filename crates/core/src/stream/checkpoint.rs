@@ -122,6 +122,12 @@ pub(crate) fn write(
     })
 }
 
+/// Whether `path` could resume anything: the checkpoint itself or a
+/// `.tmp` sibling a dying writer left behind (salvage handles picking).
+pub(crate) fn resume_candidate_exists(path: &Path) -> bool {
+    path.exists() || tmp_sibling(path).exists()
+}
+
 /// The `.tmp` sibling used for atomic writes (and probed by salvage).
 fn tmp_sibling(path: &Path) -> PathBuf {
     let mut name = path.as_os_str().to_owned();

@@ -29,6 +29,7 @@
 
 pub mod analyzers;
 pub mod checkpoint;
+pub mod site;
 
 use std::collections::VecDeque;
 use std::io;
@@ -233,11 +234,17 @@ struct LogSource<T> {
     quarantine: Quarantine,
     /// The strict/lenient policy this source enforces.
     ingest: IngestOptions,
+    /// Tail mode: the file may still be growing. EOF means "dry for
+    /// now" — the reader stays open and a later refill re-probes it —
+    /// and the lenient budget is evaluated at every dry point (each is
+    /// the file's EOF as currently visible) instead of once.
+    tail: bool,
     /// Bytes consumed by retired readers.
     bytes_done: usize,
 }
 
 impl<T: Send> LogSource<T> {
+    #[allow(clippy::too_many_arguments)]
     fn open(
         dir: &Path,
         name: &'static str,
@@ -246,6 +253,7 @@ impl<T: Send> LogSource<T> {
         required: bool,
         skip: u64,
         ingest: IngestOptions,
+        tail: bool,
     ) -> Result<Self, LoadError> {
         let path = dir.join(name);
         let unreadable = |source: io::Error| LoadError::Unreadable {
@@ -255,10 +263,16 @@ impl<T: Send> LogSource<T> {
         };
         let reader = match std::fs::File::open(&path) {
             Ok(f) => Some(if binfmt::file_is_binlog(&path).map_err(unreadable)? {
-                SourceReader::Bin(BinReader::new(f, bin).with_retry(ingest.retry))
+                SourceReader::Bin(
+                    BinReader::new(f, bin)
+                        .with_retry(ingest.retry)
+                        .with_tail(tail),
+                )
             } else {
                 SourceReader::Text(
-                    ChunkReader::new(f, format, STREAM_CHUNK_BYTES).with_retry(ingest.retry),
+                    ChunkReader::new(f, format, STREAM_CHUNK_BYTES)
+                        .with_retry(ingest.retry)
+                        .with_tail(tail),
                 )
             }),
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
@@ -285,6 +299,7 @@ impl<T: Send> LogSource<T> {
             parsed: 0,
             quarantine: Quarantine::default(),
             ingest,
+            tail,
             bytes_done: 0,
         })
     }
@@ -320,10 +335,11 @@ impl<T: Send> LogSource<T> {
                     self.buf.extend(chunk.records);
                 }
                 Ok(None) => {
-                    self.bytes_done += reader.bytes_consumed();
-                    self.reader = None;
-                    // Lenient budget is per file, checked once at its EOF
-                    // — same rule as `parse_stream_chunked`.
+                    // Lenient budget is per file, checked at its EOF —
+                    // same rule as `parse_stream_chunked`. In tail mode
+                    // every dry point is the EOF as currently visible,
+                    // so the check runs there too, but the reader stays
+                    // open for whatever the writer appends next.
                     let total = self.parsed + self.quarantine.total();
                     if total > 0
                         && self.quarantine.total() as f64 / total as f64
@@ -331,6 +347,11 @@ impl<T: Send> LogSource<T> {
                     {
                         return Err(self.corrupt());
                     }
+                    if self.tail {
+                        return Ok(());
+                    }
+                    self.bytes_done += reader.bytes_consumed();
+                    self.reader = None;
                 }
                 Err(e) => {
                     return Err(LoadError::Unreadable {
@@ -396,6 +417,32 @@ impl EventStream {
         consumed: [u64; 4],
         ingest: IngestOptions,
     ) -> Result<Self, LoadError> {
+        Self::open_impl(dir, consumed, ingest, false)
+    }
+
+    /// As [`EventStream::open_with`], but in tail mode: the logs may
+    /// still be growing, so end-of-file means "dry for now" — readers
+    /// stay open, a torn final record is held back until the writer
+    /// completes it, and [`EventStream::next_event`] returning `None`
+    /// means the stream is dry, not finished. While some sources are dry
+    /// the k-way merge pops among the *available* heads only, so the
+    /// cross-source interleaving is best-effort; every analyzer folds
+    /// per-source state, so analysis results are unaffected (within one
+    /// source, file order is always preserved).
+    pub fn open_tailing(
+        dir: &Path,
+        consumed: [u64; 4],
+        ingest: IngestOptions,
+    ) -> Result<Self, LoadError> {
+        Self::open_impl(dir, consumed, ingest, true)
+    }
+
+    fn open_impl(
+        dir: &Path,
+        consumed: [u64; 4],
+        ingest: IngestOptions,
+        tail: bool,
+    ) -> Result<Self, LoadError> {
         Ok(EventStream {
             ce: LogSource::open(
                 dir,
@@ -405,6 +452,7 @@ impl EventStream {
                 true,
                 consumed[0],
                 ingest,
+                tail,
             )?,
             het: LogSource::open(
                 dir,
@@ -414,6 +462,7 @@ impl EventStream {
                 true,
                 consumed[1],
                 ingest,
+                tail,
             )?,
             inventory: LogSource::open(
                 dir,
@@ -423,6 +472,7 @@ impl EventStream {
                 true,
                 consumed[2],
                 ingest,
+                tail,
             )?,
             sensors: LogSource::open(
                 dir,
@@ -432,6 +482,7 @@ impl EventStream {
                 false,
                 consumed[3],
                 ingest,
+                tail,
             )?,
         })
     }

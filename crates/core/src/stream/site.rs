@@ -1,0 +1,157 @@
+//! One tenant of the serve daemon: a resumable, tail-mode analysis
+//! engine over a single log directory.
+//!
+//! [`SiteEngine`] packages the pieces `stream_analyze` wires together for
+//! a one-shot run — [`EventStream`], [`StreamAnalyzer`], checkpoint
+//! write/read — into a poll-driven form a long-running process can own:
+//!
+//! * [`SiteEngine::open`] resumes from the configured checkpoint when one
+//!   (or a salvageable `.tmp` sibling) exists, otherwise starts fresh;
+//! * [`SiteEngine::poll`] consumes every event currently available in
+//!   the growing logs (tail mode: a torn final record is held back, not
+//!   quarantined) and returns how many it folded in;
+//! * [`SiteEngine::checkpoint`] writes the analyzer state atomically so
+//!   a restart replays nothing;
+//! * [`SiteEngine::report`] snapshots the analyzer into the same
+//!   [`StreamReport`] `stream-analyze` produces — once the logs are
+//!   fully consumed, analysis output is byte-identical to the batch
+//!   path's.
+//!
+//! Cross-source ordering note: while tailing, the k-way merge pops among
+//! the heads that are currently available, so the global interleaving is
+//! best-effort. Every analyzer folds per-source state (CE events into
+//! coalesce/spatial/predict, HET into its own table, and so on) with
+//! FIFO order preserved within each source, so the converged report is
+//! identical to a batch run regardless of when data arrived.
+
+use std::path::{Path, PathBuf};
+
+use astra_logs::Quarantine;
+use astra_topology::SystemConfig;
+
+use super::{
+    checkpoint, Analyzer as _, EventStream, StreamAnalyzer, StreamError, StreamOptions,
+    StreamReport,
+};
+
+/// A resumable tail-mode analysis engine over one log directory.
+pub struct SiteEngine {
+    opts: StreamOptions,
+    analyzer: StreamAnalyzer,
+    source: EventStream,
+    /// Absolute stream position (events consumed, resumed ones included).
+    position: u64,
+    /// Whether this engine started from a checkpoint.
+    resumed: bool,
+    checkpoints_written: u64,
+}
+
+impl SiteEngine {
+    /// Open `dir` for tail ingest. If `opts.resume_from` names a
+    /// checkpoint, or `opts.checkpoint_path` (with its `.tmp` salvage
+    /// sibling) holds one from an earlier run, the engine resumes from
+    /// it; otherwise it starts fresh.
+    pub fn open(
+        dir: &Path,
+        system: SystemConfig,
+        opts: &StreamOptions,
+    ) -> Result<Self, StreamError> {
+        let resume = opts.resume_from.clone().or_else(|| {
+            opts.checkpoint_path
+                .clone()
+                .filter(|p| checkpoint::resume_candidate_exists(p))
+        });
+        let (analyzer, consumed0) = match &resume {
+            Some(path) => checkpoint::read(path, &system, opts)?,
+            None => (
+                StreamAnalyzer::new(system, opts.coalesce, opts.predict.clone()),
+                [0; 4],
+            ),
+        };
+        let source = EventStream::open_tailing(dir, consumed0, opts.ingest)?;
+        Ok(SiteEngine {
+            opts: opts.clone(),
+            analyzer,
+            source,
+            position: consumed0.iter().sum(),
+            resumed: resume.is_some(),
+            checkpoints_written: 0,
+        })
+    }
+
+    /// Consume every event currently available in the logs; returns how
+    /// many were folded in. `Ok(0)` means the logs are dry for now — the
+    /// next poll re-probes them. A strict-mode quarantine (or a blown
+    /// lenient budget) aborts with the same errors `stream_analyze`
+    /// raises.
+    pub fn poll(&mut self) -> Result<u64, StreamError> {
+        let mut n = 0u64;
+        while let Some(ev) = self.source.next_event()? {
+            self.analyzer.consume(&ev);
+            self.position += 1;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Write a checkpoint (atomic: `.tmp` sibling + rename) if a path is
+    /// configured; returns whether one was written.
+    pub fn checkpoint(&mut self) -> Result<bool, StreamError> {
+        let Some(path) = self.opts.checkpoint_path.as_deref() else {
+            return Ok(false);
+        };
+        checkpoint::write(
+            path,
+            &self.analyzer,
+            &self.source.consumed(),
+            self.opts.checkpoint_format,
+        )?;
+        self.checkpoints_written += 1;
+        Ok(true)
+    }
+
+    /// Snapshot the analyzer state into the report `stream-analyze`
+    /// would print — byte-identical to the batch path once the logs are
+    /// fully consumed.
+    pub fn report(&self) -> StreamReport {
+        let mut report = self.analyzer.snapshot();
+        report.skipped = self.source.skipped();
+        report
+    }
+
+    /// Parsed records consumed per source (the checkpoint resume point).
+    pub fn consumed(&self) -> [u64; 4] {
+        self.source.consumed()
+    }
+
+    /// Absolute stream position: total events consumed, including those
+    /// replay-skipped by a checkpoint resume.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Whether this engine resumed from a checkpoint.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Checkpoints written since open.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Merged per-reason quarantine report across the site's logs.
+    pub fn quarantine(&self) -> Quarantine {
+        self.source.quarantine()
+    }
+
+    /// Log bytes read so far.
+    pub fn bytes_read(&self) -> usize {
+        self.source.bytes_read()
+    }
+
+    /// The checkpoint path in effect, if any.
+    pub fn checkpoint_path(&self) -> Option<&PathBuf> {
+        self.opts.checkpoint_path.as_ref()
+    }
+}

@@ -653,6 +653,14 @@ pub struct BinReader<R, T> {
     blocks: u64,
     dirty: bool,
     done: bool,
+    /// Tail mode: the file may still be growing, so a frame cut short at
+    /// EOF is an append in progress, not corruption. The partial frame's
+    /// bytes wait in `stash` and the next call resumes from the same
+    /// logical offset once the writer has caught up.
+    tail: bool,
+    /// Bytes read from the file but not yet consumed into a complete
+    /// frame (tail mode only; always empty otherwise).
+    stash: Vec<u8>,
 }
 
 impl<R, T> BinReader<R, T>
@@ -673,6 +681,8 @@ where
             blocks: 0,
             dirty: false,
             done: false,
+            tail: false,
+            stash: Vec::new(),
         }
     }
 
@@ -680,6 +690,20 @@ where
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Enable or disable tail (growing-file) mode.
+    pub fn with_tail(mut self, tail: bool) -> Self {
+        self.set_tail(tail);
+        self
+    }
+
+    /// Switch tail mode at runtime. Note the header's declared record
+    /// count is only cross-checked against what decoded in non-tail mode
+    /// — a growing file legitimately holds fewer records than its header
+    /// promises until the writer finishes.
+    pub fn set_tail(&mut self, tail: bool) {
+        self.tail = tail;
     }
 
     /// Fill as much of `buf` as the reader allows (short only at EOF),
@@ -720,14 +744,41 @@ where
         self.declared
     }
 
-    /// Bytes consumed so far.
+    /// Bytes consumed into frames so far (stashed bytes of a frame still
+    /// being assembled in tail mode don't count yet).
     pub fn bytes_consumed(&self) -> usize {
-        self.offset as usize
+        self.offset as usize - self.stash.len()
     }
 
     /// Blocks fully framed (read through their CRC trailer) so far.
     pub fn blocks_read(&self) -> u64 {
         self.blocks
+    }
+
+    /// Tail-mode buffered read: grow the stash to at least `need` bytes,
+    /// returning whether it got there. Stashed bytes stay put until a
+    /// whole frame is present, so a short read never loses position —
+    /// the re-read from the last known-good offset happens for free.
+    fn stash_fill(&mut self, need: usize) -> io::Result<bool> {
+        if self.stash.len() >= need {
+            return Ok(true);
+        }
+        let mut stash = std::mem::take(&mut self.stash);
+        let at = stash.len();
+        stash.resize(need, 0);
+        match self.read_fill(&mut stash[at..]) {
+            Ok(got) => {
+                stash.truncate(at + got);
+                let full = stash.len() >= need;
+                self.stash = stash;
+                Ok(full)
+            }
+            Err(e) => {
+                stash.truncate(at);
+                self.stash = stash;
+                Err(e)
+            }
+        }
     }
 
     /// Decode the next block, or `None` once the file is exhausted.
@@ -737,11 +788,28 @@ where
         if self.done {
             return Ok(None);
         }
+        if self.tail {
+            return self.next_chunk_tail();
+        }
         let mut quarantine = Quarantine::default();
         let empty = |q: Quarantine| IngestChunk {
             records: Vec::new(),
             quarantine: q,
         };
+        if !self.stash.is_empty() {
+            // Tail mode ended with a frame still incomplete: the file
+            // really does stop mid-block.
+            let block_off = self.offset - self.stash.len() as u64;
+            quarantine.note(
+                block_off,
+                QuarantineReason::TruncatedBlock,
+                format!("file ends inside a block ({} bytes)", self.stash.len()).as_bytes(),
+            );
+            self.stash.clear();
+            self.dirty = true;
+            self.done = true;
+            return Ok(Some(empty(quarantine)));
+        }
         if !self.header_done {
             let mut hdr = [0u8; HEADER_LEN];
             let n = self.read_fill(&mut hdr)?;
@@ -839,6 +907,92 @@ where
         }
         let mut records = Vec::new();
         if (self.bin.decode)(&payload, &mut records).is_none() {
+            quarantine.note(
+                block_off,
+                QuarantineReason::BlockCrc,
+                format!("block payload fails to decode ({len} bytes)").as_bytes(),
+            );
+            self.dirty = true;
+            return Ok(Some(empty(quarantine)));
+        }
+        self.decoded += records.len() as u64;
+        Ok(Some(IngestChunk {
+            records,
+            quarantine,
+        }))
+    }
+
+    /// Tail-mode [`BinReader::next_chunk`]: a frame cut short at EOF is
+    /// held in the stash and retried on the next call instead of being
+    /// quarantined as truncation — the writer may simply not have
+    /// finished the append. `Ok(None)` means "dry for now", not end of
+    /// file, and the declared-count cross-check is skipped (a growing
+    /// file holds fewer records than its header promises until the
+    /// writer is done).
+    fn next_chunk_tail(&mut self) -> io::Result<Option<IngestChunk<T>>> {
+        let mut quarantine = Quarantine::default();
+        let empty = |q: Quarantine| IngestChunk {
+            records: Vec::new(),
+            quarantine: q,
+        };
+        if !self.header_done {
+            if !self.stash_fill(HEADER_LEN)? {
+                return Ok(None); // header still being written
+            }
+            match validate_header(&self.stash[..HEADER_LEN], self.bin.kind) {
+                Ok(count) => {
+                    self.declared = count;
+                    self.header_done = true;
+                    self.stash.drain(..HEADER_LEN);
+                }
+                Err((reason, msg)) => {
+                    quarantine.note(0, reason, msg.as_bytes());
+                    self.dirty = true;
+                    self.done = true;
+                    return Ok(Some(empty(quarantine)));
+                }
+            }
+        }
+        // First byte of the frame being assembled (stashed bytes were
+        // read from the file but not yet consumed).
+        let block_off = self.offset - self.stash.len() as u64;
+        if !self.stash_fill(4)? {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.stash[..4].try_into().unwrap()) as usize;
+        if len > MAX_BLOCK_BYTES {
+            quarantine.note(
+                block_off,
+                QuarantineReason::BlockCrc,
+                format!("implausible block length {len}").as_bytes(),
+            );
+            self.dirty = true;
+            self.done = true; // framing lost
+            return Ok(Some(empty(quarantine)));
+        }
+        let frame = 4 + len + 4;
+        if !self.stash_fill(frame)? {
+            return Ok(None); // payload or crc trailer still being written
+        }
+        self.blocks += 1;
+        let payload = &self.stash[4..4 + len];
+        let stored = u32::from_le_bytes(self.stash[4 + len..frame].try_into().unwrap());
+        let actual = crc32(payload);
+        if actual != stored {
+            quarantine.note(
+                block_off,
+                QuarantineReason::BlockCrc,
+                format!("block crc mismatch: stored {stored:08x}, computed {actual:08x}")
+                    .as_bytes(),
+            );
+            self.dirty = true;
+            self.stash.drain(..frame);
+            return Ok(Some(empty(quarantine))); // framing intact: keep going
+        }
+        let mut records = Vec::new();
+        let decoded_ok = (self.bin.decode)(payload, &mut records).is_some();
+        self.stash.drain(..frame);
+        if !decoded_ok {
             quarantine.note(
                 block_off,
                 QuarantineReason::BlockCrc,
@@ -1136,6 +1290,73 @@ mod tests {
 
     fn tolerant() -> IngestOptions {
         IngestOptions::lenient(Some(1.0))
+    }
+
+    #[test]
+    fn tail_mode_holds_back_truncated_final_block() {
+        // Simulate an append in progress: everything but the last few
+        // bytes of the final block is on disk. A tailing reader must
+        // wait for the writer instead of quarantining the torn block,
+        // and must not flag the declared-count shortfall while growing.
+        let records: Vec<CeRecord> = (0..100).map(|i| ce(i, (i as u32 * 3) % 2592)).collect();
+        let data = write_to_vec(CE, &records);
+        let dir =
+            std::env::temp_dir().join(format!("astra-bin-tail-{}-{}", std::process::id(), line!()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ce.log");
+        std::fs::write(&path, &data[..data.len() - 7]).unwrap();
+
+        let f = std::fs::File::open(&path).unwrap();
+        let mut r = BinReader::new(f, CE).with_tail(true);
+        assert!(
+            r.next_chunk().unwrap().is_none(),
+            "block still being written"
+        );
+        assert!(r.next_chunk().unwrap().is_none(), "still dry");
+
+        use std::io::Write as _;
+        let mut w = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        w.write_all(&data[data.len() - 7..]).unwrap();
+        drop(w);
+        let chunk = r.next_chunk().unwrap().expect("completed block decodes");
+        assert_eq!(chunk.records, records);
+        assert!(chunk.quarantine.is_empty());
+        assert!(r.next_chunk().unwrap().is_none(), "dry at the new EOF");
+
+        // Once tailing ends, the clean EOF passes the declared-count
+        // cross-check (everything promised by the header decoded).
+        r.set_tail(false);
+        assert!(r.next_chunk().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_end_surfaces_real_truncation() {
+        // If tailing stops while a frame is still incomplete, the file
+        // really is truncated and the next non-tail read must say so.
+        let records: Vec<CeRecord> = (0..50).map(|i| ce(i, i as u32)).collect();
+        let data = write_to_vec(CE, &records);
+        let dir = std::env::temp_dir().join(format!(
+            "astra-bin-tailend-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ce.log");
+        std::fs::write(&path, &data[..data.len() - 9]).unwrap();
+
+        let f = std::fs::File::open(&path).unwrap();
+        let mut r = BinReader::new(f, CE).with_tail(true);
+        assert!(r.next_chunk().unwrap().is_none(), "held back while tailing");
+        r.set_tail(false);
+        let chunk = r.next_chunk().unwrap().expect("truncation surfaces");
+        assert!(chunk.records.is_empty());
+        assert_eq!(chunk.quarantine.count(QuarantineReason::TruncatedBlock), 1);
+        assert!(r.next_chunk().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -393,6 +393,10 @@ pub struct ChunkReader<R, T> {
     read_buf: Vec<u8>,
     // Grows past the configured chunk size only if a single line exceeds it.
     target: usize,
+    // Tail mode: the file may still be growing, so EOF is provisional —
+    // a newline-less final line is held back (an append may be in
+    // progress) and re-probed on the next call instead of parsed as-is.
+    tail: bool,
     eof: bool,
     bytes: usize,
     chunks: u64,
@@ -418,6 +422,7 @@ where
             pending: Vec::new(),
             read_buf: vec![0u8; 64 * 1024],
             target: chunk_bytes.max(1),
+            tail: false,
             eof: false,
             bytes: 0,
             chunks: 0,
@@ -430,6 +435,22 @@ where
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Enable or disable tail (growing-file) mode.
+    pub fn with_tail(mut self, tail: bool) -> Self {
+        self.set_tail(tail);
+        self
+    }
+
+    /// Switch tail mode at runtime. A daemon tails with `true` and flips
+    /// to `false` at shutdown so one final [`ChunkReader::next_chunk`]
+    /// flushes a legitimately newline-less last line.
+    pub fn set_tail(&mut self, tail: bool) {
+        self.tail = tail;
+        if tail {
+            self.eof = false;
+        }
     }
 
     /// One `read` with the retry policy applied.
@@ -467,15 +488,30 @@ where
                 }
             }
             if self.pending.is_empty() {
+                if self.tail {
+                    // Dry for now: the next call probes the file again.
+                    self.eof = false;
+                }
                 return Ok(None);
             }
             // Cut at the last newline so no chunk splits a line; at EOF
             // the final (possibly newline-less) partial line is parsed
-            // as-is. '\n' is never part of a multi-byte UTF-8 sequence,
-            // so a sequence straddling the raw read boundary always stays
-            // whole within one cut.
+            // as-is — unless the file may still be growing, in which case
+            // the partial line is an append in progress: hold it back in
+            // `pending` (the re-read from the last known-good offset) and
+            // let later calls complete it. '\n' is never part of a
+            // multi-byte UTF-8 sequence, so a sequence straddling the raw
+            // read boundary always stays whole within one cut.
             let cut = if self.eof {
-                self.pending.len()
+                if self.tail {
+                    self.eof = false;
+                    match self.pending.iter().rposition(|&b| b == b'\n') {
+                        Some(pos) => pos + 1,
+                        None => return Ok(None),
+                    }
+                } else {
+                    self.pending.len()
+                }
             } else {
                 match self.pending.iter().rposition(|&b| b == b'\n') {
                     Some(pos) => pos + 1,
@@ -814,6 +850,80 @@ mod tests {
         let parsed = read_lines(&b""[..], CeRecord::parse_line).unwrap();
         assert!(parsed.records.is_empty());
         assert_eq!(parsed.skipped, 0);
+    }
+
+    #[test]
+    fn tail_mode_holds_back_torn_final_line() {
+        // Simulate an append in progress: the file ends mid-record. A
+        // tailing reader must hold the partial line back (not quarantine
+        // it) and complete it once the writer catches up.
+        let dir =
+            std::env::temp_dir().join(format!("astra-io-tail-{}-{}", std::process::id(), line!()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ce.log");
+        let full = ce(1).to_line();
+        let (head, rest) = full.split_at(full.len() / 2);
+        std::fs::write(&path, format!("{}\n{head}", ce(0).to_line())).unwrap();
+
+        let f = std::fs::File::open(&path).unwrap();
+        let mut r = ChunkReader::new(f, crate::ce::FORMAT, 1 << 20).with_tail(true);
+        let chunk = r.next_chunk().unwrap().expect("first complete line");
+        assert_eq!(chunk.records, vec![ce(0)]);
+        assert!(chunk.quarantine.is_empty(), "torn tail must not quarantine");
+        assert!(
+            r.next_chunk().unwrap().is_none(),
+            "dry until the append finishes"
+        );
+
+        // The writer finishes the record (plus one more whole line).
+        use std::io::Write as _;
+        let mut w = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(w, "{rest}").unwrap();
+        writeln!(w, "{}", ce(2).to_line()).unwrap();
+        drop(w);
+        let chunk = r.next_chunk().unwrap().expect("completed lines parse");
+        assert_eq!(chunk.records, vec![ce(1), ce(2)]);
+        assert!(chunk.quarantine.is_empty());
+        assert!(r.next_chunk().unwrap().is_none(), "dry again");
+
+        // Shutdown flush: once tailing ends, a legitimately newline-less
+        // final line is parsed as-is.
+        let mut w = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(w, "{}", ce(3).to_line()).unwrap();
+        drop(w);
+        assert!(
+            r.next_chunk().unwrap().is_none(),
+            "newline-less tail stays held back while tailing"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_flush_parses_newline_less_final_line() {
+        let dir = std::env::temp_dir().join(format!(
+            "astra-io-tailflush-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ce.log");
+        std::fs::write(&path, format!("{}\n{}", ce(0).to_line(), ce(1).to_line())).unwrap();
+        let f = std::fs::File::open(&path).unwrap();
+        let mut r = ChunkReader::new(f, crate::ce::FORMAT, 1 << 20).with_tail(true);
+        let chunk = r.next_chunk().unwrap().expect("complete first line");
+        assert_eq!(chunk.records, vec![ce(0)]);
+        assert!(r.next_chunk().unwrap().is_none(), "final line held back");
+        r.set_tail(false);
+        let chunk = r.next_chunk().unwrap().expect("flush at shutdown");
+        assert_eq!(chunk.records, vec![ce(1)]);
+        assert!(r.next_chunk().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub enum Rule {
         /// Upper bound on its value.
         max: f64,
     },
+    /// p99 of the serve daemon's per-request latency (the `serve.request`
+    /// timing histogram), in milliseconds. Zero when the daemon never
+    /// served a request, so the rule is inert outside serve runs.
+    ServeP99Ms {
+        /// Upper bound in milliseconds.
+        max: f64,
+    },
 }
 
 impl Rule {
@@ -58,6 +65,7 @@ impl Rule {
             Rule::QuarantineRate { .. } => "quarantine_rate".to_string(),
             Rule::WorkingsetMib { .. } => "workingset_mib".to_string(),
             Rule::CounterMax { name, .. } => format!("counter_max[{name}]"),
+            Rule::ServeP99Ms { .. } => "serve_p99_ms".to_string(),
         }
     }
 
@@ -66,7 +74,8 @@ impl Rule {
             Rule::StageP99Ms { max, .. }
             | Rule::QuarantineRate { max }
             | Rule::WorkingsetMib { max }
-            | Rule::CounterMax { max, .. } => *max,
+            | Rule::CounterMax { max, .. }
+            | Rule::ServeP99Ms { max } => *max,
         }
     }
 }
@@ -107,6 +116,7 @@ impl Thresholds {
                     })?,
                     max,
                 },
+                "serve_p99_ms" => Rule::ServeP99Ms { max },
                 other => return Err(format!("thresholds line {lineno}: unknown rule {other:?}")),
             });
         }
@@ -229,6 +239,10 @@ fn observe(rule: &Rule, snap: &Snapshot) -> f64 {
             peak / (1024.0 * 1024.0)
         }
         Rule::CounterMax { name, .. } => snap.counter(name) as f64,
+        Rule::ServeP99Ms { .. } => match snap.get("serve.request") {
+            Some(Frozen::Timing(s)) => s.p99() as f64 / 1e6,
+            _ => 0.0,
+        },
     }
 }
 
@@ -289,9 +303,11 @@ mod tests {
             "{\"rule\":\"quarantine_rate\",\"max\":0.5}\n",
             "{\"rule\":\"workingset_mib\",\"max\":64}\n",
             "{\"rule\":\"counter_max\",\"name\":\"x\",\"max\":3}\n",
+            "{\"rule\":\"serve_p99_ms\",\"max\":250}\n",
         ))
         .expect("parses");
-        assert_eq!(t.rules.len(), 4);
+        assert_eq!(t.rules.len(), 5);
+        assert_eq!(t.rules[4], Rule::ServeP99Ms { max: 250.0 });
         assert_eq!(
             t.rules[0],
             Rule::StageP99Ms {
@@ -354,6 +370,30 @@ mod tests {
         let report = check(&t, &snap);
         assert!(!report.ok());
         assert!((report.results[0].observed - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_rule_reads_request_p99_and_is_inert_without_traffic() {
+        // No serve.request timing recorded: observed is 0, any max passes.
+        let t = Thresholds::parse("{\"rule\":\"serve_p99_ms\",\"max\":0}").unwrap();
+        let report = check(&t, &snapshot_with_stages());
+        assert!(report.ok());
+        assert_eq!(report.results[0].observed, 0.0);
+
+        // With traffic, the rule reads the timing's p99 in milliseconds.
+        let r = Registry::new();
+        for _ in 0..100 {
+            r.timing("serve.request").record(4_000_000); // 4 ms
+        }
+        let report = check(&t, &r.snapshot());
+        assert!(!report.ok());
+        assert!(
+            report.results[0].observed > 1.0,
+            "p99 of 4ms samples should exceed 1ms, got {}",
+            report.results[0].observed
+        );
+        let generous = Thresholds::parse("{\"rule\":\"serve_p99_ms\",\"max\":1000}").unwrap();
+        assert!(check(&generous, &r.snapshot()).ok());
     }
 
     #[test]

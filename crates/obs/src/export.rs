@@ -104,6 +104,49 @@ impl Snapshot {
         out
     }
 
+    /// Render in Prometheus text exposition format.
+    ///
+    /// Metric names are sanitized to the Prometheus charset (`.` and any
+    /// other non-`[A-Za-z0-9_]` byte become `_`); counters gain the
+    /// conventional `_total` suffix; timing histograms are exported in
+    /// seconds under a `_seconds` name; size histograms keep their raw
+    /// units. Bucket counts are cumulative with a trailing `+Inf` bucket,
+    /// as the format requires.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let base = prometheus_name(name);
+            match value {
+                Frozen::Counter(v) => {
+                    out.push_str(&format!("# TYPE {base}_total counter\n{base}_total {v}\n"));
+                }
+                Frozen::Gauge(v) => {
+                    let rendered = if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "NaN".to_string()
+                    };
+                    out.push_str(&format!("# TYPE {base} gauge\n{base} {rendered}\n"));
+                }
+                Frozen::Histogram(s) => {
+                    render_prometheus_histogram(&mut out, &base, s, |bound| bound.to_string(), 1.0);
+                }
+                Frozen::Timing(s) => {
+                    // Nanoseconds internally, seconds on the wire — the
+                    // Prometheus convention for duration histograms.
+                    render_prometheus_histogram(
+                        &mut out,
+                        &format!("{base}_seconds"),
+                        s,
+                        |bound| format!("{}", bound as f64 / 1e9),
+                        1e-9,
+                    );
+                }
+            }
+        }
+        out
+    }
+
     /// Render as an aligned human-readable table.
     pub fn to_table(&self) -> String {
         let width = self
@@ -148,6 +191,64 @@ impl Snapshot {
         }
         out
     }
+}
+
+/// A metric name restricted to the Prometheus charset: every byte
+/// outside `[A-Za-z0-9_]` becomes `_`, and a leading digit gets a `_`
+/// prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// One Prometheus histogram block: cumulative `_bucket` series with a
+/// `+Inf` terminator, then `_sum` and `_count`. `bound_label` renders a
+/// bound for the `le` label; `sum_scale` converts the internal sum unit
+/// (e.g. 1e-9 for nanoseconds → seconds).
+fn render_prometheus_histogram(
+    out: &mut String,
+    base: &str,
+    s: &HistogramSnapshot,
+    bound_label: impl Fn(u64) -> String,
+    sum_scale: f64,
+) {
+    out.push_str(&format!("# TYPE {base} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, &n) in s.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = match s.bounds.get(i) {
+            Some(&bound) => bound_label(bound),
+            None => "+Inf".to_string(),
+        };
+        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    if s.buckets.is_empty() {
+        out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} 0\n"));
+    }
+    let sum = if sum_scale == 1.0 {
+        format!("{}", s.sum)
+    } else {
+        format!("{}", s.sum as f64 * sum_scale)
+    };
+    out.push_str(&format!("{base}_sum {sum}\n{base}_count {}\n", s.count));
+}
+
+/// Escape `s` for embedding inside a JSON string literal (surrounding
+/// quotes not included). Public so downstream crates that hand-assemble
+/// JSON (the serve daemon's site summaries) escape identically to this
+/// exporter.
+pub fn escape_json_str(s: &str) -> String {
+    escape_json(s)
 }
 
 /// Human duration from nanoseconds.
@@ -376,6 +477,44 @@ mod tests {
         r.import_jsonl(line);
         r.import_jsonl(line);
         assert_eq!(r.counter("c").get(), 20);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_pinned() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert_eq!(
+            text,
+            "# TYPE coalesce_ratio gauge\n\
+             coalesce_ratio 0.0123\n\
+             # TYPE faultsim_node_drops histogram\n\
+             faultsim_node_drops_bucket{le=\"1\"} 1\n\
+             faultsim_node_drops_bucket{le=\"4\"} 2\n\
+             faultsim_node_drops_bucket{le=\"16\"} 2\n\
+             faultsim_node_drops_bucket{le=\"+Inf\"} 3\n\
+             faultsim_node_drops_sum 103\n\
+             faultsim_node_drops_count 3\n\
+             # TYPE parse_ce_lines_ok_total counter\n\
+             parse_ce_lines_ok_total 4096\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_timings_convert_to_seconds() {
+        let r = Registry::new();
+        let t = r.timing("serve.request");
+        t.record(2_000_000_000); // 2s
+        let text = r.snapshot().to_prometheus();
+        assert!(
+            text.contains("# TYPE serve_request_seconds histogram"),
+            "{text}"
+        );
+        assert!(text.contains("serve_request_seconds_sum 2\n"), "{text}");
+        assert!(text.contains("serve_request_seconds_count 1\n"), "{text}");
+        assert!(
+            text.contains("serve_request_seconds_bucket{le=\"0.001024\"}"),
+            "timing bounds must be rendered in seconds: {text}"
+        );
+        assert!(text.ends_with('\n'));
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod trace;
 
 pub use alloc::CountingAlloc;
 pub use check::{check, merged_stage_timing, CheckReport, CheckResult, Rule, Thresholds};
-pub use export::{Frozen, Snapshot};
+pub use export::{escape_json_str, Frozen, Snapshot};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricKind, MetricValue, Registry};
 pub use span::{current_path, inherit_path, span, span_in, InheritGuard, SpanGuard};

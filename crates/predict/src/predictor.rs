@@ -18,7 +18,11 @@ use crate::features::{EscalationLevel, FeatureVector};
 use astra_stats::linear_fit;
 
 /// A streaming UE-risk scorer.
-pub trait Predictor: Sync {
+///
+/// `Send + Sync` because analyzer state that embeds predictors moves
+/// across threads: the serve daemon runs each site's analyzer on a
+/// dedicated ingest thread.
+pub trait Predictor: Send + Sync {
     /// Stable short name used in alerts, reports, and metric names.
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,184 @@
+//! Minimal HTTP/1.1 plumbing: hand-rolled request parsing, response
+//! writing, and a tiny blocking client for tests and smoke checks.
+//!
+//! Deliberately small — the daemon serves machine dashboards, not
+//! browsers. One request per connection (`Connection: close`), no
+//! chunked transfer, no keep-alive, ASCII request lines only. Anything
+//! malformed gets a 400 and the connection is dropped.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Cap on request head size (request line + headers). Requests are tiny
+/// GETs; anything bigger is abuse or a protocol error.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased by the sender per RFC; not remapped).
+    pub method: String,
+    /// Path as sent, query string stripped.
+    pub path: String,
+}
+
+/// Read and parse one request head from `stream`. Returns `Err` with a
+/// human-readable reason on anything malformed (the caller answers 400).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head_complete(&head) {
+        if head.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".into());
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("read: {e}")),
+        };
+        head.extend_from_slice(&buf[..n]);
+    }
+    let text = std::str::from_utf8(&head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let line = text.lines().next().ok_or("empty request")?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version}"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(format!("bad request target {target}"));
+    }
+    Ok(Request { method, path })
+}
+
+/// Whether the buffered head already contains the header terminator.
+fn head_complete(head: &[u8]) -> bool {
+    head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n")
+}
+
+/// Write one complete response and flush. Errors are returned so the
+/// caller can count them, but a client that hung up mid-write is not an
+/// event worth surfacing further.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A response as seen by the test client.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// `Content-Type` header value (empty when absent).
+    pub content_type: String,
+    /// Decoded body.
+    pub body: String,
+}
+
+/// Blocking GET against `addr` — the "small Rust test client" CI and the
+/// integration tests use instead of curl.
+pub fn get(addr: SocketAddr, path: &str) -> Result<Response, String> {
+    request(addr, "GET", path)
+}
+
+/// Blocking request with an arbitrary method (e.g. `POST /shutdown`).
+pub fn request(addr: SocketAddr, method: &str, path: &str) -> Result<Response, String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("{method} {path} HTTP/1.1\r\nHost: astra\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<Response, String> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response has no header terminator")?;
+    let head =
+        std::str::from_utf8(&raw[..split]).map_err(|_| "response head is not UTF-8".to_string())?;
+    let body = String::from_utf8_lossy(&raw[split + 4..]).into_owned();
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let content_type = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+        .map(|(_, v)| v.trim().to_string())
+        .unwrap_or_default();
+    Ok(Response {
+        status,
+        content_type,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "text/plain");
+        assert_eq!(r.body, "hello");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+    }
+
+    #[test]
+    fn head_terminator_detection() {
+        assert!(head_complete(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(head_complete(b"GET / HTTP/1.1\n\n"));
+        assert!(!head_complete(b"GET / HTTP/1.1\r\n"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Subprocess lifecycle tests for `astra-mem serve`: startup banner,
+//! readiness, query surface, graceful shutdown over HTTP and over stdin
+//! EOF, and kill-and-resume from the per-site checkpoint.
+//!
+//! Subprocesses, not in-process calls, because the daemon's process
+//! contract is under test: the `listening on` banner, the exit code, and
+//! the checkpoint a restart finds on disk. The tiny typed client in
+//! `astra_serve::http` stands in for curl — CI has no network tools.
+
+use std::io::{BufRead as _, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use astra_serve::http;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_astra-mem")
+}
+
+/// Unique per call; removed on drop even if the test panics.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "astra-serve-daemon-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn join(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn stdout_of(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(bin()).args(args).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "astra-mem {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn generate(dir: &Path) {
+    stdout_of(&[
+        "generate",
+        "--racks",
+        "1",
+        "--seed",
+        "42",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+}
+
+/// A running `astra-mem serve` child with its bound address scraped from
+/// the startup banner. Killed on drop so a failing test can't leak it.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(bin())
+            .arg("serve")
+            .args(args)
+            .args(["--listen", "127.0.0.1:0", "--poll-ms", "20"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn astra-mem serve");
+        let mut banner = String::new();
+        BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+            .read_line(&mut banner)
+            .expect("read startup banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+            .parse()
+            .expect("banner address parses");
+        Daemon { child, addr }
+    }
+
+    /// Poll `/health` until every site is ready.
+    fn wait_ready(&self) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Ok(health) = http::get(self.addr, "/health") {
+                if health.body.contains("\"ready\":true") {
+                    return;
+                }
+            }
+            assert!(Instant::now() < deadline, "daemon never became ready");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Wait for a clean exit after shutdown was requested.
+    fn wait_exit(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("wait on daemon") {
+                assert!(status.success(), "daemon exited with {status}");
+                return;
+            }
+            if Instant::now() >= deadline {
+                self.child.kill().ok();
+                panic!("daemon did not exit within the deadline");
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+#[test]
+fn serve_answers_queries_and_shuts_down_over_http() {
+    let tmp = TempDir::new("smoke");
+    let logs = tmp.join("logs");
+    generate(&logs);
+    let expected = stdout_of(&["analyze", logs.to_str().unwrap(), "--racks", "1"]);
+
+    let daemon = Daemon::spawn(&[logs.to_str().unwrap(), "--racks", "1"]);
+    daemon.wait_ready();
+
+    let analysis = http::get(daemon.addr, "/site/logs/analysis").unwrap();
+    assert_eq!(analysis.status, 200);
+    assert_eq!(
+        analysis.body.as_bytes(),
+        &expected[..],
+        "served analysis differs from analyze stdout"
+    );
+
+    let metrics = http::get(daemon.addr, "/metrics").unwrap();
+    assert!(
+        metrics.body.contains("serve_requests_total")
+            && metrics.body.contains("serve_request_seconds"),
+        "metrics must export the serve counters and latency histogram: {}",
+        metrics.body
+    );
+    let jsonl = http::get(daemon.addr, "/metrics.jsonl").unwrap();
+    assert!(jsonl.body.contains("serve.requests"), "{}", jsonl.body);
+
+    let bye = http::request(daemon.addr, "POST", "/shutdown").unwrap();
+    assert_eq!(bye.status, 200);
+    daemon.wait_exit();
+}
+
+#[test]
+fn serve_shuts_down_on_stdin_eof() {
+    let tmp = TempDir::new("eof");
+    let logs = tmp.join("logs");
+    generate(&logs);
+
+    let mut daemon = Daemon::spawn(&[logs.to_str().unwrap(), "--racks", "1"]);
+    daemon.wait_ready();
+    drop(daemon.child.stdin.take());
+    daemon.wait_exit();
+}
+
+#[test]
+fn serve_tails_two_sites_independently() {
+    let tmp = TempDir::new("multi");
+    let east = tmp.join("east");
+    let west = tmp.join("west");
+    generate(&east);
+    generate(&west);
+
+    let daemon = Daemon::spawn(&[
+        east.to_str().unwrap(),
+        west.to_str().unwrap(),
+        "--racks",
+        "1",
+    ]);
+    daemon.wait_ready();
+
+    let sites = http::get(daemon.addr, "/sites").unwrap();
+    assert!(
+        sites.body.contains("\"site\":\"east\"") && sites.body.contains("\"site\":\"west\""),
+        "{}",
+        sites.body
+    );
+    let east_analysis = http::get(daemon.addr, "/site/east/analysis").unwrap();
+    let west_analysis = http::get(daemon.addr, "/site/west/analysis").unwrap();
+    assert_eq!(
+        east_analysis.body, west_analysis.body,
+        "same seed, same analysis"
+    );
+
+    http::request(daemon.addr, "POST", "/shutdown").unwrap();
+    daemon.wait_exit();
+}
+
+#[test]
+fn shutdown_checkpoint_resumes_with_identical_responses() {
+    let tmp = TempDir::new("resume");
+    let logs = tmp.join("logs");
+    generate(&logs);
+    let logs_str = logs.to_str().unwrap();
+
+    // First life: ingest everything, record the response bodies, shut
+    // down gracefully (which writes the final per-site checkpoint).
+    let daemon = Daemon::spawn(&[logs_str, "--racks", "1", "--checkpoint-every", "1"]);
+    daemon.wait_ready();
+    let first_analysis = http::get(daemon.addr, "/site/logs/analysis").unwrap().body;
+    let first_alerts = http::get(daemon.addr, "/site/logs/alerts").unwrap().body;
+    let first_summary = http::get(daemon.addr, "/site/logs").unwrap().body;
+    assert!(
+        first_summary.contains("\"resumed\":false"),
+        "{first_summary}"
+    );
+    http::request(daemon.addr, "POST", "/shutdown").unwrap();
+    daemon.wait_exit();
+    assert!(
+        logs.join("serve.ckpt").exists(),
+        "graceful shutdown must leave the final checkpoint behind"
+    );
+
+    // Second life: must resume from the checkpoint (not replay) and
+    // answer every query byte-identically.
+    let daemon = Daemon::spawn(&[logs_str, "--racks", "1"]);
+    daemon.wait_ready();
+    let summary = http::get(daemon.addr, "/site/logs").unwrap().body;
+    assert!(
+        summary.contains("\"resumed\":true"),
+        "restart must resume from the shutdown checkpoint: {summary}"
+    );
+    assert_eq!(
+        http::get(daemon.addr, "/site/logs/analysis").unwrap().body,
+        first_analysis,
+        "resumed analysis differs from the pre-shutdown response"
+    );
+    assert_eq!(
+        http::get(daemon.addr, "/site/logs/alerts").unwrap().body,
+        first_alerts,
+        "resumed alerts differ from the pre-shutdown response"
+    );
+    http::request(daemon.addr, "POST", "/shutdown").unwrap();
+    daemon.wait_exit();
+}
+
+#[test]
+fn serve_rejects_checkpoint_flag_with_multiple_sites() {
+    let tmp = TempDir::new("badflags");
+    let a = tmp.join("a");
+    let b = tmp.join("b");
+    std::fs::create_dir_all(&a).unwrap();
+    std::fs::create_dir_all(&b).unwrap();
+    let out = Command::new(bin())
+        .args([
+            "serve",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--checkpoint",
+            tmp.join("ck").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("single site"), "stderr: {stderr}");
+}

@@ -441,6 +441,41 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
         })
         .sum();
 
+    let mut stages = vec![
+        ("simulate", simulate_secs),
+        ("merge", merge_secs),
+        ("serialize", serialize_secs),
+        ("parse", parse_secs),
+        ("consume", consume_secs),
+        ("coalesce", coalesce_secs),
+        ("spatial", spatial_secs),
+        ("predict", predict_secs),
+        ("stream", stream_secs),
+        ("fsck", fsck_secs),
+        ("serve", serve_secs),
+        ("serialize_bin", serialize_bin_secs),
+        ("parse_bin", parse_bin_secs),
+        ("fsck_bin", fsck_bin_secs),
+    ];
+
+    // Per-profile generation cost at the same rack count: auxiliary
+    // stages (a run simulates *one* platform, so these never count
+    // toward the pipeline total) that keep the non-astra simulators'
+    // cost on the perf trajectory. Measured after the snapshot so their
+    // spans stay out of span_count and the threshold gate.
+    for profile in astra_platform::registry() {
+        if profile.name == "astra" {
+            continue; // already measured as `simulate`
+        }
+        let label: &'static str =
+            Box::leak(format!("generate_{}", profile.name.replace('-', "_")).into_boxed_str());
+        let t = Instant::now();
+        let pds = Dataset::generate_profile(&profile, Some(racks), seed);
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(&pds);
+        stages.push((label, secs));
+    }
+
     Ok(ScaleResult {
         racks,
         nodes: ds.system.node_count(),
@@ -450,22 +485,7 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
         bin_log_bytes,
         workingset_bytes,
         stream_workingset_bytes,
-        stages: vec![
-            ("simulate", simulate_secs),
-            ("merge", merge_secs),
-            ("serialize", serialize_secs),
-            ("parse", parse_secs),
-            ("consume", consume_secs),
-            ("coalesce", coalesce_secs),
-            ("spatial", spatial_secs),
-            ("predict", predict_secs),
-            ("stream", stream_secs),
-            ("fsck", fsck_secs),
-            ("serve", serve_secs),
-            ("serialize_bin", serialize_bin_secs),
-            ("parse_bin", parse_bin_secs),
-            ("fsck_bin", fsck_bin_secs),
-        ],
+        stages,
         span_count,
         snapshot,
     })
@@ -499,9 +519,11 @@ fn dir_bytes(dir: &std::path::Path) -> Result<u64, String> {
 
 /// `simulate` wall time already contains the merge; `stream`, `fsck`,
 /// and `serve` are alternative full passes over the same data, not
-/// stages of the batch pipeline; and the `*_bin` stages are the binary
-/// format's peers of stages already counted. The total is the sum of the
-/// remaining disjoint stages.
+/// stages of the batch pipeline; the `*_bin` stages are the binary
+/// format's peers of stages already counted; and the `generate_*`
+/// stages time the other platform profiles' simulators (a pipeline run
+/// simulates one platform). The total is the sum of the remaining
+/// disjoint stages.
 fn total_secs(r: &ScaleResult) -> f64 {
     r.stages
         .iter()
@@ -511,6 +533,7 @@ fn total_secs(r: &ScaleResult) -> f64 {
                 && *label != "fsck"
                 && *label != "serve"
                 && !label.ends_with("_bin")
+                && !label.starts_with("generate_")
         })
         .map(|(_, secs)| secs)
         .sum()
@@ -702,6 +725,7 @@ mod tests {
                 ("stream", 0.4),
                 ("serve", 0.3),
                 ("parse_bin", 9.9),
+                ("generate_x86_ddr4", 7.7),
             ],
             span_count: 1500,
             snapshot: astra_obs::Registry::new().snapshot(),
@@ -717,8 +741,10 @@ mod tests {
         assert_eq!(json::number_field(&report, "simulate"), Some(0.5));
         // total excludes the merge share (inside simulate), the stream
         // and serve passes (alternatives to parse+analyze, not stages of
-        // it), and the binary peers of already-counted stages.
+        // it), the binary peers of already-counted stages, and the
+        // other profiles' auxiliary generate stages.
         assert_eq!(json::number_field(&report, "total_secs"), Some(0.75));
+        assert_eq!(json::number_field(&report, "generate_x86_ddr4"), Some(7.7));
         assert_eq!(json::number_field(&report, "parse_bin"), Some(9.9));
         assert_eq!(json::number_field(&report, "bin_log_bytes"), Some(1024.0));
         assert_eq!(

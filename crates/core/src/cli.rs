@@ -33,9 +33,12 @@ use astra_util::CalDate;
 use astra_logs::binfmt::{self, LogFormat};
 use astra_logs::{chaos, io as logio, BinFormat, IngestOptions, LineFormat, QuarantineReason};
 
+use astra_logs::manifest::Manifest;
+use astra_platform::PlatformProfile;
+
 use crate::experiments as exp;
 use crate::mitigation::{self, ProactivePolicy, RetirementPolicy};
-use crate::pipeline::{Analysis, AnalysisInput, Dataset, LoadError};
+use crate::pipeline::{load_manifest, Analysis, AnalysisInput, Dataset, LoadError};
 use crate::reliability;
 use crate::stream::{self, StreamError, StreamOptions};
 use crate::tempcorr::TempCorrConfig;
@@ -44,7 +47,8 @@ const USAGE: &str = "\
 astra-mem — memory-failure analysis toolkit (HPDC'22 Astra reproduction)
 
 USAGE:
-    astra-mem generate       [--racks N] [--seed S] [--format F] --out DIR
+    astra-mem generate       [--profile P] [--racks N] [--seed S] [--format F] --out DIR
+    astra-mem profiles
     astra-mem convert        DIR --to F [--out DIR2]
     astra-mem analyze        DIR [--racks N]
     astra-mem stream-analyze DIR [--racks N] [--checkpoint-every N --checkpoint FILE]
@@ -56,6 +60,7 @@ USAGE:
     astra-mem triage         DIR [--racks N]
     astra-mem stats          DIR [--racks N] [--check FILE]
     astra-mem predict        DIR [--racks N] [--seed S]
+    astra-mem predict        --train DIR [--train DIR ...] --eval DIR [--eval DIR ...]
     astra-mem fsck           DIR
     astra-mem chaos          DIR [--seed S]
     astra-mem trace          FILE
@@ -64,7 +69,11 @@ COMMANDS:
     generate        simulate a machine; write ce/het/inventory/sensors logs
                     (text lines by default, or the astra-binlog columnar
                     format with --format binary — same file names, every
-                    reader auto-detects by magic bytes)
+                    reader auto-detects by magic bytes) plus a manifest.txt
+                    recording the platform profile, seed, racks, and format
+                    so consumers never have to guess the provenance
+    profiles        list the registered platform profiles (calibration packs
+                    for different machine families; pick one with --profile)
     convert         re-encode a log directory to --to {text,binary}; writes
                     in place unless --out names a second directory. Either
                     direction round-trips: analysis output is byte-identical
@@ -89,7 +98,11 @@ COMMANDS:
                     (ingests leniently so it can diagnose dirty datasets)
     predict         replay the CE stream through online UE predictors; score
                     precision/recall/lead time against simulator ground truth
-                    (re-derived from --racks/--seed, which must match generate)
+                    (re-derived from the directory's manifest — profile, racks,
+                    seed — or from --racks/--seed for legacy directories).
+                    With --train/--eval: fit a logistic predictor on each
+                    --train directory, score it on every --eval directory, and
+                    print the cross-platform transfer matrix
     fsck            scan a log directory and print a per-file corruption
                     report (what a lenient ingest would quarantine, by
                     reason); exits nonzero when anything is quarantined.
@@ -104,8 +117,12 @@ COMMANDS:
                     allocator is measuring
 
 OPTIONS:
+    --profile P           (generate) platform profile: astra (default),
+                          x86-ddr4, datacenter — see `astra-mem profiles`
     --racks N             machine size in racks (default 4; Astra is 36)
     --seed S              master seed (default 42)
+    --train DIR           (predict) dataset to fit a predictor on; repeatable
+    --eval DIR            (predict) dataset to score predictors on; repeatable
     --out DIR             output directory for generate / convert
     --format F            (generate) on-disk log format: text (default) or
                           binary (astra-binlog columnar, ~10x faster to
@@ -143,8 +160,18 @@ struct Args {
     extra_dirs: Vec<PathBuf>,
     listen: Option<String>,
     poll_ms: u64,
-    racks: u32,
-    seed: u64,
+    /// `None` when `--racks` was not given: commands use the manifest's
+    /// recorded rack count when one exists, else the default of 4.
+    racks: Option<u32>,
+    /// `None` when `--seed` was not given (manifest seed, else 42).
+    seed: Option<u64>,
+    /// Platform profile name (`--profile`); `None` means the manifest's
+    /// recorded profile, else astra.
+    profile: Option<String>,
+    /// (predict) training dataset directories for the transfer matrix.
+    train_dirs: Vec<PathBuf>,
+    /// (predict) evaluation dataset directories for the transfer matrix.
+    eval_dirs: Vec<PathBuf>,
     out: Option<PathBuf>,
     format: LogFormat,
     to: Option<LogFormat>,
@@ -161,6 +188,16 @@ struct Args {
 }
 
 impl Args {
+    /// Rack count when no manifest overrides it: the explicit flag, else 4.
+    fn racks_or_default(&self) -> u32 {
+        self.racks.unwrap_or(4)
+    }
+
+    /// Seed when no manifest overrides it: the explicit flag, else 42.
+    fn seed_or_default(&self) -> u64 {
+        self.seed.unwrap_or(42)
+    }
+
     /// The ingest policy the flags ask for: strict unless `--lenient`
     /// (which `--max-bad-frac` implies).
     fn ingest(&self) -> IngestOptions {
@@ -202,8 +239,11 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         extra_dirs: Vec::new(),
         listen: None,
         poll_ms: 200,
-        racks: 4,
-        seed: 42,
+        racks: None,
+        seed: None,
+        profile: None,
+        train_dirs: Vec::new(),
+        eval_dirs: Vec::new(),
         out: None,
         format: LogFormat::Text,
         to: None,
@@ -221,12 +261,22 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--racks" => {
-                parsed.racks = flag_value(&mut args, "--racks")?;
-                if parsed.racks == 0 {
+                let racks: u32 = flag_value(&mut args, "--racks")?;
+                if racks == 0 {
                     return Err("--racks must be at least 1".into());
                 }
+                parsed.racks = Some(racks);
             }
-            "--seed" => parsed.seed = flag_value(&mut args, "--seed")?,
+            "--seed" => parsed.seed = Some(flag_value(&mut args, "--seed")?),
+            "--profile" => {
+                let name: String = flag_value(&mut args, "--profile")?;
+                // Fail at parse time with the registry listing, not deep
+                // inside a command with a bare name.
+                astra_platform::by_name(&name).map_err(|e| e.to_string())?;
+                parsed.profile = Some(name);
+            }
+            "--train" => parsed.train_dirs.push(flag_value(&mut args, "--train")?),
+            "--eval" => parsed.eval_dirs.push(flag_value(&mut args, "--eval")?),
             "--out" => parsed.out = Some(flag_value(&mut args, "--out")?),
             "--format" => parsed.format = format_value(&mut args, "--format")?,
             "--to" => parsed.to = Some(format_value(&mut args, "--to")?),
@@ -298,6 +348,7 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
     }
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
+        "profiles" => cmd_profiles(),
         "convert" => cmd_convert(&args),
         "analyze" => cmd_analyze(&args),
         "stream-analyze" => cmd_stream_analyze(&args),
@@ -342,10 +393,27 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let out = args.out.clone().ok_or("generate requires --out DIR")?;
-    eprintln!("simulating {} racks (seed {})...", args.racks, args.seed);
-    let ds = Dataset::generate(args.racks, args.seed);
+    let profile = resolve_profile_flag(args)?;
+    let racks = args.racks_or_default();
+    let seed = args.seed_or_default();
+    eprintln!(
+        "simulating {} racks of profile {} (seed {seed})...",
+        racks, profile.name
+    );
+    let ds = Dataset::generate_profile(&profile, Some(racks), seed);
     ds.write_logs_as(&out, args.format)
         .map_err(|e| e.to_string())?;
+    // The provenance record: which machine, at what scale and seed, in
+    // which format. Every consumer reads this instead of guessing.
+    Manifest {
+        profile: profile.name.to_string(),
+        seed,
+        racks,
+        format: args.format.name().to_string(),
+        tool: format!("astra-mem {}", env!("CARGO_PKG_VERSION")),
+    }
+    .write(&out)
+    .map_err(|e| format!("writing manifest.txt: {e}"))?;
     // Persist generation-time metrics next to the logs. Analysis commands
     // fold this file back in, so kernel-buffer drop counts and ECC
     // verdicts — facts only the generator knows — survive into `report
@@ -502,6 +570,11 @@ fn load_error_hint(dir: &Path, e: &LoadError) -> String {
              analyze the rest",
             dir.display()
         ),
+        LoadError::Manifest { .. } => format!(
+            "{e}\nhint: the dataset's provenance record is damaged — re-run \
+             `astra-mem generate` to rewrite it, or delete manifest.txt to fall back \
+             to the astra profile assumption"
+        ),
     }
 }
 
@@ -521,12 +594,118 @@ fn require_dir(args: &Args) -> Result<PathBuf, String> {
         .ok_or_else(|| "this command needs a log directory".to_string())
 }
 
-fn load(args: &Args) -> Result<(SystemConfig, AnalysisInput), String> {
+/// `astra-mem profiles`: list the registry with one-line descriptions.
+fn cmd_profiles() -> Result<(), String> {
+    println!("registered platform profiles (generate --profile NAME):\n");
+    for p in astra_platform::registry() {
+        let t = &p.topology;
+        println!(
+            "  {:<11} {} racks x {} chassis x {} nodes, {:?} ECC",
+            p.name, t.default_racks, t.chassis_per_rack, t.nodes_per_chassis, p.ecc.model
+        );
+        println!("              {}", p.description);
+    }
+    Ok(())
+}
+
+/// The `--profile` flag resolved against the registry (astra by default).
+fn resolve_profile_flag(args: &Args) -> Result<PlatformProfile, String> {
+    match &args.profile {
+        Some(name) => astra_platform::by_name(name).map_err(|e| e.to_string()),
+        None => Ok(PlatformProfile::astra()),
+    }
+}
+
+/// The platform, machine scale, and seed a directory-consuming command
+/// should run under, resolved from the dataset's manifest.
+struct Resolved {
+    profile: PlatformProfile,
+    system: SystemConfig,
+    seed: u64,
+}
+
+/// Resolve a dataset directory's provenance against the command-line
+/// flags.
+///
+/// With a manifest, its recorded profile/racks/seed win; an *explicit*
+/// conflicting flag is an error (silently analyzing rack-18 logs as a
+/// 4-rack machine, or re-simulating ground truth under the wrong profile,
+/// produces confidently wrong numbers). Without one — a legacy or
+/// hand-assembled directory — the flags or their defaults apply and the
+/// historical Astra assumption holds, noted on stderr.
+fn resolve_for_dir(args: &Args, dir: &Path) -> Result<Resolved, String> {
+    let manifest = load_manifest(dir).map_err(|e| load_error_hint(dir, &e))?;
+    match manifest {
+        Some(m) => {
+            let profile = astra_platform::by_name(&m.profile).map_err(|e| {
+                format!(
+                    "{}: recorded profile is not in this tool's registry: {e}\n\
+                     hint: the dataset was generated by a different tool version",
+                    Manifest::path_in(dir).display()
+                )
+            })?;
+            if let Some(flag) = &args.profile {
+                if *flag != m.profile {
+                    return Err(format!(
+                        "--profile {flag} conflicts with the dataset manifest (profile={}); \
+                         drop the flag or regenerate the dataset",
+                        m.profile
+                    ));
+                }
+            }
+            if let Some(racks) = args.racks {
+                if racks != m.racks {
+                    return Err(format!(
+                        "--racks {racks} conflicts with the dataset manifest (racks={}); \
+                         drop the flag or regenerate the dataset",
+                        m.racks
+                    ));
+                }
+            }
+            if let Some(seed) = args.seed {
+                if seed != m.seed {
+                    return Err(format!(
+                        "--seed {seed} conflicts with the dataset manifest (seed={}); \
+                         drop the flag or regenerate the dataset",
+                        m.seed
+                    ));
+                }
+            }
+            eprintln!(
+                "using manifest: profile={} racks={} seed={} format={}",
+                m.profile, m.racks, m.seed, m.format
+            );
+            Ok(Resolved {
+                system: profile.system(Some(m.racks)),
+                seed: m.seed,
+                profile,
+            })
+        }
+        None => {
+            let profile = resolve_profile_flag(args)?;
+            eprintln!(
+                "note: {} has no manifest.txt — assuming profile {} at {} racks \
+                 (generate writes a manifest; pass --profile/--racks to override)",
+                dir.display(),
+                profile.name,
+                args.racks_or_default()
+            );
+            Ok(Resolved {
+                system: profile.system(Some(args.racks_or_default())),
+                seed: args.seed_or_default(),
+                profile,
+            })
+        }
+    }
+}
+
+fn load(args: &Args) -> Result<(Resolved, AnalysisInput), String> {
     load_with(args, &args.ingest())
 }
 
-fn load_with(args: &Args, opts: &IngestOptions) -> Result<(SystemConfig, AnalysisInput), String> {
+fn load_with(args: &Args, opts: &IngestOptions) -> Result<(Resolved, AnalysisInput), String> {
     let dir = require_dir(args)?;
+    let resolved = resolve_for_dir(args, &dir)?;
     let input = AnalysisInput::from_dir_with(&dir, opts).map_err(|e| load_error_hint(&dir, &e))?;
     if input.skipped > 0 {
         eprintln!(
@@ -536,11 +715,12 @@ fn load_with(args: &Args, opts: &IngestOptions) -> Result<(SystemConfig, Analysi
         );
     }
     import_dir_metrics(&dir);
-    Ok((SystemConfig::scaled(args.racks), input))
+    Ok((resolved, input))
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let (system, input) = load(args)?;
+    let (resolved, input) = load(args)?;
+    let system = resolved.system;
     let analysis = Analysis::run(system, input.records);
     println!(
         "{} errors -> {} faults on {} nodes",
@@ -557,7 +737,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 
 fn cmd_stream_analyze(args: &Args) -> Result<(), String> {
     let dir = require_dir(args)?;
-    let system = SystemConfig::scaled(args.racks);
+    let system = resolve_for_dir(args, &dir)?.system;
     let opts = StreamOptions {
         ingest: args.ingest(),
         checkpoint_every: args.checkpoint_every,
@@ -611,7 +791,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 .into(),
         );
     }
-    let system = SystemConfig::scaled(args.racks);
+    // Fallback shape for manifest-less sites; sites with a manifest get
+    // their own recorded profile topology inside start_sites.
+    let system = SystemConfig::scaled(args.racks_or_default());
     let stream_opts = StreamOptions {
         ingest: args.ingest(),
         checkpoint_path: args.checkpoint.clone(),
@@ -659,13 +841,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let (system, input) = load(args)?;
+    let (resolved, input) = load(args)?;
+    let system = resolved.system;
     let analysis = Analysis::run(system, input.records);
-    // The telemetry model is functional: reconstruct it from the seed.
+    // The telemetry model is functional: reconstruct it from the recorded
+    // (or given) seed under the dataset's thermal profile.
     let telemetry = astra_telemetry::TelemetryModel::new(
         system,
-        astra_telemetry::ThermalProfile::astra(),
-        args.seed,
+        resolved.profile.thermal.clone(),
+        resolved.seed,
     );
     let config = TempCorrConfig::default();
 
@@ -745,8 +929,8 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_triage(args: &Args) -> Result<(), String> {
-    let (system, input) = load(args)?;
-    let analysis = Analysis::run(system, input.records);
+    let (resolved, input) = load(args)?;
+    let analysis = Analysis::run(resolved.system, input.records);
 
     println!("node exclusion curve:");
     for point in mitigation::exclusion_curve(&analysis, 8) {
@@ -837,7 +1021,8 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     // A health report must diagnose unhealthy datasets, so `stats` is
     // lenient with an unbounded budget unless the user tightens it.
     let opts = IngestOptions::lenient(Some(args.max_bad_frac.unwrap_or(1.0)));
-    let (system, input) = load_with(args, &opts)?;
+    let (resolved, input) = load_with(args, &opts)?;
+    let system = resolved.system;
     let analysis = Analysis::run(system, input.records);
     let snap = astra_obs::global().snapshot();
 
@@ -1114,7 +1299,7 @@ fn cmd_fsck(args: &Args) -> Result<(), String> {
 /// place and print the injected-corruption manifest (fsck's line format).
 fn cmd_chaos(args: &Args) -> Result<(), String> {
     let dir = require_dir(args)?;
-    let cfg = chaos::ChaosConfig::with_seed(args.seed);
+    let cfg = chaos::ChaosConfig::with_seed(args.seed_or_default());
     let manifest = chaos::corrupt_dir(&dir, &cfg).map_err(|e| e.to_string())?;
     if manifest.files.is_empty() {
         return Err(format!("no log files found in {}", dir.display()));
@@ -1155,24 +1340,33 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_predict(args: &Args) -> Result<(), String> {
-    let (system, input) = load(args)?;
+    // Transfer-matrix mode: fit on every --train dataset, score on every
+    // --eval dataset, print the cross-platform matrix.
+    if !args.train_dirs.is_empty() || !args.eval_dirs.is_empty() {
+        return cmd_predict_transfer(args);
+    }
+    let (resolved, input) = load(args)?;
+    let system = resolved.system;
 
     // Ground truth is not persisted by `generate`; re-derive it from the
-    // deterministic simulation at the recorded scale and seed (the same
-    // reconstruct-from-seed pattern `report` uses for telemetry). A
-    // mismatched --racks/--seed shows up as a CE-count disagreement.
+    // deterministic simulation under the manifest's recorded profile,
+    // scale, and seed (the same reconstruct-from-seed pattern `report`
+    // uses for telemetry). On legacy manifest-less directories the flags
+    // must match generate's; a mismatch shows up as a CE-count
+    // disagreement.
     eprintln!(
-        "re-simulating {} racks (seed {}) for ground truth...",
-        args.racks, args.seed
+        "re-simulating {} racks of profile {} (seed {}) for ground truth...",
+        system.racks, resolved.profile.name, resolved.seed
     );
-    let ds = Dataset::generate(args.racks, args.seed);
+    let ds = Dataset::generate_profile(&resolved.profile, Some(system.racks), resolved.seed);
     if ds.sim.ce_log.len() != input.records.len() {
         eprintln!(
-            "warning: directory has {} CE records but racks={} seed={} simulates {} — \
-             ground-truth labels are unreliable; pass the --racks/--seed used at generate",
+            "warning: directory has {} CE records but profile={} racks={} seed={} simulates \
+             {} — ground-truth labels are unreliable; pass the --racks/--seed used at generate",
             input.records.len(),
-            args.racks,
-            args.seed,
+            resolved.profile.name,
+            system.racks,
+            resolved.seed,
             ds.sim.ce_log.len()
         );
     }
@@ -1221,6 +1415,102 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// `astra-mem predict --train DIR... --eval DIR...`: the cross-platform
+/// transfer matrix. Every directory must carry a manifest — transfer
+/// re-simulates each dataset's ground truth, which is only possible with
+/// the recorded profile/racks/seed (a guess would silently mislabel).
+fn cmd_predict_transfer(args: &Args) -> Result<(), String> {
+    if args.dir.is_some() {
+        return Err(
+            "transfer mode takes --train/--eval directories, not a positional DIR".to_string(),
+        );
+    }
+    if args.train_dirs.is_empty() || args.eval_dirs.is_empty() {
+        return Err("transfer mode needs at least one --train DIR and one --eval DIR".to_string());
+    }
+
+    // Load each distinct directory once, even when it appears on both
+    // sides of the matrix (the diagonal baseline is the common case).
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for d in args.train_dirs.iter().chain(&args.eval_dirs) {
+        if !dirs.contains(d) {
+            dirs.push(d.clone());
+        }
+    }
+    let mut by_dir: std::collections::BTreeMap<PathBuf, astra_predict::TransferDataset> =
+        std::collections::BTreeMap::new();
+    for dir in &dirs {
+        let m = load_manifest(dir)
+            .map_err(|e| load_error_hint(dir, &e))?
+            .ok_or_else(|| {
+                format!(
+                    "{}: no manifest.txt — transfer mode re-simulates ground truth and needs \
+                     the recorded profile/racks/seed; regenerate the dataset with this tool's \
+                     `generate`",
+                    dir.display()
+                )
+            })?;
+        let profile = astra_platform::by_name(&m.profile).map_err(|e| {
+            format!(
+                "{}: recorded profile is not in this tool's registry: {e}",
+                Manifest::path_in(dir).display()
+            )
+        })?;
+        let input = AnalysisInput::from_dir_with(dir, &args.ingest())
+            .map_err(|e| load_error_hint(dir, &e))?;
+        if input.skipped > 0 {
+            eprintln!(
+                "note: {}: quarantined {} lines {}",
+                dir.display(),
+                input.skipped,
+                input.quarantine.summary()
+            );
+        }
+        eprintln!(
+            "re-simulating {} ({} racks of profile {}, seed {}) for ground truth...",
+            dir.display(),
+            m.racks,
+            m.profile,
+            m.seed
+        );
+        let truth = Dataset::generate_profile(&profile, Some(m.racks), m.seed)
+            .sim
+            .ground_truth;
+        by_dir.insert(
+            dir.clone(),
+            astra_predict::TransferDataset {
+                name: m.profile.clone(),
+                records: input.records,
+                hets: input.hets,
+                ground_truth: truth,
+            },
+        );
+    }
+
+    // Two different directories can share a profile (same platform,
+    // different seed); disambiguate those rows/columns by directory name.
+    let mut uses: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for ds in by_dir.values() {
+        *uses.entry(ds.name.clone()).or_default() += 1;
+    }
+    for (dir, ds) in by_dir.iter_mut() {
+        if uses[&ds.name] > 1 {
+            let base = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| dir.display().to_string());
+            ds.name = format!("{}:{base}", ds.name);
+        }
+    }
+
+    let train: Vec<_> = args.train_dirs.iter().map(|d| by_dir[d].clone()).collect();
+    let eval: Vec<_> = args.eval_dirs.iter().map(|d| by_dir[d].clone()).collect();
+    let matrix =
+        astra_predict::transfer_matrix(&train, &eval, &astra_predict::PredictConfig::default());
+    print!("{}", matrix.render());
     Ok(())
 }
 
@@ -1327,12 +1617,39 @@ mod tests {
         .unwrap();
         assert_eq!(a.command, "report");
         assert_eq!(a.dir.as_deref().unwrap().to_str().unwrap(), "/tmp/logs");
-        assert_eq!(a.racks, 2);
-        assert_eq!(a.seed, 7);
+        assert_eq!(a.racks, Some(2));
+        assert_eq!(a.seed, Some(7));
         assert_eq!(
             a.metrics_out.as_deref().unwrap().to_str().unwrap(),
             "m.json"
         );
+    }
+
+    #[test]
+    fn parses_profile_and_transfer_flags() {
+        let a = parse_args(argv(&["generate", "out", "--profile", "x86-ddr4"])).unwrap();
+        assert_eq!(a.profile.as_deref(), Some("x86-ddr4"));
+        assert_eq!(a.racks, None);
+        assert_eq!(a.seed, None);
+
+        let a = parse_args(argv(&[
+            "predict", "--train", "a", "--train", "b", "--eval", "c",
+        ]))
+        .unwrap();
+        assert_eq!(a.train_dirs.len(), 2);
+        assert_eq!(a.eval_dirs.len(), 1);
+        assert_eq!(a.train_dirs[1].to_str().unwrap(), "b");
+
+        assert!(parse_args(argv(&["profiles"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_profile_is_rejected_at_parse_time_with_registry() {
+        let err = parse_args(argv(&["generate", "out", "--profile", "sparc"])).unwrap_err();
+        assert!(err.contains("sparc"), "{err}");
+        for name in astra_platform::PROFILE_NAMES {
+            assert!(err.contains(name), "{err} should list {name}");
+        }
     }
 
     #[test]

@@ -18,10 +18,12 @@ use std::path::{Path, PathBuf};
 use astra_faultsim::{simulate, SimOutput, SimProfile};
 use astra_logs::binfmt::{self, BinFormat, LogFormat};
 use astra_logs::io::{self as logio, IngestError};
+use astra_logs::manifest::{Manifest, ManifestError};
 use astra_logs::{
     ce, het, inventory, sensor, CeRecord, HetRecord, IngestOptions, LineFormat, Quarantine,
     ReplacementRecord, SensorRecord,
 };
+use astra_platform::PlatformProfile;
 use astra_replace::{simulate_replacements, ReplacementProfile};
 use astra_telemetry::{TelemetryModel, ThermalProfile};
 use astra_topology::SystemConfig;
@@ -59,6 +61,23 @@ impl Dataset {
             &SimProfile::astra(),
             &ReplacementProfile::astra(),
             ThermalProfile::astra(),
+            seed,
+        )
+    }
+
+    /// Generate under a platform profile, at `racks` racks (or the
+    /// profile's full machine size when `None`).
+    ///
+    /// For the `astra` profile this is bit-identical to
+    /// [`Dataset::generate`] at the same rack count and seed: that
+    /// profile bundles the exact calibrated sub-profiles the plain path
+    /// uses (pinned by test and CI).
+    pub fn generate_profile(profile: &PlatformProfile, racks: Option<u32>, seed: u64) -> Dataset {
+        Self::generate_with(
+            profile.system(racks),
+            &profile.sim,
+            &profile.replacement,
+            profile.thermal.clone(),
             seed,
         )
     }
@@ -244,6 +263,29 @@ pub enum LoadError {
         /// Lines that parsed cleanly before the abort.
         lines_ok: u64,
     },
+    /// The directory's `manifest.txt` exists but is unreadable or
+    /// malformed. The provenance record cannot be trusted, and silently
+    /// guessing a platform profile would defeat its purpose (evaluating
+    /// under the wrong machine produces confidently wrong numbers).
+    Manifest {
+        /// Full path of the manifest file.
+        path: PathBuf,
+        /// What was wrong with it.
+        source: ManifestError,
+    },
+}
+
+/// Load a dataset directory's generation manifest.
+///
+/// `Ok(None)` means the directory has no `manifest.txt` — a legacy or
+/// hand-assembled dataset; callers fall back to the Astra assumption
+/// (usually with a warning). A manifest that exists but cannot be read
+/// or parsed is [`LoadError::Manifest`], never a silent fallback.
+pub fn load_manifest(dir: &Path) -> Result<Option<Manifest>, LoadError> {
+    Manifest::load(dir).map_err(|source| LoadError::Manifest {
+        path: Manifest::path_in(dir),
+        source,
+    })
 }
 
 impl std::fmt::Display for LoadError {
@@ -275,6 +317,9 @@ impl std::fmt::Display for LoadError {
                 }
                 Ok(())
             }
+            LoadError::Manifest { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -284,6 +329,7 @@ impl std::error::Error for LoadError {
         match self {
             LoadError::MissingLog { .. } | LoadError::Corrupt { .. } => None,
             LoadError::Unreadable { source, .. } => Some(source),
+            LoadError::Manifest { source, .. } => Some(source),
         }
     }
 }
@@ -605,6 +651,30 @@ mod tests {
     impl Drop for TempDirGuard {
         fn drop(&mut self) {
             std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn astra_profile_generation_is_bit_identical() {
+        let plain = Dataset::generate(1, 42);
+        let via = Dataset::generate_profile(&PlatformProfile::astra(), Some(1), 42);
+        assert_eq!(plain.sim.ce_log, via.sim.ce_log);
+        assert_eq!(plain.sim.het_log, via.sim.het_log);
+        assert_eq!(plain.replacements, via.replacements);
+        assert_eq!(plain.sensor_excerpt(), via.sensor_excerpt());
+    }
+
+    #[test]
+    fn damaged_manifest_is_typed_error_not_fallback() {
+        let guard = TempDirGuard::new("pipeline-manifest");
+        std::fs::create_dir_all(&guard.0).unwrap();
+        assert!(load_manifest(&guard.0).unwrap().is_none(), "absent → None");
+        std::fs::write(guard.0.join("manifest.txt"), "nonsense\n").unwrap();
+        match load_manifest(&guard.0) {
+            Err(LoadError::Manifest { path, .. }) => {
+                assert!(path.ends_with("manifest.txt"));
+            }
+            other => panic!("expected Manifest error, got {other:?}"),
         }
     }
 

@@ -255,14 +255,26 @@ fn quarantine_body(q: &astra_logs::Quarantine) -> String {
 /// `stream_opts` is cloned per site with `checkpoint_path` defaulted to
 /// `<dir>/serve.ckpt` when unset, so each tenant checkpoints (and
 /// auto-resumes) independently inside its own directory.
+///
+/// Each site's machine shape comes from its own `manifest.txt` when it
+/// has one (sites generated under different platform profiles or rack
+/// counts coexist in one daemon); `default_system` applies to
+/// manifest-less legacy sites. A damaged manifest fails startup — the
+/// daemon must not silently serve a site under the wrong topology.
 pub fn start_sites(
     dirs: &[std::path::PathBuf],
-    system: SystemConfig,
+    default_system: SystemConfig,
     stream_opts: &StreamOptions,
     serve_opts: &ServeOptions,
 ) -> Result<Server, String> {
     let mut sources: Vec<Box<dyn SiteSource>> = Vec::with_capacity(dirs.len());
     for dir in dirs {
+        let system = match crate::pipeline::load_manifest(dir).map_err(|e| e.to_string())? {
+            Some(m) => astra_platform::by_name(&m.profile)
+                .map_err(|e| format!("{}: {e}", dir.display()))?
+                .system(Some(m.racks)),
+            None => default_system,
+        };
         let mut opts = stream_opts.clone();
         if opts.checkpoint_path.is_none() {
             opts.checkpoint_path = Some(dir.join("serve.ckpt"));

@@ -78,9 +78,10 @@ pub fn generate_het(
         });
     }
 
-    // Background (non-memory) events. Rates are per-day for the full Astra
-    // machine; scale with node count so small test machines stay quiet.
-    let machine_scale = f64::from(system.node_count()) / 2592.0;
+    // Background (non-memory) events. Rates are per-day for the profile's
+    // reference machine; scale with node count so small test machines
+    // stay quiet.
+    let machine_scale = f64::from(system.node_count()) / profile.het_reference_nodes;
     for (kind, &daily) in BACKGROUND_KINDS.iter().zip(&profile.het_background_daily) {
         let expected = daily * window_days * machine_scale;
         let n = poisson(&mut rng, expected);

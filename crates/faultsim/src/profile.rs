@@ -105,9 +105,18 @@ pub struct SimProfile {
     pub due_on_faulty_share: f64,
     /// Day HET recording begins (events before this are not logged).
     pub het_start: astra_util::CalDate,
+    /// Firmware CE-gating: day the platform firmware began logging
+    /// correctable errors, or `None` when CE logging covers the whole
+    /// span (Astra's CE path predates the study interval; some platforms
+    /// only gained CE reporting mid-life, mirroring the HET gate).
+    pub ce_log_start: Option<astra_util::CalDate>,
     /// System-wide daily rates for the non-memory HET kinds, in
     /// [`crate::due::BACKGROUND_KINDS`] order.
     pub het_background_daily: [f64; 6],
+    /// Node count the [`SimProfile::het_background_daily`] rates are
+    /// quoted for; smaller or larger machines scale linearly (Astra:
+    /// the full 2,592-node fleet).
+    pub het_reference_nodes: f64,
     /// Kernel CE buffer capacity (records).
     pub buffer_capacity: usize,
     /// Kernel CE polls per minute.
@@ -182,7 +191,9 @@ impl SimProfile {
             due_rate_per_dimm_year: 0.009_48,
             due_on_faulty_share: 0.55,
             het_start: astra_util::time::het_firmware_date(),
+            ce_log_start: None,
             het_background_daily: [0.5, 0.35, 0.1, 0.15, 0.1, 0.05],
+            het_reference_nodes: 2592.0,
             buffer_capacity: 64,
             polls_per_minute: 12,
         }

@@ -94,10 +94,19 @@ pub fn simulate(system: &SystemConfig, profile: &SimProfile, seed: u64) -> SimOu
     // keys imply identical records and the merge is bit-identical to the
     // stable sort of the concatenated runs at any worker count.
     let merge_span = astra_obs::span("pipeline.merge");
-    let ce_log = astra_util::par::merge_sorted(ce_runs, |r: &CeRecord| {
+    let mut ce_log = astra_util::par::merge_sorted(ce_runs, |r: &CeRecord| {
         (r.time, r.node.0, r.addr.0, r.bit_pos)
     });
     drop(merge_span);
+    // Firmware CE-gating: platforms whose firmware only began reporting
+    // CEs mid-span simply never logged the earlier events. The faults
+    // themselves (ground truth) are unaffected — only visibility is.
+    if let Some(gate) = profile.ce_log_start {
+        let midnight = gate.midnight();
+        let kept_from = ce_log.partition_point(|r| r.time < midnight);
+        obs.counter("faultsim.ces_gated").add(kept_from as u64);
+        ce_log.drain(..kept_from);
+    }
 
     let mut faulty_dimms: Vec<DimmId> = ground_truth.iter().map(|g| g.fault.dimm).collect();
     faulty_dimms.sort_by_key(|d| d.dense_index());

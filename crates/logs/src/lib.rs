@@ -23,6 +23,10 @@
 //! * [`io`] — line-oriented writers and fault-tolerant readers for the
 //!   above, so the analyzer consumes exactly what a site would have on
 //!   disk.
+//! * [`manifest`] — the `manifest.txt` provenance record (platform
+//!   profile, seed, rack count, log format, tool version) that makes a
+//!   dataset directory self-describing; consumers use it instead of
+//!   assuming the Astra profile.
 //! * [`binfmt`] — the `astra-binlog` binary columnar format, a compact
 //!   peer of the four text formats with per-block CRC framing, plus the
 //!   magic-byte auto-detection used on every read path.
@@ -47,6 +51,7 @@ pub mod het;
 pub mod inventory;
 pub mod io;
 mod kv;
+pub mod manifest;
 pub mod quarantine;
 pub mod sensor;
 
@@ -55,6 +60,7 @@ pub use buffer::CeLogBuffer;
 pub use ce::CeRecord;
 pub use het::{HetKind, HetRecord, HetSeverity};
 pub use inventory::{Component, ReplacementRecord};
+pub use manifest::{Manifest, ManifestError, MANIFEST_FILE};
 pub use quarantine::{
     IngestMode, IngestOptions, LineFormat, Quarantine, QuarantineReason, RetryPolicy,
 };

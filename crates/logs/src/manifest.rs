@@ -1,0 +1,254 @@
+//! The generation manifest: `manifest.txt` written beside the logs.
+//!
+//! A dataset directory is self-describing only if it records *which
+//! machine* produced it. Before the manifest existed every consumer
+//! silently assumed Astra; with pluggable platform profiles that
+//! assumption becomes a correctness bug (evaluating a predictor against
+//! a re-simulation under the wrong profile produces confidently wrong
+//! numbers). `generate` therefore writes a small `key=value` manifest
+//! recording the platform profile, seed, rack count, log format, and
+//! tool version, and every load path surfaces it.
+//!
+//! The format is a versioned header line followed by `key=value` lines:
+//!
+//! ```text
+//! astra-manifest v1
+//! profile=astra
+//! seed=42
+//! racks=4
+//! format=text
+//! tool=astra-mem 0.1.0
+//! ```
+//!
+//! Unknown keys are ignored (forward compatibility); missing required
+//! keys and a missing/foreign header are typed errors so a consumer can
+//! distinguish "legacy dataset, no manifest" (fine, assume Astra with a
+//! warning) from "manifest present but damaged" (refuse: the recorded
+//! provenance exists but cannot be trusted).
+
+use std::fmt;
+use std::io::{self, Read, Write as IoWrite};
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside a dataset directory.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+
+/// Header line of manifest version 1.
+const HEADER_V1: &str = "astra-manifest v1";
+
+/// Provenance record for one generated dataset directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Platform-profile registry name the dataset was generated under.
+    pub profile: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Rack count of the simulated machine.
+    pub racks: u32,
+    /// Log format the directory holds (`text` or `bin`).
+    pub format: String,
+    /// Tool identifier and version that wrote the dataset.
+    pub tool: String,
+}
+
+impl Manifest {
+    /// Path of the manifest inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Render to the on-disk text form (header + `key=value` lines).
+    pub fn render(&self) -> String {
+        format!(
+            "{HEADER_V1}\nprofile={}\nseed={}\nracks={}\nformat={}\ntool={}\n",
+            self.profile, self.seed, self.racks, self.format, self.tool
+        )
+    }
+
+    /// Parse the on-disk text form.
+    pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+        let mut lines = text.lines();
+        match lines.next().map(str::trim) {
+            Some(HEADER_V1) => {}
+            Some(other) if other.starts_with("astra-manifest ") => {
+                return Err(ManifestError::Malformed(format!(
+                    "unsupported manifest version {:?} (this tool reads v1)",
+                    other.trim_start_matches("astra-manifest ")
+                )));
+            }
+            _ => {
+                return Err(ManifestError::Malformed(
+                    "missing 'astra-manifest v1' header line".into(),
+                ));
+            }
+        }
+
+        let mut profile = None;
+        let mut seed = None;
+        let mut racks = None;
+        let mut format = None;
+        let mut tool = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ManifestError::Malformed(format!(
+                    "line {line:?} is not key=value"
+                )));
+            };
+            match key {
+                "profile" => profile = Some(value.to_string()),
+                "seed" => {
+                    seed = Some(value.parse::<u64>().map_err(|_| {
+                        ManifestError::Malformed(format!("seed {value:?} is not a u64"))
+                    })?)
+                }
+                "racks" => {
+                    racks = Some(value.parse::<u32>().map_err(|_| {
+                        ManifestError::Malformed(format!("racks {value:?} is not a u32"))
+                    })?)
+                }
+                "format" => format = Some(value.to_string()),
+                "tool" => tool = Some(value.to_string()),
+                // Unknown keys: future versions may add fields.
+                _ => {}
+            }
+        }
+
+        let require = |name: &str, v: Option<String>| {
+            v.ok_or_else(|| ManifestError::Malformed(format!("missing required key {name:?}")))
+        };
+        Ok(Manifest {
+            profile: require("profile", profile)?,
+            seed: seed
+                .ok_or_else(|| ManifestError::Malformed("missing required key \"seed\"".into()))?,
+            racks: racks
+                .ok_or_else(|| ManifestError::Malformed("missing required key \"racks\"".into()))?,
+            format: require("format", format)?,
+            tool: require("tool", tool)?,
+        })
+    }
+
+    /// Write the manifest into `dir` (atomically via a temp file + rename,
+    /// matching the log writers' torn-write posture).
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        let final_path = Self::path_in(dir);
+        let tmp_path = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Load the manifest from `dir`.
+    ///
+    /// `Ok(None)` means *no manifest file* — a legacy or hand-assembled
+    /// dataset; callers typically fall back to the Astra assumption with
+    /// a warning. `Err` means the file exists but cannot be read or
+    /// parsed: the provenance record is damaged and silently guessing
+    /// would defeat its purpose.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, ManifestError> {
+        let path = Self::path_in(dir);
+        let mut text = String::new();
+        match std::fs::File::open(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ManifestError::Io(e)),
+            Ok(mut f) => f.read_to_string(&mut text).map_err(ManifestError::Io)?,
+        };
+        Self::parse(&text).map(Some)
+    }
+}
+
+/// Why a present manifest could not be used.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The file exists but could not be read.
+    Io(io::Error),
+    /// The file was read but its contents are not a valid v1 manifest.
+    Malformed(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest unreadable: {e}"),
+            ManifestError::Malformed(detail) => write!(f, "manifest malformed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManifestError::Io(e) => Some(e),
+            ManifestError::Malformed(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            profile: "x86-ddr4".into(),
+            seed: 42,
+            racks: 4,
+            format: "text".into(),
+            tool: "astra-mem 0.1.0".into(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn parse_ignores_unknown_keys_and_blank_lines() {
+        let text = "astra-manifest v1\nprofile=astra\n\nseed=7\nracks=2\nformat=bin\nfuture=thing\ntool=t 1\n";
+        let m = Manifest::parse(text).unwrap();
+        assert_eq!(m.profile, "astra");
+        assert_eq!(m.seed, 7);
+        assert_eq!(m.format, "bin");
+    }
+
+    #[test]
+    fn parse_rejects_bad_header_and_versions() {
+        let err = Manifest::parse("profile=astra\n").unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+        let err = Manifest::parse("astra-manifest v9\nprofile=astra\n").unwrap_err();
+        assert!(err.to_string().contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_missing_keys_and_bad_values() {
+        let err = Manifest::parse("astra-manifest v1\nprofile=astra\n").unwrap_err();
+        assert!(err.to_string().contains("missing required"), "{err}");
+        let err = Manifest::parse(
+            "astra-manifest v1\nprofile=a\nseed=many\nracks=2\nformat=text\ntool=t\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_dir_is_none() {
+        let dir = std::env::temp_dir().join(format!("astra-manifest-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Manifest::load(&dir).unwrap().is_none(), "empty dir → None");
+        let m = sample();
+        m.write(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m));
+        // Corrupt it: present-but-damaged must be an error, not None.
+        std::fs::write(Manifest::path_in(&dir), "garbage\n").unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

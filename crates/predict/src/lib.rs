@@ -35,8 +35,12 @@ pub mod engine;
 pub mod eval;
 pub mod features;
 pub mod predictor;
+pub mod transfer;
 
 pub use engine::{default_predictors, replay, Alert, PredictConfig};
 pub use eval::{evaluate, EvalReport, PredictorEval};
 pub use features::{DimmKey, EscalationLevel, FeatureState, FeatureStateDump, FeatureVector};
 pub use predictor::{LogisticPredictor, Predictor, RulePredictor};
+pub use transfer::{
+    collect_samples, transfer_matrix, TransferCell, TransferDataset, TransferMatrix,
+};

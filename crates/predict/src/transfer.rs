@@ -1,0 +1,384 @@
+//! Cross-platform predictor transfer: fit on one machine family, score on
+//! another.
+//!
+//! The central question of "Investigating Memory Failure Prediction
+//! Across CPU Architectures" (PAPERS.md): a CE-history predictor fit on
+//! one fleet embeds that platform's calibration — its fault-mode mix, ECC
+//! scheme, slot skew, DUE escalation rate — and may not survive the trip
+//! to a machine with different physics. This module makes the question
+//! measurable: fit a [`LogisticPredictor`] on each *training* dataset,
+//! replay it over each *evaluation* dataset, and tabulate
+//! precision / fault-recall / median lead time for every (train, eval)
+//! pair. The diagonal cells are the self-transfer baseline; off-diagonal
+//! degradation is the transfer penalty.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use astra_faultsim::GroundTruthFault;
+use astra_logs::{CeRecord, HetRecord};
+use astra_util::Minute;
+
+use crate::engine::{replay, PredictConfig};
+use crate::eval::evaluate;
+use crate::features::{DimmKey, FeatureState, FeatureVector};
+use crate::predictor::{LogisticPredictor, Predictor};
+
+/// One labeled dataset: the CE stream plus the truth needed to label and
+/// score it (both come from the simulator's re-simulation at the
+/// dataset's recorded profile, racks, and seed).
+#[derive(Debug, Clone)]
+pub struct TransferDataset {
+    /// Display name (usually the platform-profile name).
+    pub name: String,
+    /// Time-sorted CE records.
+    pub records: Vec<CeRecord>,
+    /// HET records (memory DUEs drive labels and lead times).
+    pub hets: Vec<HetRecord>,
+    /// Injected faults (the per-rank truth).
+    pub ground_truth: Vec<GroundTruthFault>,
+}
+
+/// Final-state training samples: one `(features, label)` pair per rank
+/// that logged at least one CE. Features are the rank's accumulated
+/// state snapshot at its last CE; the label is true when the rank's
+/// DIMM later suffered a memory DUE.
+///
+/// The label is deliberately *not* "hosts an injected fault": in the
+/// simulator every CE traces back to an injected fault, so that label
+/// is true for every CE-logging rank — a single-class training set that
+/// cannot be fit. The operational question (and the one the field
+/// papers pose) is which CE histories *escalate to uncorrectable
+/// errors*; the DUE is the observable outcome a fleet operator trains
+/// on. Injected-fault truth still drives the evaluator's precision and
+/// fault-recall joins.
+pub fn collect_samples(ds: &TransferDataset, config: &PredictConfig) -> Vec<(FeatureVector, bool)> {
+    let due_dimms: BTreeSet<(u32, usize)> = ds
+        .hets
+        .iter()
+        .filter(|r| r.kind.is_memory_due())
+        .filter_map(|r| Some((r.node.0, r.slot?.index())))
+        .collect();
+
+    let mut states: BTreeMap<DimmKey, (FeatureState, Minute)> = BTreeMap::new();
+    for rec in &ds.records {
+        let key = DimmKey::of_record(rec);
+        match states.get_mut(&key) {
+            Some((state, last)) => {
+                state.update(rec);
+                *last = rec.time;
+            }
+            None => {
+                let state = FeatureState::new(
+                    rec,
+                    config.half_life_minutes,
+                    config.pin_bank_threshold,
+                    config.bank_dispersion_cols,
+                );
+                states.insert(key, (state, rec.time));
+            }
+        }
+    }
+
+    states
+        .into_iter()
+        .map(|(key, (state, last))| {
+            let label = due_dimms.contains(&(key.node.0, key.slot.index()));
+            (state.snapshot(last), label)
+        })
+        .collect()
+}
+
+/// One (train, eval) cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct TransferCell {
+    /// Training dataset name.
+    pub train: String,
+    /// Evaluation dataset name.
+    pub eval: String,
+    /// Alerts the transferred predictor emitted on the eval stream.
+    pub alerts: usize,
+    /// Fraction of alerts implicating a genuinely faulty rank.
+    pub precision: f64,
+    /// Fraction of injected faulty ranks flagged.
+    pub fault_recall: f64,
+    /// Median alert→DUE lead time in days (`None`: no DUE predicted).
+    pub median_lead_days: Option<f64>,
+    /// False when [`LogisticPredictor::fit`] returned `None` (single-class
+    /// or degenerate training set) and the frozen Astra weights stood in.
+    pub fitted: bool,
+}
+
+/// The full train-rows × eval-columns matrix.
+#[derive(Debug, Clone)]
+pub struct TransferMatrix {
+    /// Training dataset names, row order.
+    pub trains: Vec<String>,
+    /// Evaluation dataset names, column order.
+    pub evals: Vec<String>,
+    /// Row-major cells (`trains.len() * evals.len()` entries).
+    pub cells: Vec<TransferCell>,
+}
+
+/// Fit a logistic predictor per training dataset and score it on every
+/// evaluation dataset.
+///
+/// A training set that cannot be fit (no positive or no negative ranks —
+/// possible at very small scale) falls back to the frozen
+/// [`LogisticPredictor::astra`] weights; the cell records `fitted =
+/// false` and the rendered matrix marks it, so a fallback never
+/// masquerades as a transfer result.
+pub fn transfer_matrix(
+    train: &[TransferDataset],
+    eval: &[TransferDataset],
+    config: &PredictConfig,
+) -> TransferMatrix {
+    let mut cells = Vec::with_capacity(train.len() * eval.len());
+    for tr in train {
+        let samples = collect_samples(tr, config);
+        let (predictor, fitted) = match LogisticPredictor::fit(&samples, 0.5) {
+            Some(p) => (p, true),
+            None => (LogisticPredictor::astra(), false),
+        };
+        for ev in eval {
+            let predictors: Vec<Box<dyn Predictor>> = vec![Box::new(predictor.clone())];
+            let alerts = replay(&ev.records, config, &predictors);
+            let report = evaluate(&alerts, &ev.hets, &ev.ground_truth);
+            let cell = report
+                .predictors
+                .iter()
+                .find(|p| p.name == "logistic")
+                .map(|p| TransferCell {
+                    train: tr.name.clone(),
+                    eval: ev.name.clone(),
+                    alerts: p.alerts,
+                    precision: p.precision(report.faulty_ranks),
+                    fault_recall: p.fault_recall(report.faulty_ranks),
+                    median_lead_days: p.median_lead_days(),
+                    fitted,
+                })
+                .unwrap_or(TransferCell {
+                    // The predictor never crossed threshold on this
+                    // stream: zero alerts, zero recall.
+                    train: tr.name.clone(),
+                    eval: ev.name.clone(),
+                    alerts: 0,
+                    precision: 0.0,
+                    fault_recall: 0.0,
+                    median_lead_days: None,
+                    fitted,
+                });
+            cells.push(cell);
+        }
+    }
+    TransferMatrix {
+        trains: train.iter().map(|d| d.name.clone()).collect(),
+        evals: eval.iter().map(|d| d.name.clone()).collect(),
+        cells,
+    }
+}
+
+impl TransferMatrix {
+    /// The cell for a (train, eval) name pair.
+    pub fn cell(&self, train: &str, eval: &str) -> Option<&TransferCell> {
+        self.cells
+            .iter()
+            .find(|c| c.train == train && c.eval == eval)
+    }
+
+    /// Render the text matrix the CLI prints: one row per training set,
+    /// one column per evaluation set, each cell
+    /// `precision/fault-recall/median-lead`. Cells where the fit fell
+    /// back to frozen weights are suffixed `*`.
+    pub fn render(&self) -> String {
+        const CELL_WIDTH: usize = 22;
+        let name_width = self
+            .trains
+            .iter()
+            .map(|t| t.len())
+            .max()
+            .unwrap_or(0)
+            .max("train\\eval".len());
+        let mut out = String::from(
+            "predictor transfer matrix — cell: precision / fault-recall / median-lead\n",
+        );
+        out.push_str(&format!("{:<name_width$}", "train\\eval"));
+        for ev in &self.evals {
+            out.push_str(&format!("  {ev:<CELL_WIDTH$}"));
+        }
+        out.push('\n');
+        let mut any_fallback = false;
+        for tr in &self.trains {
+            out.push_str(&format!("{tr:<name_width$}"));
+            for ev in &self.evals {
+                let text = match self.cell(tr, ev) {
+                    Some(c) => {
+                        let lead = c
+                            .median_lead_days
+                            .map(|d| format!("{d:.1}d"))
+                            .unwrap_or_else(|| "-".into());
+                        let mark = if c.fitted {
+                            ""
+                        } else {
+                            any_fallback = true;
+                            "*"
+                        };
+                        format!("{:.3} / {:.3} / {lead}{mark}", c.precision, c.fault_recall)
+                    }
+                    None => "-".into(),
+                };
+                out.push_str(&format!("  {text:<CELL_WIDTH$}"));
+            }
+            // Trailing spaces from the fixed-width cells would make the
+            // output depend on column count; trim per line.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        if any_fallback {
+            out.push_str("* fit degenerate on this training set; frozen astra weights used\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_logs::HetKind;
+    use astra_topology::{DimmId, DimmSlot, NodeId, PhysAddr, RankId, SocketId};
+    use astra_util::CalDate;
+
+    fn at(minute: i64) -> Minute {
+        CalDate::new(2019, 3, 1).midnight().plus(minute)
+    }
+
+    fn rec(minute: i64, node: u32, addr: u64, bit: u16) -> CeRecord {
+        CeRecord {
+            time: at(minute),
+            node: NodeId(node),
+            socket: SocketId(0),
+            slot: DimmSlot::from_index(0).unwrap(),
+            rank: RankId(0),
+            bank: (addr % 4) as u16,
+            row: None,
+            col: (addr % 32) as u16,
+            bit_pos: bit,
+            addr: PhysAddr(addr),
+            syndrome: 0,
+        }
+    }
+
+    fn due(minute: i64, node: u32) -> HetRecord {
+        HetRecord {
+            time: at(minute),
+            node: NodeId(node),
+            kind: HetKind::UncorrectableEcc,
+            severity: HetKind::UncorrectableEcc.severity(),
+            slot: Some(DimmSlot::from_index(0).unwrap()),
+        }
+    }
+
+    /// A toy dataset: nodes 0..bad_nodes are noisy, spread-out, and DUE;
+    /// the rest log one quiet CE each.
+    fn toy(name: &str, bad_nodes: u32, quiet_nodes: u32) -> TransferDataset {
+        let mut records = Vec::new();
+        let mut hets = Vec::new();
+        for n in 0..bad_nodes {
+            for i in 0..200i64 {
+                records.push(rec(
+                    i * 10,
+                    n,
+                    0x1000 + (i as u64 * 64) % 4096,
+                    (i % 7) as u16,
+                ));
+            }
+            hets.push(due(3000, n));
+        }
+        for n in bad_nodes..bad_nodes + quiet_nodes {
+            records.push(rec(50, n, 0x40, 3));
+        }
+        records.sort_by_key(|r| (r.time, r.node.0));
+        TransferDataset {
+            name: name.to_string(),
+            records,
+            hets,
+            ground_truth: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn samples_label_due_ranks_positive() {
+        let ds = toy("toy", 3, 20);
+        let samples = collect_samples(&ds, &PredictConfig::default());
+        assert_eq!(samples.len(), 23, "one sample per rank that logged CEs");
+        let positives = samples.iter().filter(|(_, l)| *l).count();
+        assert_eq!(positives, 3);
+        // The noisy ranks accumulated real spread.
+        for (f, label) in &samples {
+            if *label {
+                assert!(f.total_ces >= 200);
+                assert!(f.distinct_addrs > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_has_all_pairs_and_renders() {
+        let a = toy("alpha", 3, 20);
+        let b = toy("beta", 2, 30);
+        let m = transfer_matrix(&[a.clone(), b.clone()], &[a, b], &PredictConfig::default());
+        assert_eq!(m.cells.len(), 4);
+        assert!(m.cell("alpha", "beta").is_some());
+        let text = m.render();
+        assert!(text.contains("train\\eval"), "{text}");
+        assert!(text.lines().count() >= 3, "{text}");
+        // A fit on clearly separable toy data must not fall back.
+        assert!(m.cells.iter().all(|c| c.fitted), "{text}");
+    }
+
+    #[test]
+    fn degenerate_training_set_falls_back_and_is_marked() {
+        // All-negative training set: fit() has no positive class.
+        let neg = toy("neg", 0, 10);
+        let ev = toy("ev", 2, 10);
+        let m = transfer_matrix(&[neg], &[ev], &PredictConfig::default());
+        assert!(!m.cells[0].fitted);
+        assert!(m.render().contains('*'));
+    }
+
+    /// Injected-fault truth must NOT leak into training labels: in the
+    /// simulator every CE-logging rank hosts a fault, so fault-as-label
+    /// would collapse every training set to a single class.
+    #[test]
+    fn ground_truth_faults_do_not_label_positive() {
+        use astra_faultsim::{Fault, FaultMode};
+        use astra_topology::DramCoord;
+        let mut ds = toy("gt", 0, 5);
+        // A silent injected fault (no DUE) on node 2's rank.
+        let slot = DimmSlot::from_index(0).unwrap();
+        ds.ground_truth = vec![GroundTruthFault {
+            fault: Fault {
+                dimm: DimmId {
+                    node: NodeId(2),
+                    slot,
+                },
+                rank: RankId(0),
+                mode: FaultMode::SingleBit,
+                anchor: DramCoord {
+                    slot,
+                    rank: RankId(0),
+                    bank: 0,
+                    row: 0,
+                    col: 0,
+                },
+                bit: 3,
+                onset: at(0),
+                error_budget: 1,
+            },
+            offered_errors: 1,
+        }];
+        let samples = collect_samples(&ds, &PredictConfig::default());
+        assert_eq!(samples.iter().filter(|(_, l)| *l).count(), 0);
+    }
+}

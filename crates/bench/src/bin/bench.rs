@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p astra-bench --bin bench -- pipeline \
-//!     [--racks 4,12,36] [--seed 42] [--out BENCH_pipeline.json] \
+//!     [--racks 4,12,36] [--shard-racks 108,360] [--seed 42] \
+//!     [--out BENCH_pipeline.json] \
 //!     [--check-floor crates/bench/floor_pipeline.json]
 //! ```
 //!
@@ -11,7 +12,11 @@
 //! aggregation → online prediction — and records per-stage wall time,
 //! writing a JSON report
 //! (default `BENCH_pipeline.json`, checked in at the repo root so the
-//! perf trajectory is tracked across PRs).
+//! perf trajectory is tracked across PRs). Each scale also sweeps the
+//! supervised shard runner (`shard_s1`..`shard_s8`, auxiliary stages),
+//! and `--shard-racks` adds generation + shard-sweep-only scales past
+//! what the full pipeline can afford (the checked-in artifact uses
+//! 108,360 — the fleet sizes ROADMAP item 2 calls for).
 //!
 //! `--check-floor` turns the run into a smoke gate for CI: the written
 //! JSON must be syntactically valid and no stage may exceed 3× the
@@ -32,11 +37,15 @@ const USAGE: &str = "\
 bench — astra-mem pipeline benchmark driver
 
 USAGE:
-    bench pipeline [--racks LIST] [--seed S] [--out FILE] [--check-floor FILE]
-                   [--check-thresholds FILE]
+    bench pipeline [--racks LIST] [--shard-racks LIST] [--seed S] [--out FILE]
+                   [--check-floor FILE] [--check-thresholds FILE]
 
 OPTIONS:
     --racks LIST             comma-separated rack counts (default 4,12,36)
+    --shard-racks LIST       extra scales measured through generation and the
+                             supervised shard-count sweep only, skipping the
+                             full pipeline (default none; the checked-in
+                             artifact uses 108,360)
     --seed S                 master seed (default 42)
     --out FILE               JSON report path (default BENCH_pipeline.json)
     --check-floor FILE       fail if any stage exceeds 3x the floor time
@@ -44,6 +53,10 @@ OPTIONS:
                              each scale's metrics (p99, quarantine rate,
                              working set); fail on any violation
 ";
+
+/// Shard counts every sweep point runs through — the supervised peer of
+/// the `ASTRA_WORKERS` 1/2/4 determinism ladders, one step further.
+const SHARD_SWEEP: [u32; 4] = [1, 2, 4, 8];
 
 /// How much slower than the floor a stage may run before the smoke check
 /// fails. Generous because CI machines are shared and slow.
@@ -56,6 +69,7 @@ const SPAN_OVERHEAD_LIMIT: f64 = 0.02;
 
 struct Args {
     racks: Vec<u32>,
+    shard_racks: Vec<u32>,
     seed: u64,
     out: PathBuf,
     check_floor: Option<PathBuf>,
@@ -64,6 +78,18 @@ struct Args {
 
 /// One measured pipeline stage: `(label, wall seconds)`.
 type Stage = (&'static str, f64);
+
+/// One `--shard-racks` scale: dataset cost plus the supervised
+/// shard-count sweep, without the full pipeline.
+struct ShardScaleResult {
+    racks: u32,
+    nodes: u32,
+    ce_records: usize,
+    simulate_secs: f64,
+    serialize_bin_secs: f64,
+    /// `(shard count, supervised wall seconds)` per sweep point.
+    sweep: Vec<(u32, f64)>,
+}
 
 struct ScaleResult {
     racks: u32,
@@ -92,6 +118,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     }
     let mut parsed = Args {
         racks: vec![4, 12, 36],
+        shard_racks: Vec::new(),
         seed: 42,
         out: PathBuf::from("BENCH_pipeline.json"),
         check_floor: None,
@@ -111,6 +138,20 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
                 if parsed.racks.is_empty() || parsed.racks.contains(&0) {
                     return Err("--racks needs positive counts".into());
+                }
+            }
+            "--shard-racks" => {
+                let v = args.next().ok_or("--shard-racks needs a value")?;
+                parsed.shard_racks = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u32>()
+                            .map_err(|_| format!("bad rack count {s}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if parsed.shard_racks.contains(&0) {
+                    return Err("--shard-racks needs positive counts".into());
                 }
             }
             "--seed" => {
@@ -137,7 +178,15 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
+    // The shard supervisor re-invokes `current_exe` in the hidden
+    // worker mode; when this driver is the supervising process, that
+    // re-executed binary is `bench` itself, so route a worker argv
+    // straight back into the CLI implementation.
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some(astra_core::shard::WORKER_COMMAND) {
+        return astra_core::cli::main(argv);
+    }
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(e) if e.is_empty() => {
             println!("{USAGE}");
@@ -167,12 +216,17 @@ fn run(args: &Args) -> Result<(), String> {
     for &racks in &args.racks {
         results.push(measure_scale(racks, args.seed)?);
     }
-    let report = render_report(args.seed, per_span_ns, &results);
+    let mut shard_results = Vec::new();
+    for &racks in &args.shard_racks {
+        shard_results.push(measure_shard_scale(racks, args.seed)?);
+    }
+    let report = render_report(args.seed, per_span_ns, &results, &shard_results);
     json::validate(&report).map_err(|e| format!("generated report is malformed: {e}"))?;
     std::fs::write(&args.out, &report)
         .map_err(|e| format!("writing {}: {e}", args.out.display()))?;
     eprintln!("[bench] wrote {}", args.out.display());
     print_table(&results);
+    print_shard_table(&shard_results);
 
     // Gate: instrumentation cost extrapolated over each scale's actual
     // span volume must stay under SPAN_OVERHEAD_LIMIT of its wall time.
@@ -429,7 +483,6 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
         }
     }
     let fsck_bin_secs = t.elapsed().as_secs_f64();
-    std::fs::remove_dir_all(&bin_dir).ok();
 
     let snapshot = astra_obs::global().snapshot();
     let span_count = snapshot
@@ -476,6 +529,17 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
         stages.push((label, secs));
     }
 
+    // Supervised shard sweep over the binary dataset: each point
+    // re-runs the whole analysis through `shard-analyze`'s supervisor
+    // with worker subprocesses. Auxiliary like `stream`/`fsck` — an
+    // alternative full pass, never part of the pipeline total — and
+    // measured after the snapshot so its spans stay out of the gates.
+    for (shards, secs) in supervised_sweep(&bin_dir, &ds, seed)? {
+        let label: &'static str = Box::leak(format!("shard_s{shards}").into_boxed_str());
+        stages.push((label, secs));
+    }
+    std::fs::remove_dir_all(&bin_dir).ok();
+
     Ok(ScaleResult {
         racks,
         nodes: ds.system.node_count(),
@@ -488,6 +552,69 @@ fn measure_scale(racks: u32, seed: u64) -> Result<ScaleResult, String> {
         stages,
         span_count,
         snapshot,
+    })
+}
+
+/// One supervised `shard-analyze` pass per [`SHARD_SWEEP`] point over
+/// an already-written dataset directory. The dataset has no manifest
+/// (it came from `write_logs_as`, not `generate`), so the workers get
+/// the machine shape replayed as an explicit `--racks` flag.
+fn supervised_sweep(
+    dir: &std::path::Path,
+    ds: &Dataset,
+    seed: u64,
+) -> Result<Vec<(u32, f64)>, String> {
+    let mut sweep = Vec::new();
+    for shards in SHARD_SWEEP {
+        let cfg = astra_core::shard::SupervisorConfig {
+            dir: dir.to_path_buf(),
+            system: ds.system,
+            shards,
+            timeout: std::time::Duration::from_secs(3600),
+            retries: 2,
+            degraded: false,
+            seed,
+            worker_flags: vec!["--racks".into(), ds.system.racks.to_string()],
+            stream: StreamOptions::default(),
+        };
+        let t = Instant::now();
+        let supervised = astra_core::shard::supervise(&cfg)?;
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(&supervised.analyzer);
+        sweep.push((shards, secs));
+    }
+    Ok(sweep)
+}
+
+/// A `--shard-racks` scale: simulate, serialize binary, sweep the
+/// supervised shard runner, and skip the rest of the pipeline — these
+/// scales exist to extend the shard scaling curve past what the full
+/// stage set can afford per run.
+fn measure_shard_scale(racks: u32, seed: u64) -> Result<ShardScaleResult, String> {
+    eprintln!("[bench] measuring {racks} racks (seed {seed}, shard sweep only)...");
+    astra_obs::reset_global();
+
+    let t = Instant::now();
+    let ds = Dataset::generate(racks, seed);
+    let simulate_secs = t.elapsed().as_secs_f64();
+
+    let dir =
+        std::env::temp_dir().join(format!("astra-bench-shard-{racks}-{}", std::process::id()));
+    let t = Instant::now();
+    ds.write_logs_as(&dir, LogFormat::Binary)
+        .map_err(|e| e.to_string())?;
+    let serialize_bin_secs = t.elapsed().as_secs_f64();
+
+    let sweep = supervised_sweep(&dir, &ds, seed);
+    std::fs::remove_dir_all(&dir).ok();
+
+    Ok(ShardScaleResult {
+        racks,
+        nodes: ds.system.node_count(),
+        ce_records: ds.sim.ce_log.len(),
+        simulate_secs,
+        serialize_bin_secs,
+        sweep: sweep?,
     })
 }
 
@@ -518,12 +645,12 @@ fn dir_bytes(dir: &std::path::Path) -> Result<u64, String> {
 }
 
 /// `simulate` wall time already contains the merge; `stream`, `fsck`,
-/// and `serve` are alternative full passes over the same data, not
-/// stages of the batch pipeline; the `*_bin` stages are the binary
-/// format's peers of stages already counted; and the `generate_*`
-/// stages time the other platform profiles' simulators (a pipeline run
-/// simulates one platform). The total is the sum of the remaining
-/// disjoint stages.
+/// `serve`, and the `shard_s*` sweep are alternative full passes over
+/// the same data, not stages of the batch pipeline; the `*_bin` stages
+/// are the binary format's peers of stages already counted; and the
+/// `generate_*` stages time the other platform profiles' simulators (a
+/// pipeline run simulates one platform). The total is the sum of the
+/// remaining disjoint stages.
 fn total_secs(r: &ScaleResult) -> f64 {
     r.stages
         .iter()
@@ -534,12 +661,18 @@ fn total_secs(r: &ScaleResult) -> f64 {
                 && *label != "serve"
                 && !label.ends_with("_bin")
                 && !label.starts_with("generate_")
+                && !label.starts_with("shard_s")
         })
         .map(|(_, secs)| secs)
         .sum()
 }
 
-fn render_report(seed: u64, per_span_ns: f64, results: &[ScaleResult]) -> String {
+fn render_report(
+    seed: u64,
+    per_span_ns: f64,
+    results: &[ScaleResult],
+    shard_results: &[ShardScaleResult],
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
@@ -595,6 +728,28 @@ fn render_report(seed: u64, per_span_ns: f64, results: &[ScaleResult]) -> String
         let comma = if i + 1 < results.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
+    if shard_results.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"shard_scales\": [\n");
+    for (i, r) in shard_results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"racks\": {},", r.racks);
+        let _ = writeln!(out, "      \"nodes\": {},", r.nodes);
+        let _ = writeln!(out, "      \"ce_records\": {},", r.ce_records);
+        let _ = writeln!(out, "      \"simulate\": {:.6},", r.simulate_secs);
+        let _ = writeln!(out, "      \"serialize_bin\": {:.6},", r.serialize_bin_secs);
+        out.push_str("      \"shard_analyze\": {\n");
+        for (j, (shards, secs)) in r.sweep.iter().enumerate() {
+            let comma = if j + 1 < r.sweep.len() { "," } else { "" };
+            let _ = writeln!(out, "        \"s{shards}\": {secs:.6}{comma}");
+        }
+        out.push_str("      }\n");
+        let comma = if i + 1 < shard_results.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -618,6 +773,32 @@ fn print_table(results: &[ScaleResult]) {
             );
         }
         println!(" {:>9}", format!("{:.3}s", total_secs(r)));
+    }
+}
+
+fn print_shard_table(results: &[ShardScaleResult]) {
+    let Some(first) = results.first() else { return };
+    print!(
+        "{:>6} {:>8} {:>10} {:>9} {:>13}",
+        "racks", "nodes", "CEs", "simulate", "serialize_bin"
+    );
+    for (shards, _) in &first.sweep {
+        print!(" {:>9}", format!("shard_s{shards}"));
+    }
+    println!();
+    for r in results {
+        print!(
+            "{:>6} {:>8} {:>10} {:>9} {:>13}",
+            r.racks,
+            r.nodes,
+            r.ce_records,
+            format!("{:.3}s", r.simulate_secs),
+            format!("{:.3}s", r.serialize_bin_secs)
+        );
+        for (_, secs) in &r.sweep {
+            print!(" {:>9}", format!("{secs:.3}s"));
+        }
+        println!();
     }
 }
 
@@ -684,6 +865,8 @@ mod tests {
             "pipeline",
             "--racks",
             "2,4",
+            "--shard-racks",
+            "108,360",
             "--seed",
             "7",
             "--out",
@@ -695,6 +878,7 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(a.racks, vec![2, 4]);
+        assert_eq!(a.shard_racks, vec![108, 360]);
         assert_eq!(a.seed, 7);
         assert_eq!(a.out, PathBuf::from("/tmp/x.json"));
         assert_eq!(a.check_floor, Some(PathBuf::from("floor.json")));
@@ -704,6 +888,7 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert!(parse_args(argv(&["pipeline", "--racks", "0"])).is_err());
+        assert!(parse_args(argv(&["pipeline", "--shard-racks", "0"])).is_err());
         assert!(parse_args(argv(&["nonsense"])).is_err());
         assert!(parse_args(argv(&["pipeline", "--bogus"])).is_err());
     }
@@ -735,8 +920,17 @@ mod tests {
     #[test]
     fn report_is_valid_json() {
         let results = vec![sample_result()];
-        let report = render_report(42, 120.0, &results);
+        let shard_results = vec![ShardScaleResult {
+            racks: 108,
+            nodes: 7776,
+            ce_records: 5000,
+            simulate_secs: 2.5,
+            serialize_bin_secs: 0.5,
+            sweep: vec![(1, 4.0), (2, 3.0), (4, 2.5), (8, 2.25)],
+        }];
+        let report = render_report(42, 120.0, &results, &shard_results);
         json::validate(&report).unwrap();
+        assert_eq!(json::number_field(&report, "s8"), Some(2.25));
         assert_eq!(json::number_field(&report, "racks"), Some(2.0));
         assert_eq!(json::number_field(&report, "simulate"), Some(0.5));
         // total excludes the merge share (inside simulate), the stream

@@ -40,7 +40,7 @@ use crate::experiments as exp;
 use crate::mitigation::{self, ProactivePolicy, RetirementPolicy};
 use crate::pipeline::{load_manifest, Analysis, AnalysisInput, Dataset, LoadError};
 use crate::reliability;
-use crate::stream::{self, StreamError, StreamOptions};
+use crate::stream::{self, Analyzer as _, StreamError, StreamOptions};
 use crate::tempcorr::TempCorrConfig;
 
 const USAGE: &str = "\
@@ -54,6 +54,8 @@ USAGE:
     astra-mem stream-analyze DIR [--racks N] [--checkpoint-every N --checkpoint FILE]
                                  [--resume FILE] [--stop-after N --checkpoint FILE]
                                  [--checkpoint-format F]
+    astra-mem shard-analyze  DIR [--shards N] [--timeout SECS] [--retries N]
+                                 [--degraded] [--racks N]
     astra-mem serve          DIR [DIR ...] [--racks N] [--listen ADDR]
                                  [--checkpoint-every SECS] [--poll-ms N]
     astra-mem report         DIR [--racks N] [--seed S]
@@ -82,6 +84,15 @@ COMMANDS:
     stream-analyze  same summary via the single-pass incremental engine:
                     memory bounded by analyzer state, with optional
                     checkpoint/resume (output is byte-identical to analyze)
+    shard-analyze   run the analysis as supervised worker subprocesses, one
+                    per contiguous rack range, and merge their serialized
+                    snapshots — stdout byte-identical to analyze at any
+                    shard count. Workers that crash, hang past --timeout,
+                    or return a torn snapshot are retried with exponential
+                    backoff; a shard that stays dead aborts the run
+                    (strict, default) or — with --degraded — is reported
+                    as a `DEGRADED: missing racks R..R'` banner over the
+                    merged survivors, with exit code 3
     serve           long-running daemon: tail every DIR as an independent
                     site (text or binary logs, auto-detected), checkpoint
                     each to <dir>/serve.ckpt on a timer and resume from it
@@ -138,6 +149,16 @@ OPTIONS:
     --lenient             quarantine unparseable lines instead of aborting
     --max-bad-frac F      per-file quarantine budget for --lenient
                           (fraction of lines, default 0.05; implies --lenient)
+    --shards N            (shard-analyze) worker subprocess count (default 2,
+                          clamped to the rack count)
+    --timeout SECS        (shard-analyze) per-attempt wall-clock deadline:
+                          a worker past it is killed, reaped, and retried
+                          (default 600)
+    --retries N           (shard-analyze) retries per shard after its first
+                          attempt (default 2)
+    --degraded            (shard-analyze) when a shard exhausts its retries,
+                          emit the merged survivors with a missing-racks
+                          banner and exit 3 instead of aborting
     --checkpoint FILE     (stream-analyze) where to write checkpoints
     --checkpoint-every N  (stream-analyze) checkpoint every N events;
                           (serve) checkpoint every site every N seconds
@@ -185,6 +206,22 @@ struct Args {
     checkpoint_every: Option<u64>,
     resume: Option<PathBuf>,
     stop_after: Option<u64>,
+    /// (shard-analyze) worker count; `None` means the default of 2.
+    shards: Option<u32>,
+    /// (shard-analyze) per-attempt deadline in seconds.
+    timeout_secs: u64,
+    /// (shard-analyze) retries per shard after the first attempt.
+    retries: u32,
+    /// (shard-analyze) partial-results policy after retries run out.
+    degraded: bool,
+    /// (shard-worker) first rack, inclusive.
+    rack_lo: Option<u32>,
+    /// (shard-worker) last rack, exclusive.
+    rack_hi: Option<u32>,
+    /// (shard-worker) which shard this worker is.
+    shard_index: u32,
+    /// (shard-worker) where the serialized snapshot goes.
+    snapshot_out: Option<PathBuf>,
 }
 
 impl Args {
@@ -257,6 +294,14 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         checkpoint_every: None,
         resume: None,
         stop_after: None,
+        shards: None,
+        timeout_secs: 600,
+        retries: 2,
+        degraded: false,
+        rack_lo: None,
+        rack_hi: None,
+        shard_index: 0,
+        snapshot_out: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -307,6 +352,27 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 }
             }
             "--stop-after" => parsed.stop_after = Some(flag_value(&mut args, "--stop-after")?),
+            "--shards" => {
+                let shards: u32 = flag_value(&mut args, "--shards")?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                parsed.shards = Some(shards);
+            }
+            "--timeout" => {
+                parsed.timeout_secs = flag_value(&mut args, "--timeout")?;
+                if parsed.timeout_secs == 0 {
+                    return Err("--timeout must be at least 1 second".into());
+                }
+            }
+            "--retries" => parsed.retries = flag_value(&mut args, "--retries")?,
+            "--degraded" => parsed.degraded = true,
+            "--rack-lo" => parsed.rack_lo = Some(flag_value(&mut args, "--rack-lo")?),
+            "--rack-hi" => parsed.rack_hi = Some(flag_value(&mut args, "--rack-hi")?),
+            "--shard-index" => parsed.shard_index = flag_value(&mut args, "--shard-index")?,
+            "--snapshot-out" => {
+                parsed.snapshot_out = Some(flag_value(&mut args, "--snapshot-out")?)
+            }
             other if !other.starts_with('-') => {
                 if let Some(first) = &parsed.dir {
                     // Only the multi-tenant daemon takes several
@@ -346,12 +412,18 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
     if args.trace_out.is_some() {
         astra_obs::trace::enable();
     }
+    // `shard-analyze --degraded` can succeed *partially*: survivors
+    // merged, holes reported. That outcome is distinct from both a
+    // clean 0 and an error 1 so scripts can tell the three apart.
+    let mut partial = false;
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "profiles" => cmd_profiles(),
         "convert" => cmd_convert(&args),
         "analyze" => cmd_analyze(&args),
         "stream-analyze" => cmd_stream_analyze(&args),
+        "shard-analyze" => cmd_shard_analyze(&args).map(|p| partial = p),
+        crate::shard::WORKER_COMMAND => cmd_shard_worker(&args),
         "serve" => cmd_serve(&args),
         "report" => cmd_report(&args),
         "triage" => cmd_triage(&args),
@@ -383,6 +455,7 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
         }
     }
     match result {
+        Ok(()) if partial => ExitCode::from(EXIT_PARTIAL),
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -390,6 +463,10 @@ pub fn main(argv: impl IntoIterator<Item = String>) -> ExitCode {
         }
     }
 }
+
+/// Exit code for a degraded (partial-results) `shard-analyze` run —
+/// distinct from both success (0) and hard failure (1).
+pub const EXIT_PARTIAL: u8 = 3;
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let out = args.out.clone().ok_or("generate requires --out DIR")?;
@@ -775,6 +852,99 @@ fn cmd_stream_analyze(args: &Args) -> Result<(), String> {
     print!("{}", report.fig4.render());
     print!("{}", report.fig5.render());
     Ok(())
+}
+
+/// `shard-analyze DIR --shards N`: the supervised multi-process
+/// analysis. Returns whether the output is *partial* (degraded mode
+/// with at least one dead shard), which [`main`] maps to
+/// [`EXIT_PARTIAL`].
+fn cmd_shard_analyze(args: &Args) -> Result<bool, String> {
+    let dir = require_dir(args)?;
+    let resolved = resolve_for_dir(args, &dir)?;
+    let system = resolved.system;
+    // Workers re-resolve the dataset themselves, so replay exactly the
+    // provenance and ingest flags this process was given — nothing
+    // more: an unset flag must stay unset so the manifest keeps winning
+    // in the worker too.
+    let mut worker_flags: Vec<String> = Vec::new();
+    if let Some(p) = &args.profile {
+        worker_flags.extend(["--profile".into(), p.clone()]);
+    }
+    if let Some(racks) = args.racks {
+        worker_flags.extend(["--racks".into(), racks.to_string()]);
+    }
+    if let Some(seed) = args.seed {
+        worker_flags.extend(["--seed".into(), seed.to_string()]);
+    }
+    if args.lenient {
+        worker_flags.push("--lenient".into());
+    }
+    if let Some(frac) = args.max_bad_frac {
+        worker_flags.extend(["--max-bad-frac".into(), frac.to_string()]);
+    }
+    let cfg = crate::shard::SupervisorConfig {
+        dir: dir.clone(),
+        system,
+        shards: args.shards.unwrap_or(2),
+        timeout: std::time::Duration::from_secs(args.timeout_secs),
+        retries: args.retries,
+        degraded: args.degraded,
+        seed: resolved.seed,
+        worker_flags,
+        stream: StreamOptions {
+            ingest: args.ingest(),
+            checkpoint_format: args.checkpoint_format,
+            ..StreamOptions::default()
+        },
+    };
+    let supervised = {
+        let _span = astra_obs::span("pipeline.shard");
+        crate::shard::supervise(&cfg)?
+    };
+    import_dir_metrics(&dir);
+    let report = supervised.analyzer.snapshot();
+    // The banner leads the partial output: nobody should be able to
+    // read the numbers without reading the holes first.
+    for (lo, hi) in &supervised.missing {
+        println!("DEGRADED: missing racks {lo}..{hi}");
+    }
+    println!(
+        "{} errors -> {} faults on {} nodes",
+        report.total_errors(),
+        report.total_faults(),
+        system.node_count()
+    );
+    print!("{}", report.fig4.render());
+    print!("{}", report.fig5.render());
+    Ok(!supervised.missing.is_empty())
+}
+
+/// The hidden `shard-worker` mode `shard-analyze` spawns itself in:
+/// analyze one rack range and serialize the analyzer snapshot.
+fn cmd_shard_worker(args: &Args) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    let (rack_lo, rack_hi) = match (args.rack_lo, args.rack_hi) {
+        (Some(lo), Some(hi)) if lo < hi => (lo, hi),
+        _ => return Err("shard-worker needs --rack-lo L and --rack-hi H with L < H".into()),
+    };
+    let snapshot_out = args
+        .snapshot_out
+        .clone()
+        .ok_or("shard-worker needs --snapshot-out FILE")?;
+    let system = resolve_for_dir(args, &dir)?.system;
+    crate::shard::run_worker(&crate::shard::WorkerConfig {
+        dir,
+        system,
+        rack_lo,
+        rack_hi,
+        shard_index: args.shard_index,
+        snapshot_out,
+        stream: StreamOptions {
+            ingest: args.ingest(),
+            checkpoint_format: args.checkpoint_format,
+            ..StreamOptions::default()
+        },
+    })
 }
 
 /// `serve DIR [DIR ...]`: run the multi-tenant analysis daemon until a
@@ -1719,6 +1889,68 @@ mod tests {
         assert_eq!(a.checkpoint_format, LogFormat::Binary);
         assert!(parse_args(argv(&["generate", "--format", "csv"])).is_err());
         assert!(parse_args(argv(&["convert", "d", "--to"])).is_err());
+    }
+
+    #[test]
+    fn parses_shard_flags() {
+        let a = parse_args(argv(&[
+            "shard-analyze",
+            "/tmp/logs",
+            "--shards",
+            "4",
+            "--timeout",
+            "30",
+            "--retries",
+            "5",
+            "--degraded",
+        ]))
+        .unwrap();
+        assert_eq!(a.shards, Some(4));
+        assert_eq!(a.timeout_secs, 30);
+        assert_eq!(a.retries, 5);
+        assert!(a.degraded);
+
+        let w = parse_args(argv(&[
+            "shard-worker",
+            "/tmp/logs",
+            "--rack-lo",
+            "6",
+            "--rack-hi",
+            "12",
+            "--shard-index",
+            "1",
+            "--snapshot-out",
+            "/tmp/s.snap",
+        ]))
+        .unwrap();
+        assert_eq!(w.rack_lo, Some(6));
+        assert_eq!(w.rack_hi, Some(12));
+        assert_eq!(w.shard_index, 1);
+        assert_eq!(
+            w.snapshot_out.as_deref().unwrap().to_str().unwrap(),
+            "/tmp/s.snap"
+        );
+
+        assert!(parse_args(argv(&["shard-analyze", "d", "--shards", "0"])).is_err());
+        assert!(parse_args(argv(&["shard-analyze", "d", "--timeout", "0"])).is_err());
+        assert!(parse_args(argv(&["shard-analyze", "d", "--shards"])).is_err());
+    }
+
+    #[test]
+    fn shard_worker_validates_its_range() {
+        let args = parse_args(argv(&[
+            "shard-worker",
+            "/nonexistent",
+            "--rack-lo",
+            "4",
+            "--rack-hi",
+            "4",
+            "--snapshot-out",
+            "/tmp/s.snap",
+        ]))
+        .unwrap();
+        let err = super::cmd_shard_worker(&args).unwrap_err();
+        assert!(err.contains("--rack-lo"), "{err}");
     }
 
     #[test]

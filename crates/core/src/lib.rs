@@ -47,6 +47,7 @@ pub mod modeling;
 pub mod pipeline;
 pub mod reliability;
 pub mod serve;
+pub mod shard;
 pub mod spatial;
 pub mod stream;
 pub mod tempcorr;

@@ -682,6 +682,144 @@ impl<R: Read> Read for FailingReader<R> {
     }
 }
 
+/// What an armed shard-failure injection does to the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultMode {
+    /// Die hard mid-stream (`std::process::abort` — nonzero exit, no
+    /// snapshot), like an OOM kill or a segfault.
+    Abort,
+    /// Stop making progress without exiting, like a worker wedged on a
+    /// dead NFS mount — only the supervisor's deadline gets rid of it.
+    Hang,
+    /// Exit 0 but leave a truncated snapshot behind, like a node that
+    /// lost power after the rename — the CRC-sealed container is what
+    /// catches it.
+    TornSnapshot,
+}
+
+impl ShardFaultMode {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "abort" => Some(ShardFaultMode::Abort),
+            "hang" => Some(ShardFaultMode::Hang),
+            "torn" => Some(ShardFaultMode::TornSnapshot),
+            _ => None,
+        }
+    }
+}
+
+/// Environment-armed shard-failure injector for the sharded supervisor's
+/// worker subprocesses.
+///
+/// `ASTRA_SHARD_CHAOS=<abort|hang|torn>:<shard>:<records>` arms one
+/// fault: the worker with index `<shard>` trips `<mode>` right after
+/// consuming its `<records>`-th in-range record — a deterministic point
+/// in the stream, so every supervision path (retry after crash, deadline
+/// kill after hang, reject-and-retry after torn snapshot) replays
+/// exactly.
+///
+/// Workers are child processes, so the trip budget must live outside any
+/// one process: `ASTRA_SHARD_CHAOS_TRIPS=<file>` names a shared tally
+/// file (one appended line per trip) and `ASTRA_SHARD_CHAOS_MAX_TRIPS=N`
+/// bounds it. With `MAX_TRIPS=1` the first attempt fails and the retry
+/// succeeds — the recovery test; without a tally file every attempt
+/// trips — the retries-exhausted test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardChaos {
+    /// What to do when the trip point is reached.
+    pub mode: ShardFaultMode,
+    /// Worker (shard index) the fault is armed for.
+    pub shard: u32,
+    /// Trip after this many in-range records have been consumed.
+    pub at_records: u64,
+    /// Shared trip-tally file and budget (`None` = unlimited trips).
+    pub budget: Option<(std::path::PathBuf, u64)>,
+}
+
+/// Environment variable arming the injector.
+pub const SHARD_CHAOS_ENV: &str = "ASTRA_SHARD_CHAOS";
+/// Environment variable naming the shared trip-tally file.
+pub const SHARD_CHAOS_TRIPS_ENV: &str = "ASTRA_SHARD_CHAOS_TRIPS";
+/// Environment variable bounding total trips across all attempts.
+pub const SHARD_CHAOS_MAX_TRIPS_ENV: &str = "ASTRA_SHARD_CHAOS_MAX_TRIPS";
+
+impl ShardChaos {
+    /// Parse the `mode:shard:records` spec (as found in
+    /// [`SHARD_CHAOS_ENV`]).
+    pub fn parse(spec: &str) -> Option<ShardChaos> {
+        let mut parts = spec.split(':');
+        let mode = ShardFaultMode::parse(parts.next()?)?;
+        let shard = parts.next()?.parse().ok()?;
+        let at_records = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(ShardChaos {
+            mode,
+            shard,
+            at_records,
+            budget: None,
+        })
+    }
+
+    /// Read the injector armed in the environment, if any. A malformed
+    /// spec is a loud error, not a silently disarmed injector — a chaos
+    /// test that thinks it is injecting but isn't proves nothing.
+    pub fn from_env() -> Result<Option<ShardChaos>, String> {
+        let Ok(spec) = std::env::var(SHARD_CHAOS_ENV) else {
+            return Ok(None);
+        };
+        let mut chaos = ShardChaos::parse(&spec).ok_or_else(|| {
+            format!(
+                "bad {SHARD_CHAOS_ENV} spec {spec:?} (want <abort|hang|torn>:<shard>:<records>)"
+            )
+        })?;
+        if let Ok(path) = std::env::var(SHARD_CHAOS_TRIPS_ENV) {
+            let max = match std::env::var(SHARD_CHAOS_MAX_TRIPS_ENV) {
+                Ok(v) => v
+                    .parse()
+                    .map_err(|_| format!("bad {SHARD_CHAOS_MAX_TRIPS_ENV} value {v:?}"))?,
+                Err(_) => 1,
+            };
+            chaos.budget = Some((std::path::PathBuf::from(path), max));
+        }
+        Ok(Some(chaos))
+    }
+
+    /// Should this worker trip now? True exactly when the armed shard
+    /// has just consumed its `at_records`-th record and the shared
+    /// budget (if any) is not exhausted; a `true` return is tallied
+    /// against the budget.
+    pub fn should_trip(&self, shard: u32, records_consumed: u64) -> bool {
+        if shard != self.shard || records_consumed != self.at_records {
+            return false;
+        }
+        match &self.budget {
+            None => true,
+            Some((path, max)) => {
+                let spent = std::fs::read_to_string(path)
+                    .map(|s| s.lines().count() as u64)
+                    .unwrap_or(0);
+                if spent >= *max {
+                    return false;
+                }
+                // Workers of one supervisor run are spawned and retried
+                // sequentially per shard, so append-then-count has no
+                // racing writer to lose a tally to.
+                use std::io::Write as _;
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                {
+                    let _ = writeln!(f, "trip shard={shard} records={records_consumed}");
+                }
+                true
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -944,5 +1082,56 @@ mod tests {
         assert_eq!(std::fs::read(&tmp_file).unwrap(), b"new checkp");
         truncate_file(&path, 3).unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"old");
+    }
+
+    #[test]
+    fn shard_chaos_spec_parses_and_rejects() {
+        let c = ShardChaos::parse("abort:2:1000").unwrap();
+        assert_eq!(c.mode, ShardFaultMode::Abort);
+        assert_eq!(c.shard, 2);
+        assert_eq!(c.at_records, 1000);
+        assert_eq!(
+            ShardChaos::parse("hang:0:5").unwrap().mode,
+            ShardFaultMode::Hang
+        );
+        assert_eq!(
+            ShardChaos::parse("torn:1:3").unwrap().mode,
+            ShardFaultMode::TornSnapshot
+        );
+        for bad in [
+            "",
+            "abort",
+            "abort:2",
+            "abort:x:1",
+            "oom:0:1",
+            "abort:0:1:9",
+        ] {
+            assert!(ShardChaos::parse(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn shard_chaos_trips_only_at_the_armed_point() {
+        let c = ShardChaos::parse("abort:1:100").unwrap();
+        assert!(!c.should_trip(0, 100), "wrong shard");
+        assert!(!c.should_trip(1, 99), "before the trip point");
+        assert!(!c.should_trip(1, 101), "past the trip point");
+        assert!(c.should_trip(1, 100));
+        // No budget: every attempt trips again.
+        assert!(c.should_trip(1, 100));
+    }
+
+    #[test]
+    fn shard_chaos_budget_is_shared_through_the_tally_file() {
+        let tmp = TempDir::new("shard-budget");
+        let tally = tmp.0.join("trips");
+        let mut c = ShardChaos::parse("abort:0:7").unwrap();
+        c.budget = Some((tally.clone(), 2));
+        // Two trips spend the budget; the third attempt sails through —
+        // the crash-then-recover test in one assertion chain.
+        assert!(c.should_trip(0, 7));
+        assert!(c.should_trip(0, 7));
+        assert!(!c.should_trip(0, 7), "budget exhausted");
+        assert_eq!(std::fs::read_to_string(&tally).unwrap().lines().count(), 2);
     }
 }

@@ -192,13 +192,31 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("ingest-{}", source.name()))
                     .spawn(move || {
-                        ingest_loop(
-                            source,
-                            &sites[i],
-                            &shutdown,
-                            poll_interval,
-                            checkpoint_every,
-                        )
+                        // A panicking tenant must not just vanish: catch
+                        // the unwind, mark the site degraded (the last
+                        // good snapshot stays readable), and count it —
+                        // exactly the Err(poll) path, but for bugs.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            ingest_loop(
+                                source,
+                                &sites[i],
+                                &shutdown,
+                                poll_interval,
+                                checkpoint_every,
+                            )
+                        }));
+                        if let Err(payload) = run {
+                            astra_obs::global().counter("serve.ingest.errors").inc();
+                            let last = sites[i].read();
+                            sites[i].publish(Published {
+                                generation: last.generation + 1,
+                                snap: last.snap.clone(),
+                                error: Some(format!(
+                                    "ingest thread panicked: {}",
+                                    panic_message(payload.as_ref())
+                                )),
+                            });
+                        }
                     })?,
             );
         }
@@ -291,6 +309,16 @@ impl ShutdownTrigger {
     pub fn trigger(&self) {
         self.0.store(true, Ordering::SeqCst);
     }
+}
+
+/// Best-effort text of a panic payload (the `&str`/`String` cases the
+/// standard panic machinery produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// Per-site ingest: poll → publish → maybe checkpoint → sleep, until
@@ -540,6 +568,9 @@ mod tests {
         budget: u64,
         checkpoints: u64,
         fail_poll: bool,
+        /// Panic on the Nth poll (1-based) — the buggy-tenant case.
+        panic_on_poll: Option<u64>,
+        polls: u64,
     }
 
     impl FakeSite {
@@ -551,6 +582,8 @@ mod tests {
                 budget,
                 checkpoints: 0,
                 fail_poll: false,
+                panic_on_poll: None,
+                polls: 0,
             }
         }
     }
@@ -561,6 +594,10 @@ mod tests {
         }
 
         fn poll(&mut self) -> Result<u64, String> {
+            self.polls += 1;
+            if self.panic_on_poll == Some(self.polls) {
+                panic!("synthetic tenant bug");
+            }
             if self.fail_poll {
                 return Err("synthetic ingest failure".to_string());
             }
@@ -692,6 +729,46 @@ mod tests {
             "{}",
             summary.body
         );
+        server.trigger_shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn ingest_panic_marks_the_site_degraded_instead_of_vanishing() {
+        let mut site = FakeSite::new("boomy", 3, 1000);
+        // First poll succeeds (readiness, generation 1); the second one
+        // hits the tenant bug mid-loop.
+        site.panic_on_poll = Some(2);
+        let healthy = FakeSite::new("steady", 1, 1000);
+        let server = Server::start(vec![Box::new(site), Box::new(healthy)], &quick_opts()).unwrap();
+        assert!(server.wait_ready(Duration::from_secs(5)));
+        // The unwind is caught by the ingest thread's wrapper, which
+        // publishes the error; wait for that to land.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let published = loop {
+            let p = server.sites[0].read();
+            if p.error.is_some() {
+                break p;
+            }
+            assert!(Instant::now() < deadline, "panic was never published");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let error = published.error.as_deref().unwrap();
+        assert!(
+            error.contains("ingest thread panicked") && error.contains("synthetic tenant bug"),
+            "{error}"
+        );
+        // The last good snapshot stays readable...
+        assert_eq!(published.snap.events, 3);
+        let health = http::get(server.addr(), "/health").unwrap();
+        assert!(
+            health.body.contains("\"status\":\"degraded\""),
+            "{}",
+            health.body
+        );
+        // ...and the healthy tenant keeps serving.
+        let ok = http::get(server.addr(), "/site/steady").unwrap();
+        assert!(ok.body.contains("\"error\":null"), "{}", ok.body);
         server.trigger_shutdown();
         server.join();
     }

@@ -1,0 +1,81 @@
+//! Property-based tests of the rack-range partitioner behind
+//! `shard-analyze`: whatever rack and shard counts a user asks for, the
+//! half-open ranges handed to workers must be a total, disjoint,
+//! order-preserving cover of `0..racks` — that is what makes the
+//! left-to-right shard merge equivalent to the single-process run.
+
+use astra_core::shard::partition_racks;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Concatenated in order, the ranges tile `0..racks` exactly: each
+    /// range is non-empty, starts where the previous one ended, and the
+    /// last one ends at `racks`. Totality, disjointness, and order
+    /// preservation all follow from this single walk.
+    #[test]
+    fn partition_is_a_total_disjoint_ordered_cover(
+        racks in 1u32..4097,
+        shards in 1u32..65,
+    ) {
+        let parts = partition_racks(racks, shards);
+        prop_assert!(!parts.is_empty());
+        let mut next = 0u32;
+        for &(lo, hi) in &parts {
+            prop_assert_eq!(lo, next, "gap or overlap before rack {}", lo);
+            prop_assert!(lo < hi, "empty range {}..{}", lo, hi);
+            next = hi;
+        }
+        prop_assert_eq!(next, racks, "cover must end at the rack count");
+    }
+
+    /// The shard count is honored when possible and clamped to the rack
+    /// count when not: never more ranges than racks, never fewer than
+    /// requested unless racks run out.
+    #[test]
+    fn shard_count_is_clamped_to_the_rack_count(
+        racks in 1u32..4097,
+        shards in 1u32..65,
+    ) {
+        let parts = partition_racks(racks, shards);
+        prop_assert_eq!(parts.len() as u32, shards.min(racks));
+    }
+
+    /// Work is spread evenly: range lengths differ by at most one, and
+    /// the longer ranges come first (the remainder is front-loaded).
+    #[test]
+    fn ranges_are_balanced_with_the_remainder_front_loaded(
+        racks in 1u32..4097,
+        shards in 1u32..65,
+    ) {
+        let parts = partition_racks(racks, shards);
+        let lens: Vec<u32> = parts.iter().map(|&(lo, hi)| hi - lo).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced lengths: {:?}", lens);
+        for pair in lens.windows(2) {
+            prop_assert!(pair[0] >= pair[1], "remainder not front-loaded: {:?}", lens);
+        }
+    }
+
+    /// More shards than racks degenerates to one rack per shard.
+    #[test]
+    fn oversharding_yields_one_rack_per_range(
+        racks in 1u32..65,
+        extra in 0u32..65,
+    ) {
+        let parts = partition_racks(racks, racks + extra);
+        prop_assert_eq!(parts.len() as u32, racks);
+        for (i, &(lo, hi)) in parts.iter().enumerate() {
+            prop_assert_eq!((lo, hi), (i as u32, i as u32 + 1));
+        }
+    }
+}
+
+/// Zero shards is treated as one (the CLI rejects it, but the library
+/// call must still be total).
+#[test]
+fn zero_shards_degenerates_to_a_single_range() {
+    assert_eq!(partition_racks(7, 0), vec![(0, 7)]);
+}

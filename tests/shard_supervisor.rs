@@ -1,0 +1,270 @@
+//! Supervised sharded analysis: `astra-mem shard-analyze` must print
+//! byte-for-byte what `astra-mem analyze` prints — across shard counts,
+//! and even when the chaos injector makes a worker crash, hang, or tear
+//! its snapshot mid-run. When every retry is exhausted, strict mode must
+//! abort with nothing on stdout, while `--degraded` must emit a partial
+//! report behind an explicit missing-racks banner and the dedicated
+//! "partial" exit code.
+//!
+//! Subprocesses, not in-process calls, because process supervision (spawn,
+//! kill-and-reap, exit codes) is exactly the machinery under test.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_astra-mem")
+}
+
+/// Unique per call; removed on drop even if the test panics.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "astra-shard-sup-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn join(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Run the binary with optional env vars; return the raw `Output`.
+fn run(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn astra-mem")
+}
+
+/// Run the binary, asserting success; return stdout verbatim.
+fn stdout_of(args: &[&str], envs: &[(&str, &str)]) -> Vec<u8> {
+    let out = run(args, envs);
+    assert!(
+        out.status.success(),
+        "astra-mem {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+/// Generate a binary-format dataset (binary keeps the repeated full-log
+/// parses these tests do cheap enough for debug builds).
+fn generate(dir: &Path, racks: &str) {
+    stdout_of(
+        &[
+            "generate",
+            "--racks",
+            racks,
+            "--seed",
+            "42",
+            "--format",
+            "binary",
+            "--out",
+            dir.to_str().unwrap(),
+        ],
+        &[],
+    );
+}
+
+#[test]
+fn shard_analyze_is_byte_identical_to_analyze_at_1_2_4_8_shards() {
+    let tmp = TempDir::new("identity");
+    let logs = tmp.join("logs");
+    generate(&logs, "8");
+    let logs = logs.to_str().unwrap();
+
+    let batch = stdout_of(&["analyze", logs], &[]);
+    assert!(!batch.is_empty());
+
+    for shards in ["1", "2", "4", "8"] {
+        let sharded = stdout_of(&["shard-analyze", logs, "--shards", shards], &[]);
+        assert_eq!(
+            sharded,
+            batch,
+            "shard-analyze --shards {shards} differs from analyze:\n--- analyze ---\n{}\n--- sharded ---\n{}",
+            String::from_utf8_lossy(&batch),
+            String::from_utf8_lossy(&sharded)
+        );
+    }
+}
+
+/// Chaos env for one injected fault with a one-trip budget: the first
+/// attempt of the targeted shard fails, every retry runs clean.
+fn one_shot_chaos<'a>(spec: &'a str, trips: &'a str) -> Vec<(&'a str, &'a str)> {
+    vec![
+        ("ASTRA_SHARD_CHAOS", spec),
+        ("ASTRA_SHARD_CHAOS_TRIPS", trips),
+        ("ASTRA_SHARD_CHAOS_MAX_TRIPS", "1"),
+    ]
+}
+
+#[test]
+fn an_injected_crash_is_retried_and_the_output_is_identical() {
+    let tmp = TempDir::new("crash");
+    let logs = tmp.join("logs");
+    generate(&logs, "2");
+    let logs = logs.to_str().unwrap();
+    let trips = tmp.join("trips");
+    let trips = trips.to_str().unwrap();
+
+    let batch = stdout_of(&["analyze", logs], &[]);
+    let out = run(
+        &["shard-analyze", logs, "--shards", "2"],
+        &one_shot_chaos("abort:0:1000", trips),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "supervisor failed:\n{stderr}");
+    assert!(
+        stderr.contains("retrying"),
+        "expected a retry notice on stderr, got:\n{stderr}"
+    );
+    assert_eq!(
+        out.stdout, batch,
+        "output after crash-and-retry differs from analyze"
+    );
+    // The injector really fired exactly once.
+    assert_eq!(std::fs::read_to_string(trips).unwrap().lines().count(), 1);
+}
+
+#[test]
+fn a_hung_worker_is_timed_out_killed_and_retried() {
+    let tmp = TempDir::new("hang");
+    let logs = tmp.join("logs");
+    generate(&logs, "2");
+    let logs = logs.to_str().unwrap();
+    let trips = tmp.join("trips");
+    let trips = trips.to_str().unwrap();
+
+    let batch = stdout_of(&["analyze", logs], &[]);
+    let out = run(
+        &["shard-analyze", logs, "--shards", "2", "--timeout", "2"],
+        &one_shot_chaos("hang:1:500", trips),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "supervisor failed:\n{stderr}");
+    assert!(
+        stderr.contains("timed out"),
+        "expected a timeout notice on stderr, got:\n{stderr}"
+    );
+    assert_eq!(
+        out.stdout, batch,
+        "output after hang-timeout-retry differs from analyze"
+    );
+}
+
+#[test]
+fn a_torn_snapshot_is_rejected_and_retried() {
+    let tmp = TempDir::new("torn");
+    let logs = tmp.join("logs");
+    generate(&logs, "2");
+    let logs = logs.to_str().unwrap();
+    let trips = tmp.join("trips");
+    let trips = trips.to_str().unwrap();
+
+    let batch = stdout_of(&["analyze", logs], &[]);
+    let out = run(
+        &["shard-analyze", logs, "--shards", "2"],
+        &one_shot_chaos("torn:1:500", trips),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "supervisor failed:\n{stderr}");
+    assert!(
+        stderr.contains("rejected snapshot"),
+        "expected a snapshot-rejection notice on stderr, got:\n{stderr}"
+    );
+    assert_eq!(
+        out.stdout, batch,
+        "output after torn-snapshot-retry differs from analyze"
+    );
+}
+
+#[test]
+fn exhausted_retries_abort_strictly_with_no_partial_output() {
+    let tmp = TempDir::new("strict");
+    let logs = tmp.join("logs");
+    generate(&logs, "2");
+    let logs = logs.to_str().unwrap();
+
+    // No trip budget: the targeted shard fails on every attempt.
+    let out = run(
+        &["shard-analyze", logs, "--shards", "2", "--retries", "1"],
+        &[("ASTRA_SHARD_CHAOS", "abort:0:1000")],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "strict mode must fail");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "strict failure is a plain error"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "strict mode leaked partial output:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        stderr.contains("failed permanently"),
+        "expected a permanent-failure notice on stderr, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("--degraded"),
+        "strict failure should hint at --degraded, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn degraded_mode_emits_a_partial_report_with_banner_and_exit_code_3() {
+    let tmp = TempDir::new("degraded");
+    let logs = tmp.join("logs");
+    generate(&logs, "2");
+    let logs = logs.to_str().unwrap();
+
+    let out = run(
+        &[
+            "shard-analyze",
+            logs,
+            "--shards",
+            "2",
+            "--retries",
+            "1",
+            "--degraded",
+        ],
+        &[("ASTRA_SHARD_CHAOS", "abort:0:1000")],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "degraded partial output must use its own exit code; stderr:\n{stderr}"
+    );
+    assert!(
+        stdout.starts_with("DEGRADED: missing racks 0..1"),
+        "expected the missing-racks banner first, got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("faults on"),
+        "expected a (partial) summary after the banner, got:\n{stdout}"
+    );
+    // The partial report covers only the surviving shard, so it must
+    // differ from the full analysis.
+    let batch = stdout_of(&["analyze", logs], &[]);
+    assert_ne!(out.stdout, batch, "degraded output should be partial");
+}
